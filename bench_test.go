@@ -1,0 +1,467 @@
+package valentine
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section, each regenerating the corresponding series at reduced
+// scale and reporting headline numbers as custom benchmark metrics.
+// cmd/benchreport prints the same series as formatted text at any scale.
+
+import (
+	"context"
+	"testing"
+
+	"valentine/internal/core"
+	"valentine/internal/datagen"
+	"valentine/internal/emd"
+	"valentine/internal/experiment"
+	"valentine/internal/fabrication"
+	"valentine/internal/graph"
+	"valentine/internal/metrics"
+	"valentine/internal/report"
+)
+
+// benchCfg is the reduced scale every benchmark runs at; raise Rows/Seeds
+// (or use cmd/benchreport -rows N) for paper-scale runs.
+func benchCfg() report.Config {
+	return report.Config{Rows: 60, Seeds: 1, Sources: []string{"TPC-DI"}}
+}
+
+func reportScenarioMedians(b *testing.B, rs []experiment.Result, methods []string, keep func(experiment.Result) bool) {
+	b.Helper()
+	var all []float64
+	for _, m := range methods {
+		for _, box := range experiment.BoxByScenario(rs, m, keep) {
+			all = append(all, box.Median)
+		}
+	}
+	if len(all) > 0 {
+		b.ReportMetric(metrics.Box(all).Median, "median_recall")
+	}
+}
+
+// BenchmarkTableICapabilities regenerates Table I (capability matrix).
+func BenchmarkTableICapabilities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := report.TableI(); len(out) == 0 {
+			b.Fatal("empty Table I")
+		}
+	}
+}
+
+// BenchmarkTableIIGrids regenerates Table II (the 135-configuration grid).
+func BenchmarkTableIIGrids(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if n := experiment.TotalConfigurations(experiment.DefaultGrids()); n != 135 {
+			b.Fatalf("grid = %d configurations, want 135", n)
+		}
+	}
+}
+
+// BenchmarkTableIIISensitivity regenerates Table III: the ceteris-paribus
+// sensitivity grid search on ChEMBL-fabricated pairs.
+func BenchmarkTableIIISensitivity(b *testing.B) {
+	cfg := report.Config{Rows: 40}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := report.RunTableIII(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 7 {
+			b.Fatalf("Table III rows = %d, want 7", len(rows))
+		}
+		if i == 0 {
+			var maxes []float64
+			for _, r := range rows {
+				maxes = append(maxes, r.Stats.Max)
+			}
+			b.ReportMetric(metrics.Box(maxes).Max, "max_stddev")
+		}
+	}
+}
+
+// BenchmarkFigure4SchemaBased regenerates Figure 4: schema-based methods on
+// fabricated pairs with noisy schemata.
+func BenchmarkFigure4SchemaBased(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Methods = experiment.SchemaBasedMethods()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := report.RunFabricated(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportScenarioMedians(b, rs, cfg.Methods, report.NoisySchemata)
+		}
+	}
+}
+
+// BenchmarkFigure5InstanceBased regenerates Figure 5: instance-based
+// methods, split by noisy vs verbatim instances.
+func BenchmarkFigure5InstanceBased(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Methods = experiment.InstanceBasedMethods()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := report.RunFabricated(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportScenarioMedians(b, rs, cfg.Methods, report.VerbatimInstances)
+		}
+	}
+}
+
+// BenchmarkFigure6Hybrid regenerates Figure 6: the hybrid methods EmbDI and
+// SemProp.
+func BenchmarkFigure6Hybrid(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Rows = 40 // EmbDI trains embeddings per pair; keep iterations cheap
+	cfg.Methods = experiment.HybridMethods()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := report.RunFabricated(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportScenarioMedians(b, rs, cfg.Methods, nil)
+		}
+	}
+}
+
+// BenchmarkFigure7WikiData regenerates Figure 7: all methods on the curated
+// WikiData pairs.
+func BenchmarkFigure7WikiData(b *testing.B) {
+	cfg := report.Config{Rows: 40}
+	pairs := datagen.WikiData(datagen.Options{Rows: 40})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := report.RunCurated(context.Background(), cfg, pairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var instance, schema []float64
+			for _, r := range rs {
+				if r.Err != nil {
+					b.Fatalf("%s: %v", r.Method, r.Err)
+				}
+				switch r.Method {
+				case experiment.MethodDistribution, experiment.MethodJaccardLev, experiment.MethodComaInstance:
+					instance = append(instance, r.Recall)
+				case experiment.MethodCupid, experiment.MethodSimFlood, experiment.MethodComaSchema:
+					schema = append(schema, r.Recall)
+				}
+			}
+			b.ReportMetric(metrics.Box(instance).Mean, "instance_mean_recall")
+			b.ReportMetric(metrics.Box(schema).Mean, "schema_mean_recall")
+		}
+	}
+}
+
+// BenchmarkTableIVCurated regenerates Table IV: Magellan and ING results.
+func BenchmarkTableIVCurated(b *testing.B) {
+	cfg := report.Config{Rows: 40}
+	magPairs := datagen.Magellan(datagen.Options{Rows: 40})
+	ingPairs := []core.TablePair{
+		datagen.ING1(datagen.Options{Rows: 30}),
+		datagen.ING2(datagen.Options{Rows: 30}),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mag, err := report.RunCurated(context.Background(), cfg, magPairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ing, err := report.RunCurated(context.Background(), cfg, ingPairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := report.TableIV(mag, ing)
+		if i == 0 {
+			for _, r := range rows {
+				if r.Method == experiment.MethodDistribution {
+					b.ReportMetric(r.ING2, "distribution_ing2_recall")
+				}
+				if r.Method == experiment.MethodComaSchema {
+					b.ReportMetric(r.Magellan, "coma_magellan_recall")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTableVRuntime regenerates Table V: average per-pair runtime of
+// every method over a common fabricated workload.
+func BenchmarkTableVRuntime(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Rows = 40
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := report.RunFabricated(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			avg := experiment.AverageRuntime(rs)
+			b.ReportMetric(float64(avg[experiment.MethodComaSchema].Microseconds()), "coma_schema_us")
+			b.ReportMetric(float64(avg[experiment.MethodEmbDI].Microseconds()), "embdi_us")
+		}
+	}
+}
+
+// --- per-method microbenchmarks (Table V at a fixed joinable pair) ---
+
+func benchPair(b *testing.B) core.TablePair {
+	b.Helper()
+	src := datagen.TPCDI(datagen.Options{Rows: 80, Seed: 2})
+	pair, err := fabrication.New(4).Joinable(src, 0.5, 1.0, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pair
+}
+
+// BenchmarkMatcher measures each method once on a standard joinable pair.
+func BenchmarkMatcher(b *testing.B) {
+	pair := benchPair(b)
+	reg := experiment.NewRegistry()
+	grids := experiment.QuickGrids()
+	for _, method := range experiment.MethodNames() {
+		b.Run(method, func(b *testing.B) {
+			m, err := reg.New(method, grids[method][0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Match(pair.Source, pair.Target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- ablation benches for DESIGN.md §5 design choices ---
+
+// BenchmarkAblationEMD compares the exact 1-D closed form against the
+// quantile-histogram approximation the phase-1 pass uses.
+func BenchmarkAblationEMD(b *testing.B) {
+	xs := make([]float64, 2000)
+	ys := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = float64(i%977) / 977
+		ys[i] = float64((i*31)%991) / 991
+	}
+	b.Run("exact-1d", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			emd.Samples1D(xs, ys)
+		}
+	})
+	b.Run("quantile-20", func(b *testing.B) {
+		q := 20
+		qx := quantileOf(xs, q)
+		qy := quantileOf(ys, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			emd.Samples1D(qx, qy)
+		}
+	})
+}
+
+func quantileOf(xs []float64, q int) []float64 {
+	out := make([]float64, q)
+	for i := range out {
+		out[i] = xs[i*len(xs)/q]
+	}
+	return out
+}
+
+// BenchmarkAblationSFFormula compares the Similarity Flooding fixpoint
+// formulas (Table II fixes C; this quantifies the alternatives).
+func BenchmarkAblationSFFormula(b *testing.B) {
+	pair := benchPair(b)
+	for _, f := range []string{"basic", "A", "B", "C"} {
+		b.Run("formula-"+f, func(b *testing.B) {
+			m, err := NewMatcher(MethodSimFlood, Params{"formula": f})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var recall float64
+			for i := 0; i < b.N; i++ {
+				ms, err := m.Match(pair.Source, pair.Target)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall, err = RecallAtGT(ms, pair.Truth)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
+// BenchmarkAblationEmbDIDims varies EmbDI's embedding dimensionality,
+// trading training cost against ranking quality.
+func BenchmarkAblationEmbDIDims(b *testing.B) {
+	pair := benchPair(b)
+	for _, dims := range []int{16, 48, 128} {
+		b.Run(dimName(dims), func(b *testing.B) {
+			m, err := NewMatcher(MethodEmbDI, Params{"n_dimensions": dims})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var recall float64
+			for i := 0; i < b.N; i++ {
+				ms, err := m.Match(pair.Source, pair.Target)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall, err = RecallAtGT(ms, pair.Truth)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
+func dimName(d int) string {
+	switch d {
+	case 16:
+		return "dims-16"
+	case 48:
+		return "dims-48"
+	default:
+		return "dims-128"
+	}
+}
+
+// BenchmarkAblationComaLibrary compares COMA's full matcher library against
+// the pure name matcher (approximated by Cupid with zero structural weight
+// and no thesaurus effect removed — the library-vs-single contrast the
+// DESIGN.md ablation list calls out).
+func BenchmarkAblationComaLibrary(b *testing.B) {
+	src := datagen.TPCDI(datagen.Options{Rows: 60, Seed: 2})
+	pair, err := fabrication.New(4).Unionable(src, 0.5, fabrication.Variant{NoisySchema: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []string{"schema", "instance"} {
+		b.Run("strategy-"+strat, func(b *testing.B) {
+			m, err := NewMatcher(MethodComaSchema, Params{"strategy": strat})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if strat == "instance" {
+				m, err = NewMatcher(MethodComaInstance, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var recall float64
+			for i := 0; i < b.N; i++ {
+				ms, err := m.Match(pair.Source, pair.Target)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall, err = RecallAtGT(ms, pair.Truth)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
+// BenchmarkAblationExactVsLSH compares the exact Jaccard-Levenshtein
+// baseline against the approximate MinHash-LSH matcher on high-cardinality
+// columns — the §IX scaling lesson quantified.
+func BenchmarkAblationExactVsLSH(b *testing.B) {
+	src := datagen.OpenData(datagen.Options{Rows: 300, Seed: 6})
+	pair, err := fabrication.New(8).Joinable(src, 0.5, 1.0, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, method := range []string{MethodJaccardLev, MethodLSH} {
+		b.Run(method, func(b *testing.B) {
+			m, err := NewMatcher(method, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var recall float64
+			for i := 0; i < b.N; i++ {
+				ms, err := m.Match(pair.Source, pair.Target)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall, err = RecallAtGT(ms, pair.Truth)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
+// BenchmarkAblationEnsembleFusion compares score fusion against RRF on a
+// noisy pair — the composition lesson quantified.
+func BenchmarkAblationEnsembleFusion(b *testing.B) {
+	src := datagen.TPCDI(datagen.Options{Rows: 60, Seed: 2})
+	pair, err := fabrication.New(4).SemanticallyJoinable(src, 0.5, 1.0, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	members := []string{MethodComaSchema, MethodDistribution, MethodJaccardLev}
+	for _, fusion := range []string{"score", "rrf"} {
+		b.Run("fusion-"+fusion, func(b *testing.B) {
+			e, err := NewEnsemble(members, Params{"fusion": fusion})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var recall float64
+			for i := 0; i < b.N; i++ {
+				ms, err := e.Match(pair.Source, pair.Target)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall, err = RecallAtGT(ms, pair.Truth)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
+// BenchmarkFlooding isolates the PCG construction + fixpoint machinery.
+func BenchmarkFlooding(b *testing.B) {
+	g := graph.New()
+	for i := 0; i < 30; i++ {
+		g.AddEdge("root", "column", nodeID(i))
+		g.AddEdge(nodeID(i), "type", "string")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pcg := graph.BuildPCG(g, g)
+		pcg.Flood(nil, 1, graph.FloodOptions{Formula: graph.FormulaC})
+	}
+}
+
+func nodeID(i int) string {
+	return "c" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+}

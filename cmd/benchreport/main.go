@@ -1,0 +1,144 @@
+// Command benchreport regenerates every table and figure of the paper's
+// evaluation section at a configurable scale and prints them as text.
+//
+// Usage:
+//
+//	benchreport -all                # everything (default)
+//	benchreport -table1 -fig4       # selected artifacts
+//	benchreport -rows 400 -seeds 3  # closer to paper scale
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"valentine/internal/core"
+	"valentine/internal/datagen"
+	"valentine/internal/experiment"
+	"valentine/internal/report"
+)
+
+// detailedCSV, when set by -csv, receives every fabricated-pair result.
+var detailedCSV string
+
+func main() {
+	var (
+		rows   = flag.Int("rows", 120, "rows per generated source table")
+		seeds  = flag.Int("seeds", 1, "fabrication seeds per source")
+		all    = flag.Bool("all", false, "produce every table and figure")
+		table1 = flag.Bool("table1", false, "Table I: capability matrix")
+		table2 = flag.Bool("table2", false, "Table II: parameter grids")
+		table3 = flag.Bool("table3", false, "Table III: parameter sensitivity")
+		table4 = flag.Bool("table4", false, "Table IV: Magellan and ING recall")
+		table5 = flag.Bool("table5", false, "Table V: average runtimes")
+		fig4   = flag.Bool("fig4", false, "Figure 4: schema-based methods")
+		fig5   = flag.Bool("fig5", false, "Figure 5: instance-based methods")
+		fig6   = flag.Bool("fig6", false, "Figure 6: hybrid methods")
+		fig7   = flag.Bool("fig7", false, "Figure 7: WikiData")
+		csvOut = flag.String("csv", "", "also write detailed per-run results to this CSV file")
+	)
+	flag.Parse()
+	detailedCSV = *csvOut
+	if !(*table1 || *table2 || *table3 || *table4 || *table5 || *fig4 || *fig5 || *fig6 || *fig7) {
+		*all = true
+	}
+	if *all {
+		*table1, *table2, *table3, *table4, *table5 = true, true, true, true, true
+		*fig4, *fig5, *fig6, *fig7 = true, true, true, true
+	}
+	if err := run(*rows, *seeds, *table1, *table2, *table3, *table4, *table5, *fig4, *fig5, *fig6, *fig7); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fig6, fig7 bool) error {
+	ctx := context.Background()
+	cfg := report.Config{Rows: rows, Seeds: seeds}
+
+	if table1 {
+		fmt.Println(report.TableI())
+	}
+	if table2 {
+		fmt.Println(report.TableII())
+	}
+
+	var fabricated []experiment.Result
+	if fig4 || fig5 || fig6 || table5 {
+		fmt.Fprintf(os.Stderr, "running fabricated-pair experiments (rows=%d seeds=%d)...\n", rows, seeds)
+		var err error
+		fabricated, err = report.RunFabricated(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		if detailedCSV != "" {
+			f, err := os.Create(detailedCSV)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteResultsCSV(f, fabricated); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d detailed results to %s\n", len(fabricated), detailedCSV)
+		}
+	}
+	if fig4 {
+		fmt.Println(report.FormatFigure(
+			"Figure 4 — schema-based methods, noisy schemata (min/median/max recall@GT)",
+			report.Figure(fabricated, experiment.SchemaBasedMethods(), report.NoisySchemata)))
+	}
+	if fig5 {
+		fmt.Println(report.FormatFigure(
+			"Figure 5 — instance-based methods, noisy instances (min/median/max recall@GT)",
+			report.Figure(fabricated, experiment.InstanceBasedMethods(), report.NoisyInstances)))
+		fmt.Println(report.FormatFigure(
+			"Figure 5 — instance-based methods, verbatim instances",
+			report.Figure(fabricated, experiment.InstanceBasedMethods(), report.VerbatimInstances)))
+	}
+	if fig6 {
+		fmt.Println(report.FormatFigure(
+			"Figure 6 — hybrid methods (min/median/max recall@GT)",
+			report.Figure(fabricated, experiment.HybridMethods(), nil)))
+	}
+	if fig7 {
+		fmt.Fprintln(os.Stderr, "running WikiData experiments...")
+		wiki, err := report.RunCurated(ctx, cfg, datagen.WikiData(datagen.Options{Rows: rows}))
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.FormatFigure7(wiki))
+	}
+	if table3 {
+		fmt.Fprintln(os.Stderr, "running Table III sensitivity grid search...")
+		rows3, err := report.RunTableIII(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.FormatTableIII(rows3))
+	}
+	if table4 {
+		fmt.Fprintln(os.Stderr, "running Magellan and ING experiments...")
+		mag, err := report.RunCurated(ctx, cfg, datagen.Magellan(datagen.Options{Rows: rows}))
+		if err != nil {
+			return err
+		}
+		ing, err := report.RunCurated(ctx, cfg, []core.TablePair{
+			datagen.ING1(datagen.Options{Rows: rows}),
+			datagen.ING2(datagen.Options{Rows: rows}),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.FormatTableIV(report.TableIV(mag, ing)))
+	}
+	if table5 {
+		fmt.Println(report.FormatTableV(fabricated))
+	}
+	return nil
+}

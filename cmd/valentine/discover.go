@@ -1,0 +1,120 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"valentine"
+	"valentine/internal/table"
+)
+
+// cmdDiscover ranks the CSV tables in a directory by their joinability or
+// unionability with a query table — Valentine as a dataset-discovery
+// component, end to end.
+func cmdDiscover(args []string) error {
+	fs := flag.NewFlagSet("discover", flag.ExitOnError)
+	query := fs.String("query", "", "query CSV (required)")
+	dir := fs.String("dir", ".", "directory of candidate CSVs")
+	mode := fs.String("mode", "join", "join|union")
+	method := fs.String("method", valentine.MethodComaInstance, "matching method")
+	top := fs.Int("top", 10, "candidates to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *query == "" {
+		return fmt.Errorf("discover: -query is required")
+	}
+	if *mode != "join" && *mode != "union" {
+		return fmt.Errorf("discover: mode %q is not join|union", *mode)
+	}
+	q, err := valentine.ReadCSVFile(*query)
+	if err != nil {
+		return err
+	}
+	m, err := valentine.NewMatcher(*method, nil)
+	if err != nil {
+		return err
+	}
+
+	entries, err := os.ReadDir(*dir)
+	if err != nil {
+		return err
+	}
+	queryAbs, _ := filepath.Abs(*query)
+	type candidate struct {
+		name  string
+		score float64
+		best  valentine.Match
+	}
+	var ranked []candidate
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		path := filepath.Join(*dir, e.Name())
+		if abs, _ := filepath.Abs(path); abs == queryAbs {
+			continue // skip the query itself
+		}
+		cand, err := valentine.ReadCSVFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "discover: skipping %s: %v\n", path, err)
+			continue
+		}
+		matches, err := m.Match(q, cand)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "discover: skipping %s: %v\n", path, err)
+			continue
+		}
+		score, best := discoveryScore(matches, *mode, q)
+		ranked = append(ranked, candidate{name: e.Name(), score: score, best: best})
+	}
+	if len(ranked) == 0 {
+		return fmt.Errorf("discover: no candidate CSVs in %s", *dir)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].name < ranked[j].name
+	})
+	fmt.Printf("%s-ability of %d candidates with %q (%s):\n", *mode, len(ranked), q.Name, *method)
+	if *top > len(ranked) {
+		*top = len(ranked)
+	}
+	for i, c := range ranked[:*top] {
+		fmt.Printf("%2d. %-30s %.3f", i+1, c.name, c.score)
+		if c.best.SourceColumn != "" {
+			fmt.Printf("  via %s ~ %s", c.best.SourceColumn, c.best.TargetColumn)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// discoveryScore converts a ranked match list into one candidate score:
+// joinability is the best single correspondence (one good join column
+// suffices); unionability is the mean of each query column's best match
+// (union needs every column covered).
+func discoveryScore(matches []valentine.Match, mode string, query *table.Table) (float64, valentine.Match) {
+	if len(matches) == 0 {
+		return 0, valentine.Match{}
+	}
+	if mode == "join" {
+		return matches[0].Score, matches[0]
+	}
+	bestPer := make(map[string]float64, query.NumColumns())
+	for _, m := range matches {
+		if m.Score > bestPer[m.SourceColumn] {
+			bestPer[m.SourceColumn] = m.Score
+		}
+	}
+	sum := 0.0
+	for _, c := range query.ColumnNames() {
+		sum += bestPer[c]
+	}
+	return sum / float64(query.NumColumns()), matches[0]
+}

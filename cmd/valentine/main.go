@@ -1,0 +1,284 @@
+// Command valentine is the CLI front end of the suite: fabricate matching
+// problems from a CSV, run a matcher over two CSVs, evaluate a ranked match
+// list against ground truth, and list the available methods.
+//
+// Usage:
+//
+//	valentine methods
+//	valentine fabricate -src table.csv -scenario unionable -out out/ [flags]
+//	valentine match -method coma-schema -source a.csv -target b.csv [-top 10] [-param k=v]
+//	valentine evaluate -method coma-schema -source a.csv -target b.csv -truth gt.csv
+//	valentine experiment -source TPC-DI -rows 120 [-methods m1,m2]
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"valentine"
+	"valentine/internal/core"
+	"valentine/internal/experiment"
+	"valentine/internal/fabrication"
+	"valentine/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "methods":
+		err = cmdMethods()
+	case "fabricate":
+		err = cmdFabricate(os.Args[2:])
+	case "match":
+		err = cmdMatch(os.Args[2:])
+	case "evaluate":
+		err = cmdEvaluate(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "discover":
+		err = cmdDiscover(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "valentine: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "valentine:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: valentine <command> [flags]
+
+commands:
+  methods      list matching methods and their match-type capabilities
+  fabricate    split a CSV into a matching problem with ground truth
+  match        rank column correspondences between two CSVs
+  evaluate     run a matcher and score it against a ground-truth CSV
+  experiment   run the quick experiment grid over a generated source
+  discover     rank a directory of CSVs by joinability/unionability with a query`)
+}
+
+func cmdMethods() error {
+	fmt.Print(report.TableI())
+	return nil
+}
+
+func cmdFabricate(args []string) error {
+	fs := flag.NewFlagSet("fabricate", flag.ExitOnError)
+	src := fs.String("src", "", "source CSV file (required)")
+	scenario := fs.String("scenario", "unionable", "unionable|view-unionable|joinable|semantically-joinable")
+	outDir := fs.String("out", "out", "output directory")
+	rowOverlap := fs.Float64("row-overlap", 0.5, "row overlap fraction")
+	colOverlap := fs.Float64("col-overlap", 0.5, "column overlap fraction (-1 = one shared column)")
+	noisySchema := fs.Bool("noisy-schema", false, "perturb target column names")
+	noisyInstances := fs.Bool("noisy-instances", false, "perturb target cell values")
+	seed := fs.Int64("seed", 1, "fabrication seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *src == "" {
+		return fmt.Errorf("fabricate: -src is required")
+	}
+	tab, err := valentine.ReadCSVFile(*src)
+	if err != nil {
+		return err
+	}
+	f := valentine.NewFabricator(*seed)
+	v := fabrication.Variant{NoisySchema: *noisySchema, NoisyInstances: *noisyInstances}
+	var pair core.TablePair
+	switch *scenario {
+	case core.ScenarioUnionable:
+		pair, err = f.Unionable(tab, *rowOverlap, v)
+	case core.ScenarioViewUnionable:
+		pair, err = f.ViewUnionable(tab, *colOverlap, v)
+	case core.ScenarioJoinable:
+		pair, err = f.Joinable(tab, *colOverlap, *rowOverlap, v.NoisySchema)
+	case core.ScenarioSemJoinable:
+		pair, err = f.SemanticallyJoinable(tab, *colOverlap, *rowOverlap, v.NoisySchema)
+	default:
+		return fmt.Errorf("fabricate: unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		return err
+	}
+	if err := pair.Source.WriteCSVFile(*outDir + "/source.csv"); err != nil {
+		return err
+	}
+	if err := pair.Target.WriteCSVFile(*outDir + "/target.csv"); err != nil {
+		return err
+	}
+	gtFile, err := os.Create(*outDir + "/ground_truth.csv")
+	if err != nil {
+		return err
+	}
+	defer gtFile.Close()
+	w := csv.NewWriter(gtFile)
+	if err := w.Write([]string{"source_column", "target_column"}); err != nil {
+		return err
+	}
+	for _, p := range pair.Truth.Pairs() {
+		if err := w.Write([]string{p.Source, p.Target}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("fabricated %s: %d+%d columns, %d ground-truth pairs → %s/\n",
+		pair.Name, pair.Source.NumColumns(), pair.Target.NumColumns(), pair.Truth.Size(), *outDir)
+	return nil
+}
+
+type paramFlags struct{ p core.Params }
+
+func (pf *paramFlags) String() string { return "" }
+func (pf *paramFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("param %q is not key=value", s)
+	}
+	if pf.p == nil {
+		pf.p = core.Params{}
+	}
+	if f, err := strconv.ParseFloat(v, 64); err == nil {
+		pf.p[k] = f
+	} else {
+		pf.p[k] = v
+	}
+	return nil
+}
+
+func runMatcher(fs *flag.FlagSet, args []string) (matches []core.Match, method string, sourcePath, targetPath, truthPath string, top int, err error) {
+	methodF := fs.String("method", valentine.MethodComaSchema, "matching method")
+	sourceF := fs.String("source", "", "source CSV (required)")
+	targetF := fs.String("target", "", "target CSV (required)")
+	truthF := fs.String("truth", "", "ground truth CSV (source_column,target_column)")
+	topF := fs.Int("top", 10, "matches to print")
+	var pf paramFlags
+	fs.Var(&pf, "param", "matcher parameter key=value (repeatable)")
+	if err = fs.Parse(args); err != nil {
+		return
+	}
+	method, sourcePath, targetPath, truthPath, top = *methodF, *sourceF, *targetF, *truthF, *topF
+	if sourcePath == "" || targetPath == "" {
+		err = fmt.Errorf("-source and -target are required")
+		return
+	}
+	src, err := valentine.ReadCSVFile(sourcePath)
+	if err != nil {
+		return
+	}
+	tgt, err := valentine.ReadCSVFile(targetPath)
+	if err != nil {
+		return
+	}
+	m, err := valentine.NewMatcher(method, pf.p)
+	if err != nil {
+		return
+	}
+	matches, err = m.Match(src, tgt)
+	return
+}
+
+func cmdMatch(args []string) error {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	matches, method, _, _, _, top, err := runMatcher(fs, args)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d ranked matches\n", method, len(matches))
+	if top > len(matches) {
+		top = len(matches)
+	}
+	for _, m := range matches[:top] {
+		fmt.Println(" ", m)
+	}
+	return nil
+}
+
+func cmdEvaluate(args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+	matches, method, _, _, truthPath, _, err := runMatcher(fs, args)
+	if err != nil {
+		return err
+	}
+	if truthPath == "" {
+		return fmt.Errorf("evaluate: -truth is required")
+	}
+	gt, err := readTruth(truthPath)
+	if err != nil {
+		return err
+	}
+	recall, err := valentine.RecallAtGT(matches, gt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: recall@ground-truth = %.3f (|GT| = %d)\n", method, recall, gt.Size())
+	return nil
+}
+
+func readTruth(path string) (*core.GroundTruth, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	gt := core.NewGroundTruth()
+	for i, rec := range records {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("truth %s line %d: want 2 columns", path, i+1)
+		}
+		if i == 0 && strings.EqualFold(rec[0], "source_column") {
+			continue
+		}
+		gt.Add(rec[0], rec[1])
+	}
+	return gt, nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	source := fs.String("source", "TPC-DI", "generated source: TPC-DI|OpenData|ChEMBL")
+	rows := fs.Int("rows", 120, "rows in the generated source")
+	seeds := fs.Int("seeds", 1, "fabrication seeds")
+	methodsF := fs.String("methods", "", "comma-separated method subset (default all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := report.Config{Rows: *rows, Seeds: *seeds, Sources: []string{*source}}
+	if *methodsF != "" {
+		cfg.Methods = strings.Split(*methodsF, ",")
+	}
+	rs, err := report.RunFabricated(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	methods := cfg.Methods
+	if len(methods) == 0 {
+		methods = experiment.MethodNames()
+	}
+	fmt.Print(report.FormatFigure(
+		fmt.Sprintf("Effectiveness on %s fabricated pairs (min/median/max recall@GT)", *source),
+		report.Figure(rs, methods, nil)))
+	fmt.Println()
+	fmt.Print(report.FormatTableV(rs))
+	return nil
+}

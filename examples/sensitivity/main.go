@@ -1,0 +1,69 @@
+// Sensitivity: reproduce the Table-III methodology end to end — grid-search
+// the Jaccard-Levenshtein threshold over ChEMBL-fabricated pairs and report
+// how strongly recall reacts to the parameter, per pair and in aggregate.
+//
+//	go run ./examples/sensitivity
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"valentine"
+)
+
+func main() {
+	source := valentine.ChEMBL(valentine.DatasetOptions{Rows: 120, Seed: 5})
+	pairs, err := valentine.FabricationGrid("chembl", source, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A slice of the grid keeps the example fast: the two joinable flavors.
+	var subset []valentine.TablePair
+	for _, p := range pairs {
+		if p.Scenario == valentine.ScenarioJoinable || p.Scenario == valentine.ScenarioSemJoinable {
+			subset = append(subset, p)
+		}
+	}
+
+	thresholds := []float64{0.4, 0.5, 0.6, 0.7, 0.8}
+	grid := make(valentine.Grid, 0, len(thresholds))
+	for _, th := range thresholds {
+		grid = append(grid, valentine.Params{"threshold": th})
+	}
+	results, err := valentine.RunExperiments(context.Background(), valentine.ExperimentSpec{
+		Registry: valentine.NewRegistry(),
+		Grids:    map[string]valentine.Grid{valentine.MethodJaccardLev: grid},
+		Methods:  []string{valentine.MethodJaccardLev},
+		Pairs:    subset,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-pair std-dev of recall across the threshold sweep.
+	perPair := map[string][]float64{}
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		perPair[r.Pair] = append(perPair[r.Pair], r.Recall)
+	}
+	var stdevs []float64
+	fmt.Printf("threshold sweep %v on %d ChEMBL joinable pairs:\n\n", thresholds, len(subset))
+	for pair, recalls := range perPair {
+		b := valentine.Box(recalls)
+		stdevs = append(stdevs, b.StdDev)
+		if b.StdDev > 0.1 {
+			fmt.Printf("  sensitive pair %-55s recall %.2f–%.2f (σ=%.3f)\n",
+				pair, b.Min, b.Max, b.StdDev)
+		}
+	}
+	agg := valentine.Box(stdevs)
+	fmt.Printf("\nTable-III style summary for jaccard-levenshtein/threshold:\n")
+	fmt.Printf("  std-dev of recall: min=%.3f median=%.3f max=%.3f over %d pairs\n",
+		agg.Min, agg.Median, agg.Max, agg.N)
+	fmt.Println("\nPaper's observation: medians near zero (parameters often don't matter)")
+	fmt.Println("but maxima near 0.5 (when overlap is low, thresholds matter a lot).")
+}

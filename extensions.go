@@ -1,0 +1,112 @@
+package valentine
+
+// Extensions beyond the paper's seven methods, implementing its "lessons
+// learned" (§IX): matcher composition, human-in-the-loop feedback, an
+// approximate LSH matcher, and richer rank metrics.
+
+import (
+	"io"
+
+	"valentine/internal/core"
+	"valentine/internal/experiment"
+	"valentine/internal/fabrication"
+	"valentine/internal/feedback"
+	"valentine/internal/matchers/ensemble"
+	"valentine/internal/metrics"
+	"valentine/internal/table"
+)
+
+// MethodLSH is the approximate value-overlap matcher (MinHash LSH banding)
+// suggested by the paper's scaling lesson. Registered alongside — but
+// reported separately from — the paper's methods.
+const MethodLSH = experiment.MethodLSH
+
+// FeedbackSession accumulates reviewer verdicts and reranks match lists
+// (paper lesson: "Humans-in-the-loop").
+type FeedbackSession = feedback.Session
+
+// NewFeedbackSession returns an empty feedback session.
+func NewFeedbackSession() *FeedbackSession { return feedback.NewSession() }
+
+// SimulateFeedback answers review questions from the ground truth and
+// returns the Recall@GT trajectory per answered question.
+func SimulateFeedback(matches []Match, gt *GroundTruth, budget int) ([]float64, error) {
+	return feedback.Simulate(matches, gt, budget)
+}
+
+// EnsembleFusion selects the ensemble combination rule.
+type EnsembleFusion = ensemble.Fusion
+
+// Ensemble fusion rules.
+const (
+	FusionScore = ensemble.FusionScore
+	FusionRRF   = ensemble.FusionRRF
+)
+
+// NewEnsemble composes registered methods into one matcher (paper lesson:
+// "One size does not fit all" — compose, COMA-style). Params: "fusion"
+// ("score"|"rrf"), "rrf_k".
+func NewEnsemble(methods []string, p Params) (Matcher, error) {
+	quick := make(map[string]core.Params)
+	for m, g := range experiment.QuickGrids() {
+		quick[m] = g[0]
+	}
+	// Extension methods configured with defaults.
+	quick[MethodLSH] = nil
+	return ensemble.FromRegistry(experiment.NewRegistry(), quick, methods, p)
+}
+
+// PrecisionAtK computes precision among the top-k ranked matches.
+func PrecisionAtK(matches []Match, gt *GroundTruth, k int) (float64, error) {
+	return metrics.PrecisionAtK(matches, gt, k)
+}
+
+// RecallAtK computes recall among the top-k ranked matches.
+func RecallAtK(matches []Match, gt *GroundTruth, k int) (float64, error) {
+	return metrics.RecallAtK(matches, gt, k)
+}
+
+// NDCGAtK computes normalized DCG at k with binary relevance.
+func NDCGAtK(matches []Match, gt *GroundTruth, k int) (float64, error) {
+	return metrics.NDCGAtK(matches, gt, k)
+}
+
+// AveragePrecision computes AP over the full ranking.
+func AveragePrecision(matches []Match, gt *GroundTruth) (float64, error) {
+	return metrics.AveragePrecision(matches, gt)
+}
+
+// RecallCurve returns Recall@k for k = 1..maxK.
+func RecallCurve(matches []Match, gt *GroundTruth, maxK int) ([]float64, error) {
+	return metrics.RecallCurve(matches, gt, maxK)
+}
+
+// SavePair writes a table pair with ground truth to a directory (the
+// publishable artifact layout of the original repository).
+func SavePair(dir string, pair TablePair) error { return fabrication.SavePair(dir, pair) }
+
+// LoadPair reads a pair saved by SavePair.
+func LoadPair(dir string) (TablePair, error) { return fabrication.LoadPair(dir) }
+
+// JoinTables inner-joins two tables on a matched column pair — what a
+// discovery pipeline executes once a matcher proposes a join.
+func JoinTables(left, right *Table, leftCol, rightCol string) (*Table, error) {
+	return table.Join(left, right, leftCol, rightCol)
+}
+
+// UnionTables unions b into a's schema through the column mapping
+// (deduplicating exact row duplicates).
+func UnionTables(a, b *Table, mapping map[string]string) (*Table, error) {
+	return table.Union(a, b, mapping)
+}
+
+// WriteResultsCSV exports experiment results in the detailed per-run format
+// the original repository publishes.
+func WriteResultsCSV(w io.Writer, rs []ExperimentResult) error {
+	return experiment.WriteResultsCSV(w, rs)
+}
+
+// ReadResultsCSV parses results written by WriteResultsCSV.
+func ReadResultsCSV(r io.Reader) ([]ExperimentResult, error) {
+	return experiment.ReadResultsCSV(r)
+}

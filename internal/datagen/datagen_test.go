@@ -1,0 +1,317 @@
+package datagen
+
+import (
+	"testing"
+
+	"valentine/internal/core"
+	"valentine/internal/table"
+)
+
+func TestTPCDIShape(t *testing.T) {
+	tab := TPCDI(Options{Rows: 100, Seed: 3})
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 100 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	if c := tab.NumColumns(); c < 11 || c > 22 {
+		t.Fatalf("cols = %d, want within the paper's 11–22", c)
+	}
+	if got := tab.Column("income").Type; got != table.Int {
+		t.Errorf("income type = %v", got)
+	}
+	if got := tab.Column("credit_rating"); got == nil {
+		t.Error("credit_rating missing")
+	}
+}
+
+func TestOpenDataShape(t *testing.T) {
+	tab := OpenData(Options{Rows: 80})
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c := tab.NumColumns(); c < 26 || c > 51 {
+		t.Fatalf("cols = %d, want within the paper's 26–51", c)
+	}
+	if got := tab.Column("latitude").Type; got != table.Float {
+		t.Errorf("latitude type = %v", got)
+	}
+	if got := tab.Column("approved").Type; got != table.Bool {
+		t.Errorf("approved type = %v", got)
+	}
+	if got := tab.Column("start_date").Type; got != table.Date {
+		t.Errorf("start_date type = %v", got)
+	}
+}
+
+func TestChEMBLShape(t *testing.T) {
+	tab := ChEMBL(Options{Rows: 80})
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c := tab.NumColumns(); c < 12 || c > 23 {
+		t.Fatalf("cols = %d, want within the paper's 12–23", c)
+	}
+	// ontology-aligned vocabulary for SemProp
+	for _, name := range []string{"assay_type", "organism", "cell_line", "concentration", "potency", "unit", "confidence_score"} {
+		if tab.Column(name) == nil {
+			t.Errorf("ChEMBL missing ontology-aligned column %q", name)
+		}
+	}
+}
+
+func TestSourcesAndLookup(t *testing.T) {
+	srcs := Sources(Options{Rows: 30})
+	if len(srcs) != 3 {
+		t.Fatalf("Sources = %d", len(srcs))
+	}
+	for _, name := range SourceNames() {
+		if srcs[name] == nil {
+			t.Errorf("source %s missing", name)
+		}
+		got, err := Source(name, Options{Rows: 30})
+		if err != nil || got == nil {
+			t.Errorf("Source(%s) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := Source("nope", Options{}); err == nil {
+		t.Error("unknown source should fail")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := TPCDI(Options{Rows: 50, Seed: 9})
+	b := TPCDI(Options{Rows: 50, Seed: 9})
+	for i := range a.Columns {
+		for j := range a.Columns[i].Values {
+			if a.Columns[i].Values[j] != b.Columns[i].Values[j] {
+				t.Fatal("TPCDI not deterministic")
+			}
+		}
+	}
+	c := TPCDI(Options{Rows: 50, Seed: 10})
+	same := true
+	for i := range a.Columns {
+		for j := range a.Columns[i].Values {
+			if a.Columns[i].Values[j] != c.Columns[i].Values[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestWikiDataPairs(t *testing.T) {
+	pairs := WikiData(Options{Rows: 60})
+	if len(pairs) != 4 {
+		t.Fatalf("WikiData pairs = %d, want 4", len(pairs))
+	}
+	scen := map[string]bool{}
+	for _, p := range pairs {
+		scen[p.Scenario] = true
+		if err := p.Source.Validate(); err != nil {
+			t.Errorf("%s source: %v", p.Name, err)
+		}
+		if err := p.Target.Validate(); err != nil {
+			t.Errorf("%s target: %v", p.Name, err)
+		}
+		if p.Truth.Size() == 0 {
+			t.Errorf("%s has empty GT", p.Name)
+		}
+		for _, cp := range p.Truth.Pairs() {
+			if p.Source.Column(cp.Source) == nil {
+				t.Errorf("%s: GT source col %q missing", p.Name, cp.Source)
+			}
+			if p.Target.Column(cp.Target) == nil {
+				t.Errorf("%s: GT target col %q missing", p.Name, cp.Target)
+			}
+		}
+	}
+	for _, s := range core.Scenarios() {
+		if !scen[s] {
+			t.Errorf("missing scenario %s", s)
+		}
+	}
+}
+
+func TestWikiDataUnionableHas20Columns(t *testing.T) {
+	pairs := WikiData(Options{Rows: 40})
+	u := pairs[0]
+	if u.Source.NumColumns() != 20 || u.Target.NumColumns() != 20 {
+		t.Fatalf("unionable pair cols = %d/%d, want 20/20", u.Source.NumColumns(), u.Target.NumColumns())
+	}
+	// renamed schema: target must use the variant names
+	if u.Target.Column("spouse") == nil {
+		t.Error("target should rename partner → spouse")
+	}
+	if u.Target.Column("partner") != nil {
+		t.Error("target should not keep the original name")
+	}
+}
+
+func TestWikiDataJoinableSharesValues(t *testing.T) {
+	pairs := WikiData(Options{Rows: 40})
+	var j core.TablePair
+	for _, p := range pairs {
+		if p.Scenario == core.ScenarioJoinable {
+			j = p
+		}
+	}
+	src := j.Source.Column("artist_name")
+	tgt := j.Target.Column("singer")
+	if src == nil || tgt == nil {
+		t.Fatal("join columns missing")
+	}
+	for i := range src.Values {
+		if src.Values[i] != tgt.Values[i] {
+			t.Fatal("joinable pair should share verbatim key values")
+		}
+	}
+}
+
+func TestWikiDataSemJoinableUsesAltEncodings(t *testing.T) {
+	pairs := WikiData(Options{Rows: 40})
+	var sj core.TablePair
+	for _, p := range pairs {
+		if p.Scenario == core.ScenarioSemJoinable {
+			sj = p
+		}
+	}
+	src := sj.Source.Column("artist_name")
+	tgt := sj.Target.Column("singer")
+	diff := 0
+	for i := range src.Values {
+		if src.Values[i] != tgt.Values[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("semantically-joinable should use alternative encodings")
+	}
+}
+
+func TestMagellanPairs(t *testing.T) {
+	pairs := Magellan(Options{Rows: 60})
+	if len(pairs) != 7 {
+		t.Fatalf("Magellan pairs = %d, want 7", len(pairs))
+	}
+	for _, p := range pairs {
+		if err := p.Source.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if c := p.Source.NumColumns(); c < 3 || c > 7 {
+			t.Errorf("%s cols = %d, want 3–7 as in the paper", p.Name, c)
+		}
+		// identical naming conventions
+		for _, cp := range p.Truth.Pairs() {
+			if cp.Source != cp.Target {
+				t.Errorf("%s: Magellan GT should be identity, got %v", p.Name, cp)
+			}
+		}
+		// value overlap between the two sides
+		c0 := p.Source.Columns[0]
+		t0 := p.Target.Columns[0]
+		shared := 0
+		set := c0.DistinctValues()
+		for v := range t0.DistinctValues() {
+			if _, ok := set[v]; ok {
+				shared++
+			}
+		}
+		if shared == 0 {
+			t.Errorf("%s: no value overlap", p.Name)
+		}
+	}
+}
+
+func TestMagellanHasMultiValuedAttributes(t *testing.T) {
+	pairs := Magellan(Options{Rows: 40})
+	found := false
+	for _, p := range pairs {
+		if c := p.Source.Column("actors"); c != nil {
+			for _, v := range c.Values {
+				if len(v) > 0 && containsSemicolon(v) {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("movies pairs should carry multi-valued actor lists")
+	}
+}
+
+func containsSemicolon(s string) bool {
+	for _, r := range s {
+		if r == ';' {
+			return true
+		}
+	}
+	return false
+}
+
+func TestING1Shape(t *testing.T) {
+	p := ING1(Options{Rows: 400})
+	if err := p.Source.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Target.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Source.NumColumns() != 33 {
+		t.Errorf("ING1 source cols = %d, want 33", p.Source.NumColumns())
+	}
+	if p.Target.NumColumns() != 16 {
+		t.Errorf("ING1 target cols = %d, want 16", p.Target.NumColumns())
+	}
+	if p.Source.NumRows() != 935 || p.Target.NumRows() != 972 {
+		t.Errorf("ING1 rows = %d/%d, want 935/972", p.Source.NumRows(), p.Target.NumRows())
+	}
+	if p.Truth.Size() != 14 {
+		t.Errorf("ING1 GT = %d, want 14", p.Truth.Size())
+	}
+	for _, cp := range p.Truth.Pairs() {
+		if p.Source.Column(cp.Source) == nil || p.Target.Column(cp.Target) == nil {
+			t.Errorf("ING1 GT references missing column: %v", cp)
+		}
+	}
+}
+
+func TestING2Shape(t *testing.T) {
+	p := ING2(Options{Rows: 400})
+	if p.Source.NumColumns() != 59 {
+		t.Errorf("ING2 source cols = %d, want 59", p.Source.NumColumns())
+	}
+	if p.Target.NumColumns() != 25 {
+		t.Errorf("ING2 target cols = %d, want 25", p.Target.NumColumns())
+	}
+	if p.Source.NumRows() != 1000 {
+		t.Errorf("ING2 rows = %d, want 1000", p.Source.NumRows())
+	}
+	// n:m ground truth: more GT pairs than business columns involved
+	busCols := map[string]bool{}
+	for _, cp := range p.Truth.Pairs() {
+		busCols[cp.Target] = true
+	}
+	if p.Truth.Size() <= len(busCols) {
+		t.Errorf("ING2 GT should be n:m (%d pairs over %d business columns)", p.Truth.Size(), len(busCols))
+	}
+	// nested/composite values present
+	c := p.Source.Column("relationship")
+	if c == nil || len(c.Values) == 0 || c.Values[0][0] != '{' {
+		t.Error("ING2 should contain nested/composite values")
+	}
+}
+
+func TestINGSmallRows(t *testing.T) {
+	p := ING1(Options{Rows: 50})
+	if p.Source.NumRows() != 235 {
+		t.Errorf("scaled ING1 rows = %d", p.Source.NumRows())
+	}
+	if err := p.Source.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

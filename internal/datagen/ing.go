@@ -1,0 +1,258 @@
+package datagen
+
+import (
+	"strconv"
+
+	"valentine/internal/core"
+	"valentine/internal/table"
+)
+
+// ING1 simulates the first proprietary ING pair: two SCRUM-tracking tables
+// (33 cols × 935 rows and 16 cols × 972 rows) from different custom
+// systems. The paper's causal properties are reproduced: matching columns
+// carry identical or very similar names; columns contain hashes,
+// descriptions and recurring words that invite false positives; matching
+// columns hold almost-identical value distributions (which is why the
+// Distribution-based method won).
+func ING1(opts Options) core.TablePair {
+	opts.defaults()
+	nA, nB := opts.Rows*2+135, opts.Rows*2+172 // defaults → 935/972 as in the paper
+	g := newGen(opts.Seed + 41)
+
+	teams := []string{"atlas", "phoenix", "hydra", "titan", "orion", "lynx", "draco", "vega"}
+	epics := []string{"payments-revamp", "kyc-automation", "mobile-onboarding",
+		"fraud-detection", "api-gateway", "data-lake", "regulatory-reporting"}
+	statuses := []string{"todo", "in-progress", "review", "done", "blocked"}
+	descWords := []string{"implement", "refactor", "investigate", "fix", "migrate",
+		"deprecate", "review", "deploy", "monitor", "align"}
+	// Summaries draw from the action-verb half of the vocabulary and long
+	// descriptions from the full vocabulary — the same convention in both
+	// systems, which separates the two fields' value distributions.
+	mkDesc := func() string {
+		return g.pick(descWords[:5]) + " " + g.pick(epics) + " " + g.pick(descWords) + " flow"
+	}
+	mkLongDesc := func() string {
+		return g.pick(descWords[5:]) + " " + g.pick(epics) + " then " + g.pick(descWords) + " flow"
+	}
+
+	a := table.New("scrum_system_a")
+	// Hash identifiers carry family prefixes (sp-, tk-), as real systems
+	// do; this gives matching id columns near-identical global rank bands —
+	// the distribution signal the paper credits for the Distribution-based
+	// method's win on this dataset.
+	a.AddColumn("sprint_id", column(nA, func(int) string { return "sp-" + g.hexHash(10) }))
+	a.AddColumn("sprint_name", column(nA, func(i int) string { return "Sprint " + strconv.Itoa(1+i/10) }))
+	a.AddColumn("team_id", column(nA, func(int) string { return "T-" + g.intIn(100, 140) }))
+	a.AddColumn("owner_team", column(nA, func(int) string { return g.pick(teams) }))
+	a.AddColumn("epic_name", column(nA, func(int) string { return g.pick(epics) }))
+	a.AddColumn("task_id", column(nA, func(int) string { return "tk-" + g.hexHash(8) }))
+	a.AddColumn("task_summary", column(nA, func(int) string { return mkDesc() }))
+	a.AddColumn("task_description", column(nA, func(int) string { return mkLongDesc() + "; " + mkLongDesc() }))
+	a.AddColumn("status", column(nA, func(int) string { return g.pick(statuses) }))
+	a.AddColumn("story_points", column(nA, func(int) string { return g.pick([]string{"1", "2", "3", "5", "8", "13"}) }))
+	a.AddColumn("start_date", column(nA, func(int) string { return g.date(2018, 2020) }))
+	a.AddColumn("end_date", column(nA, func(int) string { return g.date(2020, 2021) }))
+	a.AddColumn("created_by", column(nA, func(int) string { return g.fullName() }))
+	a.AddColumn("assignee", column(nA, func(int) string { return g.fullName() }))
+	// 19 extra system-A columns: more hashes, dates, team/sprint-flavored
+	// names and descriptions that look like the matching columns — the
+	// false-positive bait the paper describes ("similar words that are used
+	// in multiple contexts").
+	for k := 0; k < 5; k++ {
+		name := "audit_hash_" + strconv.Itoa(k+1)
+		prefix := "au" + strconv.Itoa(k+1) + "-"
+		a.AddColumn(name, column(nA, func(int) string { return prefix + g.hexHash(10) }))
+	}
+	for k := 0; k < 5; k++ {
+		name := "meta_note_" + strconv.Itoa(k+1)
+		// Notes reuse the task vocabulary but with a skewed word mix, so
+		// their value distribution differs measurably from task summaries.
+		sub := descWords[k%4 : k%4+4]
+		a.AddColumn(name, column(nA, func(int) string {
+			return g.pick(sub) + " " + g.pick(epics[:3]) + " " + g.pick(sub) + " note"
+		}))
+	}
+	for k := 0; k < 5; k++ {
+		name := "sys_date_" + strconv.Itoa(k+1)
+		a.AddColumn(name, column(nA, func(int) string { return g.date(2009, 2013) }))
+	}
+	a.AddColumn("sprint_goal", column(nA, func(int) string { return "goal: " + mkDesc() }))
+	a.AddColumn("team_name", column(nA, func(int) string { return "squad-" + g.pick(teams) }))
+	a.AddColumn("created_date", column(nA, func(int) string { return g.date(2015, 2017) }))
+	a.AddColumn("start_commit", column(nA, func(int) string { return "co-" + g.hexHash(10) }))
+
+	// System B: 16 columns; 14 correspond to A columns under the *other*
+	// system's naming convention — identical for a few, near-miss variants
+	// for the rest — while value distributions stay almost identical
+	// (same pools, same prefixes).
+	g2 := newGen(opts.Seed + 42)
+	b := table.New("scrum_system_b")
+	b.AddColumn("sprint_id", column(nB, func(int) string { return "sp-" + g2.hexHash(10) }))
+	b.AddColumn("sprint", column(nB, func(i int) string { return "Sprint " + strconv.Itoa(1+i/10) }))
+	b.AddColumn("teamid", column(nB, func(int) string { return "T-" + g2.intIn(100, 140) }))
+	b.AddColumn("owner", column(nB, func(int) string { return g2.pick(teams) }))
+	b.AddColumn("epic", column(nB, func(int) string { return g2.pick(epics) }))
+	b.AddColumn("taskid", column(nB, func(int) string { return "tk-" + g2.hexHash(8) }))
+	b.AddColumn("summary", column(nB, func(int) string {
+		return g2.pick(descWords[:5]) + " " + g2.pick(epics) + " " + g2.pick(descWords) + " flow"
+	}))
+	b.AddColumn("description", column(nB, func(int) string {
+		mk := func() string {
+			return g2.pick(descWords[5:]) + " " + g2.pick(epics) + " then " + g2.pick(descWords) + " flow"
+		}
+		return mk() + "; " + mk()
+	}))
+	b.AddColumn("state", column(nB, func(int) string { return g2.pick(statuses) }))
+	b.AddColumn("points", column(nB, func(int) string { return g2.pick([]string{"1", "2", "3", "5", "8", "13"}) }))
+	b.AddColumn("started", column(nB, func(int) string { return g2.date(2018, 2020) }))
+	b.AddColumn("ended", column(nB, func(int) string { return g2.date(2020, 2021) }))
+	b.AddColumn("author", column(nB, func(int) string { return g2.fullName() }))
+	b.AddColumn("assigned_to", column(nB, func(int) string { return g2.fullName() }))
+	// two B-only columns
+	b.AddColumn("velocity", column(nB, func(int) string { return g2.intIn(10, 60) }))
+	b.AddColumn("retro_notes", column(nB, func(int) string { return g2.pick(descWords) + " retro " + g2.pick(teams) }))
+
+	gt := core.NewGroundTruth()
+	for _, p := range [][2]string{
+		{"sprint_id", "sprint_id"}, {"sprint_name", "sprint"},
+		{"team_id", "teamid"}, {"owner_team", "owner"},
+		{"epic_name", "epic"}, {"task_id", "taskid"},
+		{"task_summary", "summary"}, {"task_description", "description"},
+		{"status", "state"}, {"story_points", "points"},
+		{"start_date", "started"}, {"end_date", "ended"},
+		{"created_by", "author"}, {"assignee", "assigned_to"},
+	} {
+		gt.Add(p[0], p[1])
+	}
+	return core.TablePair{
+		Name:     "ing/1",
+		Source:   a,
+		Target:   b,
+		Truth:    gt,
+		Scenario: core.ScenarioCurated,
+		Variant:  "proprietary-sim",
+	}
+}
+
+// ING2 simulates the second ING pair: a wide low-level application
+// inventory (59 cols × 1000 rows) and a business-oriented view (25 cols ×
+// 1000 rows). As in the paper: the business table's column names carry
+// suffixes that defeat schema matchers, values across matching columns are
+// even more similar than in ING#1, the ground truth contains multiple
+// matches per business column (n:m), and some cells hold nested/composite
+// values.
+func ING2(opts Options) core.TablePair {
+	opts.defaults()
+	n := opts.Rows*2 + 200 // default → 1000 rows as in the paper
+	g := newGen(opts.Seed + 51)
+
+	apps := []string{"payhub", "riskcore", "custview", "ledgerx", "fraudnet",
+		"authsvc", "cardflow", "mortgage1", "fxengine", "docstore"}
+	depts := []string{"Retail", "Wholesale", "Risk", "Operations", "IT", "Compliance"}
+	hw := []string{"x86-vm", "k8s-pod", "mainframe", "bare-metal", "cloud-paas"}
+	rel := []string{"uses", "depends-on", "feeds", "replaces", "monitors"}
+	mkApp := func(gg *gen) string { return gg.pick(apps) + "-" + gg.intIn(1, 9) }
+	mkNested := func(gg *gen) string {
+		return "{" + mkApp(gg) + " " + gg.pick(rel) + " " + mkApp(gg) + "}"
+	}
+
+	a := table.New("app_inventory")
+	// Low-level table: several column groups duplicated with variations —
+	// this produces the n:m ground truth.
+	appCols := []string{"application_name", "app_code", "component_name"}
+	for _, c := range appCols {
+		a.AddColumn(c, column(n, func(int) string { return mkApp(g) }))
+	}
+	ownCols := []string{"owner_team", "support_team", "dev_team"}
+	teams := []string{"atlas", "phoenix", "hydra", "titan", "orion", "lynx"}
+	for _, c := range ownCols {
+		a.AddColumn(c, column(n, func(int) string { return g.pick(teams) }))
+	}
+	mgrCols := []string{"manager_name", "delegate_name", "tech_lead"}
+	for _, c := range mgrCols {
+		a.AddColumn(c, column(n, func(int) string { return g.fullName() }))
+	}
+	deptCols := []string{"department", "division"}
+	for _, c := range deptCols {
+		a.AddColumn(c, column(n, func(int) string { return g.pick(depts) }))
+	}
+	hwCols := []string{"hardware_platform", "runtime_platform"}
+	for _, c := range hwCols {
+		a.AddColumn(c, column(n, func(int) string { return g.pick(hw) }))
+	}
+	relCols := []string{"relationship", "upstream_link", "downstream_link"}
+	for _, c := range relCols {
+		a.AddColumn(c, column(n, func(int) string { return mkNested(g) }))
+	}
+	a.AddColumn("cost_center", column(n, func(int) string { return "CC" + g.intIn(1000, 9999) }))
+	a.AddColumn("go_live_date", column(n, func(int) string { return g.date(2005, 2020) }))
+	a.AddColumn("decomm_date", column(n, func(int) string { return g.date(2021, 2026) }))
+	a.AddColumn("instance_count", column(n, func(int) string { return g.intIn(1, 40) }))
+	a.AddColumn("cpu_cores", column(n, func(int) string { return g.pick([]string{"2", "4", "8", "16", "32"}) }))
+	a.AddColumn("memory_gb", column(n, func(int) string { return g.pick([]string{"4", "8", "16", "32", "64"}) }))
+	// pad to 59 columns with generic low-level attributes
+	for k := a.NumColumns(); k < 59; k++ {
+		name := "attr_" + strconv.Itoa(k)
+		switch k % 4 {
+		case 0:
+			a.AddColumn(name, column(n, func(int) string { return g.hexHash(8) }))
+		case 1:
+			a.AddColumn(name, column(n, func(int) string { return g.intIn(0, 500) }))
+		case 2:
+			a.AddColumn(name, column(n, func(int) string { return g.pick(wordPool) }))
+		default:
+			a.AddColumn(name, column(n, func(int) string { return g.date(2010, 2024) }))
+		}
+	}
+
+	// Business table: 25 columns; names carry suffixes; values drawn from
+	// the same pools (near-identical distributions).
+	g2 := newGen(opts.Seed + 52)
+	b := table.New("app_business_view")
+	b.AddColumn("application_bus", column(n, func(int) string { return mkApp(g2) }))
+	b.AddColumn("team_bus", column(n, func(int) string { return g2.pick(teams) }))
+	b.AddColumn("manager_bus", column(n, func(int) string { return g2.fullName() }))
+	b.AddColumn("department_bus", column(n, func(int) string { return g2.pick(depts) }))
+	b.AddColumn("platform_bus", column(n, func(int) string { return g2.pick(hw) }))
+	b.AddColumn("relation_bus", column(n, func(int) string { return mkNested(g2) }))
+	b.AddColumn("cost_center_bus", column(n, func(int) string { return "CC" + g2.intIn(1000, 9999) }))
+	b.AddColumn("live_since_bus", column(n, func(int) string { return g2.date(2005, 2020) }))
+	b.AddColumn("capacity_bus", column(n, func(int) string { return g2.intIn(1, 40) }))
+	for k := b.NumColumns(); k < 25; k++ {
+		name := "biz_attr_" + strconv.Itoa(k)
+		switch k % 3 {
+		case 0:
+			b.AddColumn(name, column(n, func(int) string { return g2.pick(wordPool) }))
+		case 1:
+			b.AddColumn(name, column(n, func(int) string { return g2.intIn(0, 100) }))
+		default:
+			b.AddColumn(name, column(n, func(int) string { return g2.pick(depts) + " note" }))
+		}
+	}
+
+	// n:m ground truth: each business column matches every low-level column
+	// of its group.
+	gt := core.NewGroundTruth()
+	addGroup := func(busCol string, lowCols []string) {
+		for _, lc := range lowCols {
+			gt.Add(lc, busCol)
+		}
+	}
+	addGroup("application_bus", appCols)
+	addGroup("team_bus", ownCols)
+	addGroup("manager_bus", mgrCols)
+	addGroup("department_bus", deptCols)
+	addGroup("platform_bus", hwCols)
+	addGroup("relation_bus", relCols)
+	addGroup("cost_center_bus", []string{"cost_center"})
+	addGroup("live_since_bus", []string{"go_live_date"})
+	addGroup("capacity_bus", []string{"instance_count"})
+	return core.TablePair{
+		Name:     "ing/2",
+		Source:   a,
+		Target:   b,
+		Truth:    gt,
+		Scenario: core.ScenarioCurated,
+		Variant:  "proprietary-sim",
+	}
+}

@@ -1,0 +1,161 @@
+package datagen
+
+import (
+	"strconv"
+	"strings"
+
+	"valentine/internal/core"
+	"valentine/internal/table"
+)
+
+// Magellan builds seven entity-matching-style unionable pairs in the spirit
+// of the Magellan Data Repository selection the paper evaluates: pairs with
+// identical column naming conventions, substantial value overlaps with
+// minor discrepancies, and multi-valued attributes (actor lists). Ground
+// truth is the identity mapping, exactly as for curated unionable pairs.
+func Magellan(opts Options) []core.TablePair {
+	opts.defaults()
+	n := opts.Rows / 2
+	if n < 20 {
+		n = 20
+	}
+	var pairs []core.TablePair
+	specs := []struct {
+		name string
+		make func(seed int64, n int) (*table.Table, *table.Table)
+	}{
+		{"movies1", magellanMovies},
+		{"movies2", magellanMovies},
+		{"movies3", magellanMovies},
+		{"restaurants1", magellanRestaurants},
+		{"restaurants2", magellanRestaurants},
+		{"books", magellanBooks},
+		{"music", magellanMusic},
+	}
+	for i, s := range specs {
+		a, b := s.make(opts.Seed+int64(100+17*i), n)
+		a.Name = s.name + "_a"
+		b.Name = s.name + "_b"
+		gt := core.NewGroundTruth()
+		for _, c := range a.ColumnNames() {
+			gt.Add(c, c)
+		}
+		pairs = append(pairs, core.TablePair{
+			Name:     "magellan/" + s.name,
+			Source:   a,
+			Target:   b,
+			Truth:    gt,
+			Scenario: core.ScenarioUnionable,
+			Variant:  "curated",
+		})
+	}
+	return pairs
+}
+
+// overlapSplit deals 2n generated rows into two tables of n rows with ~60%
+// overlap, then applies minor per-cell discrepancies to the second table —
+// the "minor discrepancies between value sets" the paper observes in
+// Magellan data.
+func overlapSplit(g *gen, rows [][]string, n int) (a, b [][]string) {
+	ov := n * 6 / 10
+	a = rows[:n]
+	b = make([][]string, 0, n)
+	for _, r := range rows[n-ov : 2*n-ov] {
+		cp := append([]string(nil), r...)
+		// ~15% of copied rows get a lightly reformatted first cell
+		if g.rng.Float64() < 0.15 {
+			cp[0] = strings.TrimSpace(cp[0] + " ")
+			cp[0] = strings.ToUpper(cp[0][:1]) + cp[0][1:]
+		}
+		b = append(b, cp)
+	}
+	return a, b
+}
+
+func rowsToTable(name string, headers []string, rows [][]string) *table.Table {
+	t := table.New(name)
+	for j, h := range headers {
+		vals := make([]string, len(rows))
+		for i, r := range rows {
+			vals[i] = r[j]
+		}
+		t.AddColumn(h, vals)
+	}
+	return t
+}
+
+func magellanMovies(seed int64, n int) (*table.Table, *table.Table) {
+	g := newGen(seed)
+	headers := []string{"title", "director", "actors", "year", "rating", "genre"}
+	genres := []string{"Drama", "Comedy", "Action", "Thriller", "Romance", "Sci-Fi"}
+	rows := make([][]string, 2*n)
+	for i := range rows {
+		actors := g.fullName() + "; " + g.fullName() + "; " + g.fullName()
+		rows[i] = []string{
+			"The " + titleWord(g.pick(wordPool)) + " " + titleWord(g.pick(wordPool)),
+			g.fullName(),
+			actors,
+			g.intIn(1970, 2020),
+			g.floatIn(2, 9.9, 1),
+			g.pick(genres),
+		}
+	}
+	a, b := overlapSplit(g, rows, n)
+	return rowsToTable("movies_a", headers, a), rowsToTable("movies_b", headers, b)
+}
+
+func magellanRestaurants(seed int64, n int) (*table.Table, *table.Table) {
+	g := newGen(seed)
+	headers := []string{"name", "addr", "city", "phone", "cuisine"}
+	cuisines := []string{"Italian", "Mexican", "Thai", "French", "American", "Indian", "Japanese"}
+	rows := make([][]string, 2*n)
+	for i := range rows {
+		rows[i] = []string{
+			titleWord(g.pick(wordPool)) + " " + g.pick([]string{"Kitchen", "Bistro", "Grill", "Cafe", "House"}),
+			g.street(),
+			g.pick(cityNames),
+			g.phone(),
+			g.pick(cuisines),
+		}
+	}
+	a, b := overlapSplit(g, rows, n)
+	return rowsToTable("restaurants_a", headers, a), rowsToTable("restaurants_b", headers, b)
+}
+
+func magellanBooks(seed int64, n int) (*table.Table, *table.Table) {
+	g := newGen(seed)
+	headers := []string{"title", "author", "publisher", "year", "pages", "isbn"}
+	pubs := []string{"Penguin", "HarperCollins", "Random House", "Macmillan", "Hachette"}
+	rows := make([][]string, 2*n)
+	for i := range rows {
+		rows[i] = []string{
+			titleWord(g.pick(wordPool)) + " of " + titleWord(g.pick(wordPool)),
+			g.fullName(),
+			g.pick(pubs),
+			g.intIn(1950, 2021),
+			g.intIn(90, 900),
+			"978-" + strconv.Itoa(g.rng.Intn(10)) + "-" + g.intIn(10000, 99999) + "-" + g.intIn(100, 999) + "-" + strconv.Itoa(g.rng.Intn(10)),
+		}
+	}
+	a, b := overlapSplit(g, rows, n)
+	return rowsToTable("books_a", headers, a), rowsToTable("books_b", headers, b)
+}
+
+func magellanMusic(seed int64, n int) (*table.Table, *table.Table) {
+	g := newGen(seed)
+	headers := []string{"song", "artist", "album", "genre", "duration", "released"}
+	genres := []string{"rock", "pop", "hip-hop", "electronic", "jazz", "country"}
+	rows := make([][]string, 2*n)
+	for i := range rows {
+		rows[i] = []string{
+			titleWord(g.pick(wordPool)) + " " + titleWord(g.pick(wordPool)),
+			g.fullName(),
+			titleWord(g.pick(wordPool)) + " " + g.pick([]string{"Nights", "Dreams", "Tapes", "Stories"}),
+			g.pick(genres),
+			g.intIn(2, 6) + ":" + g.intIn(10, 59),
+			g.date(1980, 2021),
+		}
+	}
+	a, b := overlapSplit(g, rows, n)
+	return rowsToTable("music_a", headers, a), rowsToTable("music_b", headers, b)
+}

@@ -1,0 +1,154 @@
+// Package datagen generates the synthetic dataset sources that stand in
+// for the paper's evaluation data (§V). The originals are proprietary
+// (ING), license-bound (ChEMBL, TPC-DI) or require online access (WikiData,
+// Open Data, Magellan); each generator reproduces the schema vocabulary,
+// data types, value distributions and matching challenges the paper
+// describes, so the fabricator and matchers exercise the same code paths.
+// DESIGN.md §4 documents each substitution.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Value pools shared across generators. Deterministic slices; generators
+// index into them through seeded RNGs.
+var (
+	firstNames = []string{
+		"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+		"Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+		"Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Chris",
+		"Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony", "Margaret",
+		"Mark", "Sandra", "Donald", "Ashley", "Steven", "Kim", "Paul", "Emily",
+		"Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy", "Kevin",
+		"Carol", "Brian", "Amanda", "George", "Melissa", "Edward", "Deborah",
+	}
+	lastNames = []string{
+		"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+		"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+		"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+		"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+		"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+		"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+	}
+	streetNames = []string{
+		"Main St", "Oak Ave", "Maple Dr", "Cedar Ln", "Pine Rd", "Elm St",
+		"Washington Blvd", "Lake View Dr", "Hill Crest Rd", "Sunset Ave",
+		"Park Pl", "River Rd", "Church St", "High St", "Mill Ln", "Bridge St",
+		"Station Rd", "Garden Way", "Forest Dr", "Spring St",
+	}
+	cityNames = []string{
+		"Springfield", "Riverside", "Fairview", "Georgetown", "Madison",
+		"Clinton", "Arlington", "Salem", "Bristol", "Dover", "Hudson",
+		"Kingston", "Milton", "Newport", "Oxford", "Ashland", "Burlington",
+		"Clayton", "Dayton", "Franklin",
+	}
+	stateNames = []string{
+		"CA", "NY", "TX", "FL", "IL", "PA", "OH", "GA", "NC", "MI", "NJ",
+		"VA", "WA", "AZ", "MA", "TN", "IN", "MO", "MD", "WI",
+	}
+	countryNames = []string{
+		"USA", "Canada", "UK", "Netherlands", "France", "Germany", "Spain",
+		"Italy", "Japan", "China", "Brazil", "India", "Australia", "Mexico",
+		"Sweden", "Norway", "Poland", "Greece", "Portugal", "Ireland",
+	}
+	// countryAlt maps a country to an alternative encoding, powering
+	// semantically-joinable challenges (Fig. 2d's USA → States, China → Chn).
+	countryAlt = map[string]string{
+		"USA": "United States", "Canada": "CAN", "UK": "United Kingdom",
+		"Netherlands": "NLD", "France": "FRA", "Germany": "DEU",
+		"Spain": "ESP", "Italy": "ITA", "Japan": "JPN", "China": "CHN",
+		"Brazil": "BRA", "India": "IND", "Australia": "AUS", "Mexico": "MEX",
+		"Sweden": "SWE", "Norway": "NOR", "Poland": "POL", "Greece": "GRC",
+		"Portugal": "PRT", "Ireland": "IRL",
+	}
+	companySuffixes = []string{"Inc", "LLC", "Ltd", "Corp", "Group", "Partners"}
+	wordPool        = []string{
+		"alpha", "beta", "gamma", "delta", "omega", "vector", "matrix",
+		"stream", "cloud", "quantum", "nova", "prime", "core", "flux",
+		"pulse", "orbit", "signal", "cipher", "atlas", "zenith",
+	}
+)
+
+type gen struct{ rng *rand.Rand }
+
+func newGen(seed int64) *gen { return &gen{rng: rand.New(rand.NewSource(seed))} }
+
+func (g *gen) pick(pool []string) string { return pool[g.rng.Intn(len(pool))] }
+
+func (g *gen) fullName() string { return g.pick(firstNames) + " " + g.pick(lastNames) }
+
+func (g *gen) street() string {
+	return strconv.Itoa(1+g.rng.Intn(999)) + " " + g.pick(streetNames)
+}
+
+func (g *gen) phone() string {
+	return fmt.Sprintf("(%03d) %03d-%04d", 200+g.rng.Intn(800), g.rng.Intn(1000), g.rng.Intn(10000))
+}
+
+func (g *gen) email(name string) string {
+	user := strings.ToLower(strings.ReplaceAll(name, " ", "."))
+	dom := []string{"example.com", "mail.com", "corp.net", "inbox.org"}
+	return user + "@" + g.pick(dom)
+}
+
+func (g *gen) date(yearLo, yearHi int) string {
+	y := yearLo + g.rng.Intn(yearHi-yearLo+1)
+	m := 1 + g.rng.Intn(12)
+	d := 1 + g.rng.Intn(28)
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+func (g *gen) intIn(lo, hi int) string { return strconv.Itoa(lo + g.rng.Intn(hi-lo+1)) }
+
+func (g *gen) floatIn(lo, hi float64, prec int) string {
+	return strconv.FormatFloat(lo+g.rng.Float64()*(hi-lo), 'f', prec, 64)
+}
+
+// normalInt draws from N(mean, sd) clamped at lo.
+func (g *gen) normalInt(mean, sd float64, lo int) string {
+	v := int(mean + g.rng.NormFloat64()*sd)
+	if v < lo {
+		v = lo
+	}
+	return strconv.Itoa(v)
+}
+
+func (g *gen) hexHash(n int) string {
+	const hexDigits = "0123456789abcdef"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = hexDigits[g.rng.Intn(16)]
+	}
+	return string(b)
+}
+
+func (g *gen) codeWord() string {
+	return g.pick(wordPool) + "-" + g.pick(wordPool)
+}
+
+func (g *gen) zip() string { return fmt.Sprintf("%05d", 10000+g.rng.Intn(89999)) }
+
+// titleWord uppercases the first ASCII letter of a word.
+func titleWord(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}
+
+// column fills n cells through f.
+func column(n int, f func(i int) string) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}

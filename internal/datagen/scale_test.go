@@ -1,0 +1,49 @@
+package datagen
+
+import (
+	"testing"
+
+	"valentine/internal/fabrication"
+)
+
+// TestPaperScaleGeneration fabricates at the paper's actual row counts
+// (TPC-DI Prospect ≈ 7.5k–15k rows after splits) to guard against
+// quadratic blowups in the generators and fabricator. Skipped in -short.
+func TestPaperScaleGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale generation")
+	}
+	src := TPCDI(Options{Rows: 14983, Seed: 1})
+	if src.NumRows() != 14983 {
+		t.Fatalf("rows = %d", src.NumRows())
+	}
+	if err := src.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := fabrication.New(1)
+	pair, err := f.Unionable(src, 0.5, fabrication.Variant{NoisySchema: true, NoisyInstances: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// halves of ~7.5k rows, as the paper reports for fabricated TPC-DI
+	if pair.Source.NumRows() < 7400 || pair.Source.NumRows() > 7500 {
+		t.Fatalf("half rows = %d, want ≈ 7491", pair.Source.NumRows())
+	}
+	if err := pair.Target.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenDataPaperScale checks the wide source at its paper scale.
+func TestOpenDataPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale generation")
+	}
+	src := OpenData(Options{Rows: 23255, Seed: 2})
+	if src.NumRows() != 23255 || src.NumColumns() < 26 {
+		t.Fatalf("shape = %d×%d", src.NumColumns(), src.NumRows())
+	}
+	if err := src.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

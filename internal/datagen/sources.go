@@ -1,0 +1,159 @@
+package datagen
+
+import (
+	"fmt"
+	"strconv"
+
+	"valentine/internal/table"
+)
+
+// Options sizes the generated fabrication sources. The paper's tables run
+// 7.5k–23k rows; the default here is laptop/CI-friendly and every generator
+// scales linearly with Rows.
+type Options struct {
+	Rows int   // rows in the source table (default 400)
+	Seed int64 // RNG seed (default 1)
+}
+
+func (o *Options) defaults() {
+	if o.Rows <= 0 {
+		o.Rows = 400
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// TPCDI generates a Prospect-like data-integration table in the spirit of
+// the TPC-DI benchmark's Prospect source: person, address, finance and
+// marketing attributes (17 columns; the paper's fabricated TPC-DI pairs
+// span 11–22).
+func TPCDI(opts Options) *table.Table {
+	opts.defaults()
+	g := newGen(opts.Seed)
+	n := opts.Rows
+	t := table.New("prospect")
+	names := column(n, func(int) string { return g.fullName() })
+	t.AddColumn("agency_id", column(n, func(i int) string { return "AG" + strconv.Itoa(1000+i) }))
+	t.AddColumn("last_name", column(n, func(i int) string { return g.pick(lastNames) }))
+	t.AddColumn("first_name", column(n, func(i int) string { return g.pick(firstNames) }))
+	t.AddColumn("middle_initial", column(n, func(int) string { return string(rune('A' + g.rng.Intn(26))) }))
+	t.AddColumn("gender", column(n, func(int) string { return g.pick([]string{"M", "F"}) }))
+	t.AddColumn("address_line", column(n, func(int) string { return g.street() }))
+	t.AddColumn("city", column(n, func(int) string { return g.pick(cityNames) }))
+	t.AddColumn("state", column(n, func(int) string { return g.pick(stateNames) }))
+	t.AddColumn("country", column(n, func(int) string { return g.pick(countryNames) }))
+	t.AddColumn("postal_code", column(n, func(int) string { return g.zip() }))
+	t.AddColumn("phone", column(n, func(int) string { return g.phone() }))
+	t.AddColumn("income", column(n, func(int) string { return g.normalInt(65000, 25000, 12000) }))
+	t.AddColumn("number_cars", column(n, func(int) string { return g.intIn(0, 4) }))
+	t.AddColumn("number_children", column(n, func(int) string { return g.intIn(0, 5) }))
+	t.AddColumn("marital_status", column(n, func(int) string { return g.pick([]string{"single", "married", "divorced", "widowed"}) }))
+	t.AddColumn("credit_rating", column(n, func(int) string { return g.normalInt(640, 80, 300) }))
+	t.AddColumn("net_worth", column(n, func(int) string { return g.normalInt(250000, 180000, 0) }))
+	_ = names
+	return t
+}
+
+// OpenData generates a wide civic dataset in the style of the Canada/USA/UK
+// Open Data tables (28 mixed-type columns; the paper's pairs span 26–51).
+func OpenData(opts Options) *table.Table {
+	opts.defaults()
+	g := newGen(opts.Seed + 2)
+	n := opts.Rows
+	t := table.New("opendata")
+	t.AddColumn("record_id", column(n, func(i int) string { return "R" + strconv.Itoa(100000+i) }))
+	t.AddColumn("agency_name", column(n, func(int) string {
+		return g.pick(cityNames) + " " + g.pick([]string{"Bureau", "Office", "Department", "Authority"})
+	}))
+	t.AddColumn("program_name", column(n, func(int) string { return g.codeWord() }))
+	t.AddColumn("fiscal_year", column(n, func(int) string { return g.intIn(2005, 2020) }))
+	t.AddColumn("quarter", column(n, func(int) string { return "Q" + g.intIn(1, 4) }))
+	t.AddColumn("budget_amount", column(n, func(int) string { return g.normalInt(500000, 300000, 10000) }))
+	t.AddColumn("spent_amount", column(n, func(int) string { return g.normalInt(420000, 250000, 5000) }))
+	t.AddColumn("grant_count", column(n, func(int) string { return g.intIn(0, 250) }))
+	t.AddColumn("district", column(n, func(int) string { return "District " + g.intIn(1, 25) }))
+	t.AddColumn("ward", column(n, func(int) string { return g.intIn(1, 50) }))
+	t.AddColumn("city", column(n, func(int) string { return g.pick(cityNames) }))
+	t.AddColumn("province", column(n, func(int) string { return g.pick(stateNames) }))
+	t.AddColumn("country", column(n, func(int) string { return g.pick(countryNames) }))
+	t.AddColumn("postal_code", column(n, func(int) string { return g.zip() }))
+	t.AddColumn("latitude", column(n, func(int) string { return g.floatIn(24, 60, 5) }))
+	t.AddColumn("longitude", column(n, func(int) string { return g.floatIn(-130, -60, 5) }))
+	t.AddColumn("population", column(n, func(int) string { return g.normalInt(85000, 60000, 500) }))
+	t.AddColumn("area_km2", column(n, func(int) string { return g.floatIn(2, 900, 2) }))
+	t.AddColumn("contact_name", column(n, func(int) string { return g.fullName() }))
+	t.AddColumn("contact_email", column(n, func(int) string { return g.email(g.fullName()) }))
+	t.AddColumn("contact_phone", column(n, func(int) string { return g.phone() }))
+	t.AddColumn("start_date", column(n, func(int) string { return g.date(2004, 2018) }))
+	t.AddColumn("end_date", column(n, func(int) string { return g.date(2019, 2024) }))
+	t.AddColumn("status", column(n, func(int) string { return g.pick([]string{"active", "completed", "suspended", "planned"}) }))
+	t.AddColumn("category", column(n, func(int) string {
+		return g.pick([]string{"transport", "health", "education", "housing", "environment", "culture"})
+	}))
+	t.AddColumn("permit_type", column(n, func(int) string { return g.pick([]string{"construction", "event", "vendor", "film", "signage"}) }))
+	t.AddColumn("approved", column(n, func(int) string { return g.pick([]string{"true", "false"}) }))
+	t.AddColumn("description", column(n, func(int) string { return "program " + g.codeWord() + " serving " + g.pick(cityNames) }))
+	return t
+}
+
+// ChEMBL generates an Assays-like chemistry table whose column names align
+// with the EFO-like ontology labels (ontology.EFO), preserving SemProp's
+// name→class linkage (15 columns; the paper's pairs span 12–23).
+func ChEMBL(opts Options) *table.Table {
+	opts.defaults()
+	g := newGen(opts.Seed + 3)
+	n := opts.Rows
+	t := table.New("assays")
+	organisms := []string{"Homo sapiens", "Mus musculus", "Rattus norvegicus", "Escherichia coli", "Canis familiaris"}
+	assayTypes := []string{"binding", "functional", "ADMET", "toxicity", "physicochemical"}
+	units := []string{"nM", "uM", "mg/kg", "percent", "mL/min"}
+	cells := []string{"HeLa", "HEK293", "CHO", "A549", "MCF7", "U2OS"}
+	t.AddColumn("assay_id", column(n, func(i int) string { return "CHEMBL" + strconv.Itoa(700000+i) }))
+	t.AddColumn("assay_type", column(n, func(int) string { return g.pick(assayTypes) }))
+	t.AddColumn("description", column(n, func(int) string {
+		return "Inhibition of " + g.pick([]string{"kinase", "protease", "receptor", "channel", "transporter"}) + " " + g.codeWord()
+	}))
+	t.AddColumn("target_name", column(n, func(int) string { return g.pick([]string{"EGFR", "BRAF", "JAK2", "ABL1", "CDK4", "VEGFR2", "HDAC1"}) }))
+	t.AddColumn("organism", column(n, func(int) string { return g.pick(organisms) }))
+	t.AddColumn("cell_line", column(n, func(int) string { return g.pick(cells) }))
+	t.AddColumn("tissue", column(n, func(int) string { return g.pick([]string{"liver", "lung", "brain", "kidney", "blood", "skin"}) }))
+	t.AddColumn("compound_id", column(n, func(i int) string { return "MOL" + strconv.Itoa(g.rng.Intn(40000)) }))
+	t.AddColumn("concentration", column(n, func(int) string { return g.floatIn(0.001, 100, 4) }))
+	t.AddColumn("potency", column(n, func(int) string { return g.floatIn(0.1, 10000, 2) }))
+	t.AddColumn("unit", column(n, func(int) string { return g.pick(units) }))
+	t.AddColumn("confidence_score", column(n, func(int) string { return g.intIn(0, 9) }))
+	t.AddColumn("journal", column(n, func(int) string {
+		return g.pick([]string{"J Med Chem", "Bioorg Med Chem", "Eur J Med Chem", "ACS Chem Biol"})
+	}))
+	t.AddColumn("publication_year", column(n, func(int) string { return g.intIn(1995, 2020) }))
+	t.AddColumn("curated_by", column(n, func(int) string { return g.pick([]string{"expert", "autocuration", "intermediate"}) }))
+	return t
+}
+
+// Sources returns the three fabrication sources of §V-A keyed by the
+// paper's dataset names.
+func Sources(opts Options) map[string]*table.Table {
+	return map[string]*table.Table{
+		"TPC-DI":   TPCDI(opts),
+		"OpenData": OpenData(opts),
+		"ChEMBL":   ChEMBL(opts),
+	}
+}
+
+// SourceNames lists the fabrication sources in paper order.
+func SourceNames() []string { return []string{"TPC-DI", "OpenData", "ChEMBL"} }
+
+// Source returns one fabrication source by name.
+func Source(name string, opts Options) (*table.Table, error) {
+	switch name {
+	case "TPC-DI":
+		return TPCDI(opts), nil
+	case "OpenData":
+		return OpenData(opts), nil
+	case "ChEMBL":
+		return ChEMBL(opts), nil
+	default:
+		return nil, fmt.Errorf("datagen: unknown source %q (have %v)", name, SourceNames())
+	}
+}

@@ -1,0 +1,226 @@
+package datagen
+
+import (
+	"strings"
+
+	"valentine/internal/core"
+	"valentine/internal/table"
+)
+
+// wikiSinger is one generated USA-singer entity with both value encodings:
+// the primary encoding (table A) and the alternative encoding (table B),
+// mirroring the paper's curated WikiData challenge (Elvis Presley → Elvis
+// Aaron Presley, partner → spouse, …).
+type wikiSinger struct {
+	a, b map[string]string
+}
+
+// wikiColumnsA lists table A's 20 columns in order.
+var wikiColumnsA = []string{
+	"artist_name", "birth_date", "birth_place", "genre", "record_label",
+	"partner", "father_name", "mother_name", "debut_song", "latest_album",
+	"awards", "active_from", "citizenship", "instrument", "voice_type",
+	"net_worth", "height_cm", "children_count", "occupation", "website",
+}
+
+// wikiRename maps table A's column names to table B's variants (the paper
+// varies the second table's names, e.g. partner → spouse).
+var wikiRename = map[string]string{
+	"artist_name":    "singer",
+	"birth_date":     "date_of_birth",
+	"birth_place":    "place_of_birth",
+	"genre":          "music_genre",
+	"record_label":   "label",
+	"partner":        "spouse",
+	"father_name":    "father",
+	"mother_name":    "mother",
+	"debut_song":     "first_single",
+	"latest_album":   "newest_album",
+	"awards":         "honors",
+	"active_from":    "career_start",
+	"citizenship":    "nationality",
+	"instrument":     "plays",
+	"voice_type":     "vocal_range",
+	"net_worth":      "wealth",
+	"height_cm":      "height",
+	"children_count": "num_children",
+	"occupation":     "profession",
+	"website":        "homepage",
+}
+
+// wikiAltEncoded lists the six columns whose table-B values use an
+// alternative encoding (the paper changes values in six selected columns).
+var wikiAltEncoded = map[string]bool{
+	"artist_name": true, "birth_place": true, "genre": true,
+	"citizenship": true, "awards": true, "voice_type": true,
+}
+
+var genreAlt = map[string]string{
+	"rock": "rock music", "pop": "pop music", "country": "country & western",
+	"blues": "blues music", "soul": "soul / R&B", "jazz": "jazz music",
+	"folk": "folk music", "gospel": "gospel music",
+}
+
+var voiceAlt = map[string]string{
+	"tenor": "tenor voice", "baritone": "baritone voice", "soprano": "soprano voice",
+	"alto": "alto voice", "bass": "bass voice", "mezzo-soprano": "mezzo",
+}
+
+func generateWikiSingers(n int, seed int64) []wikiSinger {
+	g := newGen(seed + 11)
+	genres := []string{"rock", "pop", "country", "blues", "soul", "jazz", "folk", "gospel"}
+	voices := []string{"tenor", "baritone", "soprano", "alto", "bass", "mezzo-soprano"}
+	labels := []string{"RCA", "Columbia", "Atlantic", "Capitol", "Motown", "Decca"}
+	instruments := []string{"guitar", "piano", "none", "harmonica", "banjo"}
+	awards := []string{"Grammy", "AMA", "Billboard Award", "CMA", "Rock Hall"}
+	out := make([]wikiSinger, n)
+	for i := range out {
+		first := g.pick(firstNames)
+		middle := g.pick(firstNames)
+		last := g.pick(lastNames)
+		short := first + " " + last
+		full := first + " " + middle + " " + last
+		city := g.pick(cityNames)
+		state := g.pick(stateNames)
+		genre := g.pick(genres)
+		voice := g.pick(voices)
+		award := g.pick(awards)
+		a := map[string]string{
+			"artist_name":    short,
+			"birth_date":     g.date(1930, 1995),
+			"birth_place":    city,
+			"genre":          genre,
+			"record_label":   g.pick(labels),
+			"partner":        g.fullName(),
+			"father_name":    g.pick(firstNames) + " " + last,
+			"mother_name":    g.fullName(),
+			"debut_song":     titleWord(g.pick(wordPool)) + " " + titleWord(g.pick(wordPool)),
+			"latest_album":   titleWord(g.pick(wordPool)) + " Sessions",
+			"awards":         award,
+			"active_from":    g.intIn(1950, 2015),
+			"citizenship":    "USA",
+			"instrument":     g.pick(instruments),
+			"voice_type":     voice,
+			"net_worth":      g.normalInt(5000000, 4000000, 100000),
+			"height_cm":      g.intIn(150, 200),
+			"children_count": g.intIn(0, 6),
+			"occupation":     "singer",
+			"website":        "https://" + strings.ToLower(strings.ReplaceAll(short, " ", "")) + ".example.com",
+		}
+		b := make(map[string]string, len(a))
+		for k, v := range a {
+			b[k] = v
+		}
+		b["artist_name"] = full
+		b["birth_place"] = city + ", " + state
+		b["genre"] = genreAlt[genre]
+		b["citizenship"] = "United States of America"
+		b["awards"] = award + " winner"
+		b["voice_type"] = voiceAlt[voice]
+		out[i] = wikiSinger{a: a, b: b}
+	}
+	return out
+}
+
+func wikiTable(name string, singers []wikiSinger, cols []string, useAlt bool, rename bool) *table.Table {
+	t := table.New(name)
+	for _, col := range cols {
+		vals := make([]string, len(singers))
+		for i, s := range singers {
+			if useAlt && wikiAltEncoded[col] {
+				vals[i] = s.b[col]
+			} else {
+				vals[i] = s.a[col]
+			}
+		}
+		header := col
+		if rename {
+			header = wikiRename[col]
+		}
+		t.AddColumn(header, vals)
+	}
+	return t
+}
+
+// WikiData builds the four curated WikiData-style pairs — one per
+// relatedness scenario — over generated USA-singer entities. The second
+// table of each pair uses the renamed schema; the semantically-joinable and
+// unionable pairs additionally use the alternative value encodings in six
+// columns, as the paper describes.
+func WikiData(opts Options) []core.TablePair {
+	opts.defaults()
+	n := opts.Rows
+	singers := generateWikiSingers(n, opts.Seed)
+	half := n / 2
+	ov := half / 2
+
+	gtAll := core.NewGroundTruth()
+	for _, c := range wikiColumnsA {
+		gtAll.Add(c, wikiRename[c])
+	}
+
+	var pairs []core.TablePair
+
+	// Unionable: same 20 columns, 50% row overlap, renamed schema +
+	// alternative encodings on the B side.
+	aRows := singers[:half]
+	bRows := singers[half-ov : 2*half-ov]
+	pairs = append(pairs, core.TablePair{
+		Name:     "wikidata/unionable",
+		Source:   wikiTable("singers_a", aRows, wikiColumnsA, false, false),
+		Target:   wikiTable("singers_b", bRows, wikiColumnsA, true, true),
+		Truth:    gtAll,
+		Scenario: core.ScenarioUnionable,
+		Variant:  "curated",
+	})
+
+	// View-unionable: 13-column views sharing 7 columns, zero row overlap.
+	sharedVU := []string{"artist_name", "birth_date", "genre", "record_label", "awards", "citizenship", "occupation"}
+	aOnly := []string{"partner", "father_name", "mother_name", "debut_song", "height_cm", "website"}
+	bOnly := []string{"latest_album", "active_from", "instrument", "voice_type", "net_worth", "children_count"}
+	gtVU := core.NewGroundTruth()
+	for _, c := range sharedVU {
+		gtVU.Add(c, wikiRename[c])
+	}
+	pairs = append(pairs, core.TablePair{
+		Name:     "wikidata/view-unionable",
+		Source:   wikiTable("singers_a", singers[:half], append(append([]string{}, sharedVU...), aOnly...), false, false),
+		Target:   wikiTable("singers_b", singers[half:], append(append([]string{}, sharedVU...), bOnly...), true, true),
+		Truth:    gtVU,
+		Scenario: core.ScenarioViewUnionable,
+		Variant:  "curated",
+	})
+
+	// Joinable: vertical split sharing 5 key columns with *identical*
+	// values (high value overlap → instance methods should reach 1.0).
+	sharedJ := []string{"artist_name", "birth_date", "record_label", "occupation", "citizenship"}
+	gtJ := core.NewGroundTruth()
+	for _, c := range sharedJ {
+		gtJ.Add(c, wikiRename[c])
+	}
+	pairs = append(pairs, core.TablePair{
+		Name:     "wikidata/joinable",
+		Source:   wikiTable("singers_a", singers, append(append([]string{}, sharedJ...), aOnly...), false, false),
+		Target:   wikiTable("singers_b", singers, append(append([]string{}, sharedJ...), bOnly...), false, true),
+		Truth:    gtJ,
+		Scenario: core.ScenarioJoinable,
+		Variant:  "curated",
+	})
+
+	// Semantically-joinable: the shared columns on the B side use the
+	// alternative encodings, so an equality join fails.
+	sharedSJ := []string{"artist_name", "birth_place", "genre", "citizenship", "awards"}
+	gtSJ := core.NewGroundTruth()
+	for _, c := range sharedSJ {
+		gtSJ.Add(c, wikiRename[c])
+	}
+	pairs = append(pairs, core.TablePair{
+		Name:     "wikidata/semantically-joinable",
+		Source:   wikiTable("singers_a", singers, append(append([]string{}, sharedSJ...), aOnly...), false, false),
+		Target:   wikiTable("singers_b", singers, append(append([]string{}, sharedSJ...), bOnly...), true, true),
+		Truth:    gtSJ,
+		Scenario: core.ScenarioSemJoinable,
+		Variant:  "curated",
+	})
+	return pairs
+}

@@ -1,0 +1,228 @@
+package embedding
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Word2VecOptions configures skip-gram training. Zero values take the
+// defaults noted per field.
+type Word2VecOptions struct {
+	Dim          int     // vector size (default 64)
+	Window       int     // context window (default 3, the paper's EmbDI setting)
+	Epochs       int     // passes over the corpus (default 5)
+	Negative     int     // negative samples per positive (default 5)
+	LearningRate float64 // initial alpha (default 0.025)
+	MinCount     int     // discard words rarer than this (default 1)
+	Seed         int64   // RNG seed (default 1)
+}
+
+func (o *Word2VecOptions) defaults() {
+	if o.Dim <= 0 {
+		o.Dim = 64
+	}
+	if o.Window <= 0 {
+		o.Window = 3
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 5
+	}
+	if o.Negative <= 0 {
+		o.Negative = 5
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.025
+	}
+	if o.MinCount <= 0 {
+		o.MinCount = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Model holds trained word vectors.
+type Model struct {
+	dim    int
+	vocab  map[string]int
+	vecs   []Vector // input vectors, one per vocab entry
+	counts []int
+}
+
+// Dim returns the vector dimensionality.
+func (m *Model) Dim() int { return m.dim }
+
+// VocabSize returns the number of words in the model.
+func (m *Model) VocabSize() int { return len(m.vocab) }
+
+// Vector returns the trained vector of a word and whether it is known.
+func (m *Model) Vector(word string) (Vector, bool) {
+	i, ok := m.vocab[word]
+	if !ok {
+		return nil, false
+	}
+	return m.vecs[i], true
+}
+
+// Similarity returns the cosine similarity of two words (0 when either is
+// out of vocabulary).
+func (m *Model) Similarity(a, b string) float64 {
+	va, ok1 := m.Vector(a)
+	vb, ok2 := m.Vector(b)
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return Cosine(va, vb)
+}
+
+// TrainWord2Vec trains skip-gram word vectors with negative sampling over
+// the sentences. Deterministic for a fixed seed.
+func TrainWord2Vec(sentences [][]string, opts Word2VecOptions) (*Model, error) {
+	opts.defaults()
+	// Build vocabulary.
+	freq := make(map[string]int)
+	for _, s := range sentences {
+		for _, w := range s {
+			if w != "" {
+				freq[w]++
+			}
+		}
+	}
+	words := make([]string, 0, len(freq))
+	for w, c := range freq {
+		if c >= opts.MinCount {
+			words = append(words, w)
+		}
+	}
+	if len(words) == 0 {
+		return nil, fmt.Errorf("embedding: no vocabulary (min count %d)", opts.MinCount)
+	}
+	sort.Strings(words) // deterministic vocab order
+	vocab := make(map[string]int, len(words))
+	counts := make([]int, len(words))
+	for i, w := range words {
+		vocab[w] = i
+		counts[i] = freq[w]
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	in := make([]Vector, len(words))
+	out := make([]Vector, len(words))
+	for i := range in {
+		in[i] = make(Vector, opts.Dim)
+		out[i] = make(Vector, opts.Dim)
+		for d := 0; d < opts.Dim; d++ {
+			in[i][d] = (rng.Float64() - 0.5) / float64(opts.Dim)
+		}
+	}
+
+	// Negative-sampling table with the standard unigram^{3/4} distribution.
+	table := buildUnigramTable(counts, 1<<17, 0.75)
+
+	// Encode sentences as index sequences once.
+	encoded := make([][]int, 0, len(sentences))
+	for _, s := range sentences {
+		seq := make([]int, 0, len(s))
+		for _, w := range s {
+			if i, ok := vocab[w]; ok {
+				seq = append(seq, i)
+			}
+		}
+		if len(seq) > 1 {
+			encoded = append(encoded, seq)
+		}
+	}
+	if len(encoded) == 0 {
+		return nil, fmt.Errorf("embedding: no trainable sentences")
+	}
+
+	totalSteps := 0
+	for _, s := range encoded {
+		totalSteps += len(s)
+	}
+	totalSteps *= opts.Epochs
+	step := 0
+	grad := make(Vector, opts.Dim)
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		for _, seq := range encoded {
+			for pos, center := range seq {
+				step++
+				alpha := opts.LearningRate * (1 - float64(step)/float64(totalSteps+1))
+				if alpha < opts.LearningRate*0.0001 {
+					alpha = opts.LearningRate * 0.0001
+				}
+				w := 1 + rng.Intn(opts.Window)
+				lo, hi := pos-w, pos+w
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= len(seq) {
+					hi = len(seq) - 1
+				}
+				for c := lo; c <= hi; c++ {
+					if c == pos {
+						continue
+					}
+					ctx := seq[c]
+					for i := range grad {
+						grad[i] = 0
+					}
+					// positive sample
+					sgdStep(in[center], out[ctx], 1, alpha, grad)
+					// negative samples
+					for k := 0; k < opts.Negative; k++ {
+						neg := table[rng.Intn(len(table))]
+						if neg == ctx {
+							continue
+						}
+						sgdStep(in[center], out[neg], 0, alpha, grad)
+					}
+					Add(in[center], grad)
+				}
+			}
+		}
+	}
+	return &Model{dim: opts.Dim, vocab: vocab, vecs: in, counts: counts}, nil
+}
+
+// sgdStep performs one logistic-regression update for (center, context)
+// with label ∈ {0,1}, updating the output vector in place and accumulating
+// the input-vector gradient into grad.
+func sgdStep(center, context Vector, label float64, alpha float64, grad Vector) {
+	f := Dot(center, context)
+	g := (label - sigmoid(f)) * alpha
+	for i := range context {
+		grad[i] += g * context[i]
+		context[i] += g * center[i]
+	}
+}
+
+func sigmoid(x float64) float64 {
+	if x > 8 {
+		return 1
+	}
+	if x < -8 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+func buildUnigramTable(counts []int, size int, power float64) []int {
+	total := 0.0
+	for _, c := range counts {
+		total += math.Pow(float64(c), power)
+	}
+	table := make([]int, 0, size)
+	for i, c := range counts {
+		n := int(math.Ceil(math.Pow(float64(c), power) / total * float64(size)))
+		for k := 0; k < n; k++ {
+			table = append(table, i)
+		}
+	}
+	if len(table) == 0 {
+		table = append(table, 0)
+	}
+	return table
+}

@@ -1,0 +1,100 @@
+package emd
+
+import "math"
+
+// flow is a min-cost max-flow network using successive shortest paths with
+// Bellman-Ford (costs may not be reduced; graphs here are small bipartite
+// transportation networks, so SPFA-style relaxation is fast enough).
+type flow struct {
+	n     int
+	head  []int
+	next  []int
+	to    []int
+	cap   []int64
+	cost  []float64
+	edges int
+}
+
+func newFlow(n int) *flow {
+	f := &flow{n: n, head: make([]int, n)}
+	for i := range f.head {
+		f.head[i] = -1
+	}
+	return f
+}
+
+func (f *flow) addEdge(u, v int, c int64, w float64) {
+	f.to = append(f.to, v)
+	f.cap = append(f.cap, c)
+	f.cost = append(f.cost, w)
+	f.next = append(f.next, f.head[u])
+	f.head[u] = f.edges
+	f.edges++
+	// reverse edge
+	f.to = append(f.to, u)
+	f.cap = append(f.cap, 0)
+	f.cost = append(f.cost, -w)
+	f.next = append(f.next, f.head[v])
+	f.head[v] = f.edges
+	f.edges++
+}
+
+// minCostMaxFlow pushes as much flow as possible from s to t, minimizing
+// total cost. Returns (total cost, total flow).
+func (f *flow) minCostMaxFlow(s, t int) (float64, int64) {
+	var totalCost float64
+	var totalFlow int64
+	dist := make([]float64, f.n)
+	inQueue := make([]bool, f.n)
+	prevEdge := make([]int, f.n)
+	for {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		inQueue[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			for e := f.head[u]; e != -1; e = f.next[e] {
+				if f.cap[e] <= 0 {
+					continue
+				}
+				v := f.to[e]
+				nd := dist[u] + f.cost[e]
+				if nd < dist[v]-1e-12 {
+					dist[v] = nd
+					prevEdge[v] = e
+					if !inQueue[v] {
+						queue = append(queue, v)
+						inQueue[v] = true
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			break
+		}
+		// find bottleneck
+		push := int64(math.MaxInt64)
+		for v := t; v != s; {
+			e := prevEdge[v]
+			if f.cap[e] < push {
+				push = f.cap[e]
+			}
+			v = f.to[e^1]
+		}
+		for v := t; v != s; {
+			e := prevEdge[v]
+			f.cap[e] -= push
+			f.cap[e^1] += push
+			v = f.to[e^1]
+		}
+		totalFlow += push
+		totalCost += float64(push) * dist[t]
+	}
+	return totalCost, totalFlow
+}

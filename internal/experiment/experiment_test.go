@@ -1,0 +1,218 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"valentine/internal/core"
+	"valentine/internal/fabrication"
+	"valentine/internal/matchers/matchertest"
+)
+
+func smallPairs(t *testing.T) []core.TablePair {
+	t.Helper()
+	f := fabrication.New(7)
+	var out []core.TablePair
+	u, err := f.Unionable(matchertest.Source(), 0.5, fabrication.Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := f.Joinable(matchertest.Source(), 0.5, 1.0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, u, j)
+}
+
+func TestRegistryHasAllMethods(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	if len(names) != 9 { // the paper's 8 + the LSH extension
+		t.Fatalf("registry has %d methods, want 9: %v", len(names), names)
+	}
+	if m, err := r.New(MethodLSH, nil); err != nil || m.Name() != MethodLSH {
+		t.Errorf("LSH extension: %v, %v", m, err)
+	}
+	for _, m := range MethodNames() {
+		matcher, err := r.New(m, nil)
+		if err != nil {
+			t.Errorf("New(%s): %v", m, err)
+			continue
+		}
+		if matcher.Name() == "" {
+			t.Errorf("%s has empty matcher name", m)
+		}
+		if len(r.Capabilities(m)) == 0 {
+			t.Errorf("%s has no Table-I capabilities", m)
+		}
+	}
+}
+
+func TestMethodGroupings(t *testing.T) {
+	if len(SchemaBasedMethods()) != 3 || len(InstanceBasedMethods()) != 3 || len(HybridMethods()) != 2 {
+		t.Error("Figure 4/5/6 groupings wrong")
+	}
+}
+
+func TestDefaultGridsMatchPaperCount(t *testing.T) {
+	grids := DefaultGrids()
+	if got := TotalConfigurations(grids); got != 135 {
+		t.Fatalf("default grid total = %d configurations, paper reports 135", got)
+	}
+	wantSizes := map[string]int{
+		MethodCupid: 96, MethodSimFlood: 1, MethodComaSchema: 1,
+		MethodComaInstance: 1, MethodDistribution: 18, MethodSemProp: 12,
+		MethodEmbDI: 1, MethodJaccardLev: 5,
+	}
+	for m, want := range wantSizes {
+		if got := len(grids[m]); got != want {
+			t.Errorf("grid %s = %d configs, want %d", m, got, want)
+		}
+	}
+}
+
+func TestQuickGridsCoverAllMethods(t *testing.T) {
+	q := QuickGrids()
+	for _, m := range MethodNames() {
+		if len(q[m]) != 1 {
+			t.Errorf("quick grid for %s = %d configs, want 1", m, len(q[m]))
+		}
+	}
+}
+
+func TestRunQuickSubset(t *testing.T) {
+	spec := Spec{
+		Registry: NewRegistry(),
+		Grids:    QuickGrids(),
+		Methods:  []string{MethodComaSchema, MethodJaccardLev},
+		Pairs:    smallPairs(t),
+		Workers:  2,
+	}
+	rs, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 { // 2 methods × 1 config × 2 pairs
+		t.Fatalf("results = %d, want 4", len(rs))
+	}
+	for _, r := range rs {
+		if r.Err != nil {
+			t.Errorf("%s on %s: %v", r.Method, r.Pair, r.Err)
+		}
+		if r.Recall < 0 || r.Recall > 1 {
+			t.Errorf("recall out of range: %+v", r)
+		}
+		if r.Runtime <= 0 {
+			t.Errorf("missing runtime: %+v", r)
+		}
+	}
+	// deterministic ordering
+	rs2, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		if rs[i].Method != rs2[i].Method || rs[i].Pair != rs2[i].Pair || rs[i].Recall != rs2[i].Recall {
+			t.Fatal("runs not deterministic")
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{}); err == nil {
+		t.Error("nil registry should fail")
+	}
+	if _, err := Run(context.Background(), Spec{Registry: NewRegistry()}); err == nil {
+		t.Error("no pairs should fail")
+	}
+	if _, err := Run(context.Background(), Spec{
+		Registry: NewRegistry(),
+		Grids:    map[string]Grid{},
+		Methods:  []string{"ghost"},
+		Pairs:    smallPairs(t),
+	}); err == nil {
+		t.Error("missing grid should fail")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs, err := Run(ctx, Spec{
+		Registry: NewRegistry(),
+		Grids:    QuickGrids(),
+		Methods:  []string{MethodComaSchema},
+		Pairs:    smallPairs(t),
+	})
+	if err == nil {
+		t.Error("canceled context should surface the cancellation")
+	}
+	_ = rs // partial results are acceptable
+}
+
+func TestAggregations(t *testing.T) {
+	rs := []Result{
+		{Method: "m", Scenario: "unionable", Recall: 0.2, Runtime: time.Second},
+		{Method: "m", Scenario: "unionable", Recall: 0.8, Runtime: 3 * time.Second},
+		{Method: "m", Scenario: "joinable", Recall: 1.0, Runtime: 2 * time.Second},
+		{Method: "m", Scenario: "joinable", Recall: 0.5, Err: context.Canceled},
+	}
+	box := BoxByScenario(rs, "m", nil)
+	if box["unionable"].Median != 0.5 || box["unionable"].N != 2 {
+		t.Errorf("unionable box = %+v", box["unionable"])
+	}
+	if box["joinable"].N != 1 {
+		t.Errorf("errored results should be excluded: %+v", box["joinable"])
+	}
+	filtered := BoxByScenario(rs, "m", func(r Result) bool { return r.Recall > 0.5 })
+	if filtered["unionable"].N != 1 {
+		t.Errorf("filter not applied: %+v", filtered["unionable"])
+	}
+	rt := AverageRuntime(rs)
+	if rt["m"] != 2*time.Second {
+		t.Errorf("avg runtime = %v", rt["m"])
+	}
+	mr := MeanRecall(rs)
+	if mr["m"] < 0.66 || mr["m"] > 0.67 {
+		t.Errorf("mean recall = %v", mr["m"])
+	}
+}
+
+func TestSensitivity(t *testing.T) {
+	mk := func(th float64, pair string, recall float64) Result {
+		return Result{
+			Method: MethodJaccardLev,
+			Params: core.Params{"threshold": th},
+			Pair:   pair,
+			Recall: recall,
+		}
+	}
+	rs := []Result{
+		// pair A: recall varies a lot with threshold
+		mk(0.4, "A", 0.1), mk(0.6, "A", 0.9), mk(0.8, "A", 0.5),
+		// pair B: recall stable
+		mk(0.4, "B", 0.7), mk(0.6, "B", 0.7), mk(0.8, "B", 0.7),
+	}
+	box := Sensitivity(rs, MethodJaccardLev, "threshold")
+	if box.N != 2 {
+		t.Fatalf("groups = %d, want 2", box.N)
+	}
+	if box.Min > 1e-12 {
+		t.Errorf("stable pair should give ~0 std-dev, min = %v", box.Min)
+	}
+	if box.Max <= 0.2 {
+		t.Errorf("varying pair should give large std-dev, max = %v", box.Max)
+	}
+	// unknown parameter → empty stats
+	if got := Sensitivity(rs, MethodJaccardLev, "nope"); got.N != 0 {
+		t.Errorf("unknown param = %+v", got)
+	}
+}
+
+func TestSensitivityParams(t *testing.T) {
+	sp := SensitivityParams()
+	if len(sp[MethodCupid]) != 3 {
+		t.Error("cupid should vary 3 parameters (Table III)")
+	}
+}

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"valentine/internal/core"
+)
+
+// resultHeader is the column layout of the results CSV, mirroring the
+// detailed per-experiment result files the original Valentine repository
+// publishes alongside the paper.
+var resultHeader = []string{
+	"method", "params", "pair", "scenario", "variant", "recall", "runtime_us", "error",
+}
+
+// WriteResultsCSV streams results as CSV with a header row.
+func WriteResultsCSV(w io.Writer, rs []Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(resultHeader); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		errStr := ""
+		if r.Err != nil {
+			errStr = r.Err.Error()
+		}
+		rec := []string{
+			r.Method,
+			r.Params.Key(),
+			r.Pair,
+			r.Scenario,
+			r.Variant,
+			strconv.FormatFloat(r.Recall, 'f', 6, 64),
+			strconv.FormatInt(r.Runtime.Microseconds(), 10),
+			errStr,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadResultsCSV parses a results CSV produced by WriteResultsCSV. Params
+// round-trip as an opaque key under the "key" entry (the full typed values
+// are not recoverable from their rendered form).
+func ReadResultsCSV(r io.Reader) ([]Result, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("experiment: empty results csv")
+	}
+	if len(records[0]) != len(resultHeader) || records[0][0] != "method" {
+		return nil, fmt.Errorf("experiment: unexpected results header %v", records[0])
+	}
+	out := make([]Result, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		if len(rec) != len(resultHeader) {
+			return nil, fmt.Errorf("experiment: row %d has %d fields, want %d", i+2, len(rec), len(resultHeader))
+		}
+		recall, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: row %d recall: %w", i+2, err)
+		}
+		us, err := strconv.ParseInt(rec[6], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: row %d runtime: %w", i+2, err)
+		}
+		res := Result{
+			Method:   rec[0],
+			Params:   core.Params{"key": rec[1]},
+			Pair:     rec[2],
+			Scenario: rec[3],
+			Variant:  rec[4],
+			Recall:   recall,
+			Runtime:  time.Duration(us) * time.Microsecond,
+		}
+		if rec[7] != "" {
+			res.Err = fmt.Errorf("%s", rec[7])
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"valentine/internal/core"
+)
+
+func TestResultsCSVRoundTrip(t *testing.T) {
+	in := []Result{
+		{
+			Method: MethodComaSchema, Params: core.Params{"threshold": 0.0},
+			Pair: "p1", Scenario: "unionable", Variant: "VS/VI ro=50%",
+			Recall: 0.875, Runtime: 1500 * time.Microsecond,
+		},
+		{
+			Method: MethodEmbDI, Params: core.Params{"window": 3},
+			Pair: "p2", Scenario: "joinable", Variant: "NS/VI",
+			Recall: 0.5, Runtime: time.Second, Err: errors.New("boom"),
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteResultsCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadResultsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	if out[0].Method != MethodComaSchema || out[0].Recall != 0.875 ||
+		out[0].Runtime != 1500*time.Microsecond || out[0].Err != nil {
+		t.Fatalf("row 0 = %+v", out[0])
+	}
+	if out[1].Err == nil || out[1].Err.Error() != "boom" {
+		t.Fatalf("row 1 error = %v", out[1].Err)
+	}
+	if out[0].Params.String("key", "") != "threshold=0" {
+		t.Fatalf("params key = %v", out[0].Params)
+	}
+}
+
+func TestReadResultsCSVErrors(t *testing.T) {
+	if _, err := ReadResultsCSV(strings.NewReader("")); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := ReadResultsCSV(strings.NewReader("bogus,header\n")); err == nil {
+		t.Error("wrong header should fail")
+	}
+	bad := "method,params,pair,scenario,variant,recall,runtime_us,error\nm,p,x,s,v,notanumber,10,\n"
+	if _, err := ReadResultsCSV(strings.NewReader(bad)); err == nil {
+		t.Error("bad recall should fail")
+	}
+	bad2 := "method,params,pair,scenario,variant,recall,runtime_us,error\nm,p,x,s,v,0.5,xx,\n"
+	if _, err := ReadResultsCSV(strings.NewReader(bad2)); err == nil {
+		t.Error("bad runtime should fail")
+	}
+}

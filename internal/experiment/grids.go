@@ -1,0 +1,96 @@
+package experiment
+
+import "valentine/internal/core"
+
+// Grid is the list of parameter variants to run for one method.
+type Grid []core.Params
+
+// DefaultGrids materializes Table II of the paper. The grand total across
+// methods is 135 parameter configurations — the number the paper reports
+// (553 dataset pairs × 135 configurations ≈ 75K experiments).
+//
+//	Cupid:           leaf_w_struct {0,.2,.4,.6} × w_struct {0,.2,.4,.6} × th_accept {.3….8} = 96
+//	Sim. Flooding:   fixed (inverse-average, formula C)                                     = 1
+//	COMA:            strategy {schema, instance}, threshold 0                               = 2
+//	Dist. #1:        θ₁ {.1,.15,.2} × θ₂ {.1,.15,.2}                                        = 9
+//	Dist. #2:        θ₁ {.3,.4,.5} × θ₂ {.3,.4,.5}                                          = 9
+//	SemProp:         minh {.2,.3} × sem {.4,.5,.6} × coh {.2,.4}                            = 12
+//	EmbDI:           fixed (word2vec, window 3)                                             = 1
+//	Jaccard-Lev.:    threshold {.4,.5,.6,.7,.8}                                             = 5
+func DefaultGrids() map[string]Grid {
+	grids := make(map[string]Grid)
+
+	var cupidGrid Grid
+	for _, lws := range []float64{0, 0.2, 0.4, 0.6} {
+		for _, ws := range []float64{0, 0.2, 0.4, 0.6} {
+			for _, th := range []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8} {
+				cupidGrid = append(cupidGrid, core.Params{
+					"leaf_w_struct": lws, "w_struct": ws, "th_accept": th,
+				})
+			}
+		}
+	}
+	grids[MethodCupid] = cupidGrid
+
+	grids[MethodSimFlood] = Grid{core.Params{"formula": "C"}}
+
+	grids[MethodComaSchema] = Grid{core.Params{"threshold": 0.0}}
+	grids[MethodComaInstance] = Grid{core.Params{"threshold": 0.0}}
+
+	var distGrid Grid
+	for _, run := range [][]float64{{0.1, 0.15, 0.2}, {0.3, 0.4, 0.5}} {
+		for _, t1 := range run {
+			for _, t2 := range run {
+				distGrid = append(distGrid, core.Params{"theta1": t1, "theta2": t2})
+			}
+		}
+	}
+	grids[MethodDistribution] = distGrid
+
+	var spGrid Grid
+	for _, mh := range []float64{0.2, 0.3} {
+		for _, sem := range []float64{0.4, 0.5, 0.6} {
+			for _, coh := range []float64{0.2, 0.4} {
+				spGrid = append(spGrid, core.Params{
+					"minhash_threshold": mh, "sem_threshold": sem, "coh_sem_threshold": coh,
+				})
+			}
+		}
+	}
+	grids[MethodSemProp] = spGrid
+
+	grids[MethodEmbDI] = Grid{core.Params{"window": 3}}
+
+	var jlGrid Grid
+	for _, th := range []float64{0.4, 0.5, 0.6, 0.7, 0.8} {
+		jlGrid = append(jlGrid, core.Params{"threshold": th})
+	}
+	grids[MethodJaccardLev] = jlGrid
+
+	return grids
+}
+
+// QuickGrids returns one representative configuration per method — the
+// configuration a practitioner without ground truth would pick (paper
+// defaults) — for fast end-to-end runs.
+func QuickGrids() map[string]Grid {
+	return map[string]Grid{
+		MethodCupid:        {core.Params{"leaf_w_struct": 0.2, "w_struct": 0.2, "th_accept": 0.3}},
+		MethodSimFlood:     {core.Params{"formula": "C"}},
+		MethodComaSchema:   {core.Params{"threshold": 0.0}},
+		MethodComaInstance: {core.Params{"threshold": 0.0}},
+		MethodDistribution: {core.Params{"theta1": 0.15, "theta2": 0.15}},
+		MethodSemProp:      {core.Params{"sem_threshold": 0.5, "coh_sem_threshold": 0.3, "minhash_threshold": 0.25}},
+		MethodEmbDI:        {core.Params{"window": 3}},
+		MethodJaccardLev:   {core.Params{"threshold": 0.8}},
+	}
+}
+
+// TotalConfigurations counts the parameter variants across a grid set.
+func TotalConfigurations(grids map[string]Grid) int {
+	n := 0
+	for _, g := range grids {
+		n += len(g)
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+// Package experiment drives Valentine's evaluation pipeline (paper Fig. 1):
+// it wires every matcher into a registry with its Table-I capabilities,
+// materializes the Table-II parameter grids, executes the cartesian product
+// of methods × parameter variants × dataset pairs on a worker pool, and
+// aggregates effectiveness (Recall@GroundTruth box statistics), efficiency
+// (average runtime, Table V) and parameter sensitivity (Table III).
+package experiment
+
+import (
+	"valentine/internal/core"
+	"valentine/internal/matchers/coma"
+	"valentine/internal/matchers/cupid"
+	"valentine/internal/matchers/distribution"
+	"valentine/internal/matchers/embdi"
+	"valentine/internal/matchers/jaccardlev"
+	"valentine/internal/matchers/lshmatch"
+	"valentine/internal/matchers/semprop"
+	"valentine/internal/matchers/simflood"
+)
+
+// Canonical method names used throughout the suite and reports.
+const (
+	MethodCupid        = "cupid"
+	MethodSimFlood     = "similarity-flooding"
+	MethodComaSchema   = "coma-schema"
+	MethodComaInstance = "coma-instance"
+	MethodDistribution = "distribution-based"
+	MethodSemProp      = "semprop"
+	MethodEmbDI        = "embdi"
+	MethodJaccardLev   = "jaccard-levenshtein"
+	// MethodLSH is this suite's extension beyond the paper's seven methods:
+	// the approximate value-overlap matcher suggested by §IX's scaling
+	// lesson. It is registered but excluded from MethodNames() so paper
+	// reproductions stay faithful.
+	MethodLSH = "lsh-value-overlap"
+)
+
+// MethodNames lists all methods in the paper's reporting order.
+func MethodNames() []string {
+	return []string{
+		MethodCupid, MethodSimFlood, MethodComaSchema, MethodComaInstance,
+		MethodDistribution, MethodSemProp, MethodEmbDI, MethodJaccardLev,
+	}
+}
+
+// SchemaBasedMethods are Figure 4's subjects.
+func SchemaBasedMethods() []string {
+	return []string{MethodCupid, MethodSimFlood, MethodComaSchema}
+}
+
+// InstanceBasedMethods are Figure 5's subjects.
+func InstanceBasedMethods() []string {
+	return []string{MethodDistribution, MethodJaccardLev, MethodComaInstance}
+}
+
+// HybridMethods are Figure 6's subjects.
+func HybridMethods() []string {
+	return []string{MethodEmbDI, MethodSemProp}
+}
+
+// NewRegistry builds the registry of all implemented matchers with their
+// Table-I capability tags.
+func NewRegistry() *core.Registry {
+	r := core.NewRegistry()
+	mustRegister(r, MethodCupid, cupid.New,
+		core.CapAttributeOverlap, core.CapSemanticOverlap, core.CapDataType)
+	mustRegister(r, MethodSimFlood, simflood.New,
+		core.CapAttributeOverlap, core.CapDataType)
+	mustRegister(r, MethodComaSchema, func(p core.Params) (core.Matcher, error) {
+		q := p.Clone()
+		q["strategy"] = "schema"
+		return coma.New(q)
+	}, core.CapAttributeOverlap, core.CapSemanticOverlap, core.CapDataType)
+	mustRegister(r, MethodComaInstance, func(p core.Params) (core.Matcher, error) {
+		q := p.Clone()
+		q["strategy"] = "instance"
+		return coma.New(q)
+	}, core.CapAttributeOverlap, core.CapValueOverlap, core.CapDataType,
+		core.CapDistribution)
+	mustRegister(r, MethodDistribution, distribution.New,
+		core.CapValueOverlap, core.CapDistribution)
+	mustRegister(r, MethodSemProp, semprop.New,
+		core.CapSemanticOverlap, core.CapValueOverlap, core.CapEmbeddings)
+	mustRegister(r, MethodEmbDI, embdi.New, core.CapEmbeddings)
+	mustRegister(r, MethodJaccardLev, jaccardlev.New, core.CapValueOverlap)
+	mustRegister(r, MethodLSH, lshmatch.New, core.CapValueOverlap)
+	return r
+}
+
+func mustRegister(r *core.Registry, name string, f core.Factory, caps ...core.Capability) {
+	if err := r.Register(name, f, caps...); err != nil {
+		panic(err) // static construction; names are unique by inspection
+	}
+}

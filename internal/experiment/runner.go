@@ -1,0 +1,213 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"valentine/internal/core"
+	"valentine/internal/metrics"
+)
+
+// Result is one experiment: a method with one parameter variant applied to
+// one dataset pair.
+type Result struct {
+	Method   string
+	Params   core.Params
+	Pair     string
+	Scenario string
+	Variant  string
+	Recall   float64
+	Runtime  time.Duration
+	Err      error
+}
+
+// Spec describes a batch of experiments.
+type Spec struct {
+	Registry *core.Registry
+	Grids    map[string]Grid
+	Methods  []string // subset of grid keys to run; empty means all
+	Pairs    []core.TablePair
+	Workers  int // worker-pool size; 0 means GOMAXPROCS
+}
+
+// Run exhaustively executes methods × parameter variants × pairs (Fig. 1,
+// step 3) and returns results sorted deterministically. The context cancels
+// outstanding work; already-computed results are still returned.
+func Run(ctx context.Context, spec Spec) ([]Result, error) {
+	if spec.Registry == nil {
+		return nil, fmt.Errorf("experiment: nil registry")
+	}
+	if len(spec.Pairs) == 0 {
+		return nil, fmt.Errorf("experiment: no dataset pairs")
+	}
+	methods := spec.Methods
+	if len(methods) == 0 {
+		for _, m := range MethodNames() {
+			if _, ok := spec.Grids[m]; ok {
+				methods = append(methods, m)
+			}
+		}
+	}
+	type job struct {
+		method string
+		params core.Params
+		pair   core.TablePair
+	}
+	var jobs []job
+	for _, m := range methods {
+		grid, ok := spec.Grids[m]
+		if !ok {
+			return nil, fmt.Errorf("experiment: no grid for method %q", m)
+		}
+		for _, p := range grid {
+			for _, pair := range spec.Pairs {
+				jobs = append(jobs, job{method: m, params: p, pair: pair})
+			}
+		}
+	}
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	jobCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobCh {
+				j := jobs[idx]
+				results[idx] = runOne(j.method, j.params, j.pair, spec.Registry)
+			}
+		}()
+	}
+	var canceled error
+dispatch:
+	for i := range jobs {
+		select {
+		case <-ctx.Done():
+			canceled = ctx.Err()
+			break dispatch
+		case jobCh <- i:
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+
+	// Drop zero-value slots from a canceled run.
+	out := results[:0]
+	for _, r := range results {
+		if r.Method != "" {
+			out = append(out, r)
+		}
+	}
+	sortResults(out)
+	return out, canceled
+}
+
+func runOne(method string, params core.Params, pair core.TablePair, reg *core.Registry) Result {
+	res := Result{
+		Method:   method,
+		Params:   params,
+		Pair:     pair.Name,
+		Scenario: pair.Scenario,
+		Variant:  pair.Variant,
+	}
+	m, err := reg.New(method, params)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	start := time.Now()
+	matches, err := m.Match(pair.Source, pair.Target)
+	res.Runtime = time.Since(start)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	recall, err := metrics.RecallAtGroundTruth(matches, pair.Truth)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Recall = recall
+	return res
+}
+
+func sortResults(rs []Result) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].Method != rs[j].Method {
+			return rs[i].Method < rs[j].Method
+		}
+		if ki, kj := rs[i].Params.Key(), rs[j].Params.Key(); ki != kj {
+			return ki < kj
+		}
+		return rs[i].Pair < rs[j].Pair
+	})
+}
+
+// BoxByScenario aggregates recall box statistics per scenario for one
+// method, optionally filtered by a variant predicate (e.g. only noisy
+// schemata, as Figure 4 displays).
+func BoxByScenario(rs []Result, method string, keep func(Result) bool) map[string]metrics.BoxStats {
+	samples := make(map[string][]float64)
+	for _, r := range rs {
+		if r.Method != method || r.Err != nil {
+			continue
+		}
+		if keep != nil && !keep(r) {
+			continue
+		}
+		samples[r.Scenario] = append(samples[r.Scenario], r.Recall)
+	}
+	out := make(map[string]metrics.BoxStats, len(samples))
+	for s, xs := range samples {
+		out[s] = metrics.Box(xs)
+	}
+	return out
+}
+
+// AverageRuntime reports each method's mean per-pair runtime (Table V).
+func AverageRuntime(rs []Result) map[string]time.Duration {
+	sums := make(map[string]time.Duration)
+	counts := make(map[string]int)
+	for _, r := range rs {
+		if r.Err != nil {
+			continue
+		}
+		sums[r.Method] += r.Runtime
+		counts[r.Method]++
+	}
+	out := make(map[string]time.Duration, len(sums))
+	for m, s := range sums {
+		out[m] = s / time.Duration(counts[m])
+	}
+	return out
+}
+
+// MeanRecall reports each method's mean recall over all its results.
+func MeanRecall(rs []Result) map[string]float64 {
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	for _, r := range rs {
+		if r.Err != nil {
+			continue
+		}
+		sums[r.Method] += r.Recall
+		counts[r.Method]++
+	}
+	out := make(map[string]float64, len(sums))
+	for m, s := range sums {
+		out[m] = s / float64(counts[m])
+	}
+	return out
+}

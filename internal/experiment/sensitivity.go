@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"valentine/internal/metrics"
+)
+
+// Sensitivity reproduces Table III's methodology (§VI-C): for one method
+// and one varying parameter, group results by (dataset pair, all other
+// parameters fixed), compute the standard deviation of recall across the
+// varying parameter's values inside each group, and summarize those
+// standard deviations as min/median/max box statistics. Groups observed at
+// fewer than two parameter values are skipped (no variation to measure).
+func Sensitivity(rs []Result, method, param string) metrics.BoxStats {
+	groups := make(map[string][]float64)
+	for _, r := range rs {
+		if r.Method != method || r.Err != nil {
+			continue
+		}
+		if _, has := r.Params[param]; !has {
+			continue
+		}
+		groups[r.Pair+"|"+keyWithout(r.Params, param)] = append(
+			groups[r.Pair+"|"+keyWithout(r.Params, param)], r.Recall)
+	}
+	var stdevs []float64
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		xs := groups[k]
+		if len(xs) < 2 {
+			continue
+		}
+		stdevs = append(stdevs, metrics.Box(xs).StdDev)
+	}
+	return metrics.Box(stdevs)
+}
+
+// SensitivityParams lists, per method, the Table-III parameters that take
+// at least three values in the default grids.
+func SensitivityParams() map[string][]string {
+	return map[string][]string{
+		MethodCupid:        {"leaf_w_struct", "w_struct", "th_accept"},
+		MethodDistribution: {"theta1", "theta2"},
+		MethodSemProp:      {"sem_threshold"},
+		MethodJaccardLev:   {"threshold"},
+	}
+}
+
+func keyWithout(p map[string]any, omit string) string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		if k != omit {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, p[k]))
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,311 @@
+package fabrication
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"valentine/internal/core"
+	"valentine/internal/table"
+)
+
+// Fabricator turns a source table into matching problems with ground truth.
+// All randomness flows from the seed, so fabrication is reproducible.
+type Fabricator struct {
+	seed int64
+	// InstanceNoiseRate is the per-cell perturbation probability used when a
+	// variant calls for noisy instances (default 0.4).
+	InstanceNoiseRate float64
+}
+
+// New returns a fabricator with the given seed.
+func New(seed int64) *Fabricator {
+	return &Fabricator{seed: seed, InstanceNoiseRate: 0.4}
+}
+
+// Variant flags: noisy schema / noisy instances (paper's VS/NS × VI/NI).
+type Variant struct {
+	NoisySchema    bool
+	NoisyInstances bool
+}
+
+// Label renders the paper's shorthand, e.g. "NS/VI".
+func (v Variant) Label() string {
+	s, i := "VS", "VI"
+	if v.NoisySchema {
+		s = "NS"
+	}
+	if v.NoisyInstances {
+		i = "NI"
+	}
+	return s + "/" + i
+}
+
+// AllVariants lists the four schema×instance noise combinations.
+func AllVariants() []Variant {
+	return []Variant{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	}
+}
+
+func (f *Fabricator) rng(salt string) *rand.Rand {
+	h := int64(1469598103934665603)
+	for _, b := range []byte(salt) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	return rand.New(rand.NewSource(f.seed ^ h))
+}
+
+// Unionable fabricates a unionable pair (paper Fig. 3): a horizontal split
+// with the given row overlap fraction; both halves keep every column.
+func (f *Fabricator) Unionable(src *table.Table, rowOverlap float64, v Variant) (core.TablePair, error) {
+	if err := checkTable(src, 2, 2); err != nil {
+		return core.TablePair{}, err
+	}
+	if rowOverlap < 0 || rowOverlap > 1 {
+		return core.TablePair{}, fmt.Errorf("fabrication: row overlap %v out of [0,1]", rowOverlap)
+	}
+	rng := f.rng(fmt.Sprintf("union:%s:%v:%s", src.Name, rowOverlap, v.Label()))
+	left, right, err := horizontalSplit(src, rowOverlap, rng)
+	if err != nil {
+		return core.TablePair{}, err
+	}
+	pair := f.finish(src, left, right, v, rng, core.ScenarioUnionable,
+		fmt.Sprintf("%s ro=%d%%", v.Label(), int(rowOverlap*100)), src.ColumnNames())
+	return pair, nil
+}
+
+// ViewUnionable fabricates a view-unionable pair: both a vertical split
+// with the given column-overlap fraction and a horizontal split with zero
+// row overlap.
+func (f *Fabricator) ViewUnionable(src *table.Table, colOverlap float64, v Variant) (core.TablePair, error) {
+	if err := checkTable(src, 3, 2); err != nil {
+		return core.TablePair{}, err
+	}
+	if colOverlap <= 0 || colOverlap > 1 {
+		return core.TablePair{}, fmt.Errorf("fabrication: column overlap %v out of (0,1]", colOverlap)
+	}
+	rng := f.rng(fmt.Sprintf("viewunion:%s:%v:%s", src.Name, colOverlap, v.Label()))
+	leftCols, rightCols, shared := verticalSplit(src, colOverlap, -1, rng)
+	left, err := src.Project(leftCols...)
+	if err != nil {
+		return core.TablePair{}, err
+	}
+	right, err := src.Project(rightCols...)
+	if err != nil {
+		return core.TablePair{}, err
+	}
+	left, right2, err := horizontalSplitBoth(left, right, 0, rng)
+	if err != nil {
+		return core.TablePair{}, err
+	}
+	pair := f.finish(src, left, right2, v, rng, core.ScenarioViewUnionable,
+		fmt.Sprintf("%s co=%d%%", v.Label(), int(colOverlap*100)), shared)
+	return pair, nil
+}
+
+// Joinable fabricates a joinable pair: a vertical split sharing either
+// exactly one column (colOverlap < 0) or the given fraction of columns,
+// with verbatim instances; rowOverlap < 1 additionally splits rows with
+// that overlap (paper uses 0.5).
+func (f *Fabricator) Joinable(src *table.Table, colOverlap, rowOverlap float64, noisySchema bool) (core.TablePair, error) {
+	return f.joinableInner(src, colOverlap, rowOverlap, Variant{NoisySchema: noisySchema}, core.ScenarioJoinable)
+}
+
+// SemanticallyJoinable fabricates the semantically-joinable flavor: same
+// splits as Joinable but the target's instances are perturbed so an
+// equality join no longer works.
+func (f *Fabricator) SemanticallyJoinable(src *table.Table, colOverlap, rowOverlap float64, noisySchema bool) (core.TablePair, error) {
+	return f.joinableInner(src, colOverlap, rowOverlap,
+		Variant{NoisySchema: noisySchema, NoisyInstances: true}, core.ScenarioSemJoinable)
+}
+
+func (f *Fabricator) joinableInner(src *table.Table, colOverlap, rowOverlap float64, v Variant, scenario string) (core.TablePair, error) {
+	if err := checkTable(src, 3, 2); err != nil {
+		return core.TablePair{}, err
+	}
+	if colOverlap > 1 {
+		return core.TablePair{}, fmt.Errorf("fabrication: column overlap %v out of range", colOverlap)
+	}
+	if rowOverlap < 0 || rowOverlap > 1 {
+		return core.TablePair{}, fmt.Errorf("fabrication: row overlap %v out of [0,1]", rowOverlap)
+	}
+	rng := f.rng(fmt.Sprintf("join:%s:%v:%v:%s:%s", src.Name, colOverlap, rowOverlap, v.Label(), scenario))
+	exact := -1
+	if colOverlap < 0 {
+		exact = 1
+	}
+	leftCols, rightCols, shared := verticalSplit(src, colOverlap, exact, rng)
+	left, err := src.Project(leftCols...)
+	if err != nil {
+		return core.TablePair{}, err
+	}
+	right, err := src.Project(rightCols...)
+	if err != nil {
+		return core.TablePair{}, err
+	}
+	if rowOverlap < 1 {
+		left, right, err = horizontalSplitBoth(left, right, rowOverlap, rng)
+		if err != nil {
+			return core.TablePair{}, err
+		}
+	}
+	coLabel := "1col"
+	if exact < 0 {
+		coLabel = fmt.Sprintf("co=%d%%", int(colOverlap*100))
+	}
+	pair := f.finish(src, left, right, v, rng, scenario,
+		fmt.Sprintf("%s %s ro=%d%%", v.Label(), coLabel, int(rowOverlap*100)), shared)
+	return pair, nil
+}
+
+// finish applies the variant's noise to the target half, builds ground
+// truth over the shared columns, and names the pair.
+func (f *Fabricator) finish(src, left, right *table.Table, v Variant, rng *rand.Rand, scenario, variantLabel string, shared []string) core.TablePair {
+	left.Name = src.Name + "_source"
+	right.Name = src.Name + "_target"
+	mapping := identityMapping(shared)
+	if v.NoisyInstances {
+		NoiseInstances(right, f.InstanceNoiseRate, rng)
+	}
+	if v.NoisySchema {
+		renames := NoiseSchema(right, rng)
+		for old, renamed := range renames {
+			if _, ok := mapping[old]; ok {
+				mapping[old] = renamed
+			}
+		}
+	}
+	gt := core.NewGroundTruth()
+	for _, s := range shared {
+		if left.Column(s) == nil {
+			continue // shared column not on the left (defensive)
+		}
+		gt.Add(s, mapping[s])
+	}
+	return core.TablePair{
+		Name:     fmt.Sprintf("%s/%s/%s", src.Name, scenario, variantLabel),
+		Source:   left,
+		Target:   right,
+		Truth:    gt,
+		Scenario: scenario,
+		Variant:  variantLabel,
+	}
+}
+
+func identityMapping(names []string) map[string]string {
+	m := make(map[string]string, len(names))
+	for _, n := range names {
+		m[n] = n
+	}
+	return m
+}
+
+func checkTable(t *table.Table, minCols, minRows int) error {
+	if t == nil {
+		return fmt.Errorf("fabrication: nil table")
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if t.NumColumns() < minCols {
+		return fmt.Errorf("fabrication: table %q has %d columns, need ≥ %d", t.Name, t.NumColumns(), minCols)
+	}
+	if t.NumRows() < minRows {
+		return fmt.Errorf("fabrication: table %q has %d rows, need ≥ %d", t.Name, t.NumRows(), minRows)
+	}
+	return nil
+}
+
+// horizontalSplit shuffles rows and deals two equal halves overlapping by
+// the given fraction of a half.
+func horizontalSplit(src *table.Table, overlap float64, rng *rand.Rand) (*table.Table, *table.Table, error) {
+	n := src.NumRows()
+	perm := rng.Perm(n)
+	half := n / 2
+	ov := int(math.Round(overlap * float64(half)))
+	if ov > half {
+		ov = half
+	}
+	leftIdx := perm[:half]
+	start := half - ov
+	end := start + half
+	if end > n {
+		end = n
+	}
+	rightIdx := perm[start:end]
+	left, err := src.SelectRows(leftIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, err := src.SelectRows(rightIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return left, right, nil
+}
+
+// horizontalSplitBoth splits the rows of two column-projections of the same
+// table with the given row overlap: both inputs must still have the
+// original row order/count.
+func horizontalSplitBoth(left, right *table.Table, overlap float64, rng *rand.Rand) (*table.Table, *table.Table, error) {
+	n := left.NumRows()
+	perm := rng.Perm(n)
+	half := n / 2
+	ov := int(math.Round(overlap * float64(half)))
+	if ov > half {
+		ov = half
+	}
+	leftIdx := perm[:half]
+	start := half - ov
+	end := start + half
+	if end > n {
+		end = n
+	}
+	l, err := left.SelectRows(leftIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := right.SelectRows(perm[start:end])
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+// verticalSplit deals the columns into two overlapping sets. When
+// exactShared > 0 it fixes the number of shared columns; otherwise the
+// fraction colOverlap of all columns is shared (at least one). Non-shared
+// columns are dealt alternately so both sides keep unique attributes.
+func verticalSplit(src *table.Table, colOverlap float64, exactShared int, rng *rand.Rand) (left, right, shared []string) {
+	names := src.ColumnNames()
+	perm := rng.Perm(len(names))
+	nShared := exactShared
+	if nShared <= 0 {
+		nShared = int(math.Round(colOverlap * float64(len(names))))
+	}
+	if nShared < 1 {
+		nShared = 1
+	}
+	if nShared > len(names)-2 {
+		nShared = len(names) - 2 // keep at least one unique column per side
+		if nShared < 1 {
+			nShared = 1
+		}
+	}
+	for i, pi := range perm {
+		name := names[pi]
+		switch {
+		case i < nShared:
+			shared = append(shared, name)
+			left = append(left, name)
+			right = append(right, name)
+		case (i-nShared)%2 == 0:
+			left = append(left, name)
+		default:
+			right = append(right, name)
+		}
+	}
+	return left, right, shared
+}

@@ -1,0 +1,382 @@
+package fabrication
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"valentine/internal/core"
+	"valentine/internal/table"
+)
+
+// makeSource builds a deterministic 8-column, 40-row source table with a
+// mix of string and numeric columns.
+func makeSource() *table.Table {
+	t := table.New("src")
+	n := 40
+	names := []string{"Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Heidi"}
+	cities := []string{"Delft", "Lyon", "Boston", "Tokyo", "Oslo"}
+	cols := map[string][]string{
+		"client": {}, "city": {}, "country": {}, "order_id": {},
+		"amount": {}, "quantity": {}, "status": {}, "note": {},
+	}
+	for i := 0; i < n; i++ {
+		cols["client"] = append(cols["client"], names[i%len(names)])
+		cols["city"] = append(cols["city"], cities[i%len(cities)])
+		cols["country"] = append(cols["country"], []string{"NL", "FR", "US", "JP", "NO"}[i%5])
+		cols["order_id"] = append(cols["order_id"], string(rune('A'+i%26))+"-"+string(rune('0'+i%10)))
+		cols["amount"] = append(cols["amount"], []string{"10.5", "20.25", "3.75", "99.9"}[i%4])
+		cols["quantity"] = append(cols["quantity"], []string{"1", "2", "3", "4", "5"}[i%5])
+		cols["status"] = append(cols["status"], []string{"open", "closed"}[i%2])
+		cols["note"] = append(cols["note"], "note text "+string(rune('a'+i%7)))
+	}
+	for _, name := range []string{"client", "city", "country", "order_id", "amount", "quantity", "status", "note"} {
+		t.AddColumn(name, cols[name])
+	}
+	return t
+}
+
+func TestTypo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	changed := 0
+	for i := 0; i < 50; i++ {
+		out := Typo("customer", rng)
+		if len(out) != len("customer") {
+			t.Fatalf("typo changed length: %q", out)
+		}
+		if out != "customer" {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("typo never changed the string")
+	}
+	if got := Typo("!!!", rng); got != "!!!" {
+		t.Errorf("untypo-able string should be unchanged, got %q", got)
+	}
+	// case preservation
+	out := Typo("A", rng)
+	if out != strings.ToUpper(out) {
+		t.Errorf("case not preserved: %q", out)
+	}
+}
+
+func TestApplyRule(t *testing.T) {
+	if got := ApplyRule(RulePrefixTable, "orders", "client"); got != "orders_client" {
+		t.Errorf("prefix = %q", got)
+	}
+	if got := ApplyRule(RuleAbbreviate, "orders", "customer_name"); got != "cus_nam" {
+		t.Errorf("abbrev = %q", got)
+	}
+	if got := ApplyRule(RuleDropVowels, "orders", "customer"); got != "cstmr" {
+		t.Errorf("dropvowels = %q", got)
+	}
+}
+
+func TestNoiseSchemaMappingValid(t *testing.T) {
+	src := makeSource()
+	rng := rand.New(rand.NewSource(2))
+	mapping := NoiseSchema(src, rng)
+	if len(mapping) != 8 {
+		t.Fatalf("mapping size = %d", len(mapping))
+	}
+	if err := src.Validate(); err != nil {
+		t.Fatalf("noised table invalid: %v", err)
+	}
+	for old, renamed := range mapping {
+		if src.Column(renamed) == nil {
+			t.Errorf("mapping %s→%s points to missing column", old, renamed)
+		}
+	}
+}
+
+func TestNoiseInstancesChangesValues(t *testing.T) {
+	src := makeSource()
+	before := src.Column("client").Values[0]
+	rng := rand.New(rand.NewSource(3))
+	NoiseInstances(src, 1.0, rng)
+	after := src.Column("client").Values
+	changedStr := false
+	for _, v := range after {
+		if v != before && len(v) == len(before) {
+			changedStr = true
+		}
+	}
+	if !changedStr {
+		t.Error("string noise had no effect at rate 1")
+	}
+	// numeric column should remain parseable numbers
+	if got := table.InferType(src.Column("quantity").Values); got != table.Int {
+		t.Errorf("int column type after noise = %v", got)
+	}
+}
+
+func TestUnionablePair(t *testing.T) {
+	f := New(7)
+	pair, err := f.Unionable(makeSource(), 0.5, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Scenario != core.ScenarioUnionable {
+		t.Errorf("scenario = %s", pair.Scenario)
+	}
+	if pair.Source.NumColumns() != 8 || pair.Target.NumColumns() != 8 {
+		t.Errorf("unionable must keep all columns: %d/%d", pair.Source.NumColumns(), pair.Target.NumColumns())
+	}
+	if pair.Truth.Size() != 8 {
+		t.Errorf("GT size = %d, want 8", pair.Truth.Size())
+	}
+	if pair.Source.NumRows() != 20 || pair.Target.NumRows() != 20 {
+		t.Errorf("halves = %d/%d rows, want 20/20", pair.Source.NumRows(), pair.Target.NumRows())
+	}
+	// verbatim variant: GT maps names to themselves
+	for _, p := range pair.Truth.Pairs() {
+		if p.Source != p.Target {
+			t.Errorf("verbatim GT should be identity: %v", p)
+		}
+	}
+}
+
+func TestUnionableFullOverlapSharesRows(t *testing.T) {
+	f := New(7)
+	pair, err := f.Unionable(makeSource(), 1.0, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// with 100% overlap both halves contain the same row multiset
+	lv := append([]string(nil), pair.Source.Column("order_id").Values...)
+	rv := append([]string(nil), pair.Target.Column("order_id").Values...)
+	lset := map[string]int{}
+	rset := map[string]int{}
+	for _, v := range lv {
+		lset[v]++
+	}
+	for _, v := range rv {
+		rset[v]++
+	}
+	for k, c := range lset {
+		if rset[k] != c {
+			t.Fatalf("row multisets differ at %q: %d vs %d", k, c, rset[k])
+		}
+	}
+}
+
+func TestUnionableNoisySchemaGroundTruthTracksRenames(t *testing.T) {
+	f := New(11)
+	pair, err := f.Unionable(makeSource(), 0.5, Variant{NoisySchema: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pair.Truth.Pairs() {
+		if pair.Source.Column(p.Source) == nil {
+			t.Errorf("GT source column %q missing", p.Source)
+		}
+		if pair.Target.Column(p.Target) == nil {
+			t.Errorf("GT target column %q missing", p.Target)
+		}
+	}
+}
+
+func TestViewUnionablePair(t *testing.T) {
+	f := New(13)
+	pair, err := f.ViewUnionable(makeSource(), 0.5, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Scenario != core.ScenarioViewUnionable {
+		t.Errorf("scenario = %s", pair.Scenario)
+	}
+	// shared columns = GT; each side must also have unique columns
+	if pair.Truth.Size() >= pair.Source.NumColumns() {
+		t.Errorf("source should have unique columns beyond the %d shared", pair.Truth.Size())
+	}
+	if pair.Truth.Size() >= pair.Target.NumColumns() {
+		t.Errorf("target should have unique columns beyond the %d shared", pair.Truth.Size())
+	}
+	// zero row overlap: no shared order_id values if both sides have it
+	if ls, rs := pair.Source.Column("order_id"), pair.Target.Column("order_id"); ls != nil && rs != nil {
+		lset := ls.DistinctValues()
+		for v := range rs.DistinctValues() {
+			if _, ok := lset[v]; ok {
+				t.Fatalf("view-unionable should have zero row overlap, shared %q", v)
+			}
+		}
+	}
+}
+
+func TestJoinablePair(t *testing.T) {
+	f := New(17)
+	pair, err := f.Joinable(makeSource(), 0.5, 1.0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Scenario != core.ScenarioJoinable {
+		t.Errorf("scenario = %s", pair.Scenario)
+	}
+	if pair.Truth.Size() != 4 {
+		t.Errorf("GT size = %d, want 4 shared columns", pair.Truth.Size())
+	}
+	// verbatim instances: shared column values must be identical multisets
+	p0 := pair.Truth.Pairs()[0]
+	ls := pair.Source.Column(p0.Source)
+	rs := pair.Target.Column(p0.Target)
+	if ls == nil || rs == nil {
+		t.Fatal("GT columns missing")
+	}
+	if len(ls.Values) != len(rs.Values) {
+		t.Fatalf("pure vertical split should keep all rows: %d vs %d", len(ls.Values), len(rs.Values))
+	}
+}
+
+func TestJoinableOneColumn(t *testing.T) {
+	f := New(19)
+	pair, err := f.Joinable(makeSource(), -1, 1.0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Truth.Size() != 1 {
+		t.Fatalf("1-col joinable GT size = %d", pair.Truth.Size())
+	}
+}
+
+func TestSemanticallyJoinablePerturbsInstances(t *testing.T) {
+	f := New(23)
+	pair, err := f.SemanticallyJoinable(makeSource(), 0.5, 1.0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Scenario != core.ScenarioSemJoinable {
+		t.Errorf("scenario = %s", pair.Scenario)
+	}
+	changed := false
+	for _, p := range pair.Truth.Pairs() {
+		ls := pair.Source.Column(p.Source)
+		rs := pair.Target.Column(p.Target)
+		for i := range ls.Values {
+			if ls.Values[i] != rs.Values[i] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Error("semantically-joinable should perturb shared instances")
+	}
+}
+
+func TestFabricationDeterministic(t *testing.T) {
+	p1, err := New(42).Unionable(makeSource(), 0.5, Variant{NoisySchema: true, NoisyInstances: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := New(42).Unionable(makeSource(), 0.5, Variant{NoisySchema: true, NoisyInstances: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Target.Columns[0].Name != p2.Target.Columns[0].Name {
+		t.Error("fabrication should be deterministic per seed")
+	}
+	if p1.Target.Columns[0].Values[0] != p2.Target.Columns[0].Values[0] {
+		t.Error("instance noise should be deterministic per seed")
+	}
+}
+
+func TestFabricationErrors(t *testing.T) {
+	f := New(1)
+	if _, err := f.Unionable(nil, 0.5, Variant{}); err == nil {
+		t.Error("nil table should fail")
+	}
+	if _, err := f.Unionable(makeSource(), 1.5, Variant{}); err == nil {
+		t.Error("overlap > 1 should fail")
+	}
+	if _, err := f.ViewUnionable(makeSource(), 0, Variant{}); err == nil {
+		t.Error("zero column overlap should fail")
+	}
+	if _, err := f.Joinable(makeSource(), 0.5, -0.5, false); err == nil {
+		t.Error("negative row overlap should fail")
+	}
+	tiny := table.New("tiny")
+	tiny.AddColumn("a", []string{"1", "2"})
+	if _, err := f.ViewUnionable(tiny, 0.5, Variant{}); err == nil {
+		t.Error("too few columns should fail")
+	}
+}
+
+func TestVariantLabels(t *testing.T) {
+	if (Variant{}).Label() != "VS/VI" {
+		t.Error("VS/VI")
+	}
+	if (Variant{NoisySchema: true, NoisyInstances: true}).Label() != "NS/NI" {
+		t.Error("NS/NI")
+	}
+	if len(AllVariants()) != 4 {
+		t.Error("four variants")
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	f := New(5)
+	pairs, err := f.Grid(SourceTable{Name: "src", Table: makeSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 56 {
+		t.Fatalf("grid size = %d, want 56", len(pairs))
+	}
+	counts := map[string]int{}
+	for _, p := range pairs {
+		counts[p.Scenario]++
+		if p.Truth.Size() == 0 {
+			t.Errorf("pair %s has empty ground truth", p.Name)
+		}
+		if err := p.Source.Validate(); err != nil {
+			t.Errorf("pair %s source invalid: %v", p.Name, err)
+		}
+		if err := p.Target.Validate(); err != nil {
+			t.Errorf("pair %s target invalid: %v", p.Name, err)
+		}
+	}
+	want := map[string]int{
+		core.ScenarioUnionable:     12,
+		core.ScenarioViewUnionable: 12,
+		core.ScenarioJoinable:      16,
+		core.ScenarioSemJoinable:   16,
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("scenario %s count = %d, want %d", k, counts[k], v)
+		}
+	}
+}
+
+func TestGridSeeds(t *testing.T) {
+	pairs, err := GridSeeds(SourceTable{Name: "src", Table: makeSource()}, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 112 {
+		t.Fatalf("2-seed grid = %d pairs, want 112", len(pairs))
+	}
+	if pairs[0].Name == pairs[56].Name {
+		t.Error("seeded pairs should have distinct names")
+	}
+}
+
+// Property: ground truth columns always exist in their tables across the
+// whole grid (the invariant every experiment depends on).
+func TestGridGroundTruthInvariant(t *testing.T) {
+	f := New(31)
+	pairs, err := f.Grid(SourceTable{Name: "src", Table: makeSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range pairs {
+		for _, p := range pair.Truth.Pairs() {
+			if pair.Source.Column(p.Source) == nil {
+				t.Fatalf("%s: GT source column %q missing", pair.Name, p.Source)
+			}
+			if pair.Target.Column(p.Target) == nil {
+				t.Fatalf("%s: GT target column %q missing", pair.Name, p.Target)
+			}
+		}
+	}
+}

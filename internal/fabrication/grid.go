@@ -1,0 +1,91 @@
+package fabrication
+
+import (
+	"fmt"
+
+	"valentine/internal/core"
+	"valentine/internal/table"
+)
+
+// Fig. 3 parameter grids.
+var (
+	// UnionableRowOverlaps are the row-overlap settings of the unionable
+	// recipe.
+	UnionableRowOverlaps = []float64{0, 0.5, 1.0}
+	// ViewUnionableColOverlaps are the column-overlap settings of the
+	// view-unionable recipe.
+	ViewUnionableColOverlaps = []float64{0.3, 0.5, 0.7}
+	// JoinableColOverlaps are the column-overlap settings of the joinable
+	// recipes; -1 means "exactly one shared column".
+	JoinableColOverlaps = []float64{-1, 0.3, 0.5, 0.7}
+	// JoinableRowOverlaps are the row-split settings of the joinable
+	// recipes: a pure vertical split (1.0) and a 50%-row-overlap variant.
+	JoinableRowOverlaps = []float64{1.0, 0.5}
+)
+
+// Grid fabricates the full Figure-3 recipe grid for one source table:
+// every scenario × parameter × noise-variant combination. One grid yields
+// 12 + 12 + 16 + 16 = 56 pairs.
+func (f *Fabricator) Grid(src SourceTable) ([]core.TablePair, error) {
+	var out []core.TablePair
+	for _, ro := range UnionableRowOverlaps {
+		for _, v := range AllVariants() {
+			p, err := f.Unionable(src.Table, ro, v)
+			if err != nil {
+				return nil, fmt.Errorf("unionable(%v,%s): %w", ro, v.Label(), err)
+			}
+			out = append(out, p)
+		}
+	}
+	for _, co := range ViewUnionableColOverlaps {
+		for _, v := range AllVariants() {
+			p, err := f.ViewUnionable(src.Table, co, v)
+			if err != nil {
+				return nil, fmt.Errorf("view-unionable(%v,%s): %w", co, v.Label(), err)
+			}
+			out = append(out, p)
+		}
+	}
+	for _, co := range JoinableColOverlaps {
+		for _, ro := range JoinableRowOverlaps {
+			for _, ns := range []bool{false, true} {
+				p, err := f.Joinable(src.Table, co, ro, ns)
+				if err != nil {
+					return nil, fmt.Errorf("joinable(%v,%v,%v): %w", co, ro, ns, err)
+				}
+				out = append(out, p)
+				sp, err := f.SemanticallyJoinable(src.Table, co, ro, ns)
+				if err != nil {
+					return nil, fmt.Errorf("sem-joinable(%v,%v,%v): %w", co, ro, ns, err)
+				}
+				out = append(out, sp)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SourceTable names a dataset source for fabrication.
+type SourceTable struct {
+	Name  string
+	Table *table.Table
+}
+
+// GridSeeds fabricates the grid with nSeeds independent fabricator seeds,
+// approximating the paper's 180-pairs-per-source volume (3 seeds × 56 pairs
+// = 168 pairs; the paper reports 180).
+func GridSeeds(src SourceTable, nSeeds int, baseSeed int64) ([]core.TablePair, error) {
+	var out []core.TablePair
+	for s := 0; s < nSeeds; s++ {
+		f := New(baseSeed + int64(s)*7919)
+		pairs, err := f.Grid(src)
+		if err != nil {
+			return nil, err
+		}
+		for i := range pairs {
+			pairs[i].Name = fmt.Sprintf("%s#s%d", pairs[i].Name, s)
+		}
+		out = append(out, pairs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+// Package fabrication implements Valentine's dataset-pair fabrication
+// process (paper §IV): splitting source tables horizontally and vertically
+// with controlled row/column overlap, perturbing schemata and instances,
+// and emitting ground truth — producing matching problems for the four
+// relatedness scenarios of §III.
+package fabrication
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"valentine/internal/strutil"
+	"valentine/internal/table"
+)
+
+// keyboardNeighbors maps each lowercase key to its QWERTY neighbors, used
+// to insert realistic typos (paper: "random typos based on keyboard
+// proximity").
+var keyboardNeighbors = map[rune]string{
+	'q': "wa", 'w': "qes", 'e': "wrd", 'r': "etf", 't': "ryg", 'y': "tuh",
+	'u': "yij", 'i': "uok", 'o': "ipl", 'p': "ol",
+	'a': "qsz", 's': "awdx", 'd': "sefc", 'f': "drgv", 'g': "fthb",
+	'h': "gyjn", 'j': "hukm", 'k': "jil", 'l': "kop",
+	'z': "asx", 'x': "zsdc", 'c': "xdfv", 'v': "cfgb", 'b': "vghn",
+	'n': "bhjm", 'm': "njk",
+	'0': "9", '1': "2", '2': "13", '3': "24", '4': "35", '5': "46",
+	'6': "57", '7': "68", '8': "79", '9': "80",
+}
+
+// Typo injects a single keyboard-proximity typo into s: a random letter is
+// replaced by one of its QWERTY neighbors (preserving case). Strings
+// without typo-able characters are returned unchanged.
+func Typo(s string, rng *rand.Rand) string {
+	runes := []rune(s)
+	// Collect candidate positions.
+	var candidates []int
+	for i, r := range runes {
+		if _, ok := keyboardNeighbors[toLowerRune(r)]; ok {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return s
+	}
+	pos := candidates[rng.Intn(len(candidates))]
+	orig := runes[pos]
+	neighbors := keyboardNeighbors[toLowerRune(orig)]
+	repl := rune(neighbors[rng.Intn(len(neighbors))])
+	if isUpperRune(orig) {
+		repl = toUpperRune(repl)
+	}
+	runes[pos] = repl
+	return string(runes)
+}
+
+func toLowerRune(r rune) rune {
+	if r >= 'A' && r <= 'Z' {
+		return r + ('a' - 'A')
+	}
+	return r
+}
+
+func toUpperRune(r rune) rune {
+	if r >= 'a' && r <= 'z' {
+		return r - ('a' - 'A')
+	}
+	return r
+}
+
+func isUpperRune(r rune) bool { return r >= 'A' && r <= 'Z' }
+
+// NoiseInstances perturbs a table's cell values in place following the
+// paper's rules: string columns receive keyboard-proximity typos with
+// probability rate per cell; numeric columns are perturbed proportionally
+// to their value spread (scaled by the column standard deviation). Types
+// are re-inferred afterwards.
+func NoiseInstances(t *table.Table, rate float64, rng *rand.Rand) {
+	for ci := range t.Columns {
+		c := &t.Columns[ci]
+		if c.IsNumeric() {
+			noiseNumericColumn(c, rate, rng)
+		} else {
+			for vi, v := range c.Values {
+				if v == "" || rng.Float64() >= rate {
+					continue
+				}
+				c.Values[vi] = Typo(v, rng)
+			}
+		}
+	}
+	t.RetypeColumns()
+}
+
+func noiseNumericColumn(c *table.Column, rate float64, rng *rand.Rand) {
+	stats := c.Stats()
+	scale := stats.StdDev
+	if scale == 0 {
+		scale = math.Abs(stats.Mean) * 0.1
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	isInt := c.Type == table.Int
+	for vi, v := range c.Values {
+		if v == "" || rng.Float64() >= rate {
+			continue
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			continue
+		}
+		x += rng.NormFloat64() * scale * 0.25
+		if isInt {
+			c.Values[vi] = strconv.FormatInt(int64(math.Round(x)), 10)
+		} else {
+			c.Values[vi] = strconv.FormatFloat(x, 'g', 8, 64)
+		}
+	}
+}
+
+// SchemaNoiseRule is one of the paper's three column-renaming rules.
+type SchemaNoiseRule int
+
+// The three schema-noise transformation rules of §IV.
+const (
+	// RulePrefixTable prefixes the column with its table name.
+	RulePrefixTable SchemaNoiseRule = iota
+	// RuleAbbreviate truncates each name token to a 3-letter abbreviation.
+	RuleAbbreviate
+	// RuleDropVowels removes non-leading vowels.
+	RuleDropVowels
+)
+
+// ApplyRule rewrites a column name under the rule.
+func ApplyRule(rule SchemaNoiseRule, tableName, column string) string {
+	switch rule {
+	case RulePrefixTable:
+		return tableName + "_" + column
+	case RuleAbbreviate:
+		return strutil.Abbreviate(column, 3)
+	default:
+		return strutil.DropVowels(column)
+	}
+}
+
+// NoiseSchema renames every column of t using a rule chosen uniformly per
+// column, returning the mapping old → new name. Collisions are resolved by
+// appending a numeric suffix so the table stays valid.
+func NoiseSchema(t *table.Table, rng *rand.Rand) map[string]string {
+	mapping := make(map[string]string, len(t.Columns))
+	used := make(map[string]bool, len(t.Columns))
+	for i := range t.Columns {
+		old := t.Columns[i].Name
+		rule := SchemaNoiseRule(rng.Intn(3))
+		name := ApplyRule(rule, t.Name, old)
+		if name == "" {
+			name = old
+		}
+		base := name
+		for n := 2; used[name]; n++ {
+			name = base + "_" + strconv.Itoa(n)
+		}
+		used[name] = true
+		t.Columns[i].Name = name
+		mapping[old] = name
+	}
+	return mapping
+}

@@ -1,0 +1,137 @@
+package fabrication
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"valentine/internal/core"
+	"valentine/internal/table"
+)
+
+// pairManifest is the metadata sidecar stored next to a saved pair.
+type pairManifest struct {
+	Name     string `json:"name"`
+	Scenario string `json:"scenario"`
+	Variant  string `json:"variant"`
+}
+
+// SavePair writes a fabricated pair into dir as source.csv, target.csv,
+// ground_truth.csv and manifest.json — the publishable artifact layout the
+// original Valentine repository uses for its dataset pairs.
+func SavePair(dir string, pair core.TablePair) error {
+	if pair.Source == nil || pair.Target == nil {
+		return fmt.Errorf("fabrication: pair %q has nil tables", pair.Name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := pair.Source.WriteCSVFile(filepath.Join(dir, "source.csv")); err != nil {
+		return err
+	}
+	if err := pair.Target.WriteCSVFile(filepath.Join(dir, "target.csv")); err != nil {
+		return err
+	}
+	gtFile, err := os.Create(filepath.Join(dir, "ground_truth.csv"))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(gtFile)
+	if err := w.Write([]string{"source_column", "target_column"}); err != nil {
+		gtFile.Close()
+		return err
+	}
+	for _, p := range pair.Truth.Pairs() {
+		if err := w.Write([]string{p.Source, p.Target}); err != nil {
+			gtFile.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		gtFile.Close()
+		return err
+	}
+	if err := gtFile.Close(); err != nil {
+		return err
+	}
+	manifest, err := json.MarshalIndent(pairManifest{
+		Name:     pair.Name,
+		Scenario: pair.Scenario,
+		Variant:  pair.Variant,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), manifest, 0o644)
+}
+
+// LoadPair reads a pair saved by SavePair.
+func LoadPair(dir string) (core.TablePair, error) {
+	src, err := table.ReadCSVFile(filepath.Join(dir, "source.csv"))
+	if err != nil {
+		return core.TablePair{}, err
+	}
+	tgt, err := table.ReadCSVFile(filepath.Join(dir, "target.csv"))
+	if err != nil {
+		return core.TablePair{}, err
+	}
+	gtFile, err := os.Open(filepath.Join(dir, "ground_truth.csv"))
+	if err != nil {
+		return core.TablePair{}, err
+	}
+	defer gtFile.Close()
+	records, err := csv.NewReader(gtFile).ReadAll()
+	if err != nil {
+		return core.TablePair{}, err
+	}
+	gt := core.NewGroundTruth()
+	for i, rec := range records {
+		if i == 0 {
+			continue // header
+		}
+		if len(rec) < 2 {
+			return core.TablePair{}, fmt.Errorf("fabrication: ground truth row %d malformed", i+1)
+		}
+		gt.Add(rec[0], rec[1])
+	}
+	pair := core.TablePair{Source: src, Target: tgt, Truth: gt}
+	manifestBytes, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err == nil {
+		var m pairManifest
+		if err := json.Unmarshal(manifestBytes, &m); err != nil {
+			return core.TablePair{}, fmt.Errorf("fabrication: bad manifest: %w", err)
+		}
+		pair.Name, pair.Scenario, pair.Variant = m.Name, m.Scenario, m.Variant
+	} else {
+		pair.Name = filepath.Base(dir)
+		pair.Scenario = core.ScenarioCurated
+	}
+	// Cross-check: every ground-truth column must exist.
+	for _, p := range gt.Pairs() {
+		if src.Column(p.Source) == nil {
+			return core.TablePair{}, fmt.Errorf("fabrication: ground truth references missing source column %q", p.Source)
+		}
+		if tgt.Column(p.Target) == nil {
+			return core.TablePair{}, fmt.Errorf("fabrication: ground truth references missing target column %q", p.Target)
+		}
+	}
+	return pair, nil
+}
+
+// SaveGrid saves every pair of a fabricated grid under root, one directory
+// per pair (slashes in pair names become directory separators-safe
+// underscores), and returns the directories written.
+func SaveGrid(root string, pairs []core.TablePair) ([]string, error) {
+	dirs := make([]string, 0, len(pairs))
+	for i, p := range pairs {
+		dir := filepath.Join(root, fmt.Sprintf("pair_%03d", i))
+		if err := SavePair(dir, p); err != nil {
+			return dirs, fmt.Errorf("saving %s: %w", p.Name, err)
+		}
+		dirs = append(dirs, dir)
+	}
+	return dirs, nil
+}

@@ -1,0 +1,113 @@
+package fabrication
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"valentine/internal/core"
+)
+
+func TestSaveLoadPairRoundTrip(t *testing.T) {
+	f := New(3)
+	pair, err := f.Unionable(makeSource(), 0.5, Variant{NoisySchema: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SavePair(dir, pair); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != pair.Name || back.Scenario != pair.Scenario || back.Variant != pair.Variant {
+		t.Fatalf("manifest mismatch: %+v vs %+v", back, pair)
+	}
+	if back.Truth.Size() != pair.Truth.Size() {
+		t.Fatalf("GT size %d vs %d", back.Truth.Size(), pair.Truth.Size())
+	}
+	for _, p := range pair.Truth.Pairs() {
+		if !back.Truth.Contains(p.Source, p.Target) {
+			t.Fatalf("missing GT pair %v", p)
+		}
+	}
+	if back.Source.NumRows() != pair.Source.NumRows() || back.Target.NumColumns() != pair.Target.NumColumns() {
+		t.Fatal("table shapes differ")
+	}
+}
+
+func TestLoadPairWithoutManifest(t *testing.T) {
+	f := New(5)
+	pair, err := f.Joinable(makeSource(), 0.5, 1.0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SavePair(dir, pair); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scenario != core.ScenarioCurated {
+		t.Fatalf("manifest-less pair scenario = %q", back.Scenario)
+	}
+}
+
+func TestLoadPairErrors(t *testing.T) {
+	if _, err := LoadPair(t.TempDir()); err == nil {
+		t.Error("empty dir should fail")
+	}
+	// ground truth referencing a missing column
+	f := New(7)
+	pair, err := f.Unionable(makeSource(), 0.5, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SavePair(dir, pair); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ground_truth.csv"),
+		[]byte("source_column,target_column\nghost,ghost\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPair(dir); err == nil {
+		t.Error("dangling GT column should fail")
+	}
+}
+
+func TestSavePairValidation(t *testing.T) {
+	if err := SavePair(t.TempDir(), core.TablePair{}); err == nil {
+		t.Error("nil tables should fail")
+	}
+}
+
+func TestSaveGrid(t *testing.T) {
+	f := New(11)
+	pairs, err := f.Grid(SourceTable{Name: "src", Table: makeSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	dirs, err := SaveGrid(root, pairs[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 5 {
+		t.Fatalf("dirs = %d", len(dirs))
+	}
+	back, err := LoadPair(dirs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Truth.Size() == 0 {
+		t.Fatal("loaded grid pair has no GT")
+	}
+}

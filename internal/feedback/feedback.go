@@ -1,0 +1,191 @@
+// Package feedback implements the human-in-the-loop workflow the paper's
+// lessons learned call for (§IX, "Humans-in-the-loop"): matching as a
+// search problem where a person reviews ranked candidates, confirms or
+// rejects them, and the ranking is revised — instead of tuning thresholds.
+//
+// A Session accumulates confirmed/rejected correspondences, reranks any
+// ranked match list under those constraints, and suggests which candidate
+// to ask the reviewer about next (largest expected ranking impact:
+// highest-ranked undecided pair whose columns are still contested).
+package feedback
+
+import (
+	"fmt"
+	"sort"
+
+	"valentine/internal/core"
+)
+
+// Decision is a reviewer's verdict on a column pair.
+type Decision int
+
+// Verdicts.
+const (
+	Undecided Decision = iota
+	Confirmed
+	Rejected
+)
+
+// Session collects reviewer verdicts for one table pair.
+type Session struct {
+	decisions map[core.ColumnPair]Decision
+}
+
+// NewSession returns an empty feedback session.
+func NewSession() *Session {
+	return &Session{decisions: make(map[core.ColumnPair]Decision)}
+}
+
+// Confirm records that (source,target) is a correct correspondence.
+func (s *Session) Confirm(source, target string) {
+	s.decisions[core.ColumnPair{Source: source, Target: target}] = Confirmed
+}
+
+// Reject records that (source,target) is not a correspondence.
+func (s *Session) Reject(source, target string) {
+	s.decisions[core.ColumnPair{Source: source, Target: target}] = Rejected
+}
+
+// Decision returns the verdict for a pair.
+func (s *Session) Decision(source, target string) Decision {
+	return s.decisions[core.ColumnPair{Source: source, Target: target}]
+}
+
+// Decided returns the number of recorded verdicts.
+func (s *Session) Decided() int { return len(s.decisions) }
+
+// Rerank revises a ranked match list under the session's verdicts:
+//
+//   - confirmed pairs move to the top (score 1), and competing candidates
+//     that reuse either side of a confirmed pair are damped — confirming
+//     a 1-1 correspondence makes alternatives unlikely;
+//   - rejected pairs drop to the bottom (score 0);
+//   - all other pairs keep their relative order.
+//
+// The input is not mutated.
+func (s *Session) Rerank(matches []core.Match) []core.Match {
+	confirmedSrc := make(map[string]bool)
+	confirmedTgt := make(map[string]bool)
+	for p, d := range s.decisions {
+		if d == Confirmed {
+			confirmedSrc[p.Source] = true
+			confirmedTgt[p.Target] = true
+		}
+	}
+	out := make([]core.Match, len(matches))
+	copy(out, matches)
+	for i := range out {
+		switch s.Decision(out[i].SourceColumn, out[i].TargetColumn) {
+		case Confirmed:
+			out[i].Score = 1
+		case Rejected:
+			out[i].Score = 0
+		default:
+			if confirmedSrc[out[i].SourceColumn] || confirmedTgt[out[i].TargetColumn] {
+				out[i].Score *= 0.5
+			}
+		}
+	}
+	core.SortMatches(out)
+	return out
+}
+
+// NextQuestion suggests the candidate whose verdict would most reshape the
+// ranking: the highest-ranked undecided pair whose source or target column
+// is still contested by another undecided candidate within the top window.
+// Returns an error when nothing is left to ask.
+func (s *Session) NextQuestion(matches []core.Match, window int) (core.Match, error) {
+	if window <= 0 || window > len(matches) {
+		window = len(matches)
+	}
+	ranked := s.Rerank(matches)
+	top := ranked[:window]
+	srcCount := make(map[string]int)
+	tgtCount := make(map[string]int)
+	for _, m := range top {
+		if s.Decision(m.SourceColumn, m.TargetColumn) == Undecided {
+			srcCount[m.SourceColumn]++
+			tgtCount[m.TargetColumn]++
+		}
+	}
+	for _, m := range top {
+		if s.Decision(m.SourceColumn, m.TargetColumn) != Undecided {
+			continue
+		}
+		if srcCount[m.SourceColumn] > 1 || tgtCount[m.TargetColumn] > 1 {
+			return m, nil
+		}
+	}
+	// No contested pair: fall back to the best undecided one.
+	for _, m := range ranked {
+		if s.Decision(m.SourceColumn, m.TargetColumn) == Undecided {
+			return m, nil
+		}
+	}
+	return core.Match{}, fmt.Errorf("feedback: all candidates decided")
+}
+
+// Simulate drives a full review loop against an oracle (here: the ground
+// truth), answering questions until budget verdicts are spent or nothing is
+// left, and returns the recall trajectory — how Recall@GT improves per
+// answered question. This is the evaluation harness for the
+// humans-in-the-loop claim.
+func Simulate(matches []core.Match, gt *core.GroundTruth, budget int) ([]float64, error) {
+	if gt.Size() == 0 {
+		return nil, fmt.Errorf("feedback: empty ground truth")
+	}
+	s := NewSession()
+	var trajectory []float64
+	recallOf := func() float64 {
+		ranked := s.Rerank(matches)
+		k := gt.Size()
+		if len(ranked) > k {
+			ranked = ranked[:k]
+		}
+		hits := 0
+		for _, m := range ranked {
+			if gt.Contains(m.SourceColumn, m.TargetColumn) {
+				hits++
+			}
+		}
+		return float64(hits) / float64(gt.Size())
+	}
+	trajectory = append(trajectory, recallOf())
+	for q := 0; q < budget; q++ {
+		question, err := s.NextQuestion(matches, 2*gt.Size())
+		if err != nil {
+			break
+		}
+		if gt.Contains(question.SourceColumn, question.TargetColumn) {
+			s.Confirm(question.SourceColumn, question.TargetColumn)
+		} else {
+			s.Reject(question.SourceColumn, question.TargetColumn)
+		}
+		trajectory = append(trajectory, recallOf())
+	}
+	return trajectory, nil
+}
+
+// Verdicts returns the recorded decisions sorted for deterministic output.
+func (s *Session) Verdicts() []struct {
+	Pair     core.ColumnPair
+	Decision Decision
+} {
+	out := make([]struct {
+		Pair     core.ColumnPair
+		Decision Decision
+	}, 0, len(s.decisions))
+	for p, d := range s.decisions {
+		out = append(out, struct {
+			Pair     core.ColumnPair
+			Decision Decision
+		}{p, d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pair.Source != out[j].Pair.Source {
+			return out[i].Pair.Source < out[j].Pair.Source
+		}
+		return out[i].Pair.Target < out[j].Pair.Target
+	})
+	return out
+}

@@ -1,0 +1,17 @@
+package integration
+
+import (
+	"valentine/internal/core"
+	"valentine/internal/datagen"
+)
+
+func datagenMagellan() []core.TablePair {
+	return datagen.Magellan(datagen.Options{Rows: 80})
+}
+
+func datagenING() []core.TablePair {
+	return []core.TablePair{
+		datagen.ING1(datagen.Options{Rows: 240}),
+		datagen.ING2(datagen.Options{Rows: 240}),
+	}
+}

@@ -1,0 +1,216 @@
+// Package lp solves small 0/1 integer linear programs by branch and bound.
+//
+// The Distribution-based matcher's final clustering step is an integer
+// program (the original implementation called out to PuLP/CPLEX). The
+// instances it produces are tiny — one binary variable per candidate
+// cluster assignment — so an exact branch-and-bound with a simple
+// optimistic bound solves them instantly.
+package lp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // Σ aᵢxᵢ ≤ b
+	GE           // Σ aᵢxᵢ ≥ b
+	EQ           // Σ aᵢxᵢ = b
+)
+
+// Constraint is a linear constraint over binary variables. Coeffs maps
+// variable index → coefficient; absent variables have coefficient 0.
+type Constraint struct {
+	Coeffs map[int]float64
+	Op     Op
+	RHS    float64
+}
+
+// Problem is a 0/1 maximization problem.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // length NumVars; maximize Objective·x
+	Constraints []Constraint
+	// MaxNodes caps the branch-and-bound search tree. When the cap is hit,
+	// the best incumbent found so far is returned (an anytime solution —
+	// feasible but possibly suboptimal). 0 means the default of 500 000
+	// nodes, which solves the suite's consolidation programs exactly.
+	MaxNodes int
+}
+
+// Solution is an optimal assignment.
+type Solution struct {
+	X     []bool
+	Value float64
+}
+
+const eps = 1e-9
+
+// Solve finds an optimal 0/1 assignment maximizing the objective subject to
+// the constraints, or returns an error when the problem is malformed or
+// infeasible.
+func Solve(p Problem) (Solution, error) {
+	if p.NumVars < 0 {
+		return Solution{}, fmt.Errorf("lp: negative NumVars")
+	}
+	if len(p.Objective) != p.NumVars {
+		return Solution{}, fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.Objective), p.NumVars)
+	}
+	for ci, c := range p.Constraints {
+		for v := range c.Coeffs {
+			if v < 0 || v >= p.NumVars {
+				return Solution{}, fmt.Errorf("lp: constraint %d references variable %d out of range", ci, v)
+			}
+		}
+	}
+	s := &solver{p: p}
+	// Order variables by descending |objective| so good decisions come early.
+	s.order = make([]int, p.NumVars)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		return math.Abs(p.Objective[s.order[a]]) > math.Abs(p.Objective[s.order[b]])
+	})
+	// Precompute suffix sums of positive objective mass for the bound.
+	s.posSuffix = make([]float64, p.NumVars+1)
+	for i := p.NumVars - 1; i >= 0; i-- {
+		v := p.Objective[s.order[i]]
+		s.posSuffix[i] = s.posSuffix[i+1]
+		if v > 0 {
+			s.posSuffix[i] += v
+		}
+	}
+	s.best = math.Inf(-1)
+	s.cur = make([]bool, p.NumVars)
+	s.nodeBudget = p.MaxNodes
+	if s.nodeBudget <= 0 {
+		s.nodeBudget = 500_000
+	}
+	s.branch(0, 0)
+	if math.IsInf(s.best, -1) {
+		return Solution{}, fmt.Errorf("lp: infeasible")
+	}
+	return Solution{X: s.bestX, Value: s.best}, nil
+}
+
+type solver struct {
+	p          Problem
+	order      []int
+	posSuffix  []float64
+	cur        []bool
+	best       float64
+	bestX      []bool
+	nodeBudget int
+}
+
+func (s *solver) branch(depth int, value float64) {
+	if s.nodeBudget <= 0 {
+		return // search budget exhausted; keep the incumbent
+	}
+	s.nodeBudget--
+	if value+s.posSuffix[depth] <= s.best+eps {
+		return // bound: cannot beat incumbent
+	}
+	if !s.feasiblePartial(depth) {
+		return
+	}
+	if depth == s.p.NumVars {
+		if s.feasibleComplete() && value > s.best {
+			s.best = value
+			s.bestX = append([]bool(nil), s.cur...)
+		}
+		return
+	}
+	v := s.order[depth]
+	// Try the objective-improving branch first.
+	first, second := true, false
+	if s.p.Objective[v] < 0 {
+		first, second = false, true
+	}
+	s.cur[v] = first
+	s.branch(depth+1, value+objIf(s.p.Objective[v], first))
+	s.cur[v] = second
+	s.branch(depth+1, value+objIf(s.p.Objective[v], second))
+	s.cur[v] = false
+}
+
+func objIf(c float64, set bool) float64 {
+	if set {
+		return c
+	}
+	return 0
+}
+
+// feasiblePartial prunes branches that can no longer satisfy a constraint
+// regardless of unassigned variables. Variables with order position >= depth
+// are free; we evaluate each constraint's attainable range.
+func (s *solver) feasiblePartial(depth int) bool {
+	assigned := make(map[int]bool, depth)
+	for i := 0; i < depth; i++ {
+		assigned[s.order[i]] = true
+	}
+	for _, c := range s.p.Constraints {
+		lo, hi := 0.0, 0.0
+		for v, a := range c.Coeffs {
+			if assigned[v] {
+				if s.cur[v] {
+					lo += a
+					hi += a
+				}
+				continue
+			}
+			if a > 0 {
+				hi += a
+			} else {
+				lo += a
+			}
+		}
+		switch c.Op {
+		case LE:
+			if lo > c.RHS+eps {
+				return false
+			}
+		case GE:
+			if hi < c.RHS-eps {
+				return false
+			}
+		case EQ:
+			if lo > c.RHS+eps || hi < c.RHS-eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *solver) feasibleComplete() bool {
+	for _, c := range s.p.Constraints {
+		sum := 0.0
+		for v, a := range c.Coeffs {
+			if s.cur[v] {
+				sum += a
+			}
+		}
+		switch c.Op {
+		case LE:
+			if sum > c.RHS+eps {
+				return false
+			}
+		case GE:
+			if sum < c.RHS-eps {
+				return false
+			}
+		case EQ:
+			if math.Abs(sum-c.RHS) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}

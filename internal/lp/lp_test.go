@@ -1,0 +1,192 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUnconstrainedPicksPositives(t *testing.T) {
+	sol, err := Solve(Problem{
+		NumVars:   4,
+		Objective: []float64{3, -2, 0.5, -0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != 3.5 {
+		t.Fatalf("Value = %v, want 3.5", sol.Value)
+	}
+	want := []bool{true, false, true, false}
+	for i, x := range want {
+		if sol.X[i] != x {
+			t.Fatalf("X = %v, want %v", sol.X, want)
+		}
+	}
+}
+
+func TestKnapsack(t *testing.T) {
+	// values 6,5,4 weights 3,2,2 capacity 4 → pick items 1,2 (value 9)
+	sol, err := Solve(Problem{
+		NumVars:   3,
+		Objective: []float64{6, 5, 4},
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 3, 1: 2, 2: 2}, Op: LE, RHS: 4},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != 9 {
+		t.Fatalf("Value = %v, want 9", sol.Value)
+	}
+}
+
+func TestExactlyOne(t *testing.T) {
+	sol, err := Solve(Problem{
+		NumVars:   3,
+		Objective: []float64{1, 5, 3},
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 1, 1: 1, 2: 1}, Op: EQ, RHS: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != 5 || !sol.X[1] || sol.X[0] || sol.X[2] {
+		t.Fatalf("sol = %+v, want only var 1", sol)
+	}
+}
+
+func TestGEConstraintForcesNegative(t *testing.T) {
+	// Must select at least 2 variables even though all hurt the objective.
+	sol, err := Solve(Problem{
+		NumVars:   3,
+		Objective: []float64{-1, -2, -3},
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 1, 1: 1, 2: 1}, Op: GE, RHS: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != -3 {
+		t.Fatalf("Value = %v, want -3 (pick vars 0 and 1)", sol.Value)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	_, err := Solve(Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 1, 1: 1}, Op: GE, RHS: 3},
+		},
+	})
+	if err == nil {
+		t.Fatal("want infeasible error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(Problem{NumVars: -1}); err == nil {
+		t.Error("negative NumVars should fail")
+	}
+	if _, err := Solve(Problem{NumVars: 2, Objective: []float64{1}}); err == nil {
+		t.Error("objective length mismatch should fail")
+	}
+	if _, err := Solve(Problem{
+		NumVars:     1,
+		Objective:   []float64{1},
+		Constraints: []Constraint{{Coeffs: map[int]float64{5: 1}, Op: LE, RHS: 1}},
+	}); err == nil {
+		t.Error("out-of-range variable should fail")
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	sol, err := Solve(Problem{NumVars: 0, Objective: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != 0 {
+		t.Fatalf("empty problem value = %v", sol.Value)
+	}
+}
+
+// Cross-check against brute force on random small instances.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(7)
+		p := Problem{NumVars: n, Objective: make([]float64, n)}
+		for i := range p.Objective {
+			p.Objective[i] = math.Round(rng.Float64()*20-10) / 2
+		}
+		nc := rng.Intn(3)
+		for c := 0; c < nc; c++ {
+			coeffs := make(map[int]float64)
+			for i := 0; i < n; i++ {
+				if rng.Float64() < 0.7 {
+					coeffs[i] = math.Round(rng.Float64()*6 - 2)
+				}
+			}
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: coeffs,
+				Op:     Op(rng.Intn(3)),
+				RHS:    math.Round(rng.Float64()*8 - 2),
+			})
+		}
+		bestVal, feasible := bruteForce(p)
+		sol, err := Solve(p)
+		if !feasible {
+			if err == nil {
+				t.Fatalf("trial %d: brute says infeasible, Solve returned %v", trial, sol)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: brute says feasible (%v), Solve errored: %v", trial, bestVal, err)
+		}
+		if math.Abs(sol.Value-bestVal) > 1e-9 {
+			t.Fatalf("trial %d: Solve = %v, brute = %v (problem %+v)", trial, sol.Value, bestVal, p)
+		}
+	}
+}
+
+func bruteForce(p Problem) (float64, bool) {
+	best := math.Inf(-1)
+	n := p.NumVars
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, c := range p.Constraints {
+			sum := 0.0
+			for v, a := range c.Coeffs {
+				if mask&(1<<v) != 0 {
+					sum += a
+				}
+			}
+			switch c.Op {
+			case LE:
+				ok = ok && sum <= c.RHS+1e-9
+			case GE:
+				ok = ok && sum >= c.RHS-1e-9
+			case EQ:
+				ok = ok && math.Abs(sum-c.RHS) <= 1e-9
+			}
+		}
+		if !ok {
+			continue
+		}
+		val := 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				val += p.Objective[i]
+			}
+		}
+		if val > best {
+			best = val
+		}
+	}
+	return best, !math.IsInf(best, -1)
+}

@@ -1,0 +1,356 @@
+// Package coma reimplements the COMA matcher (Do & Rahm, VLDB 2002) with
+// the instance extension of COMA++ (Engmann & Massmann, BTW 2007).
+//
+// Schemata are represented as rooted DAGs (for denormalized tables: a root
+// table node with column leaves). A library of independent matchers scores
+// every element pair; scores are aggregated by averaging and combined over
+// both match directions, and results above the accept threshold are
+// returned as a ranked list. Valentine configures threshold 0 (paper Table
+// II) so every pair appears in the ranking.
+package coma
+
+import (
+	"fmt"
+	"math"
+
+	"valentine/internal/core"
+	"valentine/internal/strutil"
+	"valentine/internal/table"
+)
+
+// Strategy selects COMA's matcher set.
+type Strategy string
+
+// The two strategies the paper evaluates.
+const (
+	StrategySchema   Strategy = "schema"
+	StrategyInstance Strategy = "instance"
+)
+
+// Aggregation selects how the matcher library's scores combine (COMA's
+// aggregation operator).
+type Aggregation string
+
+// Aggregation operators.
+const (
+	AggAverage  Aggregation = "average" // COMA's default
+	AggMax      Aggregation = "max"
+	AggMin      Aggregation = "min"
+	AggHarmonic Aggregation = "harmonic"
+)
+
+// Direction selects whether the library is evaluated in both directions
+// (COMA's default "both") or source→target only.
+type Direction string
+
+// Direction settings.
+const (
+	DirBoth    Direction = "both"
+	DirForward Direction = "forward"
+)
+
+// Matcher is a configured COMA instance.
+type Matcher struct {
+	Strategy    Strategy
+	Threshold   float64 // accept threshold on aggregated similarity
+	MaxSample   int     // distinct-value sample size for instance matchers
+	Aggregation Aggregation
+	Direction   Direction
+}
+
+// New builds COMA from params: "strategy" ("schema"|"instance", default
+// "schema"), "threshold" (default 0, the paper's setting), "max_sample"
+// (default 150), "aggregation" ("average"|"max"|"min"|"harmonic", default
+// "average"), "direction" ("both"|"forward", default "both").
+func New(p core.Params) (core.Matcher, error) {
+	agg := Aggregation(p.String("aggregation", string(AggAverage)))
+	switch agg {
+	case AggAverage, AggMax, AggMin, AggHarmonic:
+	default:
+		return nil, fmt.Errorf("coma: unknown aggregation %q", agg)
+	}
+	dir := Direction(p.String("direction", string(DirBoth)))
+	switch dir {
+	case DirBoth, DirForward:
+	default:
+		return nil, fmt.Errorf("coma: unknown direction %q", dir)
+	}
+	return &Matcher{
+		Strategy:    Strategy(p.String("strategy", string(StrategySchema))),
+		Threshold:   p.Float("threshold", 0),
+		MaxSample:   p.Int("max_sample", 150),
+		Aggregation: agg,
+		Direction:   dir,
+	}, nil
+}
+
+// Name implements core.Matcher.
+func (m *Matcher) Name() string {
+	if m.Strategy == StrategyInstance {
+		return "coma-instance"
+	}
+	return "coma-schema"
+}
+
+// element is a schema-DAG leaf with its precomputed match features.
+type element struct {
+	column   *table.Column
+	path     string // name path from the root, e.g. "orders.city"
+	tokens   map[string]struct{}
+	siblings map[string]struct{} // token context of sibling columns
+	features []float64           // instance feature vector
+	sample   map[string]struct{} // sampled distinct values
+}
+
+// Match implements core.Matcher.
+func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
+	if err := source.Validate(); err != nil {
+		return nil, err
+	}
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	limit := m.MaxSample
+	if limit <= 0 {
+		limit = 150
+	}
+	withInstances := m.Strategy == StrategyInstance
+	srcEls := buildElements(source, withInstances, limit)
+	tgtEls := buildElements(target, withInstances, limit)
+
+	var out []core.Match
+	for i := range srcEls {
+		for j := range tgtEls {
+			// Direction "both": the matcher library is evaluated src→tgt
+			// and tgt→src and the directional aggregates are averaged.
+			score := m.aggregate(&srcEls[i], &tgtEls[j])
+			if m.Direction == DirBoth {
+				score = (score + m.aggregate(&tgtEls[j], &srcEls[i])) / 2
+			}
+			if score < m.Threshold {
+				continue
+			}
+			out = append(out, core.Match{
+				SourceTable:  source.Name,
+				SourceColumn: srcEls[i].column.Name,
+				TargetTable:  target.Name,
+				TargetColumn: tgtEls[j].column.Name,
+				Score:        score,
+			})
+		}
+	}
+	core.SortMatches(out)
+	return out, nil
+}
+
+func buildElements(t *table.Table, withInstances bool, limit int) []element {
+	els := make([]element, len(t.Columns))
+	allTokens := make([]map[string]struct{}, len(t.Columns))
+	for i := range t.Columns {
+		allTokens[i] = strutil.ToSet(strutil.Tokenize(t.Columns[i].Name))
+	}
+	for i := range t.Columns {
+		c := &t.Columns[i]
+		e := element{
+			column: c,
+			path:   t.Name + "." + c.Name,
+			tokens: allTokens[i],
+		}
+		e.siblings = make(map[string]struct{})
+		for j := range t.Columns {
+			if j == i {
+				continue
+			}
+			for tok := range allTokens[j] {
+				e.siblings[tok] = struct{}{}
+			}
+		}
+		if withInstances {
+			e.features = instanceFeatures(c)
+			e.sample = sampleSet(c, limit)
+		}
+		els[i] = e
+	}
+	return els
+}
+
+// aggregate averages the applicable matcher-library scores for a directed
+// element pair.
+func (m *Matcher) aggregate(a, b *element) float64 {
+	scores := []float64{
+		nameMatcher(a, b),
+		nameTokenMatcher(a, b),
+		namePathMatcher(a, b),
+		typeMatcher(a, b),
+		contextMatcher(a, b),
+	}
+	if m.Strategy == StrategyInstance {
+		scores = append(scores, overlapMatcher(a, b), constraintMatcher(a, b))
+	}
+	switch m.Aggregation {
+	case AggMax:
+		best := 0.0
+		for _, s := range scores {
+			if s > best {
+				best = s
+			}
+		}
+		return best
+	case AggMin:
+		worst := 1.0
+		for _, s := range scores {
+			if s < worst {
+				worst = s
+			}
+		}
+		return worst
+	case AggHarmonic:
+		inv := 0.0
+		for _, s := range scores {
+			if s <= 0 {
+				return 0
+			}
+			inv += 1 / s
+		}
+		return float64(len(scores)) / inv
+	default: // AggAverage
+		sum := 0.0
+		for _, s := range scores {
+			sum += s
+		}
+		return sum / float64(len(scores))
+	}
+}
+
+// --- the matcher library ---
+
+func nameMatcher(a, b *element) float64 {
+	return strutil.NameSim(a.column.Name, b.column.Name)
+}
+
+func nameTokenMatcher(a, b *element) float64 {
+	return strutil.DiceSets(a.tokens, b.tokens)
+}
+
+func namePathMatcher(a, b *element) float64 {
+	return strutil.NameSim(a.path, b.path)
+}
+
+// typeMatcher scores directional data-type compatibility: widening an int
+// into a float column is safe (0.9) while narrowing a float into an int is
+// lossy (0.6) — the coercion asymmetry that makes COMA's "both"-direction
+// combination meaningful.
+func typeMatcher(a, b *element) float64 {
+	ta, tb := a.column.Type, b.column.Type
+	switch {
+	case ta == tb:
+		return 1
+	case ta == table.Int && tb == table.Float:
+		return 0.9
+	case ta == table.Float && tb == table.Int:
+		return 0.6
+	case ta.Compatible(tb):
+		return 0.4
+	default:
+		return 0.1
+	}
+}
+
+// contextMatcher measures how much of a's sibling-token context the other
+// element's context covers (COMA's structural/neighborhood signal on flat
+// schemata). The measure is directional — containment of a's context in
+// b's — which is what makes COMA's "both"-direction combination meaningful.
+func contextMatcher(a, b *element) float64 {
+	if len(a.siblings) == 0 && len(b.siblings) == 0 {
+		return 1
+	}
+	if len(a.siblings) == 0 || len(b.siblings) == 0 {
+		return 0
+	}
+	inter := 0
+	for tok := range a.siblings {
+		if _, ok := b.siblings[tok]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a.siblings))
+}
+
+// overlapMatcher is the exact value-overlap instance matcher.
+func overlapMatcher(a, b *element) float64 {
+	return strutil.JaccardSets(a.sample, b.sample)
+}
+
+// constraintMatcher compares constraint-style instance features
+// (COMA++'s pattern/statistics matcher) by inverted normalized distance.
+func constraintMatcher(a, b *element) float64 {
+	fa, fb := a.features, b.features
+	if len(fa) != len(fb) || len(fa) == 0 {
+		return 0
+	}
+	d := 0.0
+	for i := range fa {
+		diff := fa[i] - fb[i]
+		d += diff * diff
+	}
+	return 1 / (1 + math.Sqrt(d))
+}
+
+// instanceFeatures summarizes a column's value population into a
+// scale-normalized feature vector.
+func instanceFeatures(c *table.Column) []float64 {
+	stats := c.Stats()
+	var digits, alphas, puncts, total float64
+	for _, v := range c.Values {
+		for _, r := range v {
+			total++
+			switch {
+			case r >= '0' && r <= '9':
+				digits++
+			case (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+				alphas++
+			default:
+				puncts++
+			}
+		}
+	}
+	if total == 0 {
+		total = 1
+	}
+	numericRatio := 0.0
+	if stats.Count > 0 {
+		numericRatio = float64(stats.NumericCount) / float64(stats.Count)
+	}
+	return []float64{
+		digits / total,
+		alphas / total,
+		puncts / total,
+		numericRatio,
+		stats.Uniqueness(),
+		math.Min(stats.AvgLength/40, 1),
+		sigmoidScale(stats.Mean),
+		sigmoidScale(stats.StdDev),
+	}
+}
+
+// sigmoidScale squashes unbounded statistics into (0,1) so magnitude
+// differences matter but don't dominate the feature distance.
+func sigmoidScale(x float64) float64 {
+	return 1 / (1 + math.Exp(-x/1000))
+}
+
+func sampleSet(c *table.Column, limit int) map[string]struct{} {
+	vals := c.SortedDistinct()
+	out := make(map[string]struct{}, limit)
+	if len(vals) > limit {
+		step := float64(len(vals)) / float64(limit)
+		for i := 0; i < limit; i++ {
+			out[vals[int(float64(i)*step)]] = struct{}{}
+		}
+		return out
+	}
+	for _, v := range vals {
+		out[v] = struct{}{}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+// Package jaccardlev implements Valentine's baseline matcher: pairwise
+// column Jaccard similarity where two values count as identical when their
+// normalized Levenshtein similarity meets a threshold (paper §VI-A, "a
+// naive instance-based matcher ... ca. 70 lines of Python").
+package jaccardlev
+
+import (
+	"sort"
+
+	"valentine/internal/core"
+	"valentine/internal/strutil"
+	"valentine/internal/table"
+)
+
+// Matcher is the Jaccard-Levenshtein baseline.
+type Matcher struct {
+	// Threshold is the Levenshtein-similarity cutoff above which two values
+	// are treated as identical (Table II sweeps 0.4–0.8).
+	Threshold float64
+	// MaxSample caps the distinct values considered per column; the paper's
+	// implementation is quadratic in value-set size and this cap keeps the
+	// suite tractable at identical ranking behaviour for high-cardinality
+	// columns. 0 means the default of 120.
+	MaxSample int
+}
+
+// New builds the baseline from params: "threshold" (default 0.8) and
+// "max_sample" (default 120).
+func New(p core.Params) (core.Matcher, error) {
+	return &Matcher{
+		Threshold: p.Float("threshold", 0.8),
+		MaxSample: p.Int("max_sample", 120),
+	}, nil
+}
+
+// Name implements core.Matcher.
+func (m *Matcher) Name() string { return "jaccard-levenshtein" }
+
+// Match ranks every cross-table column pair by fuzzy Jaccard similarity.
+func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
+	if err := source.Validate(); err != nil {
+		return nil, err
+	}
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	limit := m.MaxSample
+	if limit <= 0 {
+		limit = 120
+	}
+	srcSets := make([][]string, len(source.Columns))
+	for i := range source.Columns {
+		srcSets[i] = sampleDistinct(&source.Columns[i], limit)
+	}
+	tgtSets := make([][]string, len(target.Columns))
+	for i := range target.Columns {
+		tgtSets[i] = sampleDistinct(&target.Columns[i], limit)
+	}
+	var out []core.Match
+	for i := range source.Columns {
+		for j := range target.Columns {
+			score := fuzzyJaccard(srcSets[i], tgtSets[j], m.Threshold)
+			out = append(out, core.Match{
+				SourceTable:  source.Name,
+				SourceColumn: source.Columns[i].Name,
+				TargetTable:  target.Name,
+				TargetColumn: target.Columns[j].Name,
+				Score:        score,
+			})
+		}
+	}
+	core.SortMatches(out)
+	return out, nil
+}
+
+// sampleDistinct returns up to max distinct values, deterministically (the
+// lexicographically first ones), so runs are reproducible.
+func sampleDistinct(c *table.Column, max int) []string {
+	vals := c.SortedDistinct()
+	if len(vals) > max {
+		// stride-sample across the sorted set to keep the value range
+		out := make([]string, 0, max)
+		step := float64(len(vals)) / float64(max)
+		for i := 0; i < max; i++ {
+			out = append(out, vals[int(float64(i)*step)])
+		}
+		return out
+	}
+	return vals
+}
+
+// fuzzyJaccard computes |fuzzy ∩| / |∪| where a source value is in the
+// intersection when some target value is within the Levenshtein threshold.
+func fuzzyJaccard(a, b []string, threshold float64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	bSet := make(map[string]struct{}, len(b))
+	for _, v := range b {
+		bSet[v] = struct{}{}
+	}
+	// b sorted by length for the length-difference prune
+	bByLen := append([]string(nil), b...)
+	sort.Slice(bByLen, func(i, j int) bool { return len(bByLen[i]) < len(bByLen[j]) })
+	matched := 0
+	for _, av := range a {
+		if _, ok := bSet[av]; ok {
+			matched++
+			continue
+		}
+		if fuzzyContains(av, bByLen, threshold) {
+			matched++
+		}
+	}
+	union := len(a) + len(b) - matched
+	if union <= 0 {
+		return 0
+	}
+	return float64(matched) / float64(union)
+}
+
+// fuzzyContains reports whether any candidate is within the Levenshtein
+// similarity threshold of v. Candidates must be sorted by length; lengths
+// incompatible with the threshold are pruned without edit-distance work.
+func fuzzyContains(v string, candidates []string, threshold float64) bool {
+	lv := len(v)
+	for _, c := range candidates {
+		lc := len(c)
+		maxLen := lv
+		if lc > maxLen {
+			maxLen = lc
+		}
+		if maxLen == 0 {
+			continue
+		}
+		// Levenshtein ≥ |len difference|, so sim ≤ 1 − |Δlen|/maxLen.
+		diff := lv - lc
+		if diff < 0 {
+			diff = -diff
+		}
+		if 1-float64(diff)/float64(maxLen) < threshold {
+			if lc > lv {
+				return false // candidates only get longer from here
+			}
+			continue
+		}
+		if strutil.LevenshteinSim(v, c) >= threshold {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+package jaccardlev
+
+import (
+	"testing"
+
+	"valentine/internal/core"
+	"valentine/internal/fabrication"
+	"valentine/internal/matchers/matchertest"
+	"valentine/internal/table"
+)
+
+func newM(t *testing.T, p core.Params) core.Matcher {
+	t.Helper()
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestName(t *testing.T) {
+	if newM(t, nil).Name() != "jaccard-levenshtein" {
+		t.Error("name")
+	}
+}
+
+func TestJoinableVerbatimPerfect(t *testing.T) {
+	pair := matchertest.Pair(t, core.ScenarioJoinable, fabrication.Variant{})
+	matchertest.RequireRecallAtLeast(t, newM(t, nil), pair, 0.99)
+}
+
+func TestUnionableOverlapHigh(t *testing.T) {
+	pair := matchertest.Pair(t, core.ScenarioUnionable, fabrication.Variant{})
+	matchertest.RequireRecallAtLeast(t, newM(t, nil), pair, 0.8)
+}
+
+func TestSemanticallyJoinableDegrades(t *testing.T) {
+	j := matchertest.Pair(t, core.ScenarioJoinable, fabrication.Variant{})
+	sj := matchertest.Pair(t, core.ScenarioSemJoinable, fabrication.Variant{})
+	m := newM(t, nil)
+	rj := matchertest.Recall(t, m, j)
+	rsj := matchertest.Recall(t, m, sj)
+	if rsj > rj {
+		t.Errorf("sem-joinable recall %.3f should not beat joinable %.3f", rsj, rj)
+	}
+}
+
+func TestLowerThresholdHelpsNoisyInstances(t *testing.T) {
+	sj := matchertest.Pair(t, core.ScenarioSemJoinable, fabrication.Variant{})
+	strict := matchertest.Recall(t, newM(t, core.Params{"threshold": 0.95}), sj)
+	loose := matchertest.Recall(t, newM(t, core.Params{"threshold": 0.5}), sj)
+	if loose < strict {
+		t.Errorf("loose threshold %.3f should be ≥ strict %.3f on noisy instances", loose, strict)
+	}
+}
+
+func TestInvariants(t *testing.T) {
+	for _, s := range core.Scenarios() {
+		pair := matchertest.Pair(t, s, fabrication.Variant{NoisySchema: true, NoisyInstances: true})
+		matchertest.CheckMatchInvariants(t, newM(t, nil), pair)
+	}
+}
+
+func TestFuzzyJaccardBasics(t *testing.T) {
+	if got := fuzzyJaccard([]string{"abc", "def"}, []string{"abc", "def"}, 0.8); got != 1 {
+		t.Errorf("identical sets = %v", got)
+	}
+	if got := fuzzyJaccard([]string{"abc"}, []string{"xyz"}, 0.8); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+	// typo within threshold 0.6: "color" vs "colour" sim = 1-1/6 ≈ 0.83
+	if got := fuzzyJaccard([]string{"colour"}, []string{"color"}, 0.8); got != 1 {
+		t.Errorf("fuzzy match = %v", got)
+	}
+	if got := fuzzyJaccard(nil, []string{"x"}, 0.8); got != 0 {
+		t.Errorf("empty side = %v", got)
+	}
+	if got := fuzzyJaccard(nil, nil, 0.8); got != 0 {
+		t.Errorf("both empty = %v", got)
+	}
+}
+
+func TestSampleDistinctCaps(t *testing.T) {
+	vals := make([]string, 500)
+	for i := range vals {
+		vals[i] = matchName(i)
+	}
+	c := table.Column{Name: "x", Values: vals}
+	s := sampleDistinct(&c, 50)
+	if len(s) != 50 {
+		t.Fatalf("sample = %d", len(s))
+	}
+	// determinism
+	s2 := sampleDistinct(&c, 50)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func matchName(i int) string {
+	return "val_" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+}
+
+func TestMatchValidatesInput(t *testing.T) {
+	bad := table.New("")
+	good := table.New("t")
+	good.AddColumn("a", []string{"1"})
+	if _, err := newM(t, nil).Match(bad, good); err == nil {
+		t.Error("invalid source should fail")
+	}
+	if _, err := newM(t, nil).Match(good, bad); err == nil {
+		t.Error("invalid target should fail")
+	}
+}

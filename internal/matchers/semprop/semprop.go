@@ -1,0 +1,209 @@
+// Package semprop reimplements the SemProp matcher (Fernandez et al., ICDE
+// 2018, "Seeping Semantics"): a semantic matcher links attribute and table
+// names to ontology classes through word-embedding similarity and relates
+// columns whose classes coincide or sit close in the ontology; pairs the
+// semantic matcher cannot relate fall through to a syntactic matcher over
+// MinHash value signatures.
+//
+// The pre-trained embeddings come from embedding.Pretrained (the fastText
+// stand-in, DESIGN.md §4) and the ontology defaults to the EFO-like
+// ontology shipped with the ChEMBL-like datasets.
+package semprop
+
+import (
+	"hash/fnv"
+
+	"valentine/internal/core"
+	"valentine/internal/embedding"
+	"valentine/internal/ontology"
+	"valentine/internal/strutil"
+	"valentine/internal/table"
+)
+
+// Matcher is a configured SemProp instance.
+type Matcher struct {
+	SemThreshold    float64 // name→class link threshold (Table II: 0.4–0.6)
+	CohSemThreshold float64 // column-pair semantic coherence threshold (0.2–0.4)
+	MinhashThresh   float64 // syntactic signature threshold (0.2–0.3)
+	Onto            *ontology.Ontology
+	Emb             *embedding.Pretrained
+	signatureSize   int
+}
+
+// New builds SemProp from params: "sem_threshold" (default 0.5),
+// "coh_sem_threshold" (default 0.3), "minhash_threshold" (default 0.25),
+// "dims" (embedding size, default 64), "signature" (MinHash size, default
+// 64).
+func New(p core.Params) (core.Matcher, error) {
+	return &Matcher{
+		SemThreshold:    p.Float("sem_threshold", 0.5),
+		CohSemThreshold: p.Float("coh_sem_threshold", 0.3),
+		MinhashThresh:   p.Float("minhash_threshold", 0.25),
+		Onto:            ontology.EFO(),
+		Emb:             embedding.NewPretrained(p.Int("dims", 64), nil),
+		signatureSize:   p.Int("signature", 64),
+	}, nil
+}
+
+// Name implements core.Matcher.
+func (m *Matcher) Name() string { return "semprop" }
+
+// classLink is a column's link into the ontology.
+type classLink struct {
+	classID string
+	cos     float64
+}
+
+// Match implements core.Matcher.
+func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
+	if err := source.Validate(); err != nil {
+		return nil, err
+	}
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	classVecs := m.classVectors()
+	srcLinks := m.linkColumns(source, classVecs)
+	tgtLinks := m.linkColumns(target, classVecs)
+	srcSigs := m.signatures(source)
+	tgtSigs := m.signatures(target)
+
+	var out []core.Match
+	for i := range source.Columns {
+		for j := range target.Columns {
+			sem := m.semanticScore(srcLinks[i], tgtLinks[j])
+			var score float64
+			if sem >= m.CohSemThreshold {
+				// semantic band: [0.5, 1]
+				score = 0.5 + 0.5*sem
+			} else {
+				// syntactic fallback band: [0, 0.5)
+				// Pairs the semantic matcher cannot relate and whose value
+				// signatures miss the MinHash threshold score zero — SemProp
+				// has no further signal, which is precisely why the paper
+				// finds it ineffective outside its ontology's coverage.
+				jac := signatureJaccard(srcSigs[i], tgtSigs[j])
+				if jac >= m.MinhashThresh {
+					score = 0.5 * jac
+				}
+			}
+			out = append(out, core.Match{
+				SourceTable:  source.Name,
+				SourceColumn: source.Columns[i].Name,
+				TargetTable:  target.Name,
+				TargetColumn: target.Columns[j].Name,
+				Score:        score,
+			})
+		}
+	}
+	core.SortMatches(out)
+	return out, nil
+}
+
+// classVectors embeds every ontology class's label words.
+func (m *Matcher) classVectors() map[string]embedding.Vector {
+	out := make(map[string]embedding.Vector, m.Onto.NumClasses())
+	for _, c := range m.Onto.Classes() {
+		out[c.ID] = m.Emb.TextVector(c.LabelWords())
+	}
+	return out
+}
+
+// linkColumns links each column of t to its best ontology classes above the
+// semantic threshold, embedding the table-name and column-name tokens.
+func (m *Matcher) linkColumns(t *table.Table, classVecs map[string]embedding.Vector) [][]classLink {
+	out := make([][]classLink, len(t.Columns))
+	tableTokens := strutil.Tokenize(t.Name)
+	for i := range t.Columns {
+		tokens := append(append([]string{}, tableTokens...), strutil.Tokenize(t.Columns[i].Name)...)
+		v := m.Emb.TextVector(tokens)
+		var links []classLink
+		for _, c := range m.Onto.Classes() {
+			cos := embedding.Cosine(v, classVecs[c.ID])
+			if cos >= m.SemThreshold {
+				links = append(links, classLink{classID: c.ID, cos: cos})
+			}
+		}
+		out[i] = links
+	}
+	return out
+}
+
+// semanticScore relates two columns through their class links: same class →
+// min of the two link strengths; ontology-related classes (≤ 2 hops) → the
+// same, damped.
+func (m *Matcher) semanticScore(a, b []classLink) float64 {
+	best := 0.0
+	for _, la := range a {
+		for _, lb := range b {
+			s := la.cos
+			if lb.cos < s {
+				s = lb.cos
+			}
+			switch {
+			case la.classID == lb.classID:
+				// direct coincidence
+			case m.Onto.Related(la.classID, lb.classID, 2):
+				s *= 0.8
+			default:
+				continue
+			}
+			if s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// signatures computes MinHash signatures of each column's distinct values.
+func (m *Matcher) signatures(t *table.Table) [][]uint64 {
+	k := m.signatureSize
+	if k <= 0 {
+		k = 64
+	}
+	out := make([][]uint64, len(t.Columns))
+	for i := range t.Columns {
+		sig := make([]uint64, k)
+		for s := range sig {
+			sig[s] = ^uint64(0)
+		}
+		for v := range t.Columns[i].DistinctValues() {
+			h := fnv.New64a()
+			h.Write([]byte(v))
+			base := h.Sum64()
+			for s := 0; s < k; s++ {
+				hv := mix(base, uint64(s))
+				if hv < sig[s] {
+					sig[s] = hv
+				}
+			}
+		}
+		out[i] = sig
+	}
+	return out
+}
+
+// signatureJaccard estimates Jaccard similarity from two MinHash
+// signatures.
+func signatureJaccard(a, b []uint64) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	eq := 0
+	for i := range a {
+		if a[i] == b[i] && a[i] != ^uint64(0) {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(a))
+}
+
+func mix(x, salt uint64) uint64 {
+	x ^= salt * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"valentine/internal/core"
+)
+
+// PrecisionAtK computes precision among the top-k ranked matches.
+func PrecisionAtK(matches []core.Match, gt *core.GroundTruth, k int) (float64, error) {
+	if gt.Size() == 0 {
+		return 0, fmt.Errorf("metrics: empty ground truth")
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("metrics: k must be positive, got %d", k)
+	}
+	sorted := append([]core.Match(nil), matches...)
+	core.SortMatches(sorted)
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	if len(sorted) == 0 {
+		return 0, nil
+	}
+	hits := 0
+	for _, m := range sorted {
+		if gt.Contains(m.SourceColumn, m.TargetColumn) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k), nil
+}
+
+// RecallAtK computes recall among the top-k ranked matches.
+func RecallAtK(matches []core.Match, gt *core.GroundTruth, k int) (float64, error) {
+	if gt.Size() == 0 {
+		return 0, fmt.Errorf("metrics: empty ground truth")
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("metrics: k must be positive, got %d", k)
+	}
+	sorted := append([]core.Match(nil), matches...)
+	core.SortMatches(sorted)
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	hits := 0
+	for _, m := range sorted {
+		if gt.Contains(m.SourceColumn, m.TargetColumn) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(gt.Size()), nil
+}
+
+// AveragePrecision computes AP: the mean of precision@rank over the ranks
+// of the relevant matches, normalized by |GT| (missing relevants count 0).
+func AveragePrecision(matches []core.Match, gt *core.GroundTruth) (float64, error) {
+	if gt.Size() == 0 {
+		return 0, fmt.Errorf("metrics: empty ground truth")
+	}
+	sorted := append([]core.Match(nil), matches...)
+	core.SortMatches(sorted)
+	hits := 0
+	sum := 0.0
+	for i, m := range sorted {
+		if gt.Contains(m.SourceColumn, m.TargetColumn) {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(gt.Size()), nil
+}
+
+// NDCGAtK computes normalized discounted cumulative gain at k with binary
+// relevance (a match is relevant iff it is in the ground truth).
+func NDCGAtK(matches []core.Match, gt *core.GroundTruth, k int) (float64, error) {
+	if gt.Size() == 0 {
+		return 0, fmt.Errorf("metrics: empty ground truth")
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("metrics: k must be positive, got %d", k)
+	}
+	sorted := append([]core.Match(nil), matches...)
+	core.SortMatches(sorted)
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	dcg := 0.0
+	for i, m := range sorted {
+		if gt.Contains(m.SourceColumn, m.TargetColumn) {
+			dcg += 1 / math.Log2(float64(i)+2)
+		}
+	}
+	ideal := 0.0
+	n := gt.Size()
+	if n > k {
+		n = k
+	}
+	for i := 0; i < n; i++ {
+		ideal += 1 / math.Log2(float64(i)+2)
+	}
+	if ideal == 0 {
+		return 0, nil
+	}
+	return dcg / ideal, nil
+}
+
+// RecallCurve returns Recall@k for k = 1..maxK — the series behind
+// recall-at-rank plots.
+func RecallCurve(matches []core.Match, gt *core.GroundTruth, maxK int) ([]float64, error) {
+	if gt.Size() == 0 {
+		return nil, fmt.Errorf("metrics: empty ground truth")
+	}
+	if maxK <= 0 {
+		return nil, fmt.Errorf("metrics: maxK must be positive")
+	}
+	sorted := append([]core.Match(nil), matches...)
+	core.SortMatches(sorted)
+	out := make([]float64, maxK)
+	hits := 0
+	for k := 1; k <= maxK; k++ {
+		if k-1 < len(sorted) {
+			m := sorted[k-1]
+			if gt.Contains(m.SourceColumn, m.TargetColumn) {
+				hits++
+			}
+		}
+		out[k-1] = float64(hits) / float64(gt.Size())
+	}
+	return out, nil
+}

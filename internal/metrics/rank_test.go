@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"valentine/internal/core"
+)
+
+// ranked fixture: relevant at ranks 1 and 3 of 4; GT size 2.
+func rankedFixture() ([]core.Match, *core.GroundTruth) {
+	ms := []core.Match{
+		{SourceColumn: "a", TargetColumn: "x", Score: 0.9}, // relevant
+		{SourceColumn: "a", TargetColumn: "q", Score: 0.8},
+		{SourceColumn: "b", TargetColumn: "y", Score: 0.7}, // relevant
+		{SourceColumn: "c", TargetColumn: "q", Score: 0.6},
+	}
+	gt := core.NewGroundTruth(
+		core.ColumnPair{Source: "a", Target: "x"},
+		core.ColumnPair{Source: "b", Target: "y"},
+	)
+	return ms, gt
+}
+
+func TestPrecisionRecallAtK(t *testing.T) {
+	ms, gt := rankedFixture()
+	p1, err := PrecisionAtK(ms, gt, 1)
+	if err != nil || p1 != 1 {
+		t.Fatalf("P@1 = %v, %v", p1, err)
+	}
+	p3, _ := PrecisionAtK(ms, gt, 3)
+	if math.Abs(p3-2.0/3) > 1e-12 {
+		t.Fatalf("P@3 = %v", p3)
+	}
+	r1, _ := RecallAtK(ms, gt, 1)
+	if r1 != 0.5 {
+		t.Fatalf("R@1 = %v", r1)
+	}
+	r3, _ := RecallAtK(ms, gt, 3)
+	if r3 != 1 {
+		t.Fatalf("R@3 = %v", r3)
+	}
+	// k beyond list length
+	r9, _ := RecallAtK(ms, gt, 9)
+	if r9 != 1 {
+		t.Fatalf("R@9 = %v", r9)
+	}
+	if _, err := PrecisionAtK(ms, gt, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := RecallAtK(ms, core.NewGroundTruth(), 1); err == nil {
+		t.Error("empty GT should error")
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	ms, gt := rankedFixture()
+	ap, err := AveragePrecision(ms, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1.0 + 2.0/3) / 2
+	if math.Abs(ap-want) > 1e-12 {
+		t.Fatalf("AP = %v, want %v", ap, want)
+	}
+	perfect := []core.Match{
+		{SourceColumn: "a", TargetColumn: "x", Score: 0.9},
+		{SourceColumn: "b", TargetColumn: "y", Score: 0.8},
+	}
+	ap2, _ := AveragePrecision(perfect, gt)
+	if ap2 != 1 {
+		t.Fatalf("perfect AP = %v", ap2)
+	}
+	if _, err := AveragePrecision(nil, core.NewGroundTruth()); err == nil {
+		t.Error("empty GT should error")
+	}
+}
+
+func TestNDCG(t *testing.T) {
+	ms, gt := rankedFixture()
+	n2, err := NDCGAtK(ms, gt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DCG = 1/log2(2) = 1; IDCG = 1/log2(2)+1/log2(3)
+	want := 1.0 / (1 + 1/math.Log2(3))
+	if math.Abs(n2-want) > 1e-12 {
+		t.Fatalf("NDCG@2 = %v, want %v", n2, want)
+	}
+	perfect := []core.Match{
+		{SourceColumn: "a", TargetColumn: "x", Score: 0.9},
+		{SourceColumn: "b", TargetColumn: "y", Score: 0.8},
+	}
+	n, _ := NDCGAtK(perfect, gt, 2)
+	if math.Abs(n-1) > 1e-12 {
+		t.Fatalf("perfect NDCG = %v", n)
+	}
+	if _, err := NDCGAtK(ms, gt, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+}
+
+func TestRecallCurve(t *testing.T) {
+	ms, gt := rankedFixture()
+	curve, err := RecallCurve(ms, gt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0.5, 1, 1}
+	if !reflect.DeepEqual(curve, want) {
+		t.Fatalf("curve = %v, want %v", curve, want)
+	}
+	// curve is monotone non-decreasing by construction
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatal("curve decreased")
+		}
+	}
+	if _, err := RecallCurve(ms, gt, 0); err == nil {
+		t.Error("maxK=0 should error")
+	}
+	if _, err := RecallCurve(ms, core.NewGroundTruth(), 3); err == nil {
+		t.Error("empty GT should error")
+	}
+}

@@ -1,0 +1,104 @@
+package ontology
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAddClassAndLookup(t *testing.T) {
+	o := New("test")
+	c, err := o.AddClass("C1", "assay", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Label != "assay" {
+		t.Fatalf("Label = %q", c.Label)
+	}
+	if o.Class("C1") != c {
+		t.Error("Class lookup failed")
+	}
+	if o.Class("nope") != nil {
+		t.Error("unknown class should be nil")
+	}
+	if _, err := o.AddClass("C1", "dup"); err == nil {
+		t.Error("duplicate id should fail")
+	}
+	if _, err := o.AddClass("", "blank"); err == nil {
+		t.Error("blank id should fail")
+	}
+}
+
+func TestSubclassAndRelated(t *testing.T) {
+	o := New("test")
+	o.AddClass("root", "thing")
+	o.AddClass("mid", "assay")
+	o.AddClass("leaf", "binding assay")
+	o.AddClass("island", "unrelated")
+	if err := o.AddSubclass("mid", "root"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddSubclass("leaf", "mid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddSubclass("leaf", "missing"); err == nil {
+		t.Error("unknown parent should fail")
+	}
+	if err := o.AddSubclass("missing", "root"); err == nil {
+		t.Error("unknown child should fail")
+	}
+	if !o.Related("leaf", "root", 2) {
+		t.Error("leaf should reach root in 2 hops")
+	}
+	if o.Related("leaf", "root", 1) {
+		t.Error("1 hop should not reach root")
+	}
+	if o.Related("leaf", "island", 10) {
+		t.Error("island should be unreachable")
+	}
+	if !o.Related("mid", "mid", 0) {
+		t.Error("class should relate to itself")
+	}
+	if o.Related("ghost", "ghost", 0) {
+		t.Error("unknown self-relation should be false")
+	}
+	if got := o.Parents("leaf"); !reflect.DeepEqual(got, []string{"mid"}) {
+		t.Errorf("Parents = %v", got)
+	}
+}
+
+func TestLabelWords(t *testing.T) {
+	c := &Class{Label: "Binding Assay", AltLabels: []string{"binding test (in-vitro)"}}
+	words := c.LabelWords()
+	want := []string{"binding", "assay", "binding", "test", "in-vitro"}
+	if !reflect.DeepEqual(words, want) {
+		t.Fatalf("LabelWords = %v, want %v", words, want)
+	}
+}
+
+func TestEFO(t *testing.T) {
+	o := EFO()
+	if o.NumClasses() < 25 {
+		t.Fatalf("EFO too small: %d classes", o.NumClasses())
+	}
+	// assay subclasses must relate
+	if !o.Related("EFO:0000003", "EFO:0000004", 2) {
+		t.Error("binding assay and functional assay should relate via assay")
+	}
+	// sorted deterministic class order
+	cs := o.Classes()
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].ID >= cs[i].ID {
+			t.Fatal("Classes not sorted")
+		}
+	}
+	// assay vocabulary coverage for SemProp linking
+	found := false
+	for _, c := range cs {
+		if c.Label == "assay" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("EFO should contain an assay class")
+	}
+}

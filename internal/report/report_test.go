@@ -1,0 +1,155 @@
+package report
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"valentine/internal/core"
+	"valentine/internal/datagen"
+	"valentine/internal/experiment"
+)
+
+func fastCfg() Config {
+	return Config{
+		Rows:    40,
+		Seeds:   1,
+		Sources: []string{"TPC-DI"},
+		Methods: []string{experiment.MethodComaSchema, experiment.MethodJaccardLev},
+	}
+}
+
+func TestTableIAndII(t *testing.T) {
+	t1 := TableI()
+	if !strings.Contains(t1, "coma-schema") || !strings.Contains(t1, "Embeddings") {
+		t.Errorf("Table I incomplete:\n%s", t1)
+	}
+	t2 := TableII()
+	if !strings.Contains(t2, "135") {
+		t.Errorf("Table II should report 135 configurations:\n%s", t2)
+	}
+}
+
+func TestFabricatedPairsCount(t *testing.T) {
+	pairs, err := FabricatedPairs(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 56 {
+		t.Fatalf("pairs = %d, want 56 for one source × one seed", len(pairs))
+	}
+}
+
+func TestRunFabricatedAndFigures(t *testing.T) {
+	rs, err := RunFabricated(context.Background(), fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2*56 {
+		t.Fatalf("results = %d, want 112", len(rs))
+	}
+	for _, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("%s on %s: %v", r.Method, r.Pair, r.Err)
+		}
+	}
+	rows := Figure(rs, []string{experiment.MethodComaSchema}, NoisySchemata)
+	if len(rows) != 1 {
+		t.Fatal("figure rows")
+	}
+	for _, s := range core.Scenarios() {
+		if rows[0].Boxes[s].N == 0 {
+			t.Errorf("scenario %s missing from figure", s)
+		}
+	}
+	out := FormatFigure("Figure 4 — schema-based methods (noisy schemata)", rows)
+	if !strings.Contains(out, "coma-schema") {
+		t.Errorf("figure format:\n%s", out)
+	}
+	tv := FormatTableV(rs)
+	if !strings.Contains(tv, "coma-schema") || !strings.Contains(tv, "jaccard-levenshtein") {
+		t.Errorf("Table V format:\n%s", tv)
+	}
+}
+
+func TestVariantFilters(t *testing.T) {
+	r := experiment.Result{Variant: "NS/VI co=50%"}
+	if !NoisySchemata(r) || !VerbatimInstances(r) || NoisyInstances(r) {
+		t.Error("variant filters wrong")
+	}
+	r2 := experiment.Result{Variant: "VS/NI 1col ro=50%"}
+	if NoisySchemata(r2) || VerbatimInstances(r2) || !NoisyInstances(r2) {
+		t.Error("variant filters wrong for VS/NI")
+	}
+}
+
+func TestRunTableIII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid search")
+	}
+	cfg := Config{Rows: 30}
+	rows, err := RunTableIII(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("Table III rows = %d, want 7", len(rows))
+	}
+	for _, r := range rows {
+		if r.Stats.Min > r.Stats.Median || r.Stats.Median > r.Stats.Max {
+			t.Errorf("unordered stats for %s/%s: %+v", r.Method, r.Param, r.Stats)
+		}
+	}
+	out := FormatTableIII(rows)
+	if !strings.Contains(out, "th_accept") || !strings.Contains(out, "theta1") {
+		t.Errorf("Table III format:\n%s", out)
+	}
+}
+
+func TestCuratedFigure7AndTableIV(t *testing.T) {
+	cfg := Config{Rows: 40, Methods: []string{experiment.MethodComaSchema, experiment.MethodDistribution}}
+	wiki, err := RunCurated(context.Background(), cfg, datagen.WikiData(datagen.Options{Rows: 40}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7 := FormatFigure7(wiki)
+	if !strings.Contains(f7, "unionable") {
+		t.Errorf("figure 7:\n%s", f7)
+	}
+	mag, err := RunCurated(context.Background(), cfg, datagen.Magellan(datagen.Options{Rows: 40}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := RunCurated(context.Background(), cfg, []core.TablePair{
+		datagen.ING1(datagen.Options{Rows: 30}),
+		datagen.ING2(datagen.Options{Rows: 30}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := TableIV(mag, ing)
+	if len(rows) != 8 {
+		t.Fatalf("Table IV rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Method == experiment.MethodComaSchema && r.Magellan < 0.9 {
+			t.Errorf("COMA-schema on Magellan = %.3f, expected ≈ 1 (identical column names)", r.Magellan)
+		}
+	}
+	out := FormatTableIV(rows)
+	if !strings.Contains(out, "ING#1") {
+		t.Errorf("Table IV format:\n%s", out)
+	}
+}
+
+func TestFormatTableVOrdering(t *testing.T) {
+	rs := []experiment.Result{
+		{Method: "slow", Runtime: time.Second},
+		{Method: "fast", Runtime: time.Millisecond},
+	}
+	out := FormatTableV(rs)
+	if strings.Index(out, "fast") > strings.Index(out, "slow") {
+		t.Errorf("Table V should order fastest first:\n%s", out)
+	}
+}

@@ -1,0 +1,193 @@
+package strutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits a schema element name into lowercase word tokens. It
+// splits on punctuation and whitespace, on camelCase boundaries, and between
+// letters and digits, so "customerID", "customer_id" and "Customer ID" all
+// tokenize to [customer id].
+func Tokenize(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r):
+			if i > 0 && unicode.IsUpper(r) {
+				prev := runes[i-1]
+				nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
+				if unicode.IsLower(prev) || (unicode.IsUpper(prev) && nextLower) {
+					flush()
+				}
+			}
+			if i > 0 && unicode.IsDigit(runes[i-1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		case unicode.IsDigit(r):
+			if i > 0 && unicode.IsLetter(runes[i-1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// NGrams returns the set of character n-grams of s (with boundary padding
+// using '#'), as a map for set operations.
+func NGrams(s string, n int) map[string]struct{} {
+	out := make(map[string]struct{})
+	if n <= 0 {
+		return out
+	}
+	padded := strings.Repeat("#", n-1) + strings.ToLower(s) + strings.Repeat("#", n-1)
+	r := []rune(padded)
+	for i := 0; i+n <= len(r); i++ {
+		out[string(r[i:i+n])] = struct{}{}
+	}
+	return out
+}
+
+// TrigramSim is the Dice similarity of the trigram sets of a and b.
+func TrigramSim(a, b string) float64 {
+	return DiceSets(NGrams(a, 3), NGrams(b, 3))
+}
+
+// JaccardSets returns |A∩B| / |A∪B|; two empty sets score 1.
+func JaccardSets(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	small, large := a, b
+	if len(b) < len(a) {
+		small, large = b, a
+	}
+	for k := range small {
+		if _, ok := large[k]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// DiceSets returns 2|A∩B| / (|A|+|B|); two empty sets score 1.
+func DiceSets(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	small, large := a, b
+	if len(b) < len(a) {
+		small, large = b, a
+	}
+	for k := range small {
+		if _, ok := large[k]; ok {
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(a)+len(b))
+}
+
+// OverlapSets returns |A∩B| / min(|A|,|B|) (containment-style overlap).
+func OverlapSets(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	small, large := a, b
+	if len(b) < len(a) {
+		small, large = b, a
+	}
+	for k := range small {
+		if _, ok := large[k]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(small))
+}
+
+// ToSet converts a token slice to a set.
+func ToSet(tokens []string) map[string]struct{} {
+	out := make(map[string]struct{}, len(tokens))
+	for _, t := range tokens {
+		out[t] = struct{}{}
+	}
+	return out
+}
+
+// TokenJaccard is the Jaccard similarity of the token sets of a and b.
+func TokenJaccard(a, b string) float64 {
+	return JaccardSets(ToSet(Tokenize(a)), ToSet(Tokenize(b)))
+}
+
+// NameSim is the blended schema-name similarity used as a default across
+// matchers: the maximum of token Jaccard and Levenshtein similarity over
+// normalized names, so both token reordering and small typos score high.
+func NameSim(a, b string) float64 {
+	na, nb := Normalize(a), Normalize(b)
+	if na == nb {
+		return 1
+	}
+	tj := TokenJaccard(a, b)
+	lv := LevenshteinSim(na, nb)
+	if tj > lv {
+		return tj
+	}
+	return lv
+}
+
+// DropVowels removes non-leading vowels from every token of s, mimicking the
+// "drop vowels" schema-noise rule (customer → cstmr).
+func DropVowels(s string) string {
+	var b strings.Builder
+	prevBoundary := true
+	for _, r := range s {
+		isVowel := strings.ContainsRune("aeiouAEIOU", r)
+		if isVowel && !prevBoundary {
+			continue
+		}
+		b.WriteRune(r)
+		prevBoundary = !unicode.IsLetter(r)
+	}
+	return b.String()
+}
+
+// Abbreviate keeps the first letter of each token plus up to keep-1
+// following consonants ("customer_name", 3 → "cus_nam" style truncation).
+func Abbreviate(s string, keep int) string {
+	if keep < 1 {
+		keep = 1
+	}
+	tokens := Tokenize(s)
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if len(t) > keep {
+			t = t[:keep]
+		}
+		out = append(out, t)
+	}
+	return strings.Join(out, "_")
+}

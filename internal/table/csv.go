@@ -1,0 +1,88 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ReadCSV parses a table from CSV. The first record is the header. The table
+// name is taken from name (conventionally the file base name without
+// extension).
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading csv %q: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("table: csv %q has no header", name)
+	}
+	header := records[0]
+	cols := make([][]string, len(header))
+	for _, rec := range records[1:] {
+		for j := range header {
+			cell := ""
+			if j < len(rec) {
+				cell = rec[j]
+			}
+			cols[j] = append(cols[j], cell)
+		}
+	}
+	t := New(name)
+	for j, h := range header {
+		t.AddColumn(strings.TrimSpace(h), cols[j])
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadCSVFile reads a table from a CSV file, naming it after the file.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := filepath.Base(path)
+	name := strings.TrimSuffix(base, filepath.Ext(base))
+	return ReadCSV(name, f)
+}
+
+// WriteCSV writes the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		if err := cw.Write(t.Row(i)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to the given path, creating parent
+// directories as needed.
+func (t *Table) WriteCSVFile(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

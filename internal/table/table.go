@@ -1,0 +1,236 @@
+// Package table provides the relational table model underlying Valentine.
+//
+// A Table is a named, ordered collection of typed Columns over row-aligned
+// string cells. Matchers consume Tables; the fabricator splits and perturbs
+// them. Cells are stored as strings (the common denominator of CSV data
+// lakes) with a parsed type tag per column, mirroring how Valentine treats
+// denormalized tabular datasets.
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is the inferred data type of a column.
+type Type int
+
+// Column data types recognized by the type inferencer.
+const (
+	String Type = iota
+	Int
+	Float
+	Bool
+	Date
+)
+
+// String returns the lowercase name of the type.
+func (t Type) String() string {
+	switch t {
+	case String:
+		return "string"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case Date:
+		return "date"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Compatible reports whether two types are similar enough that a union or
+// join between columns of these types is plausible (e.g. int and float are
+// compatible numerics; everything is compatible with String).
+func (t Type) Compatible(u Type) bool {
+	if t == u || t == String || u == String {
+		return true
+	}
+	numeric := func(x Type) bool { return x == Int || x == Float }
+	return numeric(t) && numeric(u)
+}
+
+// Column is a single named attribute with its values.
+type Column struct {
+	Name   string
+	Type   Type
+	Values []string
+}
+
+// Table is a named relation: an ordered set of columns of equal length.
+type Table struct {
+	Name    string
+	Columns []Column
+}
+
+// New returns an empty table with the given name.
+func New(name string) *Table {
+	return &Table{Name: name}
+}
+
+// AddColumn appends a column, inferring its type from the values.
+func (t *Table) AddColumn(name string, values []string) *Table {
+	t.Columns = append(t.Columns, Column{Name: name, Type: InferType(values), Values: values})
+	return t
+}
+
+// NumRows returns the number of rows (0 for a table with no columns).
+func (t *Table) NumRows() int {
+	if len(t.Columns) == 0 {
+		return 0
+	}
+	return len(t.Columns[0].Values)
+}
+
+// NumColumns returns the number of columns.
+func (t *Table) NumColumns() int { return len(t.Columns) }
+
+// Column returns the column with the given name, or nil.
+func (t *Table) Column(name string) *Column {
+	for i := range t.Columns {
+		if t.Columns[i].Name == name {
+			return &t.Columns[i]
+		}
+	}
+	return nil
+}
+
+// ColumnIndex returns the index of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i := range t.Columns {
+		if t.Columns[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnNames returns the ordered column names.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Row materializes row i as a slice of cells in column order.
+func (t *Table) Row(i int) []string {
+	row := make([]string, len(t.Columns))
+	for j, c := range t.Columns {
+		row[j] = c.Values[i]
+	}
+	return row
+}
+
+// Validate checks structural invariants: unique non-empty column names and
+// equal column lengths.
+func (t *Table) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("table: empty table name")
+	}
+	seen := make(map[string]bool, len(t.Columns))
+	n := -1
+	for _, c := range t.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("table %q: empty column name", t.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("table %q: duplicate column %q", t.Name, c.Name)
+		}
+		seen[c.Name] = true
+		if n < 0 {
+			n = len(c.Values)
+		} else if len(c.Values) != n {
+			return fmt.Errorf("table %q: column %q has %d values, want %d", t.Name, c.Name, len(c.Values), n)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := &Table{Name: t.Name, Columns: make([]Column, len(t.Columns))}
+	for i, c := range t.Columns {
+		vals := make([]string, len(c.Values))
+		copy(vals, c.Values)
+		out.Columns[i] = Column{Name: c.Name, Type: c.Type, Values: vals}
+	}
+	return out
+}
+
+// Project returns a new table keeping only the named columns, in the given
+// order. Unknown names are an error.
+func (t *Table) Project(names ...string) (*Table, error) {
+	out := &Table{Name: t.Name}
+	for _, n := range names {
+		c := t.Column(n)
+		if c == nil {
+			return nil, fmt.Errorf("table %q: no column %q", t.Name, n)
+		}
+		vals := make([]string, len(c.Values))
+		copy(vals, c.Values)
+		out.Columns = append(out.Columns, Column{Name: c.Name, Type: c.Type, Values: vals})
+	}
+	return out, nil
+}
+
+// SelectRows returns a new table keeping only the rows whose indices are
+// listed, in the given order. Indices out of range are an error.
+func (t *Table) SelectRows(idx []int) (*Table, error) {
+	n := t.NumRows()
+	out := &Table{Name: t.Name, Columns: make([]Column, len(t.Columns))}
+	for j, c := range t.Columns {
+		vals := make([]string, 0, len(idx))
+		for _, i := range idx {
+			if i < 0 || i >= n {
+				return nil, fmt.Errorf("table %q: row index %d out of range [0,%d)", t.Name, i, n)
+			}
+			vals = append(vals, c.Values[i])
+		}
+		out.Columns[j] = Column{Name: c.Name, Type: c.Type, Values: vals}
+	}
+	return out, nil
+}
+
+// Rename returns a copy of the table with column names rewritten through f.
+func (t *Table) Rename(f func(string) string) *Table {
+	out := t.Clone()
+	for i := range out.Columns {
+		out.Columns[i].Name = f(out.Columns[i].Name)
+	}
+	return out
+}
+
+// DistinctValues returns the set of distinct non-empty values of a column.
+func (c *Column) DistinctValues() map[string]struct{} {
+	set := make(map[string]struct{}, len(c.Values))
+	for _, v := range c.Values {
+		if v != "" {
+			set[v] = struct{}{}
+		}
+	}
+	return set
+}
+
+// SortedDistinct returns the sorted distinct non-empty values of a column.
+func (c *Column) SortedDistinct() []string {
+	set := c.DistinctValues()
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a short human-readable summary.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%d cols, %d rows)", t.Name, t.NumColumns(), t.NumRows())
+	return b.String()
+}

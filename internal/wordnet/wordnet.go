@@ -1,0 +1,190 @@
+// Package wordnet implements a miniature WordNet-style lexical knowledge
+// base: synsets connected by synonym and hypernym edges, with path-based
+// word similarity.
+//
+// The original Valentine uses Princeton WordNet as Cupid's thesaurus. This
+// package substitutes a curated, embedded lexical graph covering the
+// schema-domain vocabulary that the fabricated datasets use (people,
+// addresses, commerce, chemistry/assay, civic, software-delivery terms).
+// Cupid only needs synonym and hypernym lookups over schema-name tokens, so
+// a domain-targeted thesaurus preserves the matching behaviour.
+package wordnet
+
+import (
+	"sort"
+	"strings"
+)
+
+// Thesaurus is a lexical graph of synsets.
+type Thesaurus struct {
+	// wordToSynsets maps a lowercase word to the ids of synsets containing it.
+	wordToSynsets map[string][]int
+	// synsets[i] is the word list of synset i.
+	synsets [][]string
+	// hypernyms[i] lists the synset ids that are hypernyms of synset i.
+	hypernyms map[int][]int
+	// adj memoizes the undirected hypernym adjacency for path queries; it
+	// is invalidated by AddHypernym.
+	adj map[int][]int
+}
+
+// New returns an empty thesaurus.
+func New() *Thesaurus {
+	return &Thesaurus{
+		wordToSynsets: make(map[string][]int),
+		hypernyms:     make(map[int][]int),
+	}
+}
+
+// AddSynset registers a set of mutual synonyms and returns the synset id.
+func (t *Thesaurus) AddSynset(words ...string) int {
+	id := len(t.synsets)
+	norm := make([]string, 0, len(words))
+	for _, w := range words {
+		w = strings.ToLower(strings.TrimSpace(w))
+		if w == "" {
+			continue
+		}
+		norm = append(norm, w)
+		t.wordToSynsets[w] = append(t.wordToSynsets[w], id)
+	}
+	t.synsets = append(t.synsets, norm)
+	return id
+}
+
+// AddHypernym declares that synset hyper is a hypernym (broader concept) of
+// synset hypo.
+func (t *Thesaurus) AddHypernym(hypo, hyper int) {
+	t.hypernyms[hypo] = append(t.hypernyms[hypo], hyper)
+	t.adj = nil
+}
+
+// NumSynsets returns the number of synsets.
+func (t *Thesaurus) NumSynsets() int { return len(t.synsets) }
+
+// Synonyms returns all words sharing a synset with w (excluding w itself),
+// sorted. Unknown words return nil.
+func (t *Thesaurus) Synonyms(word string) []string {
+	word = strings.ToLower(strings.TrimSpace(word))
+	ids := t.wordToSynsets[word]
+	if len(ids) == 0 {
+		return nil
+	}
+	set := make(map[string]struct{})
+	for _, id := range ids {
+		for _, w := range t.synsets[id] {
+			if w != word {
+				set[w] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AreSynonyms reports whether a and b share a synset.
+func (t *Thesaurus) AreSynonyms(a, b string) bool {
+	a = strings.ToLower(strings.TrimSpace(a))
+	b = strings.ToLower(strings.TrimSpace(b))
+	if a == b {
+		return true
+	}
+	bIDs := t.wordToSynsets[b]
+	if len(bIDs) == 0 {
+		return false
+	}
+	bSet := make(map[int]struct{}, len(bIDs))
+	for _, id := range bIDs {
+		bSet[id] = struct{}{}
+	}
+	for _, id := range t.wordToSynsets[a] {
+		if _, ok := bSet[id]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether the word appears in any synset.
+func (t *Thesaurus) Contains(word string) bool {
+	_, ok := t.wordToSynsets[strings.ToLower(strings.TrimSpace(word))]
+	return ok
+}
+
+// pathDistance returns the shortest hypernym-path distance between any
+// synset of a and any synset of b, following hypernym edges in both
+// directions (treating the hierarchy as an undirected graph, the classic
+// path-similarity formulation). Returns -1 when unreachable.
+func (t *Thesaurus) pathDistance(a, b string) int {
+	aIDs := t.wordToSynsets[strings.ToLower(a)]
+	bIDs := t.wordToSynsets[strings.ToLower(b)]
+	if len(aIDs) == 0 || len(bIDs) == 0 {
+		return -1
+	}
+	target := make(map[int]struct{}, len(bIDs))
+	for _, id := range bIDs {
+		target[id] = struct{}{}
+	}
+	adj := t.adjacency()
+	dist := make(map[int]int, len(aIDs))
+	queue := make([]int, 0, len(aIDs))
+	for _, id := range aIDs {
+		dist[id] = 0
+		queue = append(queue, id)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if _, ok := target[cur]; ok {
+			return dist[cur]
+		}
+		for _, next := range adj[cur] {
+			if _, seen := dist[next]; !seen {
+				dist[next] = dist[cur] + 1
+				queue = append(queue, next)
+			}
+		}
+	}
+	return -1
+}
+
+// adjacency returns the memoized undirected hypernym graph. Not safe for
+// concurrent first use while still mutating; Default()'s thesaurus is fully
+// built (and its adjacency warmed) before publication.
+func (t *Thesaurus) adjacency() map[int][]int {
+	if t.adj != nil {
+		return t.adj
+	}
+	adj := make(map[int][]int)
+	for hypo, hypers := range t.hypernyms {
+		for _, hyper := range hypers {
+			adj[hypo] = append(adj[hypo], hyper)
+			adj[hyper] = append(adj[hyper], hypo)
+		}
+	}
+	t.adj = adj
+	return adj
+}
+
+// Similarity returns a word similarity in [0,1]: 1 for equal words or
+// synonyms, 1/(1+d) for hypernym-path distance d, and 0 for unrelated or
+// unknown words.
+func (t *Thesaurus) Similarity(a, b string) float64 {
+	a = strings.ToLower(strings.TrimSpace(a))
+	b = strings.ToLower(strings.TrimSpace(b))
+	if a == b && a != "" {
+		return 1
+	}
+	if t.AreSynonyms(a, b) {
+		return 1
+	}
+	d := t.pathDistance(a, b)
+	if d < 0 {
+		return 0
+	}
+	return 1 / float64(1+d)
+}

@@ -1,0 +1,127 @@
+package wordnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSynonyms(t *testing.T) {
+	th := Default()
+	syn := th.Synonyms("customer")
+	found := false
+	for _, s := range syn {
+		if s == "client" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("customer synonyms %v missing client", syn)
+	}
+	if th.Synonyms("xyzzy") != nil {
+		t.Error("unknown word should return nil")
+	}
+}
+
+func TestAreSynonyms(t *testing.T) {
+	th := Default()
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"customer", "client", true},
+		{"Client", "CUSTOMER", true}, // case-insensitive
+		{"street", "road", true},
+		{"country", "nation", true},
+		{"zip", "postal", true},
+		{"singer", "artist", true},
+		{"partner", "spouse", true},
+		{"customer", "street", false},
+		{"same", "same", true}, // identity even if unknown
+		{"unknown1", "unknown2", false},
+	}
+	for _, c := range cases {
+		if got := th.AreSynonyms(c.a, c.b); got != c.want {
+			t.Errorf("AreSynonyms(%s,%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSimilarityHierarchy(t *testing.T) {
+	th := Default()
+	if got := th.Similarity("customer", "client"); got != 1 {
+		t.Errorf("synonyms should score 1, got %v", got)
+	}
+	// customer IS-A person: distance 1 → 0.5
+	if got := th.Similarity("customer", "person"); got != 0.5 {
+		t.Errorf("customer~person = %v, want 0.5", got)
+	}
+	// related through hierarchy but further apart
+	got := th.Similarity("customer", "employee")
+	if got <= 0 || got >= 0.5 {
+		t.Errorf("customer~employee = %v, want in (0,0.5)", got)
+	}
+	if got := th.Similarity("customer", "qwertyuiop"); got != 0 {
+		t.Errorf("unknown should score 0, got %v", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	th := Default()
+	if !th.Contains("assay") || !th.Contains("SPRINT") {
+		t.Error("domain vocabulary missing")
+	}
+	if th.Contains("flibbertigibbet") {
+		t.Error("should not contain nonsense")
+	}
+}
+
+func TestCustomThesaurus(t *testing.T) {
+	th := New()
+	a := th.AddSynset("alpha", "first")
+	b := th.AddSynset("beta", "second")
+	root := th.AddSynset("letter")
+	th.AddHypernym(a, root)
+	th.AddHypernym(b, root)
+	if !th.AreSynonyms("alpha", "first") {
+		t.Error("synset membership")
+	}
+	// alpha -> letter -> beta : distance 2 → 1/3
+	if got := th.Similarity("alpha", "beta"); got != 1.0/3 {
+		t.Errorf("path similarity = %v, want 1/3", got)
+	}
+	if th.NumSynsets() != 3 {
+		t.Errorf("NumSynsets = %d", th.NumSynsets())
+	}
+}
+
+func TestAddSynsetSkipsBlanks(t *testing.T) {
+	th := New()
+	th.AddSynset(" a ", "", "b")
+	if !th.AreSynonyms("a", "b") {
+		t.Error("trimmed words should be synonyms")
+	}
+	if th.Contains("") {
+		t.Error("blank should not be stored")
+	}
+}
+
+// Property: Similarity is symmetric and within [0,1].
+func TestSimilaritySymmetryProperty(t *testing.T) {
+	th := Default()
+	words := []string{"customer", "client", "person", "street", "assay", "song", "team", "zzz"}
+	f := func(i, j uint8) bool {
+		a := words[int(i)%len(words)]
+		b := words[int(j)%len(words)]
+		s1, s2 := th.Similarity(a, b), th.Similarity(b, a)
+		return s1 == s2 && s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default should return the same instance")
+	}
+}
