@@ -7,7 +7,9 @@ package valentine
 
 import (
 	"context"
+	"sort"
 	"testing"
+	"time"
 
 	"valentine/internal/core"
 	"valentine/internal/datagen"
@@ -445,6 +447,149 @@ func BenchmarkAblationEnsembleFusion(b *testing.B) {
 			}
 			b.ReportMetric(recall, "recall")
 		})
+	}
+}
+
+// --- discovery-index benches (served top-k search vs brute-force discover) ---
+
+// discoveryBenchCorpus fabricates a ≥100-table data lake: eight fragments
+// genuinely related to the query drowned in unrelated tables from the other
+// two domains.
+func discoveryBenchCorpus(b *testing.B) (query *Table, corpus []*Table) {
+	b.Helper()
+	base := datagen.TPCDI(datagen.Options{Rows: 100, Seed: 2})
+	for i := 0; i < 8; i++ {
+		pair, err := fabrication.New(int64(10+i)).Joinable(base, 0.5, 0.9, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			query = pair.Source
+			query.Name = "query"
+		}
+		pair.Target.Name = dimNameIdx("related", i)
+		corpus = append(corpus, pair.Target)
+	}
+	for i := 0; i < 92; i++ {
+		opts := datagen.Options{Rows: 100, Seed: int64(100 + i)}
+		var t *Table
+		if i%2 == 0 {
+			t = datagen.OpenData(opts)
+		} else {
+			t = datagen.ChEMBL(opts)
+		}
+		t.Name = dimNameIdx("lake", i)
+		corpus = append(corpus, t)
+	}
+	return query, corpus
+}
+
+func dimNameIdx(prefix string, i int) string {
+	return prefix + "_" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+// bruteDiscoverTopK is the pre-index discover path: run the pairwise LSH
+// matcher against every corpus table and rank by best correspondence.
+func bruteDiscoverTopK(b *testing.B, m Matcher, query *Table, corpus []*Table, k int) []string {
+	b.Helper()
+	type cand struct {
+		name  string
+		score float64
+	}
+	ranked := make([]cand, 0, len(corpus))
+	for _, t := range corpus {
+		matches, err := m.Match(query, t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		score := 0.0
+		if len(matches) > 0 {
+			score = matches[0].Score
+		}
+		ranked = append(ranked, cand{t.Name, score})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].name < ranked[j].name
+	})
+	names := make([]string, k)
+	for i := range names {
+		names[i] = ranked[i].name
+	}
+	return names
+}
+
+// BenchmarkIndexedDiscovery measures a served top-k join query against a
+// pre-built index over the ≥100-table corpus, verifies the indexed top-k
+// equals brute-force discover's, and reports the speedup as a metric.
+func BenchmarkIndexedDiscovery(b *testing.B) {
+	query, corpus := discoveryBenchCorpus(b)
+	ix := NewDiscoveryIndex(DiscoveryOptions{})
+	for _, t := range corpus {
+		if err := ix.Add(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m, err := NewMatcher(MethodLSH, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 5
+	bruteStart := time.Now()
+	bruteTop := bruteDiscoverTopK(b, m, query, corpus, k)
+	bruteDur := time.Since(bruteStart)
+	res, err := ix.Search(query, DiscoverJoin, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res) != k {
+		b.Fatalf("indexed search returned %d results, want %d", len(res), k)
+	}
+	for i, r := range res {
+		if r.Table != bruteTop[i] {
+			b.Fatalf("indexed top-%d = %v..., brute-force = %v", k, r.Table, bruteTop[i])
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(query, DiscoverJoin, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 && b.Elapsed() > 0 {
+		perQuery := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(float64(bruteDur)/float64(perQuery), "speedup")
+	}
+}
+
+// BenchmarkBruteForceDiscovery measures the old discover path on the same
+// corpus: a full pairwise matcher run per table, per query.
+func BenchmarkBruteForceDiscovery(b *testing.B) {
+	query, corpus := discoveryBenchCorpus(b)
+	m, err := NewMatcher(MethodLSH, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bruteDiscoverTopK(b, m, query, corpus, 5)
+	}
+}
+
+// BenchmarkIndexIngest measures one-time ingestion cost of the corpus.
+func BenchmarkIndexIngest(b *testing.B) {
+	_, corpus := discoveryBenchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := NewDiscoveryIndex(DiscoveryOptions{})
+		for _, t := range corpus {
+			if err := ix.Add(t); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -6,21 +6,31 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
 
 	"valentine"
+	"valentine/internal/discovery"
 	"valentine/internal/table"
 )
 
 // cmdDiscover ranks the CSV tables in a directory by their joinability or
 // unionability with a query table — Valentine as a dataset-discovery
 // component, end to end.
+//
+// Since the discovery index landed, join-mode discover is a two-phase
+// pipeline: an in-memory column index prunes the corpus to candidate
+// tables (columns colliding with the query in an LSH band), then only
+// those candidates are re-scored with the requested matcher. Tables the
+// index rules out entirely are appended with score 0, so the output still
+// covers the whole corpus. Union mode re-scores every table: unionability
+// is about schema coverage, and a schema-identical table with disjoint
+// values (last year's export) would never collide in a value-overlap
+// sketch, so pruning by it would be the wrong signal.
 func cmdDiscover(args []string) error {
 	fs := flag.NewFlagSet("discover", flag.ExitOnError)
 	query := fs.String("query", "", "query CSV (required)")
 	dir := fs.String("dir", ".", "directory of candidate CSVs")
 	mode := fs.String("mode", "join", "join|union")
-	method := fs.String("method", valentine.MethodComaInstance, "matching method")
+	method := fs.String("method", valentine.MethodComaInstance, "matching method for re-scoring candidates")
 	top := fs.Int("top", 10, "candidates to print")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -28,7 +38,8 @@ func cmdDiscover(args []string) error {
 	if *query == "" {
 		return fmt.Errorf("discover: -query is required")
 	}
-	if *mode != "join" && *mode != "union" {
+	dmode, err := discovery.ParseMode(*mode)
+	if err != nil {
 		return fmt.Errorf("discover: mode %q is not join|union", *mode)
 	}
 	q, err := valentine.ReadCSVFile(*query)
@@ -40,40 +51,82 @@ func cmdDiscover(args []string) error {
 		return err
 	}
 
-	entries, err := os.ReadDir(*dir)
+	queryAbs, err := filepath.Abs(*query)
 	if err != nil {
 		return err
 	}
-	queryAbs, _ := filepath.Abs(*query)
+	tables, files, err := readCSVDir(*dir, queryAbs)
+	if err != nil {
+		return err
+	}
+	if len(tables) == 0 {
+		return fmt.Errorf("discover: no candidate CSVs in %s", *dir)
+	}
+
+	// Phase 1 (join mode): index the corpus once and let the LSH shards
+	// nominate candidate tables. Union mode nominates everything.
+	byName := make(map[string]*table.Table, len(tables))
+	for _, t := range tables {
+		byName[t.Name] = t
+	}
+	var nominate []string
+	if dmode == valentine.DiscoverJoin {
+		ix := valentine.NewDiscoveryIndex(valentine.DiscoveryOptions{})
+		for _, t := range tables {
+			if err := ix.Add(t); err != nil {
+				fmt.Fprintf(os.Stderr, "discover: skipping %s: %v\n", files[t.Name], err)
+				delete(byName, t.Name)
+			}
+		}
+		// The index skips self-matches by table name; if a corpus file
+		// shares the query file's basename they collide, so search under
+		// a name no CSV-derived table can have.
+		searchQ := q
+		if _, clash := byName[q.Name]; clash {
+			searchQ = q.Clone()
+			searchQ.Name = q.Name + "\x00query"
+		}
+		nominated, err := ix.Search(searchQ, dmode, 0)
+		if err != nil {
+			return err
+		}
+		for _, r := range nominated {
+			nominate = append(nominate, r.Table)
+		}
+	} else {
+		for _, t := range tables {
+			nominate = append(nominate, t.Name)
+		}
+	}
+
+	// Phase 2: exact re-scoring of nominated candidates.
 	type candidate struct {
 		name  string
 		score float64
 		best  valentine.Match
 	}
 	var ranked []candidate
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+	scored := make(map[string]bool, len(nominate))
+	for _, name := range nominate {
+		t := byName[name]
+		if t == nil {
 			continue
 		}
-		path := filepath.Join(*dir, e.Name())
-		if abs, _ := filepath.Abs(path); abs == queryAbs {
-			continue // skip the query itself
-		}
-		cand, err := valentine.ReadCSVFile(path)
+		scored[name] = true
+		matches, err := m.Match(q, t)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "discover: skipping %s: %v\n", path, err)
-			continue
-		}
-		matches, err := m.Match(q, cand)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "discover: skipping %s: %v\n", path, err)
+			fmt.Fprintf(os.Stderr, "discover: skipping %s: %v\n", files[name], err)
 			continue
 		}
 		score, best := discoveryScore(matches, *mode, q)
-		ranked = append(ranked, candidate{name: e.Name(), score: score, best: best})
+		ranked = append(ranked, candidate{name: files[name], score: score, best: best})
 	}
-	if len(ranked) == 0 {
-		return fmt.Errorf("discover: no candidate CSVs in %s", *dir)
+	pruned := 0
+	for name := range byName {
+		if !scored[name] {
+			ranked = append(ranked, candidate{name: files[name]})
+			pruned++
+		}
 	}
 	sort.Slice(ranked, func(i, j int) bool {
 		if ranked[i].score != ranked[j].score {
@@ -81,7 +134,8 @@ func cmdDiscover(args []string) error {
 		}
 		return ranked[i].name < ranked[j].name
 	})
-	fmt.Printf("%s-ability of %d candidates with %q (%s):\n", *mode, len(ranked), q.Name, *method)
+	fmt.Printf("%s-ability of %d candidates with %q (%s; %d pruned by index):\n",
+		*mode, len(ranked), q.Name, *method, pruned)
 	if *top > len(ranked) {
 		*top = len(ranked)
 	}

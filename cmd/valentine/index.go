@@ -1,0 +1,129 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"valentine"
+	"valentine/internal/discovery"
+	"valentine/internal/table"
+)
+
+// cmdIndex builds a persistent discovery index from a directory of CSVs:
+// every column is profiled and MinHash-sketched once, so subsequent
+// `valentine search` queries never rescan the corpus.
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	dir := fs.String("dir", ".", "directory of CSVs to index")
+	out := fs.String("out", "valentine.idx", "output index file")
+	signature := fs.Int("signature", 0, "MinHash signature length (default 128)")
+	bands := fs.Int("bands", 0, "LSH bands (default 32)")
+	tokenBoost := fs.Float64("token-boost", 0, "blend column-name token overlap into scores")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ix := valentine.NewDiscoveryIndex(valentine.DiscoveryOptions{
+		Signature:  *signature,
+		Bands:      *bands,
+		TokenBoost: *tokenBoost,
+	})
+	tables, _, err := readCSVDir(*dir, "")
+	if err != nil {
+		return err
+	}
+	if len(tables) == 0 {
+		return fmt.Errorf("index: no CSVs in %s", *dir)
+	}
+	for _, t := range tables {
+		if err := ix.Add(t); err != nil {
+			fmt.Fprintf(os.Stderr, "index: skipping %s: %v\n", t.Name, err)
+		}
+	}
+	if err := ix.SaveFile(*out); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d tables (%d columns) from %s → %s (%d bytes)\n",
+		ix.NumTables(), ix.NumColumns(), *dir, *out, info.Size())
+	return nil
+}
+
+// cmdSearch answers a top-k joinability/unionability query against a saved
+// index — the served fast path: no corpus I/O, no pairwise matching.
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	indexPath := fs.String("index", "valentine.idx", "index file written by `valentine index`")
+	query := fs.String("query", "", "query CSV (required)")
+	mode := fs.String("mode", "join", "join|union")
+	top := fs.Int("top", 10, "results to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *query == "" {
+		return fmt.Errorf("search: -query is required")
+	}
+	m, err := discovery.ParseMode(*mode)
+	if err != nil {
+		return err
+	}
+	ix, err := valentine.LoadDiscoveryIndexFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	q, err := valentine.ReadCSVFile(*query)
+	if err != nil {
+		return err
+	}
+	results, err := ix.Search(q, m, *top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s-ability of %q over %d indexed tables:\n", *mode, q.Name, ix.NumTables())
+	if len(results) == 0 {
+		fmt.Println("  no candidate tables collided with the query")
+		return nil
+	}
+	for i, r := range results {
+		fmt.Printf("%2d. %-30s %.3f", i+1, r.Table, r.Score)
+		if r.BestQuery != "" {
+			fmt.Printf("  via %s ~ %s", r.BestQuery, r.BestIndexed)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// readCSVDir loads every CSV in dir (non-recursive), skipping the file at
+// skipAbs (absolute path, "" to skip nothing). It returns the tables and a
+// table-name → file-name map for display.
+func readCSVDir(dir, skipAbs string) ([]*table.Table, map[string]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tables []*table.Table
+	files := make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		if abs, _ := filepath.Abs(path); abs == skipAbs {
+			continue
+		}
+		t, err := valentine.ReadCSVFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %s: %v\n", path, err)
+			continue
+		}
+		tables = append(tables, t)
+		files[t.Name] = e.Name()
+	}
+	return tables, files, nil
+}

@@ -9,6 +9,9 @@
 //	valentine match -method coma-schema -source a.csv -target b.csv [-top 10] [-param k=v]
 //	valentine evaluate -method coma-schema -source a.csv -target b.csv -truth gt.csv
 //	valentine experiment -source TPC-DI -rows 120 [-methods m1,m2]
+//	valentine index -dir lake/ -out lake.idx [-signature 128 -bands 32]
+//	valentine search -index lake.idx -query q.csv [-mode join|union] [-top 10]
+//	valentine discover -query q.csv -dir lake/ [-mode join|union] [-method m] [-top 10]
 package main
 
 import (
@@ -46,6 +49,10 @@ func main() {
 		err = cmdExperiment(os.Args[2:])
 	case "discover":
 		err = cmdDiscover(os.Args[2:])
+	case "index":
+		err = cmdIndex(os.Args[2:])
+	case "search":
+		err = cmdSearch(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -68,7 +75,9 @@ commands:
   match        rank column correspondences between two CSVs
   evaluate     run a matcher and score it against a ground-truth CSV
   experiment   run the quick experiment grid over a generated source
-  discover     rank a directory of CSVs by joinability/unionability with a query`)
+  discover     rank a directory of CSVs by joinability/unionability with a query
+  index        build a persistent discovery index from a directory of CSVs
+  search       top-k joinability/unionability query against a saved index`)
 }
 
 func cmdMethods() error {

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"valentine/internal/core"
+	"valentine/internal/discovery"
 	"valentine/internal/experiment"
 	"valentine/internal/fabrication"
 	"valentine/internal/feedback"
@@ -20,6 +21,39 @@ import (
 // suggested by the paper's scaling lesson. Registered alongside — but
 // reported separately from — the paper's methods.
 const MethodLSH = experiment.MethodLSH
+
+// DiscoveryIndex is the corpus-level column index for served dataset
+// discovery: ingest tables once (MinHash signatures + lightweight profiles
+// sharded across LSH band buckets), then answer top-k joinability and
+// unionability queries by probing buckets instead of matching pairwise
+// against the whole corpus. Safe for concurrent queries.
+type DiscoveryIndex = discovery.Index
+
+// DiscoveryOptions configures a DiscoveryIndex's LSH geometry and scoring.
+type DiscoveryOptions = discovery.Options
+
+// DiscoveryResult is one ranked table from an index search.
+type DiscoveryResult = discovery.Result
+
+// DiscoveryMode selects the relatedness notion a search ranks by.
+type DiscoveryMode = discovery.Mode
+
+// Discovery search modes.
+const (
+	DiscoverJoin  = discovery.ModeJoin
+	DiscoverUnion = discovery.ModeUnion
+)
+
+// NewDiscoveryIndex returns an empty discovery index (zero-value options
+// select the suite-wide LSH defaults: 128-slot signatures, 32 bands).
+func NewDiscoveryIndex(opts DiscoveryOptions) *DiscoveryIndex { return discovery.New(opts) }
+
+// LoadDiscoveryIndex reads an index previously written with Save.
+func LoadDiscoveryIndex(r io.Reader) (*DiscoveryIndex, error) { return discovery.Load(r) }
+
+// LoadDiscoveryIndexFile reads an index from a file written with SaveFile
+// (or the `valentine index` command).
+func LoadDiscoveryIndexFile(path string) (*DiscoveryIndex, error) { return discovery.LoadFile(path) }
 
 // FeedbackSession accumulates reviewer verdicts and reranks match lists
 // (paper lesson: "Humans-in-the-loop").

@@ -1,0 +1,3 @@
+module valentine
+
+go 1.24

@@ -1,0 +1,369 @@
+// Package discovery implements a corpus-level column index for dataset
+// discovery: ingest N tables once, answer top-k joinability/unionability
+// queries in time proportional to the number of candidate columns rather
+// than the size of the corpus.
+//
+// The paper's lessons learned (§IX "Schema Matching is resource-expensive",
+// citing JOSIE, LSH Ensemble and Lazo) motivate the design: every indexed
+// column is summarized by a MinHash signature plus a lightweight profile
+// (inferred type, cardinality, name tokens), and signatures are sharded
+// across LSH band buckets — one bucket shard per band. A query probes the
+// shards with its own column signatures, collects the colliding columns as
+// candidates, and scores only those, so unrelated tables are never touched.
+// The signature and banding primitives are shared with the pairwise matcher
+// in internal/matchers/lshmatch, which makes indexed search return the same
+// scores a brute-force sweep with that matcher would.
+//
+// An Index is safe for concurrent use: queries run under a read lock and
+// may proceed in parallel; ingestion and loading take the write lock.
+// Indexes persist via Save/Load (a gob-encoded column-profile list; bucket
+// shards are rebuilt on load, keeping the on-disk format compact).
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"valentine/internal/matchers/lshmatch"
+	"valentine/internal/strutil"
+	"valentine/internal/table"
+)
+
+// Mode selects the relatedness notion a search ranks by.
+type Mode string
+
+// Search modes: joinability ranks tables by their single best column
+// correspondence (one good join column suffices); unionability ranks by the
+// mean of each query column's best correspondence (a union needs every
+// column covered). These mirror cmd/valentine discover's scoring.
+const (
+	ModeJoin  Mode = "join"
+	ModeUnion Mode = "union"
+)
+
+// ParseMode validates a mode string.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModeJoin, ModeUnion:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("discovery: mode %q is not join|union", s)
+}
+
+// Options configures an index's LSH geometry and scoring.
+type Options struct {
+	// Signature is the MinHash signature length (default 128).
+	Signature int
+	// Bands is the number of LSH band shards (default 32 → 4 rows per
+	// band, targeting Jaccard ≈ 0.3+).
+	Bands int
+	// TokenBoost blends column-name token overlap into candidate scores:
+	// score = jaccard + TokenBoost × tokenJaccard(names). Zero (the
+	// default) keeps scores identical to the lshmatch matcher's.
+	TokenBoost float64
+}
+
+// ColumnProfile is the indexed summary of one column: identity, lightweight
+// statistics for filtering and display, and the MinHash signature used for
+// candidate generation and scoring.
+type ColumnProfile struct {
+	Table     string
+	Column    string
+	Type      table.Type
+	Rows      int      // total cells
+	Distinct  int      // distinct non-empty values
+	Tokens    []string // lowercase name tokens ("customerID" → [customer id])
+	Signature []uint64
+}
+
+// Index is a sharded corpus-level column index.
+type Index struct {
+	opts           Options
+	k, bands, rows int
+
+	mu     sync.RWMutex
+	cols   []ColumnProfile
+	tables map[string][]int     // table name → column ids
+	shards []map[uint64][]int32 // one bucket map per LSH band
+}
+
+// New returns an empty index with the given options (zero value selects the
+// lshmatch defaults: 128-slot signatures, 32 bands).
+func New(opts Options) *Index {
+	k, bands, rows := lshmatch.Geometry(opts.Signature, opts.Bands)
+	ix := &Index{
+		opts:   opts,
+		k:      k,
+		bands:  bands,
+		rows:   rows,
+		tables: make(map[string][]int),
+		shards: make([]map[uint64][]int32, bands),
+	}
+	for b := range ix.shards {
+		ix.shards[b] = make(map[uint64][]int32)
+	}
+	return ix
+}
+
+// Options returns the options the index was created with.
+func (ix *Index) Options() Options { return ix.opts }
+
+// Add ingests every column of t: profile, signature, and bucket insertion.
+// Table names must be unique within an index.
+func (ix *Index) Add(t *table.Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	profiles := make([]ColumnProfile, len(t.Columns))
+	for i := range t.Columns {
+		c := &t.Columns[i]
+		distinct := c.DistinctValues()
+		profiles[i] = ColumnProfile{
+			Table:     t.Name,
+			Column:    c.Name,
+			Type:      c.Type,
+			Rows:      len(c.Values),
+			Distinct:  len(distinct),
+			Tokens:    strutil.Tokenize(c.Name),
+			Signature: lshmatch.SignatureOf(distinct, ix.k),
+		}
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, dup := ix.tables[t.Name]; dup {
+		return fmt.Errorf("discovery: table %q already indexed", t.Name)
+	}
+	ids := make([]int, len(profiles))
+	for i, p := range profiles {
+		id := len(ix.cols)
+		ix.cols = append(ix.cols, p)
+		ids[i] = id
+		ix.insertShards(id, p.Signature)
+	}
+	ix.tables[t.Name] = ids
+	return nil
+}
+
+// insertShards banks a column id under its band keys. Empty-column
+// signatures are skipped: they would all share one bucket per band (every
+// slot is the EmptySlot sentinel) and collide with every other empty
+// column at Jaccard 0, bloating candidate sets without ever ranking.
+func (ix *Index) insertShards(id int, sig []uint64) {
+	if lshmatch.IsEmptySignature(sig) {
+		return
+	}
+	for b := 0; b < ix.bands; b++ {
+		key := lshmatch.BandKey(sig, b, ix.rows)
+		ix.shards[b][key] = append(ix.shards[b][key], int32(id))
+	}
+}
+
+// NumTables returns the number of indexed tables.
+func (ix *Index) NumTables() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.tables)
+}
+
+// NumColumns returns the number of indexed columns.
+func (ix *Index) NumColumns() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.cols)
+}
+
+// Tables returns the sorted names of indexed tables.
+func (ix *Index) Tables() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.tables))
+	for name := range ix.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Profiles returns the column profiles of one indexed table (nil if the
+// table is unknown). The returned profiles are deep copies safe to retain
+// and mutate.
+func (ix *Index) Profiles(tableName string) []ColumnProfile {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ids, ok := ix.tables[tableName]
+	if !ok {
+		return nil
+	}
+	out := make([]ColumnProfile, len(ids))
+	for i, id := range ids {
+		p := ix.cols[id]
+		p.Tokens = append([]string(nil), p.Tokens...)
+		p.Signature = append([]uint64(nil), p.Signature...)
+		out[i] = p
+	}
+	return out
+}
+
+// Result is one ranked table from a search.
+type Result struct {
+	// Table is the indexed table's name.
+	Table string
+	// Score is the mode's aggregate score in [0, 1+TokenBoost].
+	Score float64
+	// BestQuery/BestIndexed name the best-scoring column correspondence.
+	BestQuery, BestIndexed string
+	// Candidates counts the (query column, indexed column) pairs scored
+	// for this table — the work the LSH shards did not prune away.
+	Candidates int
+}
+
+// Search answers a top-k discovery query via the LSH band shards: only
+// columns colliding with a query column in at least one band are scored.
+// Results are ordered by descending score with names as tiebreak; at most k
+// results are returned (k <= 0 means all). A table whose name equals the
+// query's is skipped, so a corpus member can be its own query.
+func (ix *Index) Search(q *table.Table, mode Mode, k int) ([]Result, error) {
+	return ix.search(q, mode, k, false)
+}
+
+// SearchBruteForce scores every indexed column against every query column,
+// bypassing the LSH shards. It is the reference implementation Search is
+// tested against, and the honest baseline for benchmarks.
+func (ix *Index) SearchBruteForce(q *table.Table, mode Mode, k int) ([]Result, error) {
+	return ix.search(q, mode, k, true)
+}
+
+func (ix *Index) search(q *table.Table, mode Mode, k int, brute bool) ([]Result, error) {
+	if mode != ModeJoin && mode != ModeUnion {
+		return nil, fmt.Errorf("discovery: mode %q is not join|union", mode)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	// Query-side work is lock-free: signatures and tokens depend only on q.
+	qSigs := lshmatch.Signatures(q, ix.k)
+	qTokens := make([][]string, len(q.Columns))
+	for i := range q.Columns {
+		qTokens[i] = strutil.Tokenize(q.Columns[i].Name)
+	}
+
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	type tableAcc struct {
+		perQuery   []float64 // best score per query column (union mode)
+		best       float64
+		bestQ      int
+		bestC      int32
+		candidates int
+	}
+	acc := make(map[string]*tableAcc)
+	// Empty columns never rank (see insertShards); the brute path must
+	// apply the same rule so it stays the reference implementation of the
+	// pruned path even with TokenBoost set.
+	score := func(qi int, id int32) {
+		p := &ix.cols[id]
+		if p.Table == q.Name || lshmatch.IsEmptySignature(p.Signature) {
+			return
+		}
+		s := lshmatch.EstimateJaccard(qSigs[qi], p.Signature)
+		if ix.opts.TokenBoost != 0 {
+			s += ix.opts.TokenBoost * tokenJaccard(qTokens[qi], p.Tokens)
+		}
+		a := acc[p.Table]
+		if a == nil {
+			a = &tableAcc{perQuery: make([]float64, len(q.Columns)), bestQ: -1, bestC: -1}
+			acc[p.Table] = a
+		}
+		a.candidates++
+		if s > a.perQuery[qi] {
+			a.perQuery[qi] = s
+		}
+		if s > a.best || a.bestQ < 0 {
+			a.best, a.bestQ, a.bestC = s, qi, id
+		}
+	}
+
+	if brute {
+		for qi, sig := range qSigs {
+			if lshmatch.IsEmptySignature(sig) {
+				continue
+			}
+			for id := range ix.cols {
+				score(qi, int32(id))
+			}
+		}
+	} else {
+		for qi, sig := range qSigs {
+			if lshmatch.IsEmptySignature(sig) {
+				continue // can only hit empty columns, all at score 0
+			}
+			seen := make(map[int32]struct{})
+			for b := 0; b < ix.bands; b++ {
+				key := lshmatch.BandKey(sig, b, ix.rows)
+				for _, id := range ix.shards[b][key] {
+					if _, dup := seen[id]; dup {
+						continue
+					}
+					seen[id] = struct{}{}
+					score(qi, id)
+				}
+			}
+		}
+	}
+
+	out := make([]Result, 0, len(acc))
+	for name, a := range acc {
+		r := Result{Table: name, Candidates: a.candidates}
+		if a.bestQ >= 0 {
+			r.BestQuery = q.Columns[a.bestQ].Name
+			r.BestIndexed = ix.cols[a.bestC].Column
+		}
+		switch mode {
+		case ModeJoin:
+			r.Score = a.best
+		case ModeUnion:
+			sum := 0.0
+			for _, s := range a.perQuery {
+				sum += s
+			}
+			r.Score = sum / float64(len(q.Columns))
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Table < out[j].Table
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// tokenJaccard is the Jaccard similarity of two token lists as sets.
+func tokenJaccard(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[string]struct{}, len(a))
+	for _, t := range a {
+		set[t] = struct{}{}
+	}
+	inter := 0
+	seen := make(map[string]struct{}, len(b))
+	for _, t := range b {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		if _, ok := set[t]; ok {
+			inter++
+		}
+	}
+	union := len(set) + len(seen) - inter
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,86 @@
+package discovery
+
+// Index persistence. The on-disk format is a gob-encoded header plus the
+// flat column-profile list — the band bucket shards are derivable from the
+// signatures and are rebuilt on load, which keeps the file compact (the
+// IBLT line of work in PAPERS.md makes the same trade: store the compact
+// sketch, recompute the addressing).
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// formatVersion guards against loading files written by an incompatible
+// layout of indexFile.
+const formatVersion = 1
+
+type indexFile struct {
+	Version int
+	Options Options
+	Columns []ColumnProfile
+}
+
+// Save writes the index to w in the versioned gob format.
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	f := indexFile{Version: formatVersion, Options: ix.opts, Columns: ix.cols}
+	ix.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(f); err != nil {
+		return fmt.Errorf("discovery: encoding index: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the index to path, creating parent directories.
+func (ix *Index) SaveFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an index written by Save and rebuilds its band bucket shards.
+func Load(r io.Reader) (*Index, error) {
+	var f indexFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("discovery: decoding index: %w", err)
+	}
+	if f.Version != formatVersion {
+		return nil, fmt.Errorf("discovery: index format version %d, want %d", f.Version, formatVersion)
+	}
+	ix := New(f.Options)
+	for id, p := range f.Columns {
+		if len(p.Signature) != ix.k {
+			return nil, fmt.Errorf("discovery: column %s.%s has %d-slot signature, want %d",
+				p.Table, p.Column, len(p.Signature), ix.k)
+		}
+		ix.cols = append(ix.cols, p)
+		ix.tables[p.Table] = append(ix.tables[p.Table], id)
+		ix.insertShards(id, p.Signature)
+	}
+	return ix, nil
+}
+
+// LoadFile reads an index from path.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

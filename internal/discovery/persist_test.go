@@ -1,0 +1,84 @@
+package discovery
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	ix := New(Options{Signature: 64, Bands: 16, TokenBoost: 0.05})
+	q := fixtureCorpus(t, ix)
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Options(), ix.Options(); got != want {
+		t.Errorf("options = %+v, want %+v", got, want)
+	}
+	if loaded.NumTables() != ix.NumTables() || loaded.NumColumns() != ix.NumColumns() {
+		t.Errorf("loaded %d tables/%d columns, want %d/%d",
+			loaded.NumTables(), loaded.NumColumns(), ix.NumTables(), ix.NumColumns())
+	}
+	for _, mode := range []Mode{ModeJoin, ModeUnion} {
+		orig, err := ix.Search(q, mode, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		round, err := loaded.Search(q, mode, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(orig) != len(round) {
+			t.Fatalf("%s: %d results after round-trip, want %d", mode, len(round), len(orig))
+		}
+		for i := range orig {
+			if orig[i].Table != round[i].Table || math.Abs(orig[i].Score-round[i].Score) > 1e-12 {
+				t.Errorf("%s rank %d: %+v after round-trip, want %+v", mode, i+1, round[i], orig[i])
+			}
+		}
+	}
+	// A reloaded index stays mutable.
+	if err := loaded.Add(q); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumTables() != ix.NumTables()+1 {
+		t.Errorf("adding to a loaded index: %d tables", loaded.NumTables())
+	}
+}
+
+func TestPersistenceFileHelpers(t *testing.T) {
+	ix := New(Options{})
+	q := fixtureCorpus(t, ix)
+	path := filepath.Join(t.TempDir(), "nested", "lake.idx")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Search(q, ModeJoin, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Table != "orders" {
+		t.Errorf("search on loaded index = %+v", res)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.idx")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage input should fail to load")
+	}
+}

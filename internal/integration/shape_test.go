@@ -14,9 +14,13 @@ import (
 	"valentine/internal/report"
 )
 
-// run executes the quick grids over one fabricated source.
+// run executes the quick grids over one fabricated source. The full suite
+// takes ~30s, so it is skipped under `go test -short`.
 func run(t *testing.T, methods []string) []experiment.Result {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("integration shape run")
+	}
 	rs, err := report.RunFabricated(context.Background(), report.Config{
 		Rows:    60,
 		Seeds:   1,

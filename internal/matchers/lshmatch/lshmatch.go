@@ -5,11 +5,13 @@
 // band become candidates and are scored by their estimated Jaccard
 // similarity; all other pairs are skipped entirely, which is where the
 // speedup over exact set intersection comes from.
+//
+// The MinHash/banding primitives (ColumnSignature, BandKey, EstimateJaccard)
+// are exported and shared with the corpus-level index in internal/discovery,
+// so pairwise matching and indexed search score identically.
 package lshmatch
 
 import (
-	"hash/fnv"
-
 	"valentine/internal/core"
 	"valentine/internal/table"
 )
@@ -31,8 +33,8 @@ type Matcher struct {
 // (default 32), "include_misses" (default 1).
 func New(p core.Params) (core.Matcher, error) {
 	return &Matcher{
-		Signature:     p.Int("signature", 128),
-		Bands:         p.Int("bands", 32),
+		Signature:     p.Int("signature", DefaultSignature),
+		Bands:         p.Int("bands", DefaultBands),
 		IncludeMisses: p.Int("include_misses", 1) != 0,
 	}, nil
 }
@@ -48,21 +50,10 @@ func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
 	if err := target.Validate(); err != nil {
 		return nil, err
 	}
-	k := m.Signature
-	if k <= 0 {
-		k = 128
-	}
-	bands := m.Bands
-	if bands <= 0 || bands > k {
-		bands = 32
-	}
-	rows := k / bands
-	if rows == 0 {
-		rows = 1
-	}
+	k, bands, rows := Geometry(m.Signature, m.Bands)
 
-	srcSigs := signatures(source, k)
-	tgtSigs := signatures(target, k)
+	srcSigs := Signatures(source, k)
+	tgtSigs := Signatures(target, k)
 
 	// Index target columns by band-bucket.
 	type bucket struct {
@@ -72,7 +63,7 @@ func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
 	index := make(map[bucket][]int)
 	for j, sig := range tgtSigs {
 		for b := 0; b < bands; b++ {
-			index[bucket{b, bandKey(sig, b, rows)}] = append(index[bucket{b, bandKey(sig, b, rows)}], j)
+			index[bucket{b, BandKey(sig, b, rows)}] = append(index[bucket{b, BandKey(sig, b, rows)}], j)
 		}
 	}
 
@@ -80,7 +71,7 @@ func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
 	candidates := make(map[[2]int]struct{})
 	for i, sig := range srcSigs {
 		for b := 0; b < bands; b++ {
-			for _, j := range index[bucket{b, bandKey(sig, b, rows)}] {
+			for _, j := range index[bucket{b, BandKey(sig, b, rows)}] {
 				candidates[[2]int{i, j}] = struct{}{}
 			}
 		}
@@ -96,7 +87,7 @@ func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
 			SourceColumn: source.Columns[i].Name,
 			TargetTable:  target.Name,
 			TargetColumn: target.Columns[j].Name,
-			Score:        estimateJaccard(srcSigs[i], tgtSigs[j]),
+			Score:        EstimateJaccard(srcSigs[i], tgtSigs[j]),
 		})
 	}
 	if m.IncludeMisses {
@@ -117,62 +108,4 @@ func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
 	}
 	core.SortMatches(out)
 	return out, nil
-}
-
-// signatures computes MinHash signatures for every column of t.
-func signatures(t *table.Table, k int) [][]uint64 {
-	out := make([][]uint64, len(t.Columns))
-	for i := range t.Columns {
-		sig := make([]uint64, k)
-		for s := range sig {
-			sig[s] = ^uint64(0)
-		}
-		for v := range t.Columns[i].DistinctValues() {
-			h := fnv.New64a()
-			h.Write([]byte(v))
-			base := h.Sum64()
-			for s := 0; s < k; s++ {
-				hv := mix(base, uint64(s))
-				if hv < sig[s] {
-					sig[s] = hv
-				}
-			}
-		}
-		out[i] = sig
-	}
-	return out
-}
-
-// bandKey hashes one band of a signature into a bucket key.
-func bandKey(sig []uint64, band, rows int) uint64 {
-	h := uint64(band) + 0x9e3779b97f4a7c15
-	for _, v := range sig[band*rows : (band+1)*rows] {
-		h ^= v
-		h *= 0x100000001b3
-	}
-	return h
-}
-
-// estimateJaccard is the fraction of agreeing signature slots; empty-column
-// sentinel slots never count as agreement.
-func estimateJaccard(a, b []uint64) float64 {
-	if len(a) == 0 || len(a) != len(b) {
-		return 0
-	}
-	eq := 0
-	for i := range a {
-		if a[i] == b[i] && a[i] != ^uint64(0) {
-			eq++
-		}
-	}
-	return float64(eq) / float64(len(a))
-}
-
-func mix(x, salt uint64) uint64 {
-	x ^= salt * 0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	return x ^ (x >> 31)
 }

@@ -13,6 +13,8 @@
 //     (TPCDI, OpenData, ChEMBL, WikiDataPairs, MagellanPairs, ING1, ING2)
 //   - the Recall@GroundTruth metric and experiment engine (RecallAtGT,
 //     RunExperiments, DefaultGrids)
+//   - a corpus-level discovery index for served top-k search
+//     (NewDiscoveryIndex, LoadDiscoveryIndexFile)
 //
 // A minimal use looks like:
 //
@@ -23,6 +25,24 @@
 //	for _, match := range matches[:5] {
 //		fmt.Println(match)
 //	}
+//
+// # Discovery at corpus scale
+//
+// Pairwise matching answers "how do these two tables relate"; dataset
+// discovery asks "which of my N tables relate to this one". Instead of
+// running a matcher N times per query, build a DiscoveryIndex once: every
+// column is summarized by a MinHash signature plus a lightweight profile
+// and sharded across LSH band buckets, so a query only scores the columns
+// it collides with (the paper's §IX scaling lesson, after JOSIE, LSH
+// Ensemble and Lazo). The index persists to disk and is safe for
+// concurrent queries:
+//
+//	ix := valentine.NewDiscoveryIndex(valentine.DiscoveryOptions{})
+//	for _, t := range corpus {
+//		ix.Add(t)
+//	}
+//	results, _ := ix.Search(query, valentine.DiscoverJoin, 10)
+//	_ = ix.SaveFile("lake.idx") // later: valentine.LoadDiscoveryIndexFile
 package valentine
 
 import (
