@@ -593,6 +593,144 @@ func BenchmarkIndexIngest(b *testing.B) {
 	}
 }
 
+// --- profile-layer benches (shared lazy column profiles vs re-derivation) ---
+
+// profiledEnsembleMethods are instance methods whose per-column derived
+// data (distinct sets, sorted values, statistics, signatures) is a material
+// share of their runtime — the share the profile layer deduplicates.
+// (Methods dominated by pair-local work — EMD, fuzzy edit distance,
+// embedding training — gain little from profile sharing and would only
+// blur the measurement.)
+var profiledEnsembleMethods = []string{MethodComaInstance, MethodLSH}
+
+func profiledEnsembleMembers(b *testing.B) []Matcher {
+	b.Helper()
+	out := make([]Matcher, 0, len(profiledEnsembleMethods))
+	for _, name := range profiledEnsembleMethods {
+		m, err := NewMatcher(name, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// profiledEnsemblePair is a high-cardinality joinable pair: derived column
+// data (sorting distinct sets, MinHash signatures, statistics) is a
+// material share of each member's cost, which is what the profile layer
+// deduplicates.
+func profiledEnsemblePair(b *testing.B) core.TablePair {
+	b.Helper()
+	src := datagen.OpenData(datagen.Options{Rows: 2000, Seed: 6})
+	pair, err := fabrication.New(8).Joinable(src, 0.5, 1.0, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pair
+}
+
+// BenchmarkEnsemblePerMemberProfiling is the pre-profile-layer baseline:
+// every member re-derives the pair's column data itself, as ensemble.Match
+// did before the shared profile landed.
+func BenchmarkEnsemblePerMemberProfiling(b *testing.B) {
+	pair := profiledEnsemblePair(b)
+	members := profiledEnsembleMembers(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range members {
+			if _, err := m.Match(pair.Source, pair.Target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEnsembleSharedProfiles profiles the pair once per iteration and
+// shares it across all members — the new ensemble.Match behaviour.
+func BenchmarkEnsembleSharedProfiles(b *testing.B) {
+	pair := profiledEnsemblePair(b)
+	e, err := NewEnsemble(profiledEnsembleMethods, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Match(pair.Source, pair.Target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnsembleWarmStore is the served repeated-query path: the pair's
+// profiles live in a warmed store, so iterations only pay for matching.
+func BenchmarkEnsembleWarmStore(b *testing.B) {
+	pair := profiledEnsemblePair(b)
+	e, err := NewEnsemble(profiledEnsembleMethods, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := NewProfileStore()
+	store.Warm(pair.Source, pair.Target)
+	sp, tp := store.Of(pair.Source), store.Of(pair.Target)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatchWithProfiles(e, sp, tp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiscoverRescoreColdProfiles is discover's re-scoring phase
+// before the profile layer: every corpus table — and the query, every time
+// — is re-profiled inside each Match call.
+func BenchmarkDiscoverRescoreColdProfiles(b *testing.B) {
+	query, corpus := discoveryBenchCorpus(b)
+	m, err := NewMatcher(MethodLSH, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range corpus {
+			if _, err := m.Match(query, t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkDiscoverRescoreWarmStore is the same re-scoring sweep through a
+// warmed profile store — what repeated `valentine discover` queries against
+// a standing corpus cost now.
+func BenchmarkDiscoverRescoreWarmStore(b *testing.B) {
+	query, corpus := discoveryBenchCorpus(b)
+	m, err := NewMatcher(MethodLSH, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := NewProfileStore()
+	store.Warm(append(append([]*Table{}, corpus...), query)...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range corpus {
+			if _, err := MatchWithProfiles(m, store.Of(query), store.Of(t)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkProfileWarm measures the one-time parallel warm pass itself.
+func BenchmarkProfileWarm(b *testing.B) {
+	_, corpus := discoveryBenchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := NewProfileStore()
+		store.Warm(corpus...)
+	}
+}
+
 // BenchmarkFlooding isolates the PCG construction + fixpoint machinery.
 func BenchmarkFlooding(b *testing.B) {
 	g := graph.New()

@@ -6,6 +6,7 @@
 //	benchreport -all                # everything (default)
 //	benchreport -table1 -fig4       # selected artifacts
 //	benchreport -rows 400 -seeds 3  # closer to paper scale
+//	benchreport -json BENCH_2.json  # machine-readable trajectory file
 package main
 
 import (
@@ -23,24 +24,30 @@ import (
 // detailedCSV, when set by -csv, receives every fabricated-pair result.
 var detailedCSV string
 
+// jsonOut, when set by -json, receives the machine-readable report (per-run
+// fabricated-pair results plus per-method aggregates).
+var jsonOut string
+
 func main() {
 	var (
-		rows   = flag.Int("rows", 120, "rows per generated source table")
-		seeds  = flag.Int("seeds", 1, "fabrication seeds per source")
-		all    = flag.Bool("all", false, "produce every table and figure")
-		table1 = flag.Bool("table1", false, "Table I: capability matrix")
-		table2 = flag.Bool("table2", false, "Table II: parameter grids")
-		table3 = flag.Bool("table3", false, "Table III: parameter sensitivity")
-		table4 = flag.Bool("table4", false, "Table IV: Magellan and ING recall")
-		table5 = flag.Bool("table5", false, "Table V: average runtimes")
-		fig4   = flag.Bool("fig4", false, "Figure 4: schema-based methods")
-		fig5   = flag.Bool("fig5", false, "Figure 5: instance-based methods")
-		fig6   = flag.Bool("fig6", false, "Figure 6: hybrid methods")
-		fig7   = flag.Bool("fig7", false, "Figure 7: WikiData")
-		csvOut = flag.String("csv", "", "also write detailed per-run results to this CSV file")
+		rows     = flag.Int("rows", 120, "rows per generated source table")
+		seeds    = flag.Int("seeds", 1, "fabrication seeds per source")
+		all      = flag.Bool("all", false, "produce every table and figure")
+		table1   = flag.Bool("table1", false, "Table I: capability matrix")
+		table2   = flag.Bool("table2", false, "Table II: parameter grids")
+		table3   = flag.Bool("table3", false, "Table III: parameter sensitivity")
+		table4   = flag.Bool("table4", false, "Table IV: Magellan and ING recall")
+		table5   = flag.Bool("table5", false, "Table V: average runtimes")
+		fig4     = flag.Bool("fig4", false, "Figure 4: schema-based methods")
+		fig5     = flag.Bool("fig5", false, "Figure 5: instance-based methods")
+		fig6     = flag.Bool("fig6", false, "Figure 6: hybrid methods")
+		fig7     = flag.Bool("fig7", false, "Figure 7: WikiData")
+		csvOut   = flag.String("csv", "", "also write detailed per-run results to this CSV file")
+		jsonOutF = flag.String("json", "", "also write machine-readable results (runs + aggregates) to this JSON file")
 	)
 	flag.Parse()
 	detailedCSV = *csvOut
+	jsonOut = *jsonOutF
 	if !(*table1 || *table2 || *table3 || *table4 || *table5 || *fig4 || *fig5 || *fig6 || *fig7) {
 		*all = true
 	}
@@ -66,12 +73,18 @@ func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fi
 	}
 
 	var fabricated []experiment.Result
-	if fig4 || fig5 || fig6 || table5 {
+	if fig4 || fig5 || fig6 || table5 || jsonOut != "" {
 		fmt.Fprintf(os.Stderr, "running fabricated-pair experiments (rows=%d seeds=%d)...\n", rows, seeds)
 		var err error
 		fabricated, err = report.RunFabricated(ctx, cfg)
 		if err != nil {
 			return err
+		}
+		if jsonOut != "" {
+			if err := writeJSONReport(jsonOut, buildJSONReport(rows, seeds, fabricated)); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d run results to %s\n", len(fabricated), jsonOut)
 		}
 		if detailedCSV != "" {
 			f, err := os.Create(detailedCSV)

@@ -16,15 +16,20 @@ import (
 // unionability with a query table — Valentine as a dataset-discovery
 // component, end to end.
 //
-// Since the discovery index landed, join-mode discover is a two-phase
-// pipeline: an in-memory column index prunes the corpus to candidate
-// tables (columns colliding with the query in an LSH band), then only
-// those candidates are re-scored with the requested matcher. Tables the
-// index rules out entirely are appended with score 0, so the output still
-// covers the whole corpus. Union mode re-scores every table: unionability
-// is about schema coverage, and a schema-identical table with disjoint
-// values (last year's export) would never collide in a value-overlap
-// sketch, so pruning by it would be the wrong signal.
+// The whole corpus (plus the query) is profiled once into a shared
+// profile store up front, so the candidate-generation phase and the
+// matcher re-scoring phase reuse the same distinct sets, name tokens and
+// MinHash signatures instead of re-deriving them per phase and per table.
+//
+// Join-mode discover is a two-phase pipeline: an in-memory column index
+// prunes the corpus to candidate tables (columns colliding with the query
+// in an LSH band), then only those candidates are re-scored with the
+// requested matcher. Union mode cannot prune by value sketch — a
+// schema-identical table with disjoint values (last year's export) would
+// never collide — so it prescreens on schema signals instead: a candidate
+// that cannot type-cover the query's columns and shares no name token
+// with them is skipped. Tables pruned by either phase are appended with
+// score 0, so the output still covers the whole corpus.
 func cmdDiscover(args []string) error {
 	fs := flag.NewFlagSet("discover", flag.ExitOnError)
 	query := fs.String("query", "", "query CSV (required)")
@@ -63,8 +68,16 @@ func cmdDiscover(args []string) error {
 		return fmt.Errorf("discover: no candidate CSVs in %s", *dir)
 	}
 
+	// One shared profile store for the whole invocation: the query is
+	// warmed eagerly (every phase touches it), corpus tables are profiled
+	// lazily — candidate generation forces only the cheap artifacts
+	// (types, tokens, signatures), and full profiling happens just for the
+	// tables that survive into re-scoring.
+	store := valentine.NewProfileStore()
+	store.Warm(q)
+
 	// Phase 1 (join mode): index the corpus once and let the LSH shards
-	// nominate candidate tables. Union mode nominates everything.
+	// nominate candidate tables. Union mode prescreens on schema signals.
 	byName := make(map[string]*table.Table, len(tables))
 	for _, t := range tables {
 		byName[t.Name] = t
@@ -73,7 +86,7 @@ func cmdDiscover(args []string) error {
 	if dmode == valentine.DiscoverJoin {
 		ix := valentine.NewDiscoveryIndex(valentine.DiscoveryOptions{})
 		for _, t := range tables {
-			if err := ix.Add(t); err != nil {
+			if err := ix.AddProfiled(store.Of(t)); err != nil {
 				fmt.Fprintf(os.Stderr, "discover: skipping %s: %v\n", files[t.Name], err)
 				delete(byName, t.Name)
 			}
@@ -86,7 +99,7 @@ func cmdDiscover(args []string) error {
 			searchQ = q.Clone()
 			searchQ.Name = q.Name + "\x00query"
 		}
-		nominated, err := ix.Search(searchQ, dmode, 0)
+		nominated, err := ix.SearchProfiled(store.Of(searchQ), dmode, 0)
 		if err != nil {
 			return err
 		}
@@ -94,12 +107,22 @@ func cmdDiscover(args []string) error {
 			nominate = append(nominate, r.Table)
 		}
 	} else {
+		cands := make([]*valentine.TableProfile, 0, len(tables))
 		for _, t := range tables {
-			nominate = append(nominate, t.Name)
+			cands = append(cands, store.Of(t))
 		}
+		nominate = unionPrescreen(store.Of(q), cands)
 	}
 
-	// Phase 2: exact re-scoring of nominated candidates.
+	// Phase 2: exact re-scoring of nominated candidates through the shared
+	// profiles, fully warmed in parallel now that the survivors are known.
+	nominated := make([]*table.Table, 0, len(nominate))
+	for _, name := range nominate {
+		if t := byName[name]; t != nil {
+			nominated = append(nominated, t)
+		}
+	}
+	store.Warm(nominated...)
 	type candidate struct {
 		name  string
 		score float64
@@ -113,7 +136,7 @@ func cmdDiscover(args []string) error {
 			continue
 		}
 		scored[name] = true
-		matches, err := m.Match(q, t)
+		matches, err := valentine.MatchWithProfiles(m, store.Of(q), store.Of(t))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "discover: skipping %s: %v\n", files[name], err)
 			continue
@@ -134,7 +157,7 @@ func cmdDiscover(args []string) error {
 		}
 		return ranked[i].name < ranked[j].name
 	})
-	fmt.Printf("%s-ability of %d candidates with %q (%s; %d pruned by index):\n",
+	fmt.Printf("%s-ability of %d candidates with %q (%s; %d pruned before matching):\n",
 		*mode, len(ranked), q.Name, *method, pruned)
 	if *top > len(ranked) {
 		*top = len(ranked)
@@ -147,6 +170,97 @@ func cmdDiscover(args []string) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// unionPrescreen cheaply screens union-search candidates on signals cached
+// in their profiles, before any full matcher runs. A candidate survives
+// when it could plausibly union with the query:
+//
+//   - type coverage: every query column has at least one type-compatible
+//     candidate column (a union needs every query column covered, so a
+//     table that cannot cover even the types will score near zero), or
+//   - name evidence: any candidate column shares a name token with a query
+//     column — a name match is always worth the full matcher's judgment,
+//     whatever the types say, or
+//   - value evidence: any candidate column's MinHash signature estimates a
+//     positive Jaccard against a query column — shared values make any
+//     instance matcher score the pair regardless of names and types.
+//
+// The screen is a conservative heuristic, not a guarantee: it only drops
+// tables with none of the three signals, which full schema-coverage
+// scoring ranks at or near the bottom. A matcher can still assign such a
+// table a nonzero score (e.g. from fuzzy name similarity alone), so in
+// principle the bottom of a top-k could differ; on the test corpus the
+// top-k is unchanged (TestUnionPrescreenPreservesTopK pins this).
+//
+// Reach: because String is type-compatible with everything, any candidate
+// with a string column passes type coverage outright — the screen's teeth
+// are in all-numeric/sensor-style tables with unrelated names and values,
+// a common species in data lakes. Cost: type and token checks read cheap
+// cached profile fields; valueEvidence — consulted only when both cheap
+// signals fail — forces the candidate's distinct sets and MinHash
+// signatures, roughly the same one-off cost `valentine index` pays per
+// table, and still well below the full matcher run a pruned table skips.
+func unionPrescreen(qp *valentine.TableProfile, cands []*valentine.TableProfile) []string {
+	keep := make([]string, 0, len(cands))
+	for _, cp := range cands {
+		if unionTypeCoverage(qp, cp) || nameTokenEvidence(qp, cp) || valueEvidence(qp, cp) {
+			keep = append(keep, cp.Name())
+		}
+	}
+	return keep
+}
+
+// unionTypeCoverage reports whether every query column has a
+// type-compatible candidate column.
+func unionTypeCoverage(qp, cp *valentine.TableProfile) bool {
+	for _, qc := range qp.Columns() {
+		covered := false
+		for _, cc := range cp.Columns() {
+			if qc.Type().Compatible(cc.Type()) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// valueEvidence reports whether any (query, candidate) column pair has a
+// positive estimated Jaccard similarity, from the profiles' cached MinHash
+// signatures.
+func valueEvidence(qp, cp *valentine.TableProfile) bool {
+	for _, qc := range qp.Columns() {
+		qsig := qc.Signature(0)
+		for _, cc := range cp.Columns() {
+			if valentine.EstimateJaccard(qsig, cc.Signature(0)) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nameTokenEvidence reports whether any candidate column shares a name
+// token with any query column (token sets come from the profile cache).
+func nameTokenEvidence(qp, cp *valentine.TableProfile) bool {
+	for _, qc := range qp.Columns() {
+		qset := qc.NameTokenSet()
+		if len(qset) == 0 {
+			continue
+		}
+		for _, cc := range cp.Columns() {
+			for tok := range cc.NameTokenSet() {
+				if _, ok := qset[tok]; ok {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // discoveryScore converts a ranked match list into one candidate score:

@@ -14,6 +14,7 @@ import (
 	"valentine/internal/feedback"
 	"valentine/internal/matchers/ensemble"
 	"valentine/internal/metrics"
+	"valentine/internal/profile"
 	"valentine/internal/table"
 )
 
@@ -54,6 +55,42 @@ func LoadDiscoveryIndex(r io.Reader) (*DiscoveryIndex, error) { return discovery
 // LoadDiscoveryIndexFile reads an index from a file written with SaveFile
 // (or the `valentine index` command).
 func LoadDiscoveryIndexFile(path string) (*DiscoveryIndex, error) { return discovery.LoadFile(path) }
+
+// ProfileStore is the corpus-level cache of the shared lazy column-profile
+// layer: every piece of derived per-column data (distinct sets, sorted
+// distinct values, name tokens, numeric vectors, statistics, MinHash
+// signatures) is computed at most once per column and reused by every
+// profile-aware matcher, the ensemble, the experiment runner and the
+// discovery index. Safe for concurrent use.
+type ProfileStore = profile.Store
+
+// TableProfile bundles the lazily-computed column profiles of one table.
+type TableProfile = profile.TableProfile
+
+// ColumnProfileData is the lazy per-column profile.
+type ColumnProfileData = profile.Profile
+
+// NewProfileStore returns an empty profile store. Call Warm with a corpus
+// to precompute every profile in parallel before serving queries.
+func NewProfileStore() *ProfileStore { return profile.NewStore() }
+
+// ProfileTable profiles a table outside any store (one-shot use); derived
+// data is computed lazily and shared between all consumers of the returned
+// profile.
+func ProfileTable(t *Table) *TableProfile { return profile.New(t) }
+
+// MatchWithProfiles runs a matcher over profiled tables: profile-aware
+// matchers (all nine built-in methods and the ensemble) reuse the cached
+// derived data; any other Matcher implementation falls back to plain Match.
+// Scores are identical to m.Match on the profiles' tables.
+func MatchWithProfiles(m Matcher, source, target *TableProfile) ([]Match, error) {
+	return core.MatchWith(m, source, target)
+}
+
+// EstimateJaccard estimates the Jaccard similarity of two columns' value
+// sets from their MinHash signatures (see TableProfile column Signature);
+// signatures must share one length.
+func EstimateJaccard(a, b []uint64) float64 { return profile.EstimateJaccard(a, b) }
 
 // FeedbackSession accumulates reviewer verdicts and reranks match lists
 // (paper lesson: "Humans-in-the-loop").

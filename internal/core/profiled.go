@@ -1,0 +1,36 @@
+package core
+
+import (
+	"valentine/internal/profile"
+)
+
+// ProfiledMatcher is the extension interface of Matcher for methods that
+// can consume precomputed column profiles. MatchProfiles must rank exactly
+// as Match does on the profiles' tables — the profile layer deduplicates
+// derived-data computation, it never changes scores. Ensembles, the
+// experiment runner and the discover pipeline dispatch through MatchWith so
+// one warmed profile.Store serves every matcher invocation on a corpus.
+type ProfiledMatcher interface {
+	Matcher
+	// MatchProfiles ranks column correspondences between the profiled
+	// source and target tables.
+	MatchProfiles(source, target *profile.TableProfile) ([]Match, error)
+}
+
+// MatchWith runs m over profiled tables: the profile-aware path when m
+// implements ProfiledMatcher, the plain Match path otherwise.
+func MatchWith(m Matcher, source, target *profile.TableProfile) ([]Match, error) {
+	if pm, ok := m.(ProfiledMatcher); ok {
+		return pm.MatchProfiles(source, target)
+	}
+	return m.Match(source.Table(), target.Table())
+}
+
+// ValidatePair validates both profiled tables — the shared preamble of
+// every MatchProfiles implementation.
+func ValidatePair(source, target *profile.TableProfile) error {
+	if err := source.Table().Validate(); err != nil {
+		return err
+	}
+	return target.Table().Validate()
+}

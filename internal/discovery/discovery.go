@@ -10,14 +10,20 @@
 // across LSH band buckets — one bucket shard per band. A query probes the
 // shards with its own column signatures, collects the colliding columns as
 // candidates, and scores only those, so unrelated tables are never touched.
-// The signature and banding primitives are shared with the pairwise matcher
-// in internal/matchers/lshmatch, which makes indexed search return the same
-// scores a brute-force sweep with that matcher would.
+// The signature and banding primitives live in internal/profile and are
+// shared with the pairwise lshmatch matcher, which makes indexed search
+// return the same scores a brute-force sweep with that matcher would.
 //
 // An Index is safe for concurrent use: queries run under a read lock and
 // may proceed in parallel; ingestion and loading take the write lock.
 // Indexes persist via Save/Load (a gob-encoded column-profile list; bucket
 // shards are rebuilt on load, keeping the on-disk format compact).
+//
+// Ingestion and queries run through the shared lazy column-profile layer
+// (internal/profile): AddProfiled and SearchProfiled accept an
+// already-profiled table so a corpus warmed once in a profile.Store is
+// never re-profiled here — the same distinct sets, name tokens and MinHash
+// signatures the matchers consume feed the index.
 package discovery
 
 import (
@@ -25,8 +31,7 @@ import (
 	"sort"
 	"sync"
 
-	"valentine/internal/matchers/lshmatch"
-	"valentine/internal/strutil"
+	"valentine/internal/profile"
 	"valentine/internal/table"
 )
 
@@ -91,7 +96,7 @@ type Index struct {
 // New returns an empty index with the given options (zero value selects the
 // lshmatch defaults: 128-slot signatures, 32 bands).
 func New(opts Options) *Index {
-	k, bands, rows := lshmatch.Geometry(opts.Signature, opts.Bands)
+	k, bands, rows := profile.Geometry(opts.Signature, opts.Bands)
 	ix := &Index{
 		opts:   opts,
 		k:      k,
@@ -110,23 +115,30 @@ func New(opts Options) *Index {
 func (ix *Index) Options() Options { return ix.opts }
 
 // Add ingests every column of t: profile, signature, and bucket insertion.
-// Table names must be unique within an index.
+// Table names must be unique within an index. Callers holding a warmed
+// profile.Store should use AddProfiled to reuse its cached work.
 func (ix *Index) Add(t *table.Table) error {
+	return ix.AddProfiled(profile.New(t))
+}
+
+// AddProfiled ingests an already-profiled table, reusing the profile
+// layer's cached distinct sets, name tokens and MinHash signatures.
+func (ix *Index) AddProfiled(tp *profile.TableProfile) error {
+	t := tp.Table()
 	if err := t.Validate(); err != nil {
 		return err
 	}
-	profiles := make([]ColumnProfile, len(t.Columns))
-	for i := range t.Columns {
-		c := &t.Columns[i]
-		distinct := c.DistinctValues()
+	profiles := make([]ColumnProfile, tp.NumColumns())
+	for i := range profiles {
+		p := tp.Column(i)
 		profiles[i] = ColumnProfile{
 			Table:     t.Name,
-			Column:    c.Name,
-			Type:      c.Type,
-			Rows:      len(c.Values),
-			Distinct:  len(distinct),
-			Tokens:    strutil.Tokenize(c.Name),
-			Signature: lshmatch.SignatureOf(distinct, ix.k),
+			Column:    p.Name(),
+			Type:      p.Type(),
+			Rows:      p.Rows(),
+			Distinct:  p.Distinct(),
+			Tokens:    p.NameTokens(),
+			Signature: p.Signature(ix.k),
 		}
 	}
 	ix.mu.Lock()
@@ -150,11 +162,11 @@ func (ix *Index) Add(t *table.Table) error {
 // slot is the EmptySlot sentinel) and collide with every other empty
 // column at Jaccard 0, bloating candidate sets without ever ranking.
 func (ix *Index) insertShards(id int, sig []uint64) {
-	if lshmatch.IsEmptySignature(sig) {
+	if profile.IsEmptySignature(sig) {
 		return
 	}
 	for b := 0; b < ix.bands; b++ {
-		key := lshmatch.BandKey(sig, b, ix.rows)
+		key := profile.BandKey(sig, b, ix.rows)
 		ix.shards[b][key] = append(ix.shards[b][key], int32(id))
 	}
 }
@@ -224,28 +236,37 @@ type Result struct {
 // results are returned (k <= 0 means all). A table whose name equals the
 // query's is skipped, so a corpus member can be its own query.
 func (ix *Index) Search(q *table.Table, mode Mode, k int) ([]Result, error) {
-	return ix.search(q, mode, k, false)
+	return ix.search(profile.New(q), mode, k, false)
+}
+
+// SearchProfiled is Search over an already-profiled query: repeated queries
+// with the same profile never recompute signatures or name tokens.
+func (ix *Index) SearchProfiled(qp *profile.TableProfile, mode Mode, k int) ([]Result, error) {
+	return ix.search(qp, mode, k, false)
 }
 
 // SearchBruteForce scores every indexed column against every query column,
 // bypassing the LSH shards. It is the reference implementation Search is
 // tested against, and the honest baseline for benchmarks.
 func (ix *Index) SearchBruteForce(q *table.Table, mode Mode, k int) ([]Result, error) {
-	return ix.search(q, mode, k, true)
+	return ix.search(profile.New(q), mode, k, true)
 }
 
-func (ix *Index) search(q *table.Table, mode Mode, k int, brute bool) ([]Result, error) {
+func (ix *Index) search(qp *profile.TableProfile, mode Mode, k int, brute bool) ([]Result, error) {
 	if mode != ModeJoin && mode != ModeUnion {
 		return nil, fmt.Errorf("discovery: mode %q is not join|union", mode)
 	}
+	q := qp.Table()
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	// Query-side work is lock-free: signatures and tokens depend only on q.
-	qSigs := lshmatch.Signatures(q, ix.k)
-	qTokens := make([][]string, len(q.Columns))
-	for i := range q.Columns {
-		qTokens[i] = strutil.Tokenize(q.Columns[i].Name)
+	// Query-side work is lock-free: signatures and tokens come from the
+	// query profile's caches and depend only on q.
+	qSigs := make([][]uint64, qp.NumColumns())
+	qTokens := make([][]string, qp.NumColumns())
+	for i := range qSigs {
+		qSigs[i] = qp.Column(i).Signature(ix.k)
+		qTokens[i] = qp.Column(i).NameTokens()
 	}
 
 	ix.mu.RLock()
@@ -264,10 +285,10 @@ func (ix *Index) search(q *table.Table, mode Mode, k int, brute bool) ([]Result,
 	// pruned path even with TokenBoost set.
 	score := func(qi int, id int32) {
 		p := &ix.cols[id]
-		if p.Table == q.Name || lshmatch.IsEmptySignature(p.Signature) {
+		if p.Table == q.Name || profile.IsEmptySignature(p.Signature) {
 			return
 		}
-		s := lshmatch.EstimateJaccard(qSigs[qi], p.Signature)
+		s := profile.EstimateJaccard(qSigs[qi], p.Signature)
 		if ix.opts.TokenBoost != 0 {
 			s += ix.opts.TokenBoost * tokenJaccard(qTokens[qi], p.Tokens)
 		}
@@ -287,7 +308,7 @@ func (ix *Index) search(q *table.Table, mode Mode, k int, brute bool) ([]Result,
 
 	if brute {
 		for qi, sig := range qSigs {
-			if lshmatch.IsEmptySignature(sig) {
+			if profile.IsEmptySignature(sig) {
 				continue
 			}
 			for id := range ix.cols {
@@ -296,12 +317,12 @@ func (ix *Index) search(q *table.Table, mode Mode, k int, brute bool) ([]Result,
 		}
 	} else {
 		for qi, sig := range qSigs {
-			if lshmatch.IsEmptySignature(sig) {
+			if profile.IsEmptySignature(sig) {
 				continue // can only hit empty columns, all at score 0
 			}
 			seen := make(map[int32]struct{})
 			for b := 0; b < ix.bands; b++ {
-				key := lshmatch.BandKey(sig, b, ix.rows)
+				key := profile.BandKey(sig, b, ix.rows)
 				for _, id := range ix.shards[b][key] {
 					if _, dup := seen[id]; dup {
 						continue

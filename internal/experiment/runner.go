@@ -6,10 +6,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"valentine/internal/core"
 	"valentine/internal/metrics"
+	"valentine/internal/profile"
 )
 
 // Result is one experiment: a method with one parameter variant applied to
@@ -32,6 +34,10 @@ type Spec struct {
 	Methods  []string // subset of grid keys to run; empty means all
 	Pairs    []core.TablePair
 	Workers  int // worker-pool size; 0 means GOMAXPROCS
+	// Profiles is the shared column-profile store: every table of every
+	// pair is profiled once per run, not once per (method, variant)
+	// execution. Nil selects a fresh store private to the run.
+	Profiles *profile.Store
 }
 
 // Run exhaustively executes methods × parameter variants × pairs (Fig. 1,
@@ -53,19 +59,29 @@ func Run(ctx context.Context, spec Spec) ([]Result, error) {
 		}
 	}
 	type job struct {
-		method string
-		params core.Params
-		pair   core.TablePair
+		method  string
+		params  core.Params
+		pair    core.TablePair
+		pairIdx int
 	}
+	// Jobs are ordered pair-major: every (method, variant) of one pair is
+	// dispatched before the next pair starts, so a run-private profile
+	// store can evict a pair's profiles as soon as its last job finishes
+	// and peak memory stays proportional to the pairs in flight, not the
+	// whole workload. Results are re-sorted before returning, so the
+	// dispatch order is unobservable.
 	var jobs []job
 	for _, m := range methods {
-		grid, ok := spec.Grids[m]
-		if !ok {
+		if _, ok := spec.Grids[m]; !ok {
 			return nil, fmt.Errorf("experiment: no grid for method %q", m)
 		}
-		for _, p := range grid {
-			for _, pair := range spec.Pairs {
-				jobs = append(jobs, job{method: m, params: p, pair: pair})
+	}
+	perPair := make([]int, len(spec.Pairs))
+	for pi, pair := range spec.Pairs {
+		for _, m := range methods {
+			for _, p := range spec.Grids[m] {
+				jobs = append(jobs, job{method: m, params: p, pair: pair, pairIdx: pi})
+				perPair[pi]++
 			}
 		}
 	}
@@ -77,6 +93,15 @@ func Run(ctx context.Context, spec Spec) ([]Result, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	store := spec.Profiles
+	evict := store == nil // only a run-private store may drop profiles
+	if store == nil {
+		store = profile.NewStore()
+	}
+	remaining := make([]int64, len(spec.Pairs))
+	for pi, n := range perPair {
+		remaining[pi] = int64(n)
+	}
 	results := make([]Result, len(jobs))
 	jobCh := make(chan int)
 	var wg sync.WaitGroup
@@ -86,7 +111,11 @@ func Run(ctx context.Context, spec Spec) ([]Result, error) {
 			defer wg.Done()
 			for idx := range jobCh {
 				j := jobs[idx]
-				results[idx] = runOne(j.method, j.params, j.pair, spec.Registry)
+				results[idx] = runOne(j.method, j.params, j.pair, spec.Registry, store)
+				if evict && atomic.AddInt64(&remaining[j.pairIdx], -1) == 0 {
+					store.Invalidate(j.pair.Source)
+					store.Invalidate(j.pair.Target)
+				}
 			}
 		}()
 	}
@@ -114,7 +143,7 @@ dispatch:
 	return out, canceled
 }
 
-func runOne(method string, params core.Params, pair core.TablePair, reg *core.Registry) Result {
+func runOne(method string, params core.Params, pair core.TablePair, reg *core.Registry, store *profile.Store) Result {
 	res := Result{
 		Method:   method,
 		Params:   params,
@@ -127,8 +156,19 @@ func runOne(method string, params core.Params, pair core.TablePair, reg *core.Re
 		res.Err = err
 		return res
 	}
+	// Warm the pair's profiles outside the timed region: otherwise the
+	// first (method, variant) job to touch a pair would absorb the shared
+	// profiling cost into its Runtime while later methods hit warm caches,
+	// biasing Table V by worker scheduling. Warm covers both suite
+	// signature lengths (128 and SemProp's 64), so every method is timed
+	// on fully cached profiles. Tables shared between pairs may be
+	// re-profiled after an eviction — that only costs time outside the
+	// timed region, never correctness.
+	sp, tp := store.Of(pair.Source), store.Of(pair.Target)
+	sp.Warm()
+	tp.Warm()
 	start := time.Now()
-	matches, err := m.Match(pair.Source, pair.Target)
+	matches, err := core.MatchWith(m, sp, tp)
 	res.Runtime = time.Since(start)
 	if err != nil {
 		res.Err = err

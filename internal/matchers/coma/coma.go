@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"valentine/internal/core"
+	"valentine/internal/profile"
 	"valentine/internal/strutil"
 	"valentine/internal/table"
 )
@@ -104,19 +105,24 @@ type element struct {
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	if err := source.Validate(); err != nil {
+	return m.MatchProfiles(profile.New(source), profile.New(target))
+}
+
+// MatchProfiles implements core.ProfiledMatcher: name tokens, distinct-value
+// samples and column statistics come from the profiles' caches instead of
+// being recomputed per call.
+func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
-	if err := target.Validate(); err != nil {
-		return nil, err
-	}
+	source, target := sp.Table(), tp.Table()
 	limit := m.MaxSample
 	if limit <= 0 {
 		limit = 150
 	}
 	withInstances := m.Strategy == StrategyInstance
-	srcEls := buildElements(source, withInstances, limit)
-	tgtEls := buildElements(target, withInstances, limit)
+	srcEls := buildElements(sp, withInstances, limit)
+	tgtEls := buildElements(tp, withInstances, limit)
 
 	var out []core.Match
 	for i := range srcEls {
@@ -143,31 +149,28 @@ func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
 	return out, nil
 }
 
-func buildElements(t *table.Table, withInstances bool, limit int) []element {
+func buildElements(tp *profile.TableProfile, withInstances bool, limit int) []element {
+	t := tp.Table()
 	els := make([]element, len(t.Columns))
-	allTokens := make([]map[string]struct{}, len(t.Columns))
 	for i := range t.Columns {
-		allTokens[i] = strutil.ToSet(strutil.Tokenize(t.Columns[i].Name))
-	}
-	for i := range t.Columns {
-		c := &t.Columns[i]
+		p := tp.Column(i)
 		e := element{
-			column: c,
-			path:   t.Name + "." + c.Name,
-			tokens: allTokens[i],
+			column: p.Column(),
+			path:   t.Name + "." + p.Name(),
+			tokens: p.NameTokenSet(),
 		}
 		e.siblings = make(map[string]struct{})
 		for j := range t.Columns {
 			if j == i {
 				continue
 			}
-			for tok := range allTokens[j] {
+			for tok := range tp.Column(j).NameTokenSet() {
 				e.siblings[tok] = struct{}{}
 			}
 		}
 		if withInstances {
-			e.features = instanceFeatures(c)
-			e.sample = sampleSet(c, limit)
+			e.features = instanceFeatures(p)
+			e.sample = sampleSet(p, limit)
 		}
 		els[i] = e
 	}
@@ -297,11 +300,11 @@ func constraintMatcher(a, b *element) float64 {
 }
 
 // instanceFeatures summarizes a column's value population into a
-// scale-normalized feature vector.
-func instanceFeatures(c *table.Column) []float64 {
-	stats := c.Stats()
+// scale-normalized feature vector, reusing the profile's cached statistics.
+func instanceFeatures(p *profile.Profile) []float64 {
+	stats := p.Stats()
 	var digits, alphas, puncts, total float64
-	for _, v := range c.Values {
+	for _, v := range p.Column().Values {
 		for _, r := range v {
 			total++
 			switch {
@@ -339,8 +342,8 @@ func sigmoidScale(x float64) float64 {
 	return 1 / (1 + math.Exp(-x/1000))
 }
 
-func sampleSet(c *table.Column, limit int) map[string]struct{} {
-	vals := c.SortedDistinct()
+func sampleSet(p *profile.Profile, limit int) map[string]struct{} {
+	vals := p.SortedDistinct()
 	out := make(map[string]struct{}, limit)
 	if len(vals) > limit {
 		step := float64(len(vals)) / float64(limit)

@@ -6,6 +6,7 @@ import (
 	"valentine/internal/core"
 	"valentine/internal/fabrication"
 	"valentine/internal/matchers/matchertest"
+	"valentine/internal/profile"
 	"valentine/internal/table"
 )
 
@@ -120,7 +121,7 @@ func TestTypeMatcherScores(t *testing.T) {
 
 func TestConstraintMatcherIdenticalColumns(t *testing.T) {
 	c := &table.Column{Name: "n", Type: table.Int, Values: []string{"1", "2", "3"}}
-	a := &element{column: c, features: instanceFeatures(c)}
+	a := &element{column: c, features: instanceFeatures(profile.NewColumn("t", c))}
 	if got := constraintMatcher(a, a); got != 1 {
 		t.Errorf("identical features = %v", got)
 	}

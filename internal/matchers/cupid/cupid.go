@@ -13,6 +13,7 @@ package cupid
 
 import (
 	"valentine/internal/core"
+	"valentine/internal/profile"
 	"valentine/internal/strutil"
 	"valentine/internal/table"
 	"valentine/internal/wordnet"
@@ -44,25 +45,30 @@ func (m *Matcher) Name() string { return "cupid" }
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	if err := source.Validate(); err != nil {
+	return m.MatchProfiles(profile.New(source), profile.New(target))
+}
+
+// MatchProfiles implements core.ProfiledMatcher: column- and table-name
+// tokens come from the profiles' caches instead of being re-tokenized per
+// call.
+func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
-	if err := target.Validate(); err != nil {
-		return nil, err
-	}
+	source, target := sp.Table(), tp.Table()
 	th := m.Thesaurus
 	if th == nil {
 		th = wordnet.Default()
 	}
 
-	srcTok := tokenized(source)
-	tgtTok := tokenized(target)
+	srcTok := tokenized(sp)
+	tgtTok := tokenized(tp)
 
 	// Pass 1: linguistic similarity and leaf structural similarity.
 	nSrc, nTgt := len(source.Columns), len(target.Columns)
 	lsim := make([][]float64, nSrc)
 	leafS := make([][]float64, nSrc)
-	rootLing := m.linguistic(th, strutil.Tokenize(source.Name), strutil.Tokenize(target.Name))
+	rootLing := m.linguistic(th, sp.NameTokens(), tp.NameTokens())
 	for i := range source.Columns {
 		lsim[i] = make([]float64, nTgt)
 		leafS[i] = make([]float64, nTgt)
@@ -113,10 +119,10 @@ func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
 	return out, nil
 }
 
-func tokenized(t *table.Table) [][]string {
-	out := make([][]string, len(t.Columns))
-	for i := range t.Columns {
-		out[i] = strutil.Tokenize(t.Columns[i].Name)
+func tokenized(tp *profile.TableProfile) [][]string {
+	out := make([][]string, tp.NumColumns())
+	for i := range out {
+		out[i] = tp.Column(i).NameTokens()
 	}
 	return out
 }

@@ -16,12 +16,12 @@ package distribution
 
 import (
 	"sort"
-	"strconv"
 	"strings"
 
 	"valentine/internal/core"
 	"valentine/internal/emd"
 	"valentine/internal/lp"
+	"valentine/internal/profile"
 	"valentine/internal/table"
 )
 
@@ -60,13 +60,18 @@ type columnDist struct {
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	if err := source.Validate(); err != nil {
+	return m.MatchProfiles(profile.New(source), profile.New(target))
+}
+
+// MatchProfiles implements core.ProfiledMatcher: the global value universe
+// is built from each profile's cached parsed distinct values (trim, lower,
+// numeric parse happen once per column, not once per Match call).
+func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
-	if err := target.Validate(); err != nil {
-		return nil, err
-	}
-	cols := m.buildDistributions(source, target)
+	source, target := sp.Table(), tp.Table()
+	cols := m.buildDistributions(sp, tp)
 
 	// Phase 1: quantile-EMD between every cross-table pair; candidate pairs
 	// have EMD ≤ θ₁.
@@ -125,35 +130,32 @@ func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
 
 // buildDistributions computes the global value ranking over both tables and
 // each column's normalized rank distribution plus quantile sketch.
-func (m *Matcher) buildDistributions(source, target *table.Table) []columnDist {
+func (m *Matcher) buildDistributions(sp, tp *profile.TableProfile) []columnDist {
 	// Global ordered universe: numerics by value first, then strings
-	// lexicographically (case-folded).
+	// lexicographically (case-folded). The per-value derived forms come from
+	// the profiles' caches.
 	type valueKey struct {
 		isNum bool
 		num   float64
 		str   string
 	}
 	universe := make(map[string]valueKey)
-	collect := func(t *table.Table) {
-		for _, c := range t.Columns {
-			for _, v := range c.Values {
-				v = strings.TrimSpace(v)
-				if v == "" {
+	collect := func(tprof *profile.TableProfile) {
+		for _, p := range tprof.Columns() {
+			for _, pv := range p.ParsedDistinct() {
+				if _, seen := universe[pv.Value]; seen {
 					continue
 				}
-				if _, seen := universe[v]; seen {
-					continue
-				}
-				if f, err := strconv.ParseFloat(v, 64); err == nil {
-					universe[v] = valueKey{isNum: true, num: f}
+				if pv.IsNum {
+					universe[pv.Value] = valueKey{isNum: true, num: pv.Num}
 				} else {
-					universe[v] = valueKey{str: strings.ToLower(v)}
+					universe[pv.Value] = valueKey{str: pv.Lower}
 				}
 			}
 		}
 	}
-	collect(source)
-	collect(target)
+	collect(sp)
+	collect(tp)
 	keys := make([]string, 0, len(universe))
 	for v := range universe {
 		keys = append(keys, v)
@@ -192,7 +194,8 @@ func (m *Matcher) buildDistributions(source, target *table.Table) []columnDist {
 		maxSample = 300
 	}
 	var cols []columnDist
-	add := func(t *table.Table, isSource bool) {
+	add := func(tprof *profile.TableProfile, isSource bool) {
+		t := tprof.Table()
 		for _, c := range t.Columns {
 			ranks := make([]float64, 0, len(c.Values))
 			for _, v := range c.Values {
@@ -212,8 +215,8 @@ func (m *Matcher) buildDistributions(source, target *table.Table) []columnDist {
 			})
 		}
 	}
-	add(source, true)
-	add(target, false)
+	add(sp, true)
+	add(tp, false)
 	return cols
 }
 

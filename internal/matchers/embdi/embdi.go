@@ -17,6 +17,7 @@ import (
 
 	"valentine/internal/core"
 	"valentine/internal/embedding"
+	"valentine/internal/profile"
 	"valentine/internal/table"
 )
 
@@ -161,12 +162,18 @@ func (g *tripartite) walk(start string, length int, rng *rand.Rand) []string {
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	if err := source.Validate(); err != nil {
+	return m.MatchProfiles(profile.New(source), profile.New(target))
+}
+
+// MatchProfiles implements core.ProfiledMatcher. EmbDI trains pair-local
+// embeddings by walking raw cells, so there is no per-column derived data
+// to reuse — the profiled path exists for uniform dispatch (ensembles, the
+// experiment runner) rather than for caching.
+func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
-	if err := target.Validate(); err != nil {
-		return nil, err
-	}
+	source, target := sp.Table(), tp.Table()
 	g := buildGraph([]*table.Table{source, target}, m.MaxRows, m.Flatten)
 	rng := rand.New(rand.NewSource(m.Seed))
 

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"valentine/internal/core"
+	"valentine/internal/profile"
 	"valentine/internal/table"
 )
 
@@ -88,13 +89,21 @@ func (e *Matcher) Name() string {
 
 // Match implements core.Matcher: every member ranks the pair; rankings are
 // fused into a single ranked list covering every cross-table column pair.
+// The pair is profiled once and shared across all members, so derived
+// column data (distinct sets, tokens, signatures, statistics) is computed
+// once instead of once per member.
 func (e *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	if err := source.Validate(); err != nil {
+	return e.MatchProfiles(profile.New(source), profile.New(target))
+}
+
+// MatchProfiles implements core.ProfiledMatcher: members that are
+// profile-aware consume the shared profiles directly; the rest fall back to
+// their plain Match path.
+func (e *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
-	if err := target.Validate(); err != nil {
-		return nil, err
-	}
+	source, target := sp.Table(), tp.Table()
 	type key struct{ s, t string }
 	fused := make(map[key]float64)
 	totalWeight := 0.0
@@ -104,7 +113,7 @@ func (e *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
 			w = 1
 		}
 		totalWeight += w
-		matches, err := member.Matcher.Match(source, target)
+		matches, err := core.MatchWith(member.Matcher, sp, tp)
 		if err != nil {
 			return nil, fmt.Errorf("ensemble member %s: %w", member.Matcher.Name(), err)
 		}

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"valentine/internal/core"
+	"valentine/internal/profile"
 	"valentine/internal/strutil"
 	"valentine/internal/table"
 )
@@ -38,23 +39,27 @@ func (m *Matcher) Name() string { return "jaccard-levenshtein" }
 
 // Match ranks every cross-table column pair by fuzzy Jaccard similarity.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	if err := source.Validate(); err != nil {
+	return m.MatchProfiles(profile.New(source), profile.New(target))
+}
+
+// MatchProfiles implements core.ProfiledMatcher: the per-column sorted
+// distinct values come from the profiles' caches.
+func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
-	if err := target.Validate(); err != nil {
-		return nil, err
-	}
+	source, target := sp.Table(), tp.Table()
 	limit := m.MaxSample
 	if limit <= 0 {
 		limit = 120
 	}
 	srcSets := make([][]string, len(source.Columns))
 	for i := range source.Columns {
-		srcSets[i] = sampleDistinct(&source.Columns[i], limit)
+		srcSets[i] = sampleDistinct(sp.Column(i), limit)
 	}
 	tgtSets := make([][]string, len(target.Columns))
 	for i := range target.Columns {
-		tgtSets[i] = sampleDistinct(&target.Columns[i], limit)
+		tgtSets[i] = sampleDistinct(tp.Column(i), limit)
 	}
 	var out []core.Match
 	for i := range source.Columns {
@@ -74,9 +79,10 @@ func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
 }
 
 // sampleDistinct returns up to max distinct values, deterministically (the
-// lexicographically first ones), so runs are reproducible.
-func sampleDistinct(c *table.Column, max int) []string {
-	vals := c.SortedDistinct()
+// lexicographically first ones), so runs are reproducible. The returned
+// slice may alias the profile's cache and must be treated as read-only.
+func sampleDistinct(p *profile.Profile, max int) []string {
+	vals := p.SortedDistinct()
 	if len(vals) > max {
 		// stride-sample across the sorted set to keep the value range
 		out := make([]string, 0, max)

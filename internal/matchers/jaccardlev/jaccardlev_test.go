@@ -6,6 +6,7 @@ import (
 	"valentine/internal/core"
 	"valentine/internal/fabrication"
 	"valentine/internal/matchers/matchertest"
+	"valentine/internal/profile"
 	"valentine/internal/table"
 )
 
@@ -86,12 +87,12 @@ func TestSampleDistinctCaps(t *testing.T) {
 		vals[i] = matchName(i)
 	}
 	c := table.Column{Name: "x", Values: vals}
-	s := sampleDistinct(&c, 50)
+	s := sampleDistinct(profile.NewColumn("t", &c), 50)
 	if len(s) != 50 {
 		t.Fatalf("sample = %d", len(s))
 	}
 	// determinism
-	s2 := sampleDistinct(&c, 50)
+	s2 := sampleDistinct(profile.NewColumn("t", &c), 50)
 	for i := range s {
 		if s[i] != s2[i] {
 			t.Fatal("sampling not deterministic")

@@ -6,13 +6,15 @@
 // similarity; all other pairs are skipped entirely, which is where the
 // speedup over exact set intersection comes from.
 //
-// The MinHash/banding primitives (ColumnSignature, BandKey, EstimateJaccard)
-// are exported and shared with the corpus-level index in internal/discovery,
-// so pairwise matching and indexed search score identically.
+// The MinHash/banding primitives live in internal/profile — the shared lazy
+// column-profile layer — and are re-exported here; the corpus-level index in
+// internal/discovery consumes the same implementation, so pairwise matching
+// and indexed search score identically.
 package lshmatch
 
 import (
 	"valentine/internal/core"
+	"valentine/internal/profile"
 	"valentine/internal/table"
 )
 
@@ -44,16 +46,20 @@ func (m *Matcher) Name() string { return "lsh-value-overlap" }
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	if err := source.Validate(); err != nil {
+	return m.MatchProfiles(profile.New(source), profile.New(target))
+}
+
+// MatchProfiles implements core.ProfiledMatcher: signatures come from the
+// profiles' per-column caches instead of being recomputed per call.
+func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
-	if err := target.Validate(); err != nil {
-		return nil, err
-	}
+	source, target := sp.Table(), tp.Table()
 	k, bands, rows := Geometry(m.Signature, m.Bands)
 
-	srcSigs := Signatures(source, k)
-	tgtSigs := Signatures(target, k)
+	srcSigs := signaturesOf(sp, k)
+	tgtSigs := signaturesOf(tp, k)
 
 	// Index target columns by band-bucket.
 	type bucket struct {

@@ -1,133 +1,47 @@
 package lshmatch
 
-// MinHash signature and LSH banding primitives. They are exported so the
-// corpus-level discovery index (internal/discovery) and the pairwise LSH
-// matcher share one implementation: a signature computed at indexing time is
-// bit-for-bit identical to one computed by the matcher, so estimated Jaccard
-// scores agree across both code paths.
+// The MinHash signature and LSH banding primitives moved to
+// internal/profile — the shared lazy column-profile layer — so the
+// per-column Profile, this pairwise matcher, and the corpus-level discovery
+// index (internal/discovery) all compute signatures through one
+// implementation. Only the names this package still consumes are aliased
+// below; everything else lives solely in internal/profile.
 
 import (
-	"hash/fnv"
-
-	"valentine/internal/table"
+	"valentine/internal/profile"
 )
 
 // EmptySlot is the sentinel value of a signature slot that never saw a
 // value (empty column). Two empty slots never count as agreement.
-const EmptySlot = ^uint64(0)
+const EmptySlot = profile.EmptySlot
 
 // DefaultSignature and DefaultBands are the suite-wide LSH defaults:
 // 128-slot signatures in 32 bands of 4 rows, targeting Jaccard ≈ 0.3+.
 const (
-	DefaultSignature = 128
-	DefaultBands     = 32
+	DefaultSignature = profile.DefaultSignature
+	DefaultBands     = profile.DefaultBands
 )
 
-// ColumnSignature computes the k-slot MinHash signature of one column over
-// its distinct non-empty values.
-func ColumnSignature(c *table.Column, k int) []uint64 {
-	return SignatureOf(c.DistinctValues(), k)
-}
-
-// SignatureOf computes the k-slot MinHash signature of a value set. Callers
-// that already hold the distinct set avoid recomputing it.
-func SignatureOf(values map[string]struct{}, k int) []uint64 {
-	sig := make([]uint64, k)
-	for s := range sig {
-		sig[s] = EmptySlot
-	}
-	for v := range values {
-		h := fnv.New64a()
-		h.Write([]byte(v))
-		base := h.Sum64()
-		for s := 0; s < k; s++ {
-			hv := mix(base, uint64(s))
-			if hv < sig[s] {
-				sig[s] = hv
-			}
-		}
-	}
-	return sig
-}
-
-// IsEmptySignature reports whether sig is the signature of a column with no
-// non-empty values (every slot still the EmptySlot sentinel). Such
-// signatures collide with each other in every band while never producing a
-// positive Jaccard estimate, so indexes skip banding them.
-func IsEmptySignature(sig []uint64) bool {
-	for _, v := range sig {
-		if v != EmptySlot {
-			return false
-		}
-	}
-	return true
-}
-
-// Signatures computes MinHash signatures for every column of t.
-func Signatures(t *table.Table, k int) [][]uint64 {
-	out := make([][]uint64, len(t.Columns))
-	for i := range t.Columns {
-		out[i] = ColumnSignature(&t.Columns[i], k)
+// signaturesOf collects the cached per-column signatures of a profiled
+// table.
+func signaturesOf(tp *profile.TableProfile, k int) [][]uint64 {
+	out := make([][]uint64, tp.NumColumns())
+	for i := range out {
+		out[i] = tp.Column(i).Signature(k)
 	}
 	return out
 }
 
-// BandKey hashes one band of a signature into a bucket key. Signatures
-// hashed with the same (band, rows) geometry land in the same bucket iff
-// the band's slots agree exactly.
+// BandKey hashes one band of a signature into a bucket key.
 func BandKey(sig []uint64, band, rows int) uint64 {
-	h := uint64(band) + 0x9e3779b97f4a7c15
-	for _, v := range sig[band*rows : (band+1)*rows] {
-		h ^= v
-		h *= 0x100000001b3
-	}
-	return h
+	return profile.BandKey(sig, band, rows)
 }
 
 // EstimateJaccard estimates the Jaccard similarity of the two underlying
-// value sets as the fraction of agreeing signature slots; empty-column
-// sentinel slots never count as agreement.
-func EstimateJaccard(a, b []uint64) float64 {
-	if len(a) == 0 || len(a) != len(b) {
-		return 0
-	}
-	eq := 0
-	for i := range a {
-		if a[i] == b[i] && a[i] != EmptySlot {
-			eq++
-		}
-	}
-	return float64(eq) / float64(len(a))
-}
+// value sets as the fraction of agreeing signature slots.
+func EstimateJaccard(a, b []uint64) float64 { return profile.EstimateJaccard(a, b) }
 
-// Geometry normalizes a (signature, bands) request to a valid LSH geometry:
-// defaults applied, bands clamped to the signature length, and rows-per-band
-// derived. Slots beyond bands×rows contribute to Jaccard estimation but not
-// to banding.
+// Geometry normalizes a (signature, bands) request to a valid LSH geometry.
 func Geometry(signature, bands int) (k, b, rows int) {
-	k = signature
-	if k <= 0 {
-		k = DefaultSignature
-	}
-	b = bands
-	if b <= 0 || b > k {
-		b = DefaultBands
-		if b > k {
-			b = k
-		}
-	}
-	rows = k / b
-	if rows == 0 {
-		rows = 1
-	}
-	return k, b, rows
-}
-
-func mix(x, salt uint64) uint64 {
-	x ^= salt * 0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	return x ^ (x >> 31)
+	return profile.Geometry(signature, bands)
 }

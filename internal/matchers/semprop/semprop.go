@@ -11,12 +11,10 @@
 package semprop
 
 import (
-	"hash/fnv"
-
 	"valentine/internal/core"
 	"valentine/internal/embedding"
 	"valentine/internal/ontology"
-	"valentine/internal/strutil"
+	"valentine/internal/profile"
 	"valentine/internal/table"
 )
 
@@ -41,7 +39,7 @@ func New(p core.Params) (core.Matcher, error) {
 		MinhashThresh:   p.Float("minhash_threshold", 0.25),
 		Onto:            ontology.EFO(),
 		Emb:             embedding.NewPretrained(p.Int("dims", 64), nil),
-		signatureSize:   p.Int("signature", 64),
+		signatureSize:   p.Int("signature", profile.CompactSignature),
 	}, nil
 }
 
@@ -56,17 +54,22 @@ type classLink struct {
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	if err := source.Validate(); err != nil {
+	return m.MatchProfiles(profile.New(source), profile.New(target))
+}
+
+// MatchProfiles implements core.ProfiledMatcher: name tokens and MinHash
+// signatures come from the profiles' caches instead of being recomputed per
+// call.
+func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
-	if err := target.Validate(); err != nil {
-		return nil, err
-	}
+	source, target := sp.Table(), tp.Table()
 	classVecs := m.classVectors()
-	srcLinks := m.linkColumns(source, classVecs)
-	tgtLinks := m.linkColumns(target, classVecs)
-	srcSigs := m.signatures(source)
-	tgtSigs := m.signatures(target)
+	srcLinks := m.linkColumns(sp, classVecs)
+	tgtLinks := m.linkColumns(tp, classVecs)
+	srcSigs := m.signatures(sp)
+	tgtSigs := m.signatures(tp)
 
 	var out []core.Match
 	for i := range source.Columns {
@@ -109,13 +112,14 @@ func (m *Matcher) classVectors() map[string]embedding.Vector {
 	return out
 }
 
-// linkColumns links each column of t to its best ontology classes above the
-// semantic threshold, embedding the table-name and column-name tokens.
-func (m *Matcher) linkColumns(t *table.Table, classVecs map[string]embedding.Vector) [][]classLink {
-	out := make([][]classLink, len(t.Columns))
-	tableTokens := strutil.Tokenize(t.Name)
-	for i := range t.Columns {
-		tokens := append(append([]string{}, tableTokens...), strutil.Tokenize(t.Columns[i].Name)...)
+// linkColumns links each column to its best ontology classes above the
+// semantic threshold, embedding the cached table-name and column-name
+// tokens.
+func (m *Matcher) linkColumns(tprof *profile.TableProfile, classVecs map[string]embedding.Vector) [][]classLink {
+	out := make([][]classLink, tprof.NumColumns())
+	tableTokens := tprof.NameTokens()
+	for i := range out {
+		tokens := append(append([]string{}, tableTokens...), tprof.Column(i).NameTokens()...)
 		v := m.Emb.TextVector(tokens)
 		var links []classLink
 		for _, c := range m.Onto.Classes() {
@@ -156,30 +160,17 @@ func (m *Matcher) semanticScore(a, b []classLink) float64 {
 	return best
 }
 
-// signatures computes MinHash signatures of each column's distinct values.
-func (m *Matcher) signatures(t *table.Table) [][]uint64 {
+// signatures collects each column's cached MinHash signature at SemProp's
+// configured length (the shared implementation in internal/profile, so the
+// estimates agree with every other signature consumer in the suite).
+func (m *Matcher) signatures(tprof *profile.TableProfile) [][]uint64 {
 	k := m.signatureSize
 	if k <= 0 {
-		k = 64
+		k = profile.CompactSignature
 	}
-	out := make([][]uint64, len(t.Columns))
-	for i := range t.Columns {
-		sig := make([]uint64, k)
-		for s := range sig {
-			sig[s] = ^uint64(0)
-		}
-		for v := range t.Columns[i].DistinctValues() {
-			h := fnv.New64a()
-			h.Write([]byte(v))
-			base := h.Sum64()
-			for s := 0; s < k; s++ {
-				hv := mix(base, uint64(s))
-				if hv < sig[s] {
-					sig[s] = hv
-				}
-			}
-		}
-		out[i] = sig
+	out := make([][]uint64, tprof.NumColumns())
+	for i := range out {
+		out[i] = tprof.Column(i).Signature(k)
 	}
 	return out
 }
@@ -187,23 +178,5 @@ func (m *Matcher) signatures(t *table.Table) [][]uint64 {
 // signatureJaccard estimates Jaccard similarity from two MinHash
 // signatures.
 func signatureJaccard(a, b []uint64) float64 {
-	if len(a) == 0 || len(a) != len(b) {
-		return 0
-	}
-	eq := 0
-	for i := range a {
-		if a[i] == b[i] && a[i] != ^uint64(0) {
-			eq++
-		}
-	}
-	return float64(eq) / float64(len(a))
-}
-
-func mix(x, salt uint64) uint64 {
-	x ^= salt * 0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	return x ^ (x >> 31)
+	return profile.EstimateJaccard(a, b)
 }

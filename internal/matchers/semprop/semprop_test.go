@@ -7,6 +7,7 @@ import (
 	"valentine/internal/datagen"
 	"valentine/internal/fabrication"
 	"valentine/internal/matchers/matchertest"
+	"valentine/internal/profile"
 	"valentine/internal/table"
 )
 
@@ -29,7 +30,7 @@ func TestChEMBLColumnsLinkToOntology(t *testing.T) {
 	src := datagen.ChEMBL(datagen.Options{Rows: 40})
 	m := newM(t, nil).(*Matcher)
 	classVecs := m.classVectors()
-	links := m.linkColumns(src, classVecs)
+	links := m.linkColumns(profile.New(src), classVecs)
 	linked := 0
 	for _, l := range links {
 		if len(l) > 0 {

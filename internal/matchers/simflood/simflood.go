@@ -17,6 +17,7 @@ import (
 
 	"valentine/internal/core"
 	"valentine/internal/graph"
+	"valentine/internal/profile"
 	"valentine/internal/strutil"
 	"valentine/internal/table"
 )
@@ -104,12 +105,19 @@ func splitID(id string) (kind, label string) {
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	if err := source.Validate(); err != nil {
+	return m.MatchProfiles(profile.New(source), profile.New(target))
+}
+
+// MatchProfiles implements core.ProfiledMatcher. Similarity Flooding's
+// schema graphs are built from column names and types only — there is no
+// per-column derived data to reuse — so the profiled path exists for
+// uniform dispatch (ensembles, the experiment runner) rather than for
+// caching.
+func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
-	if err := target.Validate(); err != nil {
-		return nil, err
-	}
+	source, target := sp.Table(), tp.Table()
 	g1 := buildGraph(source)
 	g2 := buildGraph(target)
 	pcg := graph.BuildPCG(g1, g2)

@@ -1,0 +1,279 @@
+// Package profile is the shared lazy column-profile layer of the suite:
+// every piece of derived per-column data the matchers and the discovery
+// index consume — distinct value sets, sorted distinct values, name tokens,
+// trimmed/lowercased/parsed value forms, numeric vectors, summary statistics
+// and MinHash signatures — is computed at most once per column and cached
+// here, instead of being re-derived by every matcher on every Match call.
+//
+// A Profile is lazy (nothing is computed until first use) and
+// concurrency-safe (each artifact is guarded by a sync.Once, signatures by a
+// mutex-guarded per-length cache), so one profile can feed an ensemble's
+// members, a worker-pool experiment grid, and concurrent discovery queries
+// at the same time. A TableProfile bundles the profiles of one table; a
+// Store (store.go) caches TableProfiles per corpus with explicit
+// invalidation, stale detection, and a parallel Warm pass.
+//
+// The cached slices and maps returned by accessors are shared, not copied:
+// callers must treat them as read-only.
+package profile
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"valentine/internal/strutil"
+	"valentine/internal/table"
+)
+
+// Profile is the lazily-computed bundle of derived data for one column.
+type Profile struct {
+	tableName string
+	col       *table.Column
+
+	distinctOnce sync.Once
+	distinct     map[string]struct{}
+
+	sortedOnce sync.Once
+	sorted     []string
+
+	tokensOnce sync.Once
+	tokens     []string
+	tokenSet   map[string]struct{}
+
+	parsedOnce sync.Once
+	parsed     []ParsedValue
+
+	numericOnce sync.Once
+	numeric     []float64
+
+	statsOnce sync.Once
+	stats     table.ColumnStats
+
+	sigMu sync.Mutex
+	sigs  map[int][]uint64
+}
+
+// ParsedValue is one distinct column value in its derived forms: trimmed,
+// lowercased, and — when the trimmed form parses as a float — numeric.
+type ParsedValue struct {
+	Value string // whitespace-trimmed distinct value (never empty)
+	Lower string // lowercase form of Value
+	Num   float64
+	IsNum bool
+}
+
+// TableName returns the owning table's name at profiling time.
+func (p *Profile) TableName() string { return p.tableName }
+
+// Name returns the column name.
+func (p *Profile) Name() string { return p.col.Name }
+
+// Type returns the column's inferred type.
+func (p *Profile) Type() table.Type { return p.col.Type }
+
+// Rows returns the number of cells (including empty ones).
+func (p *Profile) Rows() int { return len(p.col.Values) }
+
+// Column returns the underlying column for raw value access.
+func (p *Profile) Column() *table.Column { return p.col }
+
+// DistinctValues returns the cached set of distinct non-empty values.
+func (p *Profile) DistinctValues() map[string]struct{} {
+	p.distinctOnce.Do(func() {
+		p.distinct = p.col.DistinctValues()
+	})
+	return p.distinct
+}
+
+// Distinct returns the number of distinct non-empty values.
+func (p *Profile) Distinct() int { return len(p.DistinctValues()) }
+
+// SortedDistinct returns the cached sorted distinct non-empty values.
+func (p *Profile) SortedDistinct() []string {
+	p.sortedOnce.Do(func() {
+		set := p.DistinctValues()
+		out := make([]string, 0, len(set))
+		for v := range set {
+			out = append(out, v)
+		}
+		sort.Strings(out)
+		p.sorted = out
+	})
+	return p.sorted
+}
+
+// NameTokens returns the cached lowercase word tokens of the column name.
+func (p *Profile) NameTokens() []string {
+	p.tokensOnce.Do(func() {
+		p.tokens = strutil.Tokenize(p.col.Name)
+		p.tokenSet = strutil.ToSet(p.tokens)
+	})
+	return p.tokens
+}
+
+// NameTokenSet returns the cached name tokens as a set.
+func (p *Profile) NameTokenSet() map[string]struct{} {
+	p.NameTokens()
+	return p.tokenSet
+}
+
+// ParsedDistinct returns the distinct values in trimmed/lowercased/parsed
+// form, ordered as SortedDistinct. Values that trim to the empty string are
+// dropped; values whose trimmed forms collide are reported once.
+func (p *Profile) ParsedDistinct() []ParsedValue {
+	p.parsedOnce.Do(func() {
+		sorted := p.SortedDistinct()
+		out := make([]ParsedValue, 0, len(sorted))
+		seen := make(map[string]struct{}, len(sorted))
+		for _, raw := range sorted {
+			v := strings.TrimSpace(raw)
+			if v == "" {
+				continue
+			}
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			pv := ParsedValue{Value: v, Lower: strings.ToLower(v)}
+			if f, err := strconv.ParseFloat(v, 64); err == nil {
+				pv.Num, pv.IsNum = f, true
+			}
+			out = append(out, pv)
+		}
+		p.parsed = out
+	})
+	return p.parsed
+}
+
+// NumericValues returns the cached numeric vector: every non-empty cell
+// parseable as a float, in row order with multiplicity, plus its length.
+func (p *Profile) NumericValues() ([]float64, int) {
+	p.numericOnce.Do(func() {
+		p.numeric, _ = p.col.NumericValues()
+	})
+	return p.numeric, len(p.numeric)
+}
+
+// Stats returns the cached summary statistics, computed from the cached
+// distinct set and numeric vector.
+func (p *Profile) Stats() table.ColumnStats {
+	p.statsOnce.Do(func() {
+		nums, _ := p.NumericValues()
+		p.stats = p.col.StatsFromDerived(nums, p.Distinct())
+	})
+	return p.stats
+}
+
+// Signature returns the cached k-slot MinHash signature of the column's
+// distinct values, computing and memoizing it per requested length.
+func (p *Profile) Signature(k int) []uint64 {
+	if k <= 0 {
+		k = DefaultSignature
+	}
+	set := p.DistinctValues() // outside the lock: sync.Once-guarded
+	p.sigMu.Lock()
+	defer p.sigMu.Unlock()
+	if sig, ok := p.sigs[k]; ok {
+		return sig
+	}
+	sig := SignatureOf(set, k)
+	if p.sigs == nil {
+		p.sigs = make(map[int][]uint64, 2)
+	}
+	p.sigs[k] = sig
+	return sig
+}
+
+// warm forces every artifact of the profile, including both suite
+// signature lengths.
+func (p *Profile) warm() {
+	p.SortedDistinct()
+	p.NameTokens()
+	p.ParsedDistinct()
+	p.Stats()
+	p.Signature(DefaultSignature)
+	p.Signature(CompactSignature)
+}
+
+// TableProfile bundles the per-column profiles of one table plus
+// table-level derived data (name tokens).
+type TableProfile struct {
+	tab  *table.Table
+	cols []*Profile
+
+	nameTokensOnce sync.Once
+	nameTokens     []string
+}
+
+// NewColumn profiles one column outside any table context (tests, ad-hoc
+// column comparisons). Matchers should profile whole tables with New.
+func NewColumn(tableName string, c *table.Column) *Profile {
+	return &Profile{tableName: tableName, col: c}
+}
+
+// New profiles a table without caching it in any Store. Derived data is
+// still computed lazily and at most once, so the profiles of one New call
+// can be shared across matchers (the ensemble's members, for instance).
+func New(t *table.Table) *TableProfile {
+	tp := &TableProfile{tab: t, cols: make([]*Profile, len(t.Columns))}
+	for i := range t.Columns {
+		tp.cols[i] = &Profile{tableName: t.Name, col: &t.Columns[i]}
+	}
+	return tp
+}
+
+// Table returns the underlying table.
+func (tp *TableProfile) Table() *table.Table { return tp.tab }
+
+// Name returns the table name.
+func (tp *TableProfile) Name() string { return tp.tab.Name }
+
+// NumColumns returns the number of profiled columns.
+func (tp *TableProfile) NumColumns() int { return len(tp.cols) }
+
+// Column returns the profile of column i.
+func (tp *TableProfile) Column(i int) *Profile { return tp.cols[i] }
+
+// Columns returns the profiles in column order (read-only).
+func (tp *TableProfile) Columns() []*Profile { return tp.cols }
+
+// ColumnByName returns the profile of the named column, or nil.
+func (tp *TableProfile) ColumnByName(name string) *Profile {
+	for _, p := range tp.cols {
+		if p.col.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// NameTokens returns the cached lowercase word tokens of the table name.
+func (tp *TableProfile) NameTokens() []string {
+	tp.nameTokensOnce.Do(func() {
+		tp.nameTokens = strutil.Tokenize(tp.tab.Name)
+	})
+	return tp.nameTokens
+}
+
+// Warm forces every derived artifact of every column, so later concurrent
+// readers only ever hit caches.
+func (tp *TableProfile) Warm() {
+	tp.NameTokens()
+	for _, p := range tp.cols {
+		p.warm()
+	}
+}
+
+// ValueOverlap returns |A∩B| / |A∪B| over the cached distinct value sets —
+// the profile-aware form of table.ValueOverlap.
+func ValueOverlap(a, b *Profile) float64 {
+	return table.JaccardOfSets(a.DistinctValues(), b.DistinctValues())
+}
+
+// Containment returns |A∩B| / |A| over the cached distinct value sets —
+// the profile-aware form of table.Containment.
+func Containment(a, b *Profile) float64 {
+	return table.ContainmentOfSets(a.DistinctValues(), b.DistinctValues())
+}

@@ -1,0 +1,144 @@
+package profile
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"valentine/internal/strutil"
+	"valentine/internal/table"
+)
+
+func fixtureTable() *table.Table {
+	t := table.New("orders")
+	t.AddColumn("customerID", []string{"c3", "c1", "c2", "c1", ""})
+	t.AddColumn("amount", []string{"10.5", "3", "7", "", "10.5"})
+	t.AddColumn("note", []string{"  Hello ", "hello", "WORLD", "", "  Hello "})
+	return t
+}
+
+func TestProfileMatchesDirectComputation(t *testing.T) {
+	tab := fixtureTable()
+	tp := New(tab)
+	if tp.Name() != "orders" || tp.NumColumns() != 3 {
+		t.Fatalf("table profile = %s/%d", tp.Name(), tp.NumColumns())
+	}
+	for i := range tab.Columns {
+		c := &tab.Columns[i]
+		p := tp.Column(i)
+		if p.Name() != c.Name || p.Type() != c.Type || p.Rows() != len(c.Values) {
+			t.Errorf("%s: identity mismatch", c.Name)
+		}
+		if !reflect.DeepEqual(p.DistinctValues(), c.DistinctValues()) {
+			t.Errorf("%s: distinct mismatch", c.Name)
+		}
+		if !reflect.DeepEqual(p.SortedDistinct(), c.SortedDistinct()) {
+			t.Errorf("%s: sorted distinct mismatch", c.Name)
+		}
+		if !reflect.DeepEqual(p.NameTokens(), strutil.Tokenize(c.Name)) {
+			t.Errorf("%s: token mismatch", c.Name)
+		}
+		nums, n := p.NumericValues()
+		wantNums, wantN := c.NumericValues()
+		if n != wantN || !reflect.DeepEqual(nums, wantNums) {
+			t.Errorf("%s: numeric mismatch", c.Name)
+		}
+		if p.Stats() != c.Stats() {
+			t.Errorf("%s: stats mismatch:\n  profile %+v\n  direct  %+v", c.Name, p.Stats(), c.Stats())
+		}
+		if !reflect.DeepEqual(p.Signature(64), SignatureOf(c.DistinctValues(), 64)) {
+			t.Errorf("%s: signature mismatch", c.Name)
+		}
+	}
+}
+
+func TestParsedDistinctTrimsLowersParses(t *testing.T) {
+	tab := fixtureTable()
+	p := New(tab).Column(2) // note: "  Hello ", "hello", "WORLD"
+	parsed := p.ParsedDistinct()
+	// Distinct raw values: "  Hello ", "WORLD", "hello"; trimming folds
+	// nothing here but must strip the padding.
+	want := map[string]string{"Hello": "hello", "WORLD": "world", "hello": "hello"}
+	if len(parsed) != len(want) {
+		t.Fatalf("parsed = %v", parsed)
+	}
+	for _, pv := range parsed {
+		if lower, ok := want[pv.Value]; !ok || pv.Lower != lower || pv.IsNum {
+			t.Errorf("parsed value %+v unexpected", pv)
+		}
+	}
+	amount := New(tab).Column(1).ParsedDistinct()
+	for _, pv := range amount {
+		if !pv.IsNum {
+			t.Errorf("amount value %q should parse numeric", pv.Value)
+		}
+	}
+}
+
+func TestSignatureCachePerLength(t *testing.T) {
+	p := New(fixtureTable()).Column(0)
+	a, b := p.Signature(64), p.Signature(64)
+	if &a[0] != &b[0] {
+		t.Error("same-length signatures should share one cached slice")
+	}
+	if len(p.Signature(128)) != 128 {
+		t.Error("second length should compute independently")
+	}
+	if len(p.Signature(0)) != DefaultSignature {
+		t.Error("k<=0 should select the default length")
+	}
+}
+
+func TestProfileConcurrentAccess(t *testing.T) {
+	tab := fixtureTable()
+	tp := New(tab)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < tp.NumColumns(); i++ {
+				p := tp.Column(i)
+				p.DistinctValues()
+				p.SortedDistinct()
+				p.NameTokens()
+				p.ParsedDistinct()
+				p.Stats()
+				p.Signature(64)
+				p.Signature(128)
+			}
+			tp.NameTokens()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestValueOverlapAndContainmentMatchTableOps(t *testing.T) {
+	tab := fixtureTable()
+	tp := New(tab)
+	a, b := &tab.Columns[0], &tab.Columns[2]
+	if got, want := ValueOverlap(tp.Column(0), tp.Column(2)), table.ValueOverlap(a, b); got != want {
+		t.Errorf("ValueOverlap = %v, want %v", got, want)
+	}
+	if got, want := Containment(tp.Column(0), tp.Column(2)), table.Containment(a, b); got != want {
+		t.Errorf("Containment = %v, want %v", got, want)
+	}
+}
+
+func TestMinhashGeometryAndEstimates(t *testing.T) {
+	set := map[string]struct{}{"a": {}, "b": {}, "c": {}}
+	sig := SignatureOf(set, 32)
+	if IsEmptySignature(sig) {
+		t.Error("non-empty set should not produce the empty signature")
+	}
+	if !IsEmptySignature(SignatureOf(nil, 32)) {
+		t.Error("empty set must produce the empty signature")
+	}
+	if EstimateJaccard(sig, sig) != 1 {
+		t.Error("identical signatures estimate 1")
+	}
+	k, b, rows := Geometry(0, 0)
+	if k != DefaultSignature || b != DefaultBands || rows != k/b {
+		t.Errorf("default geometry = %d/%d/%d", k, b, rows)
+	}
+}

@@ -23,15 +23,29 @@ type ColumnStats struct {
 
 // Stats computes summary statistics for the column.
 func (c *Column) Stats() ColumnStats {
+	nums, _ := c.NumericValues()
+	return c.StatsFromDerived(nums, -1)
+}
+
+// StatsFromDerived computes summary statistics reusing derived inputs a
+// caller (the profile layer) already holds: nums must equal the column's
+// NumericValues() and distinct its count of distinct non-empty values, or
+// be negative to count here. Results are identical to Stats.
+func (c *Column) StatsFromDerived(nums []float64, distinct int) ColumnStats {
 	var s ColumnStats
 	s.MinLength = math.MaxInt32
-	set := make(map[string]struct{})
+	var set map[string]struct{}
+	if distinct < 0 {
+		set = make(map[string]struct{})
+	}
 	for _, v := range c.Values {
 		if v == "" {
 			continue
 		}
 		s.Count++
-		set[v] = struct{}{}
+		if set != nil {
+			set[v] = struct{}{}
+		}
 		n := len(v)
 		s.AvgLength += float64(n)
 		if n > s.MaxLength {
@@ -41,13 +55,16 @@ func (c *Column) Stats() ColumnStats {
 			s.MinLength = n
 		}
 	}
-	s.Distinct = len(set)
+	if set != nil {
+		distinct = len(set)
+	}
+	s.Distinct = distinct
 	if s.Count > 0 {
 		s.AvgLength /= float64(s.Count)
 	} else {
 		s.MinLength = 0
 	}
-	nums, n := c.NumericValues()
+	n := len(nums)
 	s.NumericCount = n
 	if n > 0 {
 		sum := 0.0

@@ -152,13 +152,24 @@ func (t *Table) Validate() error {
 	return nil
 }
 
+// withValues returns a column sharing c's name and type over a new value
+// slice (which the caller must not retain elsewhere).
+func (c *Column) withValues(vals []string) Column {
+	return Column{Name: c.Name, Type: c.Type, Values: vals}
+}
+
+// clone returns a deep copy of the column.
+func (c *Column) clone() Column {
+	vals := make([]string, len(c.Values))
+	copy(vals, c.Values)
+	return c.withValues(vals)
+}
+
 // Clone returns a deep copy of the table.
 func (t *Table) Clone() *Table {
 	out := &Table{Name: t.Name, Columns: make([]Column, len(t.Columns))}
-	for i, c := range t.Columns {
-		vals := make([]string, len(c.Values))
-		copy(vals, c.Values)
-		out.Columns[i] = Column{Name: c.Name, Type: c.Type, Values: vals}
+	for i := range t.Columns {
+		out.Columns[i] = t.Columns[i].clone()
 	}
 	return out
 }
@@ -172,9 +183,7 @@ func (t *Table) Project(names ...string) (*Table, error) {
 		if c == nil {
 			return nil, fmt.Errorf("table %q: no column %q", t.Name, n)
 		}
-		vals := make([]string, len(c.Values))
-		copy(vals, c.Values)
-		out.Columns = append(out.Columns, Column{Name: c.Name, Type: c.Type, Values: vals})
+		out.Columns = append(out.Columns, c.clone())
 	}
 	return out, nil
 }
@@ -184,7 +193,8 @@ func (t *Table) Project(names ...string) (*Table, error) {
 func (t *Table) SelectRows(idx []int) (*Table, error) {
 	n := t.NumRows()
 	out := &Table{Name: t.Name, Columns: make([]Column, len(t.Columns))}
-	for j, c := range t.Columns {
+	for j := range t.Columns {
+		c := &t.Columns[j]
 		vals := make([]string, 0, len(idx))
 		for _, i := range idx {
 			if i < 0 || i >= n {
@@ -192,7 +202,7 @@ func (t *Table) SelectRows(idx []int) (*Table, error) {
 			}
 			vals = append(vals, c.Values[i])
 		}
-		out.Columns[j] = Column{Name: c.Name, Type: c.Type, Values: vals}
+		out.Columns[j] = c.withValues(vals)
 	}
 	return out, nil
 }
