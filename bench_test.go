@@ -731,6 +731,87 @@ func BenchmarkProfileWarm(b *testing.B) {
 	}
 }
 
+// --- engine benches (parallel vs sequential execution of one workload) ---
+
+// engineEnsembleMethods are the heavyweight members used to measure the
+// engine's member-level fan-out: instance methods whose scoring dominates
+// their runtime, so the parallel/sequential contrast is about execution, not
+// profiling (the store is pre-warmed in both arms).
+var engineEnsembleMethods = []string{
+	MethodComaInstance, MethodDistribution, MethodJaccardLev, MethodLSH,
+}
+
+func engineBenchEnsemble(b *testing.B) (Matcher, *TableProfile, *TableProfile) {
+	b.Helper()
+	src := datagen.OpenData(datagen.Options{Rows: 1500, Seed: 6})
+	pair, err := fabrication.New(8).Joinable(src, 0.5, 1.0, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEnsemble(engineEnsembleMethods, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := NewProfileStore()
+	store.Warm(pair.Source, pair.Target)
+	return e, store.Of(pair.Source), store.Of(pair.Target)
+}
+
+func benchEngineEnsemble(b *testing.B, parallelism int) {
+	e, sp, tp := engineBenchEnsemble(b)
+	ctx := WithEngineOptions(context.Background(), EngineOptions{Parallelism: parallelism})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatchProfilesWithContext(ctx, e, sp, tp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineEnsembleSequential pins the engine to one worker — the
+// pre-engine member-at-a-time loop, executed inline.
+func BenchmarkEngineEnsembleSequential(b *testing.B) { benchEngineEnsemble(b, 1) }
+
+// BenchmarkEngineEnsembleParallel fans ensemble members (and each member's
+// row scoring) out at GOMAXPROCS. Same scores, bit-identical ranking; the
+// wall-clock ratio to the Sequential bench is the engine's speedup on this
+// hardware.
+func BenchmarkEngineEnsembleParallel(b *testing.B) { benchEngineEnsemble(b, 0) }
+
+func engineBenchSpec(b *testing.B, workers int) experiment.Spec {
+	b.Helper()
+	src := datagen.TPCDI(datagen.Options{Rows: 40, Seed: 2})
+	pairs, err := fabrication.GridSeeds(fabrication.SourceTable{Name: "TPC-DI", Table: src}, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return experiment.Spec{
+		Registry: experiment.NewRegistry(),
+		Grids:    experiment.QuickGrids(),
+		Methods:  []string{MethodComaSchema, MethodComaInstance, MethodDistribution, MethodJaccardLev},
+		Pairs:    pairs,
+		Workers:  workers,
+	}
+}
+
+func benchEngineExperiment(b *testing.B, workers int) {
+	spec := engineBenchSpec(b, workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineExperimentGridSequential runs the grid on one engine
+// worker.
+func BenchmarkEngineExperimentGridSequential(b *testing.B) { benchEngineExperiment(b, 1) }
+
+// BenchmarkEngineExperimentGridParallel dispatches grid rows in parallel on
+// the engine pool (GOMAXPROCS workers) — results identical to Sequential's.
+func BenchmarkEngineExperimentGridParallel(b *testing.B) { benchEngineExperiment(b, 0) }
+
 // BenchmarkFlooding isolates the PCG construction + fixpoint machinery.
 func BenchmarkFlooding(b *testing.B) {
 	g := graph.New()

@@ -1,0 +1,137 @@
+package main
+
+// Engine speedup measurement (-json "engine" section): the same two
+// workloads as the root BenchmarkEngine* benches — a heavyweight ensemble
+// match and an experiment grid — executed once pinned to one engine worker
+// and once at GOMAXPROCS, with identical outputs. The wall-clock ratios land
+// in BENCH_<n>.json so the trajectory records what the unified concurrent
+// execution engine buys on the hardware that produced the file (on a
+// single-core runner the honest answer is ~1×).
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"valentine"
+	"valentine/internal/datagen"
+	"valentine/internal/experiment"
+	"valentine/internal/fabrication"
+)
+
+type jsonEngine struct {
+	// CPUs and Parallelism qualify the speedups: on a single-core runner
+	// the parallel arm cannot beat the sequential one.
+	CPUs                   int     `json:"cpus"`
+	Parallelism            int     `json:"parallelism"`
+	EnsembleSequentialUS   int64   `json:"ensemble_sequential_us"`
+	EnsembleParallelUS     int64   `json:"ensemble_parallel_us"`
+	EnsembleSpeedup        float64 `json:"ensemble_speedup"`
+	ExperimentSequentialUS int64   `json:"experiment_sequential_us"`
+	ExperimentParallelUS   int64   `json:"experiment_parallel_us"`
+	ExperimentSpeedup      float64 `json:"experiment_speedup"`
+}
+
+// measureEngine times both workloads in both execution modes, best of
+// `reps` per arm.
+func measureEngine() (*jsonEngine, error) {
+	const reps = 3
+	out := &jsonEngine{
+		CPUs:        runtime.NumCPU(),
+		Parallelism: runtime.GOMAXPROCS(0),
+	}
+
+	// Workload 1: the heavyweight ensemble on a high-cardinality joinable
+	// pair, profiles pre-warmed so both arms measure scoring alone.
+	src := datagen.OpenData(datagen.Options{Rows: 1500, Seed: 6})
+	pair, err := fabrication.New(8).Joinable(src, 0.5, 1.0, false)
+	if err != nil {
+		return nil, err
+	}
+	ens, err := valentine.NewEnsemble([]string{
+		valentine.MethodComaInstance, valentine.MethodDistribution,
+		valentine.MethodJaccardLev, valentine.MethodLSH,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	store := valentine.NewProfileStore()
+	store.Warm(pair.Source, pair.Target)
+	sp, tp := store.Of(pair.Source), store.Of(pair.Target)
+	matchOnce := func(parallelism int) (time.Duration, error) {
+		ctx := valentine.WithEngineOptions(context.Background(),
+			valentine.EngineOptions{Parallelism: parallelism})
+		start := time.Now()
+		_, err := valentine.MatchProfilesWithContext(ctx, ens, sp, tp)
+		return time.Since(start), err
+	}
+
+	// Workload 2: the experiment grid over one fabricated source at quick
+	// parameters, dispatched on 1 engine worker vs GOMAXPROCS.
+	gridSrc := datagen.TPCDI(datagen.Options{Rows: 40, Seed: 2})
+	pairs, err := fabrication.GridSeeds(fabrication.SourceTable{Name: "TPC-DI", Table: gridSrc}, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	gridOnce := func(workers int) (time.Duration, error) {
+		spec := experiment.Spec{
+			Registry: experiment.NewRegistry(),
+			Grids:    experiment.QuickGrids(),
+			Methods: []string{
+				valentine.MethodComaSchema, valentine.MethodComaInstance,
+				valentine.MethodDistribution, valentine.MethodJaccardLev,
+			},
+			Pairs:   pairs,
+			Workers: workers,
+		}
+		start := time.Now()
+		_, err := experiment.Run(context.Background(), spec)
+		return time.Since(start), err
+	}
+
+	// Each rep runs sequential and parallel arms back to back, so drifting
+	// machine load (thermal throttling, background jobs) hits both alike;
+	// the best rep per arm is reported.
+	var ensSeq, ensPar, expSeq, expPar time.Duration
+	keepMin := func(min *time.Duration, rep int, run func() (time.Duration, error)) error {
+		d, err := run()
+		if err != nil {
+			return err
+		}
+		if rep == 0 || d < *min {
+			*min = d
+		}
+		return nil
+	}
+	for r := 0; r < reps; r++ {
+		if err := keepMin(&ensSeq, r, func() (time.Duration, error) { return matchOnce(1) }); err != nil {
+			return nil, err
+		}
+		if err := keepMin(&ensPar, r, func() (time.Duration, error) { return matchOnce(0) }); err != nil {
+			return nil, err
+		}
+		if err := keepMin(&expSeq, r, func() (time.Duration, error) { return gridOnce(1) }); err != nil {
+			return nil, err
+		}
+		if err := keepMin(&expPar, r, func() (time.Duration, error) { return gridOnce(0) }); err != nil {
+			return nil, err
+		}
+	}
+
+	out.EnsembleSequentialUS = ensSeq.Microseconds()
+	out.EnsembleParallelUS = ensPar.Microseconds()
+	out.ExperimentSequentialUS = expSeq.Microseconds()
+	out.ExperimentParallelUS = expPar.Microseconds()
+	if ensPar > 0 {
+		out.EnsembleSpeedup = float64(ensSeq) / float64(ensPar)
+	}
+	if expPar > 0 {
+		out.ExperimentSpeedup = float64(expSeq) / float64(expPar)
+	}
+	fmt.Fprintf(os.Stderr,
+		"engine speedup at %d workers (%d cpus): ensemble %.2fx, experiment grid %.2fx\n",
+		out.Parallelism, out.CPUs, out.EnsembleSpeedup, out.ExperimentSpeedup)
+	return out, nil
+}

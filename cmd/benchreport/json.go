@@ -24,7 +24,11 @@ type jsonReport struct {
 	Rows        int          `json:"rows"`
 	Seeds       int          `json:"seeds"`
 	Methods     []jsonMethod `json:"methods"`
-	Runs        []jsonRun    `json:"runs"`
+	// Engine records the concurrent execution engine's measured
+	// parallel-vs-sequential wall-clock speedups on this machine (see
+	// engine.go); absent when the measurement is skipped.
+	Engine *jsonEngine `json:"engine,omitempty"`
+	Runs   []jsonRun   `json:"runs"`
 }
 
 type jsonMethod struct {

@@ -81,7 +81,16 @@ func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fi
 			return err
 		}
 		if jsonOut != "" {
-			if err := writeJSONReport(jsonOut, buildJSONReport(rows, seeds, fabricated)); err != nil {
+			rep := buildJSONReport(rows, seeds, fabricated)
+			// The engine section is best-effort: a measurement failure must
+			// not discard the (much more expensive) run results above.
+			fmt.Fprintln(os.Stderr, "measuring engine parallel-vs-sequential speedups...")
+			if eng, err := measureEngine(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: skipping engine section: %v\n", err)
+			} else {
+				rep.Engine = eng
+			}
+			if err := writeJSONReport(jsonOut, rep); err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "wrote %d run results to %s\n", len(fabricated), jsonOut)

@@ -1,14 +1,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"valentine"
+	"valentine/internal/core"
 	"valentine/internal/discovery"
+	"valentine/internal/engine"
 	"valentine/internal/table"
 )
 
@@ -37,12 +41,24 @@ func cmdDiscover(args []string) error {
 	mode := fs.String("mode", "join", "join|union")
 	method := fs.String("method", valentine.MethodComaInstance, "matching method for re-scoring candidates")
 	top := fs.Int("top", 10, "candidates to print")
+	parallelism := fs.Int("parallelism", 0, "engine worker-pool size (default GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole discovery (default none); expiry aborts mid-scoring")
+	verbose := fs.Bool("v", false, "print engine pipeline stats (candidates, pruned, scored, per-stage wall time)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *query == "" {
 		return fmt.Errorf("discover: -query is required")
 	}
+	// One engine context for the whole invocation: parallelism and deadline
+	// flow to candidate generation, index probing and matcher re-scoring.
+	ctx, cancel := engine.Options{Parallelism: *parallelism, Deadline: *timeout}.Start(context.Background())
+	defer cancel()
+	var stats *engine.Stats
+	if *verbose {
+		ctx, stats = engine.WithStats(ctx)
+	}
+	started := time.Now()
 	dmode, err := discovery.ParseMode(*mode)
 	if err != nil {
 		return fmt.Errorf("discover: mode %q is not join|union", *mode)
@@ -99,7 +115,7 @@ func cmdDiscover(args []string) error {
 			searchQ = q.Clone()
 			searchQ.Name = q.Name + "\x00query"
 		}
-		nominated, err := ix.SearchProfiled(store.Of(searchQ), dmode, 0)
+		nominated, err := ix.SearchProfiledContext(ctx, store.Of(searchQ), dmode, 0)
 		if err != nil {
 			return err
 		}
@@ -127,22 +143,35 @@ func cmdDiscover(args []string) error {
 		name  string
 		score float64
 		best  valentine.Match
+		err   error
 	}
-	var ranked []candidate
-	scored := make(map[string]bool, len(nominate))
-	for _, name := range nominate {
-		t := byName[name]
-		if t == nil {
-			continue
-		}
-		scored[name] = true
-		matches, err := valentine.MatchWithProfiles(m, store.Of(q), store.Of(t))
+	// Re-score the nominated tables concurrently on the engine pool; slots
+	// keep nomination order so output and error reporting stay stable.
+	slots := make([]candidate, len(nominated))
+	if err := engine.Map(ctx, engine.OptionsFrom(ctx).Workers(), len(nominated), func(i int) error {
+		t := nominated[i]
+		matches, err := core.MatchProfilesWithContext(ctx, m, store.Of(q), store.Of(t))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "discover: skipping %s: %v\n", files[name], err)
-			continue
+			slots[i] = candidate{name: t.Name, err: err}
+			return nil
 		}
 		score, best := discoveryScore(matches, *mode, q)
-		ranked = append(ranked, candidate{name: files[name], score: score, best: best})
+		slots[i] = candidate{name: files[t.Name], score: score, best: best}
+		return nil
+	}); err != nil {
+		return err
+	}
+	var ranked []candidate
+	scored := make(map[string]bool, len(nominated))
+	for i, c := range slots {
+		// An errored candidate is dropped from the ranking entirely (and is
+		// not re-listed as pruned below — it was attempted, not pruned).
+		scored[nominated[i].Name] = true
+		if c.err != nil {
+			fmt.Fprintf(os.Stderr, "discover: skipping %s: %v\n", files[nominated[i].Name], c.err)
+			continue
+		}
+		ranked = append(ranked, c)
 	}
 	pruned := 0
 	for name := range byName {
@@ -168,6 +197,11 @@ func cmdDiscover(args []string) error {
 			fmt.Printf("  via %s ~ %s", c.best.SourceColumn, c.best.TargetColumn)
 		}
 		fmt.Println()
+	}
+	if stats != nil {
+		fmt.Printf("engine: %s (elapsed %s, parallelism %d)\n",
+			stats.Snapshot(), time.Since(started).Round(time.Millisecond),
+			engine.OptionsFrom(ctx).Workers())
 	}
 	return nil
 }

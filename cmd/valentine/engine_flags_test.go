@@ -1,0 +1,72 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"valentine"
+)
+
+// TestDiscoverEngineFlags: -parallelism must not change the ranking, and -v
+// must print the engine's pipeline stats line.
+func TestDiscoverEngineFlags(t *testing.T) {
+	dir, queryPath := writeLake(t)
+	base := captureStdout(t, func() error {
+		return cmdDiscover([]string{"-query", queryPath, "-dir", dir, "-mode", "join",
+			"-method", valentine.MethodLSH, "-top", "5"})
+	})
+	for _, par := range []string{"1", "4"} {
+		out := captureStdout(t, func() error {
+			return cmdDiscover([]string{"-query", queryPath, "-dir", dir, "-mode", "join",
+				"-method", valentine.MethodLSH, "-top", "5", "-parallelism", par, "-timeout", "1m"})
+		})
+		if out != base {
+			t.Errorf("-parallelism %s changed discover output:\n--- default ---\n%s--- parallel ---\n%s", par, base, out)
+		}
+	}
+	out := captureStdout(t, func() error {
+		return cmdDiscover([]string{"-query", queryPath, "-dir", dir, "-mode", "join",
+			"-method", valentine.MethodLSH, "-top", "5", "-v"})
+	})
+	if !strings.Contains(out, "engine: candidates=") {
+		t.Errorf("-v should print engine stats:\n%s", out)
+	}
+	if !strings.HasPrefix(out, base[:len(base)-1]) {
+		t.Errorf("-v should only append the stats line:\n%s", out)
+	}
+}
+
+// TestSearchEngineFlags: the served search accepts -parallelism/-timeout and
+// the ranking stays put.
+func TestSearchEngineFlags(t *testing.T) {
+	dir, queryPath := writeLake(t)
+	idxPath := filepath.Join(t.TempDir(), "lake.idx")
+	captureStdout(t, func() error {
+		return cmdIndex([]string{"-dir", dir, "-out", idxPath})
+	})
+	base := captureStdout(t, func() error {
+		return cmdSearch([]string{"-index", idxPath, "-query", queryPath, "-top", "5"})
+	})
+	out := captureStdout(t, func() error {
+		return cmdSearch([]string{"-index", idxPath, "-query", queryPath, "-top", "5",
+			"-parallelism", "4", "-timeout", "30s"})
+	})
+	if out != base {
+		t.Errorf("engine flags changed search output:\n--- default ---\n%s--- flagged ---\n%s", base, out)
+	}
+}
+
+// TestDiscoverTimeoutExpired: an unmeetable -timeout must surface the
+// context error instead of a ranking.
+func TestDiscoverTimeoutExpired(t *testing.T) {
+	dir, queryPath := writeLake(t)
+	err := cmdDiscover([]string{"-query", queryPath, "-dir", dir, "-mode", "join",
+		"-method", valentine.MethodLSH, "-timeout", "1ns"})
+	if err == nil {
+		t.Fatal("1ns timeout should abort discovery with an error")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("err = %v, want a deadline error", err)
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 
 	"valentine"
 	"valentine/internal/discovery"
+	"valentine/internal/engine"
 	"valentine/internal/table"
 )
 
@@ -62,6 +64,8 @@ func cmdSearch(args []string) error {
 	query := fs.String("query", "", "query CSV (required)")
 	mode := fs.String("mode", "join", "join|union")
 	top := fs.Int("top", 10, "results to print")
+	parallelism := fs.Int("parallelism", 0, "engine worker-pool size (default GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the search (default none); expiry aborts mid-search")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,7 +84,9 @@ func cmdSearch(args []string) error {
 	if err != nil {
 		return err
 	}
-	results, err := ix.Search(q, m, *top)
+	ctx, cancel := engine.Options{Parallelism: *parallelism, Deadline: *timeout}.Start(context.Background())
+	defer cancel()
+	results, err := ix.SearchContext(ctx, q, m, *top)
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ package main
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -269,15 +270,22 @@ func cmdExperiment(args []string) error {
 	rows := fs.Int("rows", 120, "rows in the generated source")
 	seeds := fs.Int("seeds", 1, "fabrication seeds")
 	methodsF := fs.String("methods", "", "comma-separated method subset (default all)")
+	parallelism := fs.Int("parallelism", 0, "engine worker-pool size for grid rows (default GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the run (default none); expiry abandons outstanding grid rows")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := report.Config{Rows: *rows, Seeds: *seeds, Sources: []string{*source}}
+	cfg := report.Config{
+		Rows: *rows, Seeds: *seeds, Sources: []string{*source},
+		Workers: *parallelism, Deadline: *timeout,
+	}
 	if *methodsF != "" {
 		cfg.Methods = strings.Split(*methodsF, ",")
 	}
 	rs, err := report.RunFabricated(context.Background(), cfg)
-	if err != nil {
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "valentine: -timeout expired; reporting the grid rows that finished")
+	} else if err != nil {
 		return err
 	}
 	methods := cfg.Methods

@@ -1,0 +1,65 @@
+package valentine
+
+// The public face of the unified concurrent execution engine
+// (internal/engine): every scoring consumer in the suite — the nine
+// matchers, the ensemble, the experiment runner, the discovery index —
+// executes through one candidate-generation → prune → score → rank pipeline
+// with context propagation (deadlines and cancellation honored mid-scoring),
+// a bounded worker pool, and per-stage instrumentation. Scores are
+// bit-identical to sequential execution at every parallelism level.
+
+import (
+	"context"
+
+	"valentine/internal/core"
+	"valentine/internal/engine"
+)
+
+// EngineOptions configure the execution engine: Parallelism bounds the
+// worker pool (0 = GOMAXPROCS), Deadline is the wall-clock budget (0 =
+// none). The zero value selects the defaults.
+type EngineOptions = engine.Options
+
+// Stats is the engine's per-stage instrumentation collector: candidates
+// generated, pruned and scored, plus accumulated wall time per pipeline
+// stage. Attach one with WithEngineStats and read it with Snapshot.
+type Stats = engine.Stats
+
+// StatsSnapshot is a point-in-time copy of a Stats collector.
+type StatsSnapshot = engine.Snapshot
+
+// ContextMatcher is implemented by every built-in matcher and the ensemble:
+// one context-aware scoring path honoring deadlines, cancellation, engine
+// options and stats from ctx.
+type ContextMatcher = core.ContextMatcher
+
+// WithEngineOptions returns a context carrying opts; every engine-routed
+// call below it (MatchWithContext, DiscoveryIndex.SearchContext, ensemble
+// members, ...) picks its parallelism up from the nearest options.
+func WithEngineOptions(ctx context.Context, opts EngineOptions) context.Context {
+	return engine.WithOptions(ctx, opts)
+}
+
+// WithEngineStats attaches a fresh Stats collector to the context; every
+// engine-routed call below it records pipeline counters and stage timings
+// into the returned collector.
+func WithEngineStats(ctx context.Context) (context.Context, *Stats) {
+	return engine.WithStats(ctx)
+}
+
+// MatchWithContext runs m over the pair through the engine: opts.Deadline
+// (and ctx's own deadline or cancellation) aborts scoring mid-pipeline,
+// opts.Parallelism fans independent scoring units out on a bounded pool,
+// and the ranked result is bit-identical to m.Match at any parallelism.
+func MatchWithContext(ctx context.Context, m Matcher, source, target *Table, opts EngineOptions) ([]Match, error) {
+	ctx, cancel := opts.Start(ctx)
+	defer cancel()
+	return core.MatchWithContext(ctx, m, nil, source, target)
+}
+
+// MatchProfilesWithContext is MatchWithContext over already-profiled tables
+// (see ProfileStore): engine options and stats are taken from ctx, so wrap
+// it with WithEngineOptions / WithEngineStats as needed.
+func MatchProfilesWithContext(ctx context.Context, m Matcher, source, target *TableProfile) ([]Match, error) {
+	return core.MatchProfilesWithContext(ctx, m, source, target)
+}

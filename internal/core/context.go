@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+
+	"valentine/internal/profile"
+	"valentine/internal/table"
+)
+
+// ContextMatcher is the context-aware extension of Matcher: one scoring path
+// that honors ctx deadlines and cancellation mid-scoring, picks its
+// parallelism and stats collector up from the context (internal/engine), and
+// resolves column profiles through a shared store. MatchContext must rank
+// exactly as Match does — the engine changes how work executes, never what
+// it computes. All nine built-in matchers and the ensemble implement it.
+type ContextMatcher interface {
+	Matcher
+	// MatchContext ranks column correspondences between source and target,
+	// profiling both through store (nil store means one-shot private
+	// profiles, as plain Match uses).
+	MatchContext(ctx context.Context, store *profile.Store, source, target *table.Table) ([]Match, error)
+}
+
+// ProfiledContextMatcher is the profile-level face of the same path, used
+// where the caller already holds TableProfiles (the ensemble's members, the
+// experiment runner's warmed pairs, discover's re-scoring phase).
+type ProfiledContextMatcher interface {
+	// MatchProfilesContext ranks column correspondences between the profiled
+	// source and target tables under ctx.
+	MatchProfilesContext(ctx context.Context, source, target *profile.TableProfile) ([]Match, error)
+}
+
+// ProfilePair resolves a table pair's profiles through store; a nil store
+// yields fresh one-shot profiles private to the call — the exact behaviour
+// of the profile-less Match path.
+func ProfilePair(store *profile.Store, source, target *table.Table) (*profile.TableProfile, *profile.TableProfile) {
+	if store == nil {
+		return profile.New(source), profile.New(target)
+	}
+	return store.Of(source), store.Of(target)
+}
+
+// MatchWithContext runs m under ctx through the best path it implements:
+// the context-aware engine path when m is a ContextMatcher, otherwise the
+// profile-aware or plain path with a cancellation check up front. Scores are
+// identical on every path.
+func MatchWithContext(ctx context.Context, m Matcher, store *profile.Store, source, target *table.Table) ([]Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cm, ok := m.(ContextMatcher); ok {
+		return cm.MatchContext(ctx, store, source, target)
+	}
+	sp, tp := ProfilePair(store, source, target)
+	return MatchWith(m, sp, tp)
+}
+
+// MatchProfilesWithContext is MatchWithContext over already-profiled tables.
+func MatchProfilesWithContext(ctx context.Context, m Matcher, source, target *profile.TableProfile) ([]Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if pcm, ok := m.(ProfiledContextMatcher); ok {
+		return pcm.MatchProfilesContext(ctx, source, target)
+	}
+	return MatchWith(m, source, target)
+}

@@ -27,10 +27,14 @@
 package discovery
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"valentine/internal/engine"
 	"valentine/internal/profile"
 	"valentine/internal/table"
 )
@@ -236,23 +240,46 @@ type Result struct {
 // results are returned (k <= 0 means all). A table whose name equals the
 // query's is skipped, so a corpus member can be its own query.
 func (ix *Index) Search(q *table.Table, mode Mode, k int) ([]Result, error) {
-	return ix.search(profile.New(q), mode, k, false)
+	return ix.search(context.Background(), profile.New(q), mode, k, false)
+}
+
+// SearchContext is Search under a context: bucket probing and candidate
+// re-ranking run on the engine's worker pool (one unit per query column,
+// parallelism and stats from ctx), and a canceled or expired context
+// abandons the partial search and returns ctx.Err() promptly. Results are
+// bit-identical to Search's at any parallelism.
+func (ix *Index) SearchContext(ctx context.Context, q *table.Table, mode Mode, k int) ([]Result, error) {
+	return ix.search(ctx, profile.New(q), mode, k, false)
 }
 
 // SearchProfiled is Search over an already-profiled query: repeated queries
 // with the same profile never recompute signatures or name tokens.
 func (ix *Index) SearchProfiled(qp *profile.TableProfile, mode Mode, k int) ([]Result, error) {
-	return ix.search(qp, mode, k, false)
+	return ix.search(context.Background(), qp, mode, k, false)
+}
+
+// SearchProfiledContext is SearchContext over an already-profiled query.
+func (ix *Index) SearchProfiledContext(ctx context.Context, qp *profile.TableProfile, mode Mode, k int) ([]Result, error) {
+	return ix.search(ctx, qp, mode, k, false)
 }
 
 // SearchBruteForce scores every indexed column against every query column,
 // bypassing the LSH shards. It is the reference implementation Search is
 // tested against, and the honest baseline for benchmarks.
 func (ix *Index) SearchBruteForce(q *table.Table, mode Mode, k int) ([]Result, error) {
-	return ix.search(profile.New(q), mode, k, true)
+	return ix.search(context.Background(), profile.New(q), mode, k, true)
 }
 
-func (ix *Index) search(qp *profile.TableProfile, mode Mode, k int, brute bool) ([]Result, error) {
+// colAcc accumulates one query column's candidates for one indexed table —
+// the per-unit state the engine pool fans out, merged later in query-column
+// order so the result is independent of scheduling.
+type colAcc struct {
+	best       float64
+	bestC      int32 // first column achieving best, in probe order; -1 = none
+	candidates int
+}
+
+func (ix *Index) search(ctx context.Context, qp *profile.TableProfile, mode Mode, k int, brute bool) ([]Result, error) {
 	if mode != ModeJoin && mode != ModeUnion {
 		return nil, fmt.Errorf("discovery: mode %q is not join|union", mode)
 	}
@@ -260,66 +287,63 @@ func (ix *Index) search(qp *profile.TableProfile, mode Mode, k int, brute bool) 
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	stats := engine.StatsFrom(ctx)
 	// Query-side work is lock-free: signatures and tokens come from the
 	// query profile's caches and depend only on q.
-	qSigs := make([][]uint64, qp.NumColumns())
-	qTokens := make([][]string, qp.NumColumns())
-	for i := range qSigs {
-		qSigs[i] = qp.Column(i).Signature(ix.k)
-		qTokens[i] = qp.Column(i).NameTokens()
-	}
+	nq := qp.NumColumns()
+	qSigs := make([][]uint64, nq)
+	qTokens := make([][]string, nq)
+	stats.Timed(engine.StageGenerate, func() {
+		for i := range qSigs {
+			qSigs[i] = qp.Column(i).Signature(ix.k)
+			qTokens[i] = qp.Column(i).NameTokens()
+		}
+	})
 
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
-	type tableAcc struct {
-		perQuery   []float64 // best score per query column (union mode)
-		best       float64
-		bestQ      int
-		bestC      int32
-		candidates int
-	}
-	acc := make(map[string]*tableAcc)
-	// Empty columns never rank (see insertShards); the brute path must
-	// apply the same rule so it stays the reference implementation of the
-	// pruned path even with TokenBoost set.
-	score := func(qi int, id int32) {
-		p := &ix.cols[id]
-		if p.Table == q.Name || profile.IsEmptySignature(p.Signature) {
-			return
+	// Candidate generation + scoring, one pool unit per query column. Each
+	// unit accumulates into private state; merging happens afterwards in
+	// query-column order, which makes the output bit-identical to the old
+	// sequential sweep at any parallelism.
+	perQuery := make([]map[string]*colAcc, nq)
+	var scored atomic.Int64
+	start := time.Now()
+	err := engine.Map(ctx, engine.OptionsFrom(ctx).Workers(), nq, func(qi int) error {
+		sig := qSigs[qi]
+		if profile.IsEmptySignature(sig) {
+			return nil // can only hit empty columns, all at score 0
 		}
-		s := profile.EstimateJaccard(qSigs[qi], p.Signature)
-		if ix.opts.TokenBoost != 0 {
-			s += ix.opts.TokenBoost * tokenJaccard(qTokens[qi], p.Tokens)
-		}
-		a := acc[p.Table]
-		if a == nil {
-			a = &tableAcc{perQuery: make([]float64, len(q.Columns)), bestQ: -1, bestC: -1}
-			acc[p.Table] = a
-		}
-		a.candidates++
-		if s > a.perQuery[qi] {
-			a.perQuery[qi] = s
-		}
-		if s > a.best || a.bestQ < 0 {
-			a.best, a.bestQ, a.bestC = s, qi, id
-		}
-	}
-
-	if brute {
-		for qi, sig := range qSigs {
-			if profile.IsEmptySignature(sig) {
-				continue
+		acc := make(map[string]*colAcc)
+		score := func(id int32) {
+			// Empty columns never rank (see insertShards); the brute path
+			// must apply the same rule so it stays the reference
+			// implementation of the pruned path even with TokenBoost set.
+			p := &ix.cols[id]
+			if p.Table == q.Name || profile.IsEmptySignature(p.Signature) {
+				return
 			}
+			s := profile.EstimateJaccard(sig, p.Signature)
+			if ix.opts.TokenBoost != 0 {
+				s += ix.opts.TokenBoost * tokenJaccard(qTokens[qi], p.Tokens)
+			}
+			a := acc[p.Table]
+			if a == nil {
+				a = &colAcc{bestC: -1}
+				acc[p.Table] = a
+			}
+			a.candidates++
+			scored.Add(1)
+			if s > a.best || a.bestC < 0 {
+				a.best, a.bestC = s, id
+			}
+		}
+		if brute {
 			for id := range ix.cols {
-				score(qi, int32(id))
+				score(int32(id))
 			}
-		}
-	} else {
-		for qi, sig := range qSigs {
-			if profile.IsEmptySignature(sig) {
-				continue // can only hit empty columns, all at score 0
-			}
+		} else {
 			seen := make(map[int32]struct{})
 			for b := 0; b < ix.bands; b++ {
 				key := profile.BandKey(sig, b, ix.rows)
@@ -328,40 +352,84 @@ func (ix *Index) search(qp *profile.TableProfile, mode Mode, k int, brute bool) 
 						continue
 					}
 					seen[id] = struct{}{}
-					score(qi, id)
+					score(id)
 				}
+			}
+		}
+		perQuery[qi] = acc
+		return nil
+	})
+	stats.Observe(engine.StageScore, time.Since(start))
+	// Candidates counts the pairs that reached scoring; everything else the
+	// full (query columns × indexed columns) sweep would have visited was
+	// pruned — by the band shards, the empty-signature rules, or the
+	// self-table skip — so candidates + pruned always equals the sweep the
+	// shards saved.
+	stats.AddCandidates(scored.Load())
+	stats.AddScored(scored.Load())
+	stats.AddPruned(int64(nq)*int64(len(ix.cols)) - scored.Load())
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge per-query-column accumulators in query-column order — the exact
+	// order the sequential sweep updated its per-table state in.
+	type tableAcc struct {
+		perQuery   []float64 // best score per query column (union mode)
+		best       float64
+		bestQ      int
+		bestC      int32
+		candidates int
+	}
+	acc := make(map[string]*tableAcc)
+	for qi := 0; qi < nq; qi++ {
+		for name, ca := range perQuery[qi] {
+			a := acc[name]
+			if a == nil {
+				a = &tableAcc{perQuery: make([]float64, nq), bestQ: -1, bestC: -1}
+				acc[name] = a
+			}
+			a.candidates += ca.candidates
+			if ca.best > a.perQuery[qi] {
+				a.perQuery[qi] = ca.best
+			}
+			if ca.bestC >= 0 && (ca.best > a.best || a.bestQ < 0) {
+				a.best, a.bestQ, a.bestC = ca.best, qi, ca.bestC
 			}
 		}
 	}
 
-	out := make([]Result, 0, len(acc))
-	for name, a := range acc {
-		r := Result{Table: name, Candidates: a.candidates}
-		if a.bestQ >= 0 {
-			r.BestQuery = q.Columns[a.bestQ].Name
-			r.BestIndexed = ix.cols[a.bestC].Column
-		}
-		switch mode {
-		case ModeJoin:
-			r.Score = a.best
-		case ModeUnion:
-			sum := 0.0
-			for _, s := range a.perQuery {
-				sum += s
+	var out []Result
+	stats.Timed(engine.StageRank, func() {
+		out = make([]Result, 0, len(acc))
+		for name, a := range acc {
+			r := Result{Table: name, Candidates: a.candidates}
+			if a.bestQ >= 0 {
+				r.BestQuery = q.Columns[a.bestQ].Name
+				r.BestIndexed = ix.cols[a.bestC].Column
 			}
-			r.Score = sum / float64(len(q.Columns))
+			switch mode {
+			case ModeJoin:
+				r.Score = a.best
+			case ModeUnion:
+				sum := 0.0
+				for _, s := range a.perQuery {
+					sum += s
+				}
+				r.Score = sum / float64(len(q.Columns))
+			}
+			out = append(out, r)
 		}
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Score != out[j].Score {
+				return out[i].Score > out[j].Score
+			}
+			return out[i].Table < out[j].Table
+		})
+		if k > 0 && len(out) > k {
+			out = out[:k]
 		}
-		return out[i].Table < out[j].Table
 	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
-	}
 	return out, nil
 }
 

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"valentine/internal/profile"
+	"valentine/internal/table"
+)
+
+func TestMapWritesEverySlot(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			n := 100
+			out := make([]int, n)
+			err := Map(context.Background(), workers, n, func(i int) error {
+				out[i] = i * i
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestMapCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	err := Map(ctx, 4, 50, func(i int) error {
+		ran++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d units ran under a pre-canceled context", ran)
+	}
+}
+
+func TestMapDeadlineAbandonsPartialWork(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	done := make([]bool, 1000)
+	start := time.Now()
+	err := Map(ctx, 2, len(done), func(i int) error {
+		time.Sleep(time.Millisecond)
+		done[i] = true
+		return nil
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// The 1000-unit workload would take ~500ms at 2 workers; expiry must
+	// abandon it long before that.
+	if elapsed > 250*time.Millisecond {
+		t.Fatalf("Map returned after %v; deadline was 20ms", elapsed)
+	}
+	completed := 0
+	for _, d := range done {
+		if d {
+			completed++
+		}
+	}
+	if completed == len(done) {
+		t.Fatal("every unit completed despite the deadline")
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 8} {
+		err := Map(context.Background(), workers, 40, func(i int) error {
+			switch i {
+			case 7:
+				return errLow
+			case 31:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: err = %v, want the lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestOptionsStartAppliesDeadline(t *testing.T) {
+	ctx, cancel := Options{Deadline: time.Millisecond}.Start(context.Background())
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("Start did not apply a deadline")
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("deadline never fired")
+	}
+	if OptionsFrom(ctx).Deadline != time.Millisecond {
+		t.Fatal("Start did not install options on the context")
+	}
+}
+
+func TestOptionsWorkersDefault(t *testing.T) {
+	if w := (Options{}).Workers(); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+	if w := (Options{Parallelism: 3}).Workers(); w != 3 {
+		t.Fatalf("workers = %d, want 3", w)
+	}
+}
+
+func TestStatsNilSafe(t *testing.T) {
+	var s *Stats
+	s.AddCandidates(5)
+	s.AddPruned(2)
+	s.AddScored(3)
+	s.Observe(StageScore, time.Second)
+	ran := false
+	s.Timed(StageRank, func() { ran = true })
+	if !ran {
+		t.Fatal("nil Stats.Timed did not run fn")
+	}
+	if snap := s.Snapshot(); snap != (Snapshot{}) {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	ctx, s := WithStats(context.Background())
+	if StatsFrom(ctx) != s {
+		t.Fatal("StatsFrom did not return the attached collector")
+	}
+	s.AddCandidates(10)
+	s.AddPruned(4)
+	s.AddScored(6)
+	s.Observe(StageGenerate, 2*time.Second)
+	snap := s.Snapshot()
+	if snap.Candidates != 10 || snap.Pruned != 4 || snap.Scored != 6 || snap.Generate != 2*time.Second {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if StatsFrom(context.Background()) != nil {
+		t.Fatal("StatsFrom on a bare context should be nil")
+	}
+}
+
+// scorePairsFixture builds a small profiled pair with distinctive scores.
+func scorePairsFixture() (*profile.TableProfile, *profile.TableProfile) {
+	src := &table.Table{Name: "src"}
+	tgt := &table.Table{Name: "tgt"}
+	for i := 0; i < 7; i++ {
+		src.Columns = append(src.Columns, table.Column{
+			Name: fmt.Sprintf("s%d", i), Values: []string{"a", "b"},
+		})
+	}
+	for j := 0; j < 5; j++ {
+		tgt.Columns = append(tgt.Columns, table.Column{
+			Name: fmt.Sprintf("t%d", j), Values: []string{"a", "c"},
+		})
+	}
+	src.RetypeColumns()
+	tgt.RetypeColumns()
+	return profile.New(src), profile.New(tgt)
+}
+
+func TestScorePairsDeterministicAcrossParallelism(t *testing.T) {
+	sp, tp := scorePairsFixture()
+	score := func(i, j int) (float64, bool) {
+		// Distinct score per pair; prune one diagonal to exercise emit=false.
+		return float64(i*31+j) / 217, (i+j)%4 != 0
+	}
+	var baseline []struct {
+		s, t  string
+		score float64
+	}
+	for _, par := range []int{1, 4, 16} {
+		ctx := WithOptions(context.Background(), Options{Parallelism: par})
+		out, err := ScorePairs(ctx, sp, tp, score)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par == 1 {
+			for _, m := range out {
+				baseline = append(baseline, struct {
+					s, t  string
+					score float64
+				}{m.SourceColumn, m.TargetColumn, m.Score})
+			}
+			continue
+		}
+		if len(out) != len(baseline) {
+			t.Fatalf("parallelism %d: %d matches, want %d", par, len(out), len(baseline))
+		}
+		for i, m := range out {
+			b := baseline[i]
+			if m.SourceColumn != b.s || m.TargetColumn != b.t || m.Score != b.score {
+				t.Fatalf("parallelism %d rank %d: got %v, want %v/%v/%v", par, i, m, b.s, b.t, b.score)
+			}
+		}
+	}
+}
+
+func TestScorePairsStats(t *testing.T) {
+	sp, tp := scorePairsFixture()
+	ctx, stats := WithStats(context.Background())
+	_, err := ScorePairs(ctx, sp, tp, func(i, j int) (float64, bool) {
+		return 1, (i+j)%2 == 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := stats.Snapshot()
+	if snap.Candidates != 35 {
+		t.Fatalf("candidates = %d, want 35", snap.Candidates)
+	}
+	if snap.Scored+snap.Pruned != 35 {
+		t.Fatalf("scored %d + pruned %d != 35", snap.Scored, snap.Pruned)
+	}
+	if snap.Pruned != 17 {
+		t.Fatalf("pruned = %d, want 17", snap.Pruned)
+	}
+}
+
+func TestScorePairsCanceled(t *testing.T) {
+	sp, tp := scorePairsFixture()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ScorePairs(ctx, sp, tp, func(i, j int) (float64, bool) { return 0, true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"valentine/internal/core"
+	"valentine/internal/profile"
+)
+
+// ScorePairs executes the score and rank stages of a pair-matching pipeline:
+// the cross product of source × target columns is fanned out over the worker
+// pool one source row at a time, merged back in row order, and ranked with
+// core.SortMatches — exactly the output of the sequential nested loop the
+// matchers used before the engine existed, at any parallelism level.
+//
+// score is called for each (source column i, target column j) pair and
+// returns the pair's score plus whether to emit it; pairs a matcher's accept
+// threshold cuts return emit=false and are counted as pruned. score must be
+// safe for concurrent calls and depend only on (i, j) — never on call order.
+//
+// Cancellation is honored between rows: once ctx is done no further row
+// starts and ScorePairs returns ctx.Err().
+func ScorePairs(ctx context.Context, sp, tp *profile.TableProfile, score func(i, j int) (float64, bool)) ([]core.Match, error) {
+	source, target := sp.Table(), tp.Table()
+	nSrc, nTgt := len(source.Columns), len(target.Columns)
+	stats := StatsFrom(ctx)
+	stats.AddCandidates(int64(nSrc) * int64(nTgt))
+
+	rows := make([][]core.Match, nSrc)
+	var emitted, pruned atomic.Int64
+	start := time.Now()
+	err := Map(ctx, OptionsFrom(ctx).Workers(), nSrc, func(i int) error {
+		row := make([]core.Match, 0, nTgt)
+		for j := 0; j < nTgt; j++ {
+			s, emit := score(i, j)
+			if !emit {
+				pruned.Add(1)
+				continue
+			}
+			row = append(row, core.Match{
+				SourceTable:  source.Name,
+				SourceColumn: source.Columns[i].Name,
+				TargetTable:  target.Name,
+				TargetColumn: target.Columns[j].Name,
+				Score:        s,
+			})
+		}
+		emitted.Add(int64(len(row)))
+		rows[i] = row
+		return nil
+	})
+	stats.Observe(StageScore, time.Since(start))
+	stats.AddScored(emitted.Load())
+	stats.AddPruned(pruned.Load())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Match, 0, emitted.Load())
+	for _, row := range rows {
+		out = append(out, row...)
+	}
+	stats.Timed(StageRank, func() { core.SortMatches(out) })
+	return out, nil
+}

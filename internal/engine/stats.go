@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names one phase of the engine's scoring pipeline.
+type Stage int
+
+// The pipeline stages, in execution order.
+const (
+	// StageGenerate covers candidate generation: profiling, element/feature
+	// construction, LSH probing — everything that enumerates what could be
+	// scored.
+	StageGenerate Stage = iota
+	// StagePrune covers cheap filters that cut candidates before full
+	// scoring (LSH collision misses, distribution phase-1 sketches,
+	// threshold screens).
+	StagePrune
+	// StageScore covers the full scoring of surviving candidates — the work
+	// the pool fans out.
+	StageScore
+	// StageRank covers merging and ordering the scored results.
+	StageRank
+	numStages
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageGenerate:
+		return "generate"
+	case StagePrune:
+		return "prune"
+	case StageScore:
+		return "score"
+	case StageRank:
+		return "rank"
+	}
+	return "unknown"
+}
+
+// Stats accumulates per-stage instrumentation across one engine run. All
+// methods are safe for concurrent use and safe on a nil receiver (a nil
+// *Stats is the "not collecting" mode every engine helper tolerates), so
+// instrumented code never branches on whether a collector is installed.
+type Stats struct {
+	candidates atomic.Int64
+	pruned     atomic.Int64
+	scored     atomic.Int64
+	wall       [numStages]atomic.Int64 // nanoseconds per stage
+}
+
+// AddCandidates records n generated candidate units.
+func (s *Stats) AddCandidates(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.candidates.Add(n)
+}
+
+// AddPruned records n candidates cut before full scoring.
+func (s *Stats) AddPruned(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.pruned.Add(n)
+}
+
+// AddScored records n candidates fully scored.
+func (s *Stats) AddScored(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.scored.Add(n)
+}
+
+// Observe adds one stage's wall-clock time. Concurrent scopes may each
+// observe the same stage; the total is accumulated stage time, which can
+// exceed elapsed wall time when consumers overlap.
+func (s *Stats) Observe(st Stage, d time.Duration) {
+	if s == nil || d <= 0 || st < 0 || st >= numStages {
+		return
+	}
+	s.wall[st].Add(int64(d))
+}
+
+// Timed runs fn and observes its wall time under st.
+func (s *Stats) Timed(st Stage, fn func()) {
+	if s == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	s.Observe(st, time.Since(start))
+}
+
+// Snapshot is a point-in-time copy of a Stats collector, shaped for display
+// and JSON export.
+type Snapshot struct {
+	// Candidates counts scoring units generated (e.g. column pairs
+	// enumerated or nominated by the LSH shards).
+	Candidates int64 `json:"candidates"`
+	// Pruned counts units cut before full scoring.
+	Pruned int64 `json:"pruned"`
+	// Scored counts units fully scored.
+	Scored int64 `json:"scored"`
+	// Per-stage accumulated wall time.
+	Generate time.Duration `json:"generate_ns"`
+	Prune    time.Duration `json:"prune_ns"`
+	Score    time.Duration `json:"score_ns"`
+	Rank     time.Duration `json:"rank_ns"`
+}
+
+// Snapshot returns the collector's current totals (the zero Snapshot for a
+// nil receiver).
+func (s *Stats) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Candidates: s.candidates.Load(),
+		Pruned:     s.pruned.Load(),
+		Scored:     s.scored.Load(),
+		Generate:   time.Duration(s.wall[StageGenerate].Load()),
+		Prune:      time.Duration(s.wall[StagePrune].Load()),
+		Score:      time.Duration(s.wall[StageScore].Load()),
+		Rank:       time.Duration(s.wall[StageRank].Load()),
+	}
+}
+
+// String renders the snapshot as one human-readable line (discover -v).
+func (sn Snapshot) String() string {
+	return fmt.Sprintf(
+		"candidates=%d pruned=%d scored=%d | generate=%s prune=%s score=%s rank=%s",
+		sn.Candidates, sn.Pruned, sn.Scored,
+		sn.Generate.Round(time.Microsecond), sn.Prune.Round(time.Microsecond),
+		sn.Score.Round(time.Microsecond), sn.Rank.Round(time.Microsecond))
+}
+
+type statsKey struct{}
+
+// WithStats attaches a fresh Stats collector to the context and returns
+// both; every engine-routed consumer below records into it.
+func WithStats(ctx context.Context) (context.Context, *Stats) {
+	s := &Stats{}
+	return context.WithValue(ctx, statsKey{}, s), s
+}
+
+// StatsFrom returns the context's Stats collector, or nil when none is
+// attached (nil is safe to use — every method no-ops).
+func StatsFrom(ctx context.Context) *Stats {
+	if s, ok := ctx.Value(statsKey{}).(*Stats); ok {
+		return s
+	}
+	return nil
+}

@@ -3,13 +3,12 @@ package experiment
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"valentine/internal/core"
+	"valentine/internal/engine"
 	"valentine/internal/metrics"
 	"valentine/internal/profile"
 )
@@ -33,7 +32,11 @@ type Spec struct {
 	Grids    map[string]Grid
 	Methods  []string // subset of grid keys to run; empty means all
 	Pairs    []core.TablePair
-	Workers  int // worker-pool size; 0 means GOMAXPROCS
+	Workers  int // engine worker-pool size; 0 means GOMAXPROCS
+	// Deadline is the run's wall-clock budget; once it expires, queued jobs
+	// are abandoned and in-flight jobs are canceled mid-scoring through the
+	// engine. Zero means no deadline.
+	Deadline time.Duration
 	// Profiles is the shared column-profile store: every table of every
 	// pair is profiled once per run, not once per (method, variant)
 	// execution. Nil selects a fresh store private to the run.
@@ -41,8 +44,10 @@ type Spec struct {
 }
 
 // Run exhaustively executes methods × parameter variants × pairs (Fig. 1,
-// step 3) and returns results sorted deterministically. The context cancels
-// outstanding work; already-computed results are still returned.
+// step 3) on the engine's worker pool and returns results sorted
+// deterministically. The context (or Spec.Deadline) cancels outstanding
+// work; already-computed results are still returned, and jobs aborted
+// mid-scoring surface the context error in their Result.Err.
 func Run(ctx context.Context, spec Spec) ([]Result, error) {
 	if spec.Registry == nil {
 		return nil, fmt.Errorf("experiment: nil registry")
@@ -86,13 +91,6 @@ func Run(ctx context.Context, spec Spec) ([]Result, error) {
 		}
 	}
 
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
 	store := spec.Profiles
 	evict := store == nil // only a run-private store may drop profiles
 	if store == nil {
@@ -102,35 +100,28 @@ func Run(ctx context.Context, spec Spec) ([]Result, error) {
 	for pi, n := range perPair {
 		remaining[pi] = int64(n)
 	}
+
+	// Grid rows run in parallel on the engine pool; each job itself scores
+	// sequentially (Parallelism 1) so per-job Runtime keeps Table V's
+	// single-threaded meaning and the pool is saturated at the job level,
+	// not oversubscribed at both levels.
+	runCtx := ctx
+	if spec.Deadline > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, spec.Deadline)
+		defer cancel()
+	}
+	jobCtx := engine.WithOptions(runCtx, engine.Options{Parallelism: 1})
 	results := make([]Result, len(jobs))
-	jobCh := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobCh {
-				j := jobs[idx]
-				results[idx] = runOne(j.method, j.params, j.pair, spec.Registry, store)
-				if evict && atomic.AddInt64(&remaining[j.pairIdx], -1) == 0 {
-					store.Invalidate(j.pair.Source)
-					store.Invalidate(j.pair.Target)
-				}
-			}
-		}()
-	}
-	var canceled error
-dispatch:
-	for i := range jobs {
-		select {
-		case <-ctx.Done():
-			canceled = ctx.Err()
-			break dispatch
-		case jobCh <- i:
+	canceled := engine.Map(runCtx, spec.Workers, len(jobs), func(idx int) error {
+		j := jobs[idx]
+		results[idx] = runOne(jobCtx, j.method, j.params, j.pair, spec.Registry, store)
+		if evict && atomic.AddInt64(&remaining[j.pairIdx], -1) == 0 {
+			store.Invalidate(j.pair.Source)
+			store.Invalidate(j.pair.Target)
 		}
-	}
-	close(jobCh)
-	wg.Wait()
+		return nil
+	})
 
 	// Drop zero-value slots from a canceled run.
 	out := results[:0]
@@ -143,7 +134,7 @@ dispatch:
 	return out, canceled
 }
 
-func runOne(method string, params core.Params, pair core.TablePair, reg *core.Registry, store *profile.Store) Result {
+func runOne(ctx context.Context, method string, params core.Params, pair core.TablePair, reg *core.Registry, store *profile.Store) Result {
 	res := Result{
 		Method:   method,
 		Params:   params,
@@ -168,7 +159,7 @@ func runOne(method string, params core.Params, pair core.TablePair, reg *core.Re
 	sp.Warm()
 	tp.Warm()
 	start := time.Now()
-	matches, err := core.MatchWith(m, sp, tp)
+	matches, err := core.MatchProfilesWithContext(ctx, m, sp, tp)
 	res.Runtime = time.Since(start)
 	if err != nil {
 		res.Err = err

@@ -117,6 +117,11 @@ type FloodOptions struct {
 	Formula       FixpointFormula
 	MaxIterations int     // default 100
 	Epsilon       float64 // convergence threshold on max delta, default 1e-3
+	// Interrupt, when non-nil, is polled once per iteration; returning true
+	// stops the fixpoint early with the current similarities. It lets a
+	// caller honor context cancellation mid-flood (the caller decides
+	// whether the partial result is usable — simflood discards it).
+	Interrupt func() bool
 }
 
 // Flood runs the similarity-flooding fixpoint over the PCG, starting from
@@ -153,6 +158,9 @@ func (p *PCG) Flood(sigma0 map[string]float64, defaultSim float64, opts FloodOpt
 	}
 	tmp := make([]float64, n)
 	for it := 0; it < opts.MaxIterations; it++ {
+		if opts.Interrupt != nil && opts.Interrupt() {
+			break
+		}
 		switch opts.Formula {
 		case FormulaBasic:
 			phi(cur, next)

@@ -10,10 +10,12 @@
 package coma
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"valentine/internal/core"
+	"valentine/internal/engine"
 	"valentine/internal/profile"
 	"valentine/internal/strutil"
 	"valentine/internal/table"
@@ -105,48 +107,49 @@ type element struct {
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	return m.MatchProfiles(profile.New(source), profile.New(target))
+	return m.MatchProfilesContext(context.Background(), profile.New(source), profile.New(target))
 }
 
 // MatchProfiles implements core.ProfiledMatcher: name tokens, distinct-value
 // samples and column statistics come from the profiles' caches instead of
 // being recomputed per call.
 func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	return m.MatchProfilesContext(context.Background(), sp, tp)
+}
+
+// MatchContext implements core.ContextMatcher.
+func (m *Matcher) MatchContext(ctx context.Context, store *profile.Store, source, target *table.Table) ([]core.Match, error) {
+	sp, tp := core.ProfilePair(store, source, target)
+	return m.MatchProfilesContext(ctx, sp, tp)
+}
+
+// MatchProfilesContext implements core.ProfiledContextMatcher — the single
+// scoring path: element construction is the generate stage, then the matcher
+// library runs over every cross pair on the engine pool; pairs under the
+// accept threshold count as pruned.
+func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.TableProfile) ([]core.Match, error) {
 	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
-	source, target := sp.Table(), tp.Table()
 	limit := m.MaxSample
 	if limit <= 0 {
 		limit = 150
 	}
 	withInstances := m.Strategy == StrategyInstance
-	srcEls := buildElements(sp, withInstances, limit)
-	tgtEls := buildElements(tp, withInstances, limit)
-
-	var out []core.Match
-	for i := range srcEls {
-		for j := range tgtEls {
-			// Direction "both": the matcher library is evaluated src→tgt
-			// and tgt→src and the directional aggregates are averaged.
-			score := m.aggregate(&srcEls[i], &tgtEls[j])
-			if m.Direction == DirBoth {
-				score = (score + m.aggregate(&tgtEls[j], &srcEls[i])) / 2
-			}
-			if score < m.Threshold {
-				continue
-			}
-			out = append(out, core.Match{
-				SourceTable:  source.Name,
-				SourceColumn: srcEls[i].column.Name,
-				TargetTable:  target.Name,
-				TargetColumn: tgtEls[j].column.Name,
-				Score:        score,
-			})
+	var srcEls, tgtEls []element
+	engine.StatsFrom(ctx).Timed(engine.StageGenerate, func() {
+		srcEls = buildElements(sp, withInstances, limit)
+		tgtEls = buildElements(tp, withInstances, limit)
+	})
+	return engine.ScorePairs(ctx, sp, tp, func(i, j int) (float64, bool) {
+		// Direction "both": the matcher library is evaluated src→tgt
+		// and tgt→src and the directional aggregates are averaged.
+		score := m.aggregate(&srcEls[i], &tgtEls[j])
+		if m.Direction == DirBoth {
+			score = (score + m.aggregate(&tgtEls[j], &srcEls[i])) / 2
 		}
-	}
-	core.SortMatches(out)
-	return out, nil
+		return score, score >= m.Threshold
+	})
 }
 
 func buildElements(tp *profile.TableProfile, withInstances bool, limit int) []element {

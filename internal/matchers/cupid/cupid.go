@@ -12,7 +12,10 @@
 package cupid
 
 import (
+	"context"
+
 	"valentine/internal/core"
+	"valentine/internal/engine"
 	"valentine/internal/profile"
 	"valentine/internal/strutil"
 	"valentine/internal/table"
@@ -45,13 +48,28 @@ func (m *Matcher) Name() string { return "cupid" }
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	return m.MatchProfiles(profile.New(source), profile.New(target))
+	return m.MatchProfilesContext(context.Background(), profile.New(source), profile.New(target))
 }
 
 // MatchProfiles implements core.ProfiledMatcher: column- and table-name
 // tokens come from the profiles' caches instead of being re-tokenized per
 // call.
 func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	return m.MatchProfilesContext(context.Background(), sp, tp)
+}
+
+// MatchContext implements core.ContextMatcher.
+func (m *Matcher) MatchContext(ctx context.Context, store *profile.Store, source, target *table.Table) ([]core.Match, error) {
+	sp, tp := core.ProfilePair(store, source, target)
+	return m.MatchProfilesContext(ctx, sp, tp)
+}
+
+// MatchProfilesContext implements core.ProfiledContextMatcher — the single
+// scoring path. Pass 1 (the linguistic similarity matrix, Cupid's dominant
+// cost) fans out one source row at a time on the engine pool; pass 2 is a
+// cheap sequential reduction over the matrices; the final wsim emission runs
+// through the engine's pair scorer.
+func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.TableProfile) ([]core.Match, error) {
 	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
@@ -64,20 +82,29 @@ func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, err
 	srcTok := tokenized(sp)
 	tgtTok := tokenized(tp)
 
-	// Pass 1: linguistic similarity and leaf structural similarity.
+	// Pass 1: linguistic similarity and leaf structural similarity, row by
+	// row on the pool — each row depends only on its own source column.
 	nSrc, nTgt := len(source.Columns), len(target.Columns)
 	lsim := make([][]float64, nSrc)
 	leafS := make([][]float64, nSrc)
 	rootLing := m.linguistic(th, sp.NameTokens(), tp.NameTokens())
-	for i := range source.Columns {
-		lsim[i] = make([]float64, nTgt)
-		leafS[i] = make([]float64, nTgt)
-		for j := range target.Columns {
-			lsim[i][j] = m.linguistic(th, srcTok[i], tgtTok[j])
-			// Leaf structural signal: data-type compatibility blended with
-			// the linguistic similarity of the ancestors (the roots).
-			leafS[i][j] = 0.5*typeCompat(source.Columns[i].Type, target.Columns[j].Type) + 0.5*rootLing
-		}
+	stats := engine.StatsFrom(ctx)
+	var genErr error
+	stats.Timed(engine.StageGenerate, func() {
+		genErr = engine.Map(ctx, engine.OptionsFrom(ctx).Workers(), nSrc, func(i int) error {
+			lsim[i] = make([]float64, nTgt)
+			leafS[i] = make([]float64, nTgt)
+			for j := range target.Columns {
+				lsim[i][j] = m.linguistic(th, srcTok[i], tgtTok[j])
+				// Leaf structural signal: data-type compatibility blended with
+				// the linguistic similarity of the ancestors (the roots).
+				leafS[i][j] = 0.5*typeCompat(source.Columns[i].Type, target.Columns[j].Type) + 0.5*rootLing
+			}
+			return nil
+		})
+	})
+	if genErr != nil {
+		return nil, genErr
 	}
 
 	// Pass 2: the mutually-recursive structural refinement, one round as in
@@ -98,25 +125,11 @@ func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, err
 		rootStruct = float64(strong) / float64(total)
 	}
 
-	var out []core.Match
-	for i := 0; i < nSrc; i++ {
-		for j := 0; j < nTgt; j++ {
-			ssim := 0.7*leafS[i][j] + 0.3*rootStruct
-			wsim := m.WStruct*ssim + (1-m.WStruct)*lsim[i][j]
-			if wsim < m.ThAccept {
-				continue
-			}
-			out = append(out, core.Match{
-				SourceTable:  source.Name,
-				SourceColumn: source.Columns[i].Name,
-				TargetTable:  target.Name,
-				TargetColumn: target.Columns[j].Name,
-				Score:        wsim,
-			})
-		}
-	}
-	core.SortMatches(out)
-	return out, nil
+	return engine.ScorePairs(ctx, sp, tp, func(i, j int) (float64, bool) {
+		ssim := 0.7*leafS[i][j] + 0.3*rootStruct
+		wsim := m.WStruct*ssim + (1-m.WStruct)*lsim[i][j]
+		return wsim, wsim >= m.ThAccept
+	})
 }
 
 func tokenized(tp *profile.TableProfile) [][]string {

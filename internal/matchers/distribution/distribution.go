@@ -15,11 +15,14 @@
 package distribution
 
 import (
+	"context"
 	"sort"
 	"strings"
+	"time"
 
 	"valentine/internal/core"
 	"valentine/internal/emd"
+	"valentine/internal/engine"
 	"valentine/internal/lp"
 	"valentine/internal/profile"
 	"valentine/internal/table"
@@ -60,22 +63,42 @@ type columnDist struct {
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	return m.MatchProfiles(profile.New(source), profile.New(target))
+	return m.MatchProfilesContext(context.Background(), profile.New(source), profile.New(target))
 }
 
 // MatchProfiles implements core.ProfiledMatcher: the global value universe
 // is built from each profile's cached parsed distinct values (trim, lower,
 // numeric parse happen once per column, not once per Match call).
 func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	return m.MatchProfilesContext(context.Background(), sp, tp)
+}
+
+// MatchContext implements core.ContextMatcher.
+func (m *Matcher) MatchContext(ctx context.Context, store *profile.Store, source, target *table.Table) ([]core.Match, error) {
+	sp, tp := core.ProfilePair(store, source, target)
+	return m.MatchProfilesContext(ctx, sp, tp)
+}
+
+// MatchProfilesContext implements core.ProfiledContextMatcher — the single
+// scoring path, and the matcher whose phases map onto the engine pipeline
+// most literally: distribution construction is the generate stage, the
+// phase-1 quantile-sketch EMD is the prune stage (both EMD sweeps fan out on
+// the pool), the phase-2 refinement over full rank distributions is the
+// score stage, and consolidation + sort are the rank stage.
+func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.TableProfile) ([]core.Match, error) {
 	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
 	source, target := sp.Table(), tp.Table()
-	cols := m.buildDistributions(sp, tp)
+	stats := engine.StatsFrom(ctx)
+	workers := engine.OptionsFrom(ctx).Workers()
+	var cols []columnDist
+	stats.Timed(engine.StageGenerate, func() {
+		cols = m.buildDistributions(sp, tp)
+	})
 
 	// Phase 1: quantile-EMD between every cross-table pair; candidate pairs
-	// have EMD ≤ θ₁.
-	emd1 := make(map[pairKey]float64)
+	// have EMD ≤ θ₁. One pool unit per source column.
 	var srcIdx, tgtIdx []int
 	for i, c := range cols {
 		if c.source {
@@ -84,47 +107,81 @@ func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, err
 			tgtIdx = append(tgtIdx, i)
 		}
 	}
-	for _, i := range srcIdx {
-		for _, j := range tgtIdx {
-			emd1[pairKey{i, j}] = emd.Samples1D(cols[i].quant, cols[j].quant)
+	stats.AddCandidates(int64(len(srcIdx)) * int64(len(tgtIdx)))
+	emd1 := make(map[pairKey]float64, len(srcIdx)*len(tgtIdx))
+	rows1 := make([][]float64, len(srcIdx))
+	start := time.Now()
+	err := engine.Map(ctx, workers, len(srcIdx), func(si int) error {
+		row := make([]float64, len(tgtIdx))
+		for tj, j := range tgtIdx {
+			row[tj] = emd.Samples1D(cols[srcIdx[si]].quant, cols[j].quant)
+		}
+		rows1[si] = row
+		return nil
+	})
+	stats.Observe(engine.StagePrune, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	// Candidate pairs surviving θ₁, in the row-major order the sequential
+	// loop visited them.
+	var cand []pairKey
+	for si, i := range srcIdx {
+		for tj, j := range tgtIdx {
+			emd1[pairKey{i, j}] = rows1[si][tj]
+			if rows1[si][tj] <= m.Theta1 {
+				cand = append(cand, pairKey{i, j})
+			}
 		}
 	}
+	stats.AddPruned(int64(len(srcIdx)*len(tgtIdx) - len(cand)))
 
-	// Phase 2: refine candidates on the full rank distributions.
-	emd2 := make(map[pairKey]float64)
-	for k, d1 := range emd1 {
-		if d1 <= m.Theta1 {
-			emd2[k] = emd.Samples1D(cols[k.i].ranks, cols[k.j].ranks)
-		}
+	// Phase 2: refine candidates on the full rank distributions, one pool
+	// unit per surviving pair (the quadratic EMD is the expensive part).
+	refined := make([]float64, len(cand))
+	start = time.Now()
+	err = engine.Map(ctx, workers, len(cand), func(c int) error {
+		refined[c] = emd.Samples1D(cols[cand[c].i].ranks, cols[cand[c].j].ranks)
+		return nil
+	})
+	stats.Observe(engine.StageScore, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	stats.AddScored(int64(len(cand)))
+	emd2 := make(map[pairKey]float64, len(cand))
+	for c, k := range cand {
+		emd2[k] = refined[c]
 	}
 
 	// Consolidation ILP per connected component of the surviving graph:
 	// pick a 1-1 assignment maximizing total similarity; its pairs receive
 	// the top scores.
-	selected := m.consolidate(cols, srcIdx, tgtIdx, emd2)
-
 	var out []core.Match
-	for _, i := range srcIdx {
-		for _, j := range tgtIdx {
-			k := pairKey{i, j}
-			d := emd1[k]
-			score := 0.5 / (1 + d) // not clustered: bottom band
-			if d2, ok := emd2[k]; ok && d2 <= m.Theta2 {
-				score = 0.8 / (1 + d2) // co-clustered: middle band
-				if selected[[2]string{cols[i].name, cols[j].name}] {
-					score = 1 / (1 + d2) // ILP-selected: top band
+	stats.Timed(engine.StageRank, func() {
+		selected := m.consolidate(cols, srcIdx, tgtIdx, emd2)
+		for _, i := range srcIdx {
+			for _, j := range tgtIdx {
+				k := pairKey{i, j}
+				d := emd1[k]
+				score := 0.5 / (1 + d) // not clustered: bottom band
+				if d2, ok := emd2[k]; ok && d2 <= m.Theta2 {
+					score = 0.8 / (1 + d2) // co-clustered: middle band
+					if selected[[2]string{cols[i].name, cols[j].name}] {
+						score = 1 / (1 + d2) // ILP-selected: top band
+					}
 				}
+				out = append(out, core.Match{
+					SourceTable:  source.Name,
+					SourceColumn: cols[i].name,
+					TargetTable:  target.Name,
+					TargetColumn: cols[j].name,
+					Score:        score,
+				})
 			}
-			out = append(out, core.Match{
-				SourceTable:  source.Name,
-				SourceColumn: cols[i].name,
-				TargetTable:  target.Name,
-				TargetColumn: cols[j].name,
-				Score:        score,
-			})
 		}
-	}
-	core.SortMatches(out)
+		core.SortMatches(out)
+	})
 	return out, nil
 }
 

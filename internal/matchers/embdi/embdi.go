@@ -11,12 +11,14 @@
 package embdi
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"strings"
 
 	"valentine/internal/core"
 	"valentine/internal/embedding"
+	"valentine/internal/engine"
 	"valentine/internal/profile"
 	"valentine/internal/table"
 )
@@ -162,7 +164,7 @@ func (g *tripartite) walk(start string, length int, rng *rand.Rand) []string {
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	return m.MatchProfiles(profile.New(source), profile.New(target))
+	return m.MatchProfilesContext(context.Background(), profile.New(source), profile.New(target))
 }
 
 // MatchProfiles implements core.ProfiledMatcher. EmbDI trains pair-local
@@ -170,58 +172,74 @@ func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
 // to reuse — the profiled path exists for uniform dispatch (ensembles, the
 // experiment runner) rather than for caching.
 func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	return m.MatchProfilesContext(context.Background(), sp, tp)
+}
+
+// MatchContext implements core.ContextMatcher.
+func (m *Matcher) MatchContext(ctx context.Context, store *profile.Store, source, target *table.Table) ([]core.Match, error) {
+	sp, tp := core.ProfilePair(store, source, target)
+	return m.MatchProfilesContext(ctx, sp, tp)
+}
+
+// MatchProfilesContext implements core.ProfiledContextMatcher — the single
+// scoring path. Graph construction, the random walks and word2vec training
+// consume one sequential RNG stream (parallelizing them would change the
+// trained embeddings), so the engine contributes cancellation checks between
+// those stages and between walk batches; the final cosine scoring fans out
+// on the pool.
+func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.TableProfile) ([]core.Match, error) {
 	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
 	source, target := sp.Table(), tp.Table()
-	g := buildGraph([]*table.Table{source, target}, m.MaxRows, m.Flatten)
-	rng := rand.New(rand.NewSource(m.Seed))
+	stats := engine.StatsFrom(ctx)
+	var model *embedding.Model
+	var genErr error
+	stats.Timed(engine.StageGenerate, func() {
+		g := buildGraph([]*table.Table{source, target}, m.MaxRows, m.Flatten)
+		rng := rand.New(rand.NewSource(m.Seed))
 
-	length := m.SentenceLength
-	if length < 4 {
-		length = 20
-	}
-	walks := m.WalksPerNode
-	if walks <= 0 {
-		walks = 8
-	}
-	var corpus [][]string
-	starts := append(append([]string{}, g.cids...), g.rids...)
-	for _, s := range starts {
-		for w := 0; w < walks; w++ {
-			sent := g.walk(s, length, rng)
-			if len(sent) > 1 {
-				corpus = append(corpus, sent)
+		length := m.SentenceLength
+		if length < 4 {
+			length = 20
+		}
+		walks := m.WalksPerNode
+		if walks <= 0 {
+			walks = 8
+		}
+		var corpus [][]string
+		starts := append(append([]string{}, g.cids...), g.rids...)
+		for si, s := range starts {
+			if si%64 == 0 {
+				if genErr = ctx.Err(); genErr != nil {
+					return
+				}
+			}
+			for w := 0; w < walks; w++ {
+				sent := g.walk(s, length, rng)
+				if len(sent) > 1 {
+					corpus = append(corpus, sent)
+				}
 			}
 		}
-	}
-
-	model, err := embedding.TrainWord2Vec(corpus, embedding.Word2VecOptions{
-		Dim:    m.Dimensions,
-		Window: m.Window,
-		Epochs: m.Epochs,
-		Seed:   m.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	var out []core.Match
-	for i := range source.Columns {
-		for j := range target.Columns {
-			cos := model.Similarity(
-				cidNode(0, source.Columns[i].Name),
-				cidNode(1, target.Columns[j].Name),
-			)
-			out = append(out, core.Match{
-				SourceTable:  source.Name,
-				SourceColumn: source.Columns[i].Name,
-				TargetTable:  target.Name,
-				TargetColumn: target.Columns[j].Name,
-				Score:        (cos + 1) / 2, // map cosine to [0,1]
-			})
+		if genErr = ctx.Err(); genErr != nil {
+			return
 		}
+		model, genErr = embedding.TrainWord2Vec(corpus, embedding.Word2VecOptions{
+			Dim:    m.Dimensions,
+			Window: m.Window,
+			Epochs: m.Epochs,
+			Seed:   m.Seed,
+		})
+	})
+	if genErr != nil {
+		return nil, genErr
 	}
-	core.SortMatches(out)
-	return out, nil
+	return engine.ScorePairs(ctx, sp, tp, func(i, j int) (float64, bool) {
+		cos := model.Similarity(
+			cidNode(0, source.Columns[i].Name),
+			cidNode(1, target.Columns[j].Name),
+		)
+		return (cos + 1) / 2, true // map cosine to [0,1]
+	})
 }

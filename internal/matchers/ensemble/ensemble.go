@@ -13,11 +13,13 @@
 package ensemble
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"valentine/internal/core"
+	"valentine/internal/engine"
 	"valentine/internal/profile"
 	"valentine/internal/table"
 )
@@ -93,30 +95,56 @@ func (e *Matcher) Name() string {
 // column data (distinct sets, tokens, signatures, statistics) is computed
 // once instead of once per member.
 func (e *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	return e.MatchProfiles(profile.New(source), profile.New(target))
+	return e.MatchProfilesContext(context.Background(), profile.New(source), profile.New(target))
 }
 
 // MatchProfiles implements core.ProfiledMatcher: members that are
 // profile-aware consume the shared profiles directly; the rest fall back to
 // their plain Match path.
 func (e *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	return e.MatchProfilesContext(context.Background(), sp, tp)
+}
+
+// MatchContext implements core.ContextMatcher.
+func (e *Matcher) MatchContext(ctx context.Context, store *profile.Store, source, target *table.Table) ([]core.Match, error) {
+	sp, tp := core.ProfilePair(store, source, target)
+	return e.MatchProfilesContext(ctx, sp, tp)
+}
+
+// MatchProfilesContext implements core.ProfiledContextMatcher — the single
+// scoring path: members run concurrently on the engine pool (each member's
+// own scoring additionally fans out under the same options), and their
+// rankings are fused sequentially in member order, so the fused scores are
+// bit-identical to the old one-member-at-a-time loop at any parallelism.
+func (e *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.TableProfile) ([]core.Match, error) {
 	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
 	source, target := sp.Table(), tp.Table()
+
+	memberMatches := make([][]core.Match, len(e.Members))
+	err := engine.Map(ctx, engine.OptionsFrom(ctx).Workers(), len(e.Members), func(i int) error {
+		matches, err := core.MatchProfilesWithContext(ctx, e.Members[i].Matcher, sp, tp)
+		if err != nil {
+			return fmt.Errorf("ensemble member %s: %w", e.Members[i].Matcher.Name(), err)
+		}
+		memberMatches[i] = matches
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	type key struct{ s, t string }
 	fused := make(map[key]float64)
 	totalWeight := 0.0
-	for _, member := range e.Members {
+	for mi, member := range e.Members {
 		w := member.Weight
 		if w <= 0 {
 			w = 1
 		}
 		totalWeight += w
-		matches, err := core.MatchWith(member.Matcher, sp, tp)
-		if err != nil {
-			return nil, fmt.Errorf("ensemble member %s: %w", member.Matcher.Name(), err)
-		}
+		matches := memberMatches[mi]
 		switch e.Fusion {
 		case FusionRRF:
 			k := e.RRFK

@@ -5,9 +5,11 @@
 package jaccardlev
 
 import (
+	"context"
 	"sort"
 
 	"valentine/internal/core"
+	"valentine/internal/engine"
 	"valentine/internal/profile"
 	"valentine/internal/strutil"
 	"valentine/internal/table"
@@ -39,12 +41,25 @@ func (m *Matcher) Name() string { return "jaccard-levenshtein" }
 
 // Match ranks every cross-table column pair by fuzzy Jaccard similarity.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	return m.MatchProfiles(profile.New(source), profile.New(target))
+	return m.MatchProfilesContext(context.Background(), profile.New(source), profile.New(target))
 }
 
 // MatchProfiles implements core.ProfiledMatcher: the per-column sorted
 // distinct values come from the profiles' caches.
 func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	return m.MatchProfilesContext(context.Background(), sp, tp)
+}
+
+// MatchContext implements core.ContextMatcher.
+func (m *Matcher) MatchContext(ctx context.Context, store *profile.Store, source, target *table.Table) ([]core.Match, error) {
+	sp, tp := core.ProfilePair(store, source, target)
+	return m.MatchProfilesContext(ctx, sp, tp)
+}
+
+// MatchProfilesContext implements core.ProfiledContextMatcher — the single
+// scoring path: distinct-value samples are generated per column, then the
+// quadratic fuzzy-Jaccard scoring fans out on the engine's worker pool.
+func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.TableProfile) ([]core.Match, error) {
 	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
@@ -53,29 +68,20 @@ func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, err
 	if limit <= 0 {
 		limit = 120
 	}
-	srcSets := make([][]string, len(source.Columns))
-	for i := range source.Columns {
-		srcSets[i] = sampleDistinct(sp.Column(i), limit)
-	}
-	tgtSets := make([][]string, len(target.Columns))
-	for i := range target.Columns {
-		tgtSets[i] = sampleDistinct(tp.Column(i), limit)
-	}
-	var out []core.Match
-	for i := range source.Columns {
-		for j := range target.Columns {
-			score := fuzzyJaccard(srcSets[i], tgtSets[j], m.Threshold)
-			out = append(out, core.Match{
-				SourceTable:  source.Name,
-				SourceColumn: source.Columns[i].Name,
-				TargetTable:  target.Name,
-				TargetColumn: target.Columns[j].Name,
-				Score:        score,
-			})
+	var srcSets, tgtSets [][]string
+	engine.StatsFrom(ctx).Timed(engine.StageGenerate, func() {
+		srcSets = make([][]string, len(source.Columns))
+		for i := range source.Columns {
+			srcSets[i] = sampleDistinct(sp.Column(i), limit)
 		}
-	}
-	core.SortMatches(out)
-	return out, nil
+		tgtSets = make([][]string, len(target.Columns))
+		for i := range target.Columns {
+			tgtSets[i] = sampleDistinct(tp.Column(i), limit)
+		}
+	})
+	return engine.ScorePairs(ctx, sp, tp, func(i, j int) (float64, bool) {
+		return fuzzyJaccard(srcSets[i], tgtSets[j], m.Threshold), true
+	})
 }
 
 // sampleDistinct returns up to max distinct values, deterministically (the

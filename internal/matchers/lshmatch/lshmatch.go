@@ -13,7 +13,10 @@
 package lshmatch
 
 import (
+	"context"
+
 	"valentine/internal/core"
+	"valentine/internal/engine"
 	"valentine/internal/profile"
 	"valentine/internal/table"
 )
@@ -46,72 +49,78 @@ func (m *Matcher) Name() string { return "lsh-value-overlap" }
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	return m.MatchProfiles(profile.New(source), profile.New(target))
+	return m.MatchProfilesContext(context.Background(), profile.New(source), profile.New(target))
 }
 
 // MatchProfiles implements core.ProfiledMatcher: signatures come from the
 // profiles' per-column caches instead of being recomputed per call.
 func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	return m.MatchProfilesContext(context.Background(), sp, tp)
+}
+
+// MatchContext implements core.ContextMatcher.
+func (m *Matcher) MatchContext(ctx context.Context, store *profile.Store, source, target *table.Table) ([]core.Match, error) {
+	sp, tp := core.ProfilePair(store, source, target)
+	return m.MatchProfilesContext(ctx, sp, tp)
+}
+
+// MatchProfilesContext implements core.ProfiledContextMatcher — the single
+// scoring path: band probing generates the candidate set (the prune that
+// makes LSH fast), then candidate estimation fans out on the engine pool.
+// The ranking is identical to the pre-engine sequential path: candidate
+// pairs score their estimated Jaccard, misses score 0, and the final sort's
+// name tiebreak is a total order.
+func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.TableProfile) ([]core.Match, error) {
 	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
-	source, target := sp.Table(), tp.Table()
 	k, bands, rows := Geometry(m.Signature, m.Bands)
+	stats := engine.StatsFrom(ctx)
 
-	srcSigs := signaturesOf(sp, k)
-	tgtSigs := signaturesOf(tp, k)
-
-	// Index target columns by band-bucket.
-	type bucket struct {
-		band int
-		key  uint64
-	}
-	index := make(map[bucket][]int)
-	for j, sig := range tgtSigs {
-		for b := 0; b < bands; b++ {
-			index[bucket{b, BandKey(sig, b, rows)}] = append(index[bucket{b, BandKey(sig, b, rows)}], j)
-		}
-	}
-
-	// Probe with source columns.
+	var srcSigs, tgtSigs [][]uint64
 	candidates := make(map[[2]int]struct{})
-	for i, sig := range srcSigs {
-		for b := 0; b < bands; b++ {
-			for _, j := range index[bucket{b, BandKey(sig, b, rows)}] {
-				candidates[[2]int{i, j}] = struct{}{}
-			}
-		}
-	}
+	stats.Timed(engine.StageGenerate, func() {
+		srcSigs = signaturesOf(sp, k)
+		tgtSigs = signaturesOf(tp, k)
 
-	var out []core.Match
-	emitted := make(map[[2]int]bool, len(candidates))
-	for c := range candidates {
-		i, j := c[0], c[1]
-		emitted[c] = true
-		out = append(out, core.Match{
-			SourceTable:  source.Name,
-			SourceColumn: source.Columns[i].Name,
-			TargetTable:  target.Name,
-			TargetColumn: target.Columns[j].Name,
-			Score:        EstimateJaccard(srcSigs[i], tgtSigs[j]),
-		})
-	}
-	if m.IncludeMisses {
-		for i := range source.Columns {
-			for j := range target.Columns {
-				if emitted[[2]int{i, j}] {
-					continue
-				}
-				out = append(out, core.Match{
-					SourceTable:  source.Name,
-					SourceColumn: source.Columns[i].Name,
-					TargetTable:  target.Name,
-					TargetColumn: target.Columns[j].Name,
-					Score:        0,
-				})
+		// Index target columns by band-bucket, then probe with source
+		// columns: colliding pairs become candidates.
+		type bucket struct {
+			band int
+			key  uint64
+		}
+		index := make(map[bucket][]int)
+		for j, sig := range tgtSigs {
+			for b := 0; b < bands; b++ {
+				index[bucket{b, BandKey(sig, b, rows)}] = append(index[bucket{b, BandKey(sig, b, rows)}], j)
 			}
 		}
+		for i, sig := range srcSigs {
+			for b := 0; b < bands; b++ {
+				for _, j := range index[bucket{b, BandKey(sig, b, rows)}] {
+					candidates[[2]int{i, j}] = struct{}{}
+				}
+			}
+		}
+	})
+	// ScorePairs counts the full cross product as candidates; the pairs the
+	// banding did not nominate are the pruned share (they are emitted with
+	// score 0 when IncludeMisses is set, but never estimated).
+	missed := int64(len(srcSigs))*int64(len(tgtSigs)) - int64(len(candidates))
+	out, err := engine.ScorePairs(ctx, sp, tp, func(i, j int) (float64, bool) {
+		if _, ok := candidates[[2]int{i, j}]; ok {
+			return EstimateJaccard(srcSigs[i], tgtSigs[j]), true
+		}
+		return 0, m.IncludeMisses
+	})
+	if err != nil {
+		return nil, err
 	}
-	core.SortMatches(out)
+	// Rebalance the pipeline counters: misses emitted for ranked-list
+	// coverage were pruned by the bands, not scored.
+	if m.IncludeMisses {
+		stats.AddScored(-missed)
+		stats.AddPruned(missed)
+	}
 	return out, nil
 }

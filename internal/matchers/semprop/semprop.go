@@ -11,8 +11,11 @@
 package semprop
 
 import (
+	"context"
+
 	"valentine/internal/core"
 	"valentine/internal/embedding"
+	"valentine/internal/engine"
 	"valentine/internal/ontology"
 	"valentine/internal/profile"
 	"valentine/internal/table"
@@ -54,53 +57,59 @@ type classLink struct {
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	return m.MatchProfiles(profile.New(source), profile.New(target))
+	return m.MatchProfilesContext(context.Background(), profile.New(source), profile.New(target))
 }
 
 // MatchProfiles implements core.ProfiledMatcher: name tokens and MinHash
 // signatures come from the profiles' caches instead of being recomputed per
 // call.
 func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	return m.MatchProfilesContext(context.Background(), sp, tp)
+}
+
+// MatchContext implements core.ContextMatcher.
+func (m *Matcher) MatchContext(ctx context.Context, store *profile.Store, source, target *table.Table) ([]core.Match, error) {
+	sp, tp := core.ProfilePair(store, source, target)
+	return m.MatchProfilesContext(ctx, sp, tp)
+}
+
+// MatchProfilesContext implements core.ProfiledContextMatcher — the single
+// scoring path: ontology linking is the generate stage, then the
+// semantic/syntactic pair scoring fans out on the engine pool.
+func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.TableProfile) ([]core.Match, error) {
 	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
-	source, target := sp.Table(), tp.Table()
-	classVecs := m.classVectors()
-	srcLinks := m.linkColumns(sp, classVecs)
-	tgtLinks := m.linkColumns(tp, classVecs)
-	srcSigs := m.signatures(sp)
-	tgtSigs := m.signatures(tp)
-
-	var out []core.Match
-	for i := range source.Columns {
-		for j := range target.Columns {
-			sem := m.semanticScore(srcLinks[i], tgtLinks[j])
-			var score float64
-			if sem >= m.CohSemThreshold {
-				// semantic band: [0.5, 1]
-				score = 0.5 + 0.5*sem
-			} else {
-				// syntactic fallback band: [0, 0.5)
-				// Pairs the semantic matcher cannot relate and whose value
-				// signatures miss the MinHash threshold score zero — SemProp
-				// has no further signal, which is precisely why the paper
-				// finds it ineffective outside its ontology's coverage.
-				jac := signatureJaccard(srcSigs[i], tgtSigs[j])
-				if jac >= m.MinhashThresh {
-					score = 0.5 * jac
-				}
+	var (
+		srcLinks, tgtLinks [][]classLink
+		srcSigs, tgtSigs   [][]uint64
+	)
+	engine.StatsFrom(ctx).Timed(engine.StageGenerate, func() {
+		classVecs := m.classVectors()
+		srcLinks = m.linkColumns(sp, classVecs)
+		tgtLinks = m.linkColumns(tp, classVecs)
+		srcSigs = m.signatures(sp)
+		tgtSigs = m.signatures(tp)
+	})
+	return engine.ScorePairs(ctx, sp, tp, func(i, j int) (float64, bool) {
+		sem := m.semanticScore(srcLinks[i], tgtLinks[j])
+		var score float64
+		if sem >= m.CohSemThreshold {
+			// semantic band: [0.5, 1]
+			score = 0.5 + 0.5*sem
+		} else {
+			// syntactic fallback band: [0, 0.5)
+			// Pairs the semantic matcher cannot relate and whose value
+			// signatures miss the MinHash threshold score zero — SemProp
+			// has no further signal, which is precisely why the paper
+			// finds it ineffective outside its ontology's coverage.
+			jac := signatureJaccard(srcSigs[i], tgtSigs[j])
+			if jac >= m.MinhashThresh {
+				score = 0.5 * jac
 			}
-			out = append(out, core.Match{
-				SourceTable:  source.Name,
-				SourceColumn: source.Columns[i].Name,
-				TargetTable:  target.Name,
-				TargetColumn: target.Columns[j].Name,
-				Score:        score,
-			})
 		}
-	}
-	core.SortMatches(out)
-	return out, nil
+		return score, true
+	})
 }
 
 // classVectors embeds every ontology class's label words.

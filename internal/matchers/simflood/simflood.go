@@ -12,10 +12,12 @@
 package simflood
 
 import (
+	"context"
 	"sort"
 	"strings"
 
 	"valentine/internal/core"
+	"valentine/internal/engine"
 	"valentine/internal/graph"
 	"valentine/internal/profile"
 	"valentine/internal/strutil"
@@ -105,7 +107,7 @@ func splitID(id string) (kind, label string) {
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	return m.MatchProfiles(profile.New(source), profile.New(target))
+	return m.MatchProfilesContext(context.Background(), profile.New(source), profile.New(target))
 }
 
 // MatchProfiles implements core.ProfiledMatcher. Similarity Flooding's
@@ -114,49 +116,89 @@ func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
 // uniform dispatch (ensembles, the experiment runner) rather than for
 // caching.
 func (m *Matcher) MatchProfiles(sp, tp *profile.TableProfile) ([]core.Match, error) {
+	return m.MatchProfilesContext(context.Background(), sp, tp)
+}
+
+// MatchContext implements core.ContextMatcher.
+func (m *Matcher) MatchContext(ctx context.Context, store *profile.Store, source, target *table.Table) ([]core.Match, error) {
+	sp, tp := core.ProfilePair(store, source, target)
+	return m.MatchProfilesContext(ctx, sp, tp)
+}
+
+// MatchProfilesContext implements core.ProfiledContextMatcher — the single
+// scoring path. The fixpoint iteration is inherently sequential (each round
+// reads the previous round's similarities), so the engine contributes
+// cancellation: the flood polls ctx between iterations and a canceled
+// context abandons the partial fixpoint and returns ctx.Err().
+func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.TableProfile) ([]core.Match, error) {
 	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
 	}
 	source, target := sp.Table(), tp.Table()
-	g1 := buildGraph(source)
-	g2 := buildGraph(target)
-	pcg := graph.BuildPCG(g1, g2)
-
-	sigma0 := make(map[string]float64, len(pcg.Nodes))
-	for _, id := range pcg.Nodes {
-		a, b, err := graph.SplitPair(id)
-		if err != nil {
-			return nil, err
+	stats := engine.StatsFrom(ctx)
+	var pcg *graph.PCG
+	sigma0 := make(map[string]float64)
+	var genErr error
+	stats.Timed(engine.StageGenerate, func() {
+		g1 := buildGraph(source)
+		g2 := buildGraph(target)
+		pcg = graph.BuildPCG(g1, g2)
+		for _, id := range pcg.Nodes {
+			a, b, err := graph.SplitPair(id)
+			if err != nil {
+				genErr = err
+				return
+			}
+			sigma0[id] = initialSim(a, b)
 		}
-		sigma0[id] = initialSim(a, b)
-	}
-	result := pcg.Flood(sigma0, 0, graph.FloodOptions{
-		Formula:       m.Formula,
-		MaxIterations: m.MaxIterations,
-		Epsilon:       m.Epsilon,
 	})
+	if genErr != nil {
+		return nil, genErr
+	}
+	stats.AddCandidates(int64(len(pcg.Nodes)))
+
+	var result map[string]float64
+	stats.Timed(engine.StageScore, func() {
+		result = pcg.Flood(sigma0, 0, graph.FloodOptions{
+			Formula:       m.Formula,
+			MaxIterations: m.MaxIterations,
+			Epsilon:       m.Epsilon,
+			Interrupt:     func() bool { return ctx.Err() != nil },
+		})
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stats.AddScored(int64(len(result)))
 
 	var out []core.Match
-	for id, score := range result {
-		a, b, err := graph.SplitPair(id)
-		if err != nil {
-			return nil, err
+	var rankErr error
+	stats.Timed(engine.StageRank, func() {
+		for id, score := range result {
+			a, b, err := graph.SplitPair(id)
+			if err != nil {
+				rankErr = err
+				return
+			}
+			if !strings.HasPrefix(a, colPrefix) || !strings.HasPrefix(b, colPrefix) {
+				continue
+			}
+			out = append(out, core.Match{
+				SourceTable:  source.Name,
+				SourceColumn: strings.TrimPrefix(a, colPrefix),
+				TargetTable:  target.Name,
+				TargetColumn: strings.TrimPrefix(b, colPrefix),
+				Score:        score,
+			})
 		}
-		if !strings.HasPrefix(a, colPrefix) || !strings.HasPrefix(b, colPrefix) {
-			continue
+		if m.StableMarriage {
+			promoteStableMatching(out)
 		}
-		out = append(out, core.Match{
-			SourceTable:  source.Name,
-			SourceColumn: strings.TrimPrefix(a, colPrefix),
-			TargetTable:  target.Name,
-			TargetColumn: strings.TrimPrefix(b, colPrefix),
-			Score:        score,
-		})
+		core.SortMatches(out)
+	})
+	if rankErr != nil {
+		return nil, rankErr
 	}
-	if m.StableMarriage {
-		promoteStableMatching(out)
-	}
-	core.SortMatches(out)
 	return out, nil
 }
 

@@ -15,6 +15,10 @@
 //     RunExperiments, DefaultGrids)
 //   - a corpus-level discovery index for served top-k search
 //     (NewDiscoveryIndex, LoadDiscoveryIndexFile)
+//   - the unified concurrent execution engine behind all of the above
+//     (MatchWithContext, EngineOptions, Stats): context-propagated deadlines
+//     and cancellation, a bounded worker pool, per-stage instrumentation —
+//     with rankings bit-identical to sequential execution
 //
 // A minimal use looks like:
 //
