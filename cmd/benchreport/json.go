@@ -28,7 +28,11 @@ type jsonReport struct {
 	// parallel-vs-sequential wall-clock speedups on this machine (see
 	// engine.go); absent when the measurement is skipped.
 	Engine *jsonEngine `json:"engine,omitempty"`
-	Runs   []jsonRun   `json:"runs"`
+	// Serve records search latency against the live catalog, idle vs under
+	// concurrent ingest, against the global-lock baseline (see serve.go);
+	// absent when the measurement is skipped.
+	Serve *jsonServe `json:"serve,omitempty"`
+	Runs  []jsonRun  `json:"runs"`
 }
 
 type jsonMethod struct {

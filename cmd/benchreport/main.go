@@ -90,6 +90,13 @@ func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fi
 			} else {
 				rep.Engine = eng
 			}
+			// The serve section is best-effort for the same reason.
+			fmt.Fprintln(os.Stderr, "measuring serve-path search latency under ingest...")
+			if srv, err := measureServe(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: skipping serve section: %v\n", err)
+			} else {
+				rep.Serve = srv
+			}
 			if err := writeJSONReport(jsonOut, rep); err != nil {
 				return err
 			}

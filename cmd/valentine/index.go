@@ -16,22 +16,50 @@ import (
 
 // cmdIndex builds a persistent discovery index from a directory of CSVs:
 // every column is profiled and MinHash-sketched once, so subsequent
-// `valentine search` queries never rescan the corpus.
+// `valentine search` queries never rescan the corpus. With -append the
+// tables are upserted into an existing index file instead of rebuilding the
+// whole corpus from scratch.
 func cmdIndex(args []string) error {
 	fs := flag.NewFlagSet("index", flag.ExitOnError)
 	dir := fs.String("dir", ".", "directory of CSVs to index")
 	out := fs.String("out", "valentine.idx", "output index file")
+	appendF := fs.Bool("append", false, "upsert into the existing -out index instead of rebuilding")
 	signature := fs.Int("signature", 0, "MinHash signature length (default 128)")
 	bands := fs.Int("bands", 0, "LSH bands (default 32)")
 	tokenBoost := fs.Float64("token-boost", 0, "blend column-name token overlap into scores")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ix := valentine.NewDiscoveryIndex(valentine.DiscoveryOptions{
-		Signature:  *signature,
-		Bands:      *bands,
-		TokenBoost: *tokenBoost,
-	})
+	var ix *valentine.DiscoveryIndex
+	action := "indexed"
+	if *appendF {
+		// The loaded index's geometry/scoring always wins on append;
+		// silently discarding explicit flags would let the user believe a
+		// new configuration took effect.
+		var conflicting []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "signature", "bands", "token-boost":
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			return fmt.Errorf("index: %s cannot be combined with -append (the existing index keeps its options)",
+				strings.Join(conflicting, ", "))
+		}
+		var err error
+		ix, err = valentine.LoadDiscoveryIndexFile(*out)
+		if err != nil {
+			return fmt.Errorf("index -append: loading %s: %w", *out, err)
+		}
+		action = "appended"
+	} else {
+		ix = valentine.NewDiscoveryIndex(valentine.DiscoveryOptions{
+			Signature:  *signature,
+			Bands:      *bands,
+			TokenBoost: *tokenBoost,
+		})
+	}
 	tables, _, err := readCSVDir(*dir, "")
 	if err != nil {
 		return err
@@ -40,7 +68,9 @@ func cmdIndex(args []string) error {
 		return fmt.Errorf("index: no CSVs in %s", *dir)
 	}
 	for _, t := range tables {
-		if err := ix.Add(t); err != nil {
+		// Upsert, not Add: -append re-runs over a grown directory replace
+		// stale versions of already-indexed tables instead of failing.
+		if err := ix.Upsert(t); err != nil {
 			fmt.Fprintf(os.Stderr, "index: skipping %s: %v\n", t.Name, err)
 		}
 	}
@@ -51,8 +81,8 @@ func cmdIndex(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("indexed %d tables (%d columns) from %s → %s (%d bytes)\n",
-		ix.NumTables(), ix.NumColumns(), *dir, *out, info.Size())
+	fmt.Printf("%s %d tables (%d columns) from %s → %s (%d bytes)\n",
+		action, ix.NumTables(), ix.NumColumns(), *dir, *out, info.Size())
 	return nil
 }
 

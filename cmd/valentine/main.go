@@ -9,9 +9,10 @@
 //	valentine match -method coma-schema -source a.csv -target b.csv [-top 10] [-param k=v]
 //	valentine evaluate -method coma-schema -source a.csv -target b.csv -truth gt.csv
 //	valentine experiment -source TPC-DI -rows 120 [-methods m1,m2]
-//	valentine index -dir lake/ -out lake.idx [-signature 128 -bands 32]
+//	valentine index -dir lake/ -out lake.idx [-append] [-signature 128 -bands 32]
 //	valentine search -index lake.idx -query q.csv [-mode join|union] [-top 10]
 //	valentine discover -query q.csv -dir lake/ [-mode join|union] [-method m] [-top 10]
+//	valentine serve -addr :8080 [-index lake.idx] [-dir lake/] [-snapshot snap/]
 package main
 
 import (
@@ -54,6 +55,8 @@ func main() {
 		err = cmdIndex(os.Args[2:])
 	case "search":
 		err = cmdSearch(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -78,7 +81,8 @@ commands:
   experiment   run the quick experiment grid over a generated source
   discover     rank a directory of CSVs by joinability/unionability with a query
   index        build a persistent discovery index from a directory of CSVs
-  search       top-k joinability/unionability query against a saved index`)
+  search       top-k joinability/unionability query against a saved index
+  serve        serve the live catalog over HTTP (search, upsert, delete, match)`)
 }
 
 func cmdMethods() error {

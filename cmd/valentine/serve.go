@@ -1,0 +1,173 @@
+package main
+
+// valentine serve: the long-running serving mode — a live discovery catalog
+// behind an HTTP API. Tables can be loaded from an index file/snapshot or a
+// CSV directory at startup, then upserted/removed over HTTP while searches
+// run; the catalog periodically snapshots to disk and a final snapshot is
+// written on graceful shutdown (SIGINT/SIGTERM drain in-flight requests).
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"valentine"
+	"valentine/internal/discovery"
+	"valentine/internal/server"
+)
+
+// serveHooks lets tests observe the bound address and drive shutdown; both
+// are nil in production use.
+var serveHooks struct {
+	ready    func(addr string)
+	shutdown <-chan struct{}
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	indexPath := fs.String("index", "", "index file or snapshot directory to serve (optional)")
+	dir := fs.String("dir", "", "directory of CSVs to ingest at startup (optional)")
+	snapshotDir := fs.String("snapshot", "", "directory for periodic catalog snapshots (optional; resumed from if it exists)")
+	snapshotEvery := fs.Duration("snapshot-every", 30*time.Second, "interval between periodic snapshots")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
+	parallelism := fs.Int("parallelism", 0, "engine worker-pool size per request (default GOMAXPROCS)")
+	signature := fs.Int("signature", 0, "MinHash signature length for a fresh catalog (default 128)")
+	bands := fs.Int("bands", 0, "LSH bands for a fresh catalog (default 32)")
+	tokenBoost := fs.Float64("token-boost", 0, "blend column-name token overlap into scores (fresh catalog)")
+	sealAfter := fs.Int("seal-after", 0, "tables per memtable segment before sealing (default 16)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Resolve the starting catalog: an explicit -index wins; otherwise an
+	// existing -snapshot directory is resumed; otherwise a fresh catalog.
+	// A loaded catalog keeps its persisted options, so explicit geometry/
+	// scoring flags would be silently discarded — reject them instead
+	// (mirroring `index -append`).
+	var catalogFlags []string
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "signature", "bands", "token-boost", "seal-after":
+			catalogFlags = append(catalogFlags, "-"+f.Name)
+		}
+	})
+	rejectCatalogFlags := func(source string) error {
+		if len(catalogFlags) == 0 {
+			return nil
+		}
+		return fmt.Errorf("serve: %s cannot be combined with %s (the loaded catalog keeps its options)",
+			strings.Join(catalogFlags, ", "), source)
+	}
+	var (
+		ix  *valentine.DiscoveryIndex
+		err error
+	)
+	switch {
+	case *indexPath != "":
+		if err := rejectCatalogFlags("-index"); err != nil {
+			return err
+		}
+		ix, err = valentine.LoadDiscoveryIndexFile(*indexPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "serve: loaded %d tables (%d columns) from %s\n",
+			ix.NumTables(), ix.NumColumns(), *indexPath)
+	case *snapshotDir != "" && snapshotExists(*snapshotDir):
+		if err := rejectCatalogFlags("an existing -snapshot directory"); err != nil {
+			return err
+		}
+		ix, err = discovery.LoadSnapshot(*snapshotDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "serve: resumed %d tables (%d columns) from snapshot %s\n",
+			ix.NumTables(), ix.NumColumns(), *snapshotDir)
+	default:
+		ix = valentine.NewDiscoveryIndex(valentine.DiscoveryOptions{
+			Signature:  *signature,
+			Bands:      *bands,
+			TokenBoost: *tokenBoost,
+			SealAfter:  *sealAfter,
+		})
+	}
+	if *dir != "" {
+		tables, _, err := readCSVDir(*dir, "")
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if err := ix.Upsert(t); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: skipping %s: %v\n", t.Name, err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "serve: ingested %s → %d tables live\n", *dir, ix.NumTables())
+	}
+
+	srv := server.New(server.Config{
+		Index:          ix,
+		RequestTimeout: *timeout,
+		Parallelism:    *parallelism,
+		SnapshotDir:    *snapshotDir,
+		SnapshotEvery:  *snapshotEvery,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (%d tables live)\n", ln.Addr(), ix.NumTables())
+	if serveHooks.ready != nil {
+		serveHooks.ready(ln.Addr().String())
+	}
+
+	// Graceful shutdown: SIGINT/SIGTERM (or the test hook) stops accepting,
+	// drains in-flight requests, flushes the ingest batcher, and writes a
+	// final snapshot when one is configured.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	case <-serveHooks.shutdown: // nil outside tests: never fires
+	}
+	fmt.Fprintln(os.Stderr, "serve: shutting down, draining in-flight requests...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		srv.Close()
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		srv.Close()
+		return err
+	}
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("serve: final snapshot: %w", err)
+	}
+	if *snapshotDir != "" {
+		fmt.Fprintf(os.Stderr, "serve: final snapshot written to %s\n", *snapshotDir)
+	}
+	return nil
+}
+
+// snapshotExists reports whether dir holds a catalog snapshot manifest.
+func snapshotExists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, "MANIFEST.gob"))
+	return err == nil
+}

@@ -1,0 +1,197 @@
+// Serve: the live-catalog deployment shape end to end. A data lake is
+// ingested into a DiscoveryIndex, served over HTTP (search, upsert, delete,
+// stats), mutated while queries run, snapshotted to disk on shutdown, and
+// resumed from the snapshot — all in one self-contained process using an
+// ephemeral port.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"valentine"
+)
+
+func main() {
+	// Build the lake: two fragments related to the query drowned in
+	// unrelated tables.
+	opts := valentine.DatasetOptions{Rows: 150, Seed: 3}
+	fab := valentine.NewFabricator(11)
+	prospect := valentine.TPCDI(opts)
+	j1, err := fab.Joinable(prospect, 0.5, 1.0, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := j1.Source
+	query.Name = "query_prospects"
+	j1.Target.Name = "crm_extract"
+	lake := []*valentine.Table{j1.Target}
+	for i := 0; i < 4; i++ {
+		o := valentine.DatasetOptions{Rows: 120, Seed: int64(20 + i)}
+		civic := valentine.OpenData(o)
+		civic.Name = fmt.Sprintf("civic_programs_%d", i)
+		lake = append(lake, civic)
+	}
+
+	// TokenBoost breaks the perfect-value-overlap ties that low-cardinality
+	// categorical columns (state, gender, ...) produce across unrelated
+	// domains — same reasoning as examples/indexsearch.
+	ix := valentine.NewDiscoveryIndex(valentine.DiscoveryOptions{TokenBoost: 0.15})
+	for _, t := range lake {
+		if err := ix.Add(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Join discovery keys on discriminative columns: project the query down
+	// to columns where most values are distinct.
+	var keys []string
+	for _, c := range query.Columns {
+		if len(c.Values) > 0 && len(c.DistinctValues())*2 >= len(c.Values) {
+			keys = append(keys, c.Name)
+		}
+	}
+	query, err = query.Project(keys...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query.Name = "query_prospects"
+
+	// Serve it: per-request deadlines, micro-batched ingest, snapshot on
+	// Close.
+	snapDir, err := os.MkdirTemp("", "valentine-serve")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(snapDir)
+	snap := filepath.Join(snapDir, "catalog")
+	srv := valentine.NewServer(valentine.ServeOptions{Index: ix, SnapshotDir: snap})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving %d tables at %s\n\n", ix.NumTables(), base)
+
+	// 1. Search while serving.
+	results := search(base, query)
+	fmt.Printf("top join candidates for %q:\n", query.Name)
+	for i, r := range results {
+		fmt.Printf("  %d. %-18s %.3f\n", i+1, r.Table, r.Score)
+	}
+
+	// 2. Mutate the live catalog over HTTP: upsert a fresh fragment,
+	// remove a noise table. Searches keep running against consistent
+	// epochs throughout.
+	u1, err := fab.Unionable(prospect, 0.6, valentine.Variant{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	u1.Target.Name = "prospects_archive"
+	putTable(base, u1.Target)
+	del(base, "civic_programs_0")
+	fmt.Printf("\nafter upsert(prospects_archive) + delete(civic_programs_0):\n")
+	for i, r := range search(base, query) {
+		fmt.Printf("  %d. %-18s %.3f\n", i+1, r.Table, r.Score)
+	}
+
+	// 3. Catalog internals over /v1/stats: epochs, segments, tombstones.
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stats struct {
+		Catalog valentine.DiscoveryStats `json:"catalog"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("\ncatalog: epoch=%d tables=%d sealed_segments=%d tombstones=%d\n",
+		stats.Catalog.Epoch, stats.Catalog.Tables, stats.Catalog.SealedSegments, stats.Catalog.Tombstones)
+
+	// 4. Graceful shutdown: drain, flush ingest, final snapshot — then
+	// resume the catalog from disk.
+	hs.Close()
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	resumed, err := valentine.LoadDiscoverySnapshot(snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed from snapshot: %d tables, epoch %d (live mutations preserved)\n",
+		resumed.NumTables(), resumed.Stats().Epoch)
+}
+
+func search(base string, q *valentine.Table) []valentine.DiscoveryResult {
+	body, err := json.Marshal(map[string]any{"table": wire(q), "mode": "join", "k": 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr struct {
+		Results []valentine.DiscoveryResult `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		log.Fatal(err)
+	}
+	return sr.Results
+}
+
+func putTable(base string, t *valentine.Table) {
+	body, err := json.Marshal(wire(t))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/tables/"+t.Name, bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("upsert %s: status %d", t.Name, resp.StatusCode)
+	}
+}
+
+func del(base, name string) {
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/tables/"+name, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("delete %s: status %d", name, resp.StatusCode)
+	}
+}
+
+// wire converts a table to the server's JSON shape.
+func wire(t *valentine.Table) map[string]any {
+	cols := make([]map[string]any, 0, len(t.Columns))
+	for _, c := range t.Columns {
+		cols = append(cols, map[string]any{"name": c.Name, "values": c.Values})
+	}
+	return map[string]any{"name": t.Name, "columns": cols}
+}

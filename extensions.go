@@ -15,6 +15,7 @@ import (
 	"valentine/internal/matchers/ensemble"
 	"valentine/internal/metrics"
 	"valentine/internal/profile"
+	"valentine/internal/server"
 	"valentine/internal/table"
 )
 
@@ -23,14 +24,19 @@ import (
 // reported separately from — the paper's methods.
 const MethodLSH = experiment.MethodLSH
 
-// DiscoveryIndex is the corpus-level column index for served dataset
-// discovery: ingest tables once (MinHash signatures + lightweight profiles
-// sharded across LSH band buckets), then answer top-k joinability and
+// DiscoveryIndex is the live catalog for served dataset discovery: a
+// segmented, copy-on-write column index (MinHash signatures + lightweight
+// profiles sharded across LSH band buckets) answering top-k joinability and
 // unionability queries by probing buckets instead of matching pairwise
-// against the whole corpus. Safe for concurrent queries.
+// against the whole corpus. It mutates while it serves: searches are
+// lock-free (they pin an atomically swapped epoch snapshot), while
+// Add/Upsert/Remove/Apply publish new epochs — tombstoning removed tables
+// until background compaction reclaims them — without ever blocking a
+// search.
 type DiscoveryIndex = discovery.Index
 
-// DiscoveryOptions configures a DiscoveryIndex's LSH geometry and scoring.
+// DiscoveryOptions configures a DiscoveryIndex's LSH geometry, scoring and
+// segment policy.
 type DiscoveryOptions = discovery.Options
 
 // DiscoveryResult is one ranked table from an index search.
@@ -39,6 +45,14 @@ type DiscoveryResult = discovery.Result
 // DiscoveryMode selects the relatedness notion a search ranks by.
 type DiscoveryMode = discovery.Mode
 
+// DiscoveryOp is one catalog mutation for DiscoveryIndex.Apply: batched
+// upserts/removes share one copy-on-write rebuild and one epoch publish.
+type DiscoveryOp = discovery.Op
+
+// DiscoveryStats is a point-in-time summary of the catalog's internals
+// (epoch, segments, tombstones, live corpus size).
+type DiscoveryStats = discovery.Stats
+
 // Discovery search modes.
 const (
 	DiscoverJoin  = discovery.ModeJoin
@@ -46,15 +60,36 @@ const (
 )
 
 // NewDiscoveryIndex returns an empty discovery index (zero-value options
-// select the suite-wide LSH defaults: 128-slot signatures, 32 bands).
+// select the suite-wide LSH defaults: 128-slot signatures, 32 bands, 16
+// tables per memtable segment).
 func NewDiscoveryIndex(opts DiscoveryOptions) *DiscoveryIndex { return discovery.New(opts) }
 
 // LoadDiscoveryIndex reads an index previously written with Save.
 func LoadDiscoveryIndex(r io.Reader) (*DiscoveryIndex, error) { return discovery.Load(r) }
 
-// LoadDiscoveryIndexFile reads an index from a file written with SaveFile
-// (or the `valentine index` command).
+// LoadDiscoveryIndexFile reads an index from a single file written with
+// SaveFile (or the `valentine index` command), or from a snapshot directory
+// written with SaveSnapshot (or `valentine serve -snapshot`).
 func LoadDiscoveryIndexFile(path string) (*DiscoveryIndex, error) { return discovery.LoadFile(path) }
+
+// LoadDiscoverySnapshot reads a snapshot directory written with
+// DiscoveryIndex.SaveSnapshot: segment layout, tombstones and epoch are
+// restored exactly.
+func LoadDiscoverySnapshot(dir string) (*DiscoveryIndex, error) { return discovery.LoadSnapshot(dir) }
+
+// ServeOptions configures a catalog Server (see NewServer). The zero value
+// of every field selects a sensible serving default.
+type ServeOptions = server.Config
+
+// Server is the HTTP serving layer over a live catalog: /v1/search,
+// /v1/tables (upsert/delete/list/profiles), /v1/match and /v1/stats, with
+// per-request deadlines, micro-batched ingest and periodic snapshots.
+// Mount Handler() on any http.Server and Close() on shutdown.
+type Server = server.Server
+
+// NewServer returns an HTTP serving layer over opts' catalog (a fresh empty
+// catalog when opts.Index is nil).
+func NewServer(opts ServeOptions) *Server { return server.New(opts) }
 
 // ProfileStore is the corpus-level cache of the shared lazy column-profile
 // layer: every piece of derived per-column data (distinct sets, sorted

@@ -2,6 +2,11 @@ package valentine
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -52,6 +57,96 @@ func TestLSHThroughAPI(t *testing.T) {
 	}
 	if r < 0.9 {
 		t.Fatalf("LSH on verbatim joinable = %v", r)
+	}
+}
+
+// TestLiveCatalogThroughAPI exercises the serving surface end to end via
+// the public API: live mutation, batch apply, stats, snapshot persistence,
+// and the HTTP server.
+func TestLiveCatalogThroughAPI(t *testing.T) {
+	mk := func(name, prefix string) *Table {
+		vals := make([]string, 50)
+		for i := range vals {
+			vals[i] = prefix + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		}
+		return NewTable(name).AddColumn("k", vals)
+	}
+	ix := NewDiscoveryIndex(DiscoveryOptions{SealAfter: 2})
+	if err := ix.Add(mk("orders", "c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Upsert(mk("geo", "t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add(mk("noise", "z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Remove("noise"); err != nil {
+		t.Fatal(err)
+	}
+	errs := ix.Apply([]DiscoveryOp{
+		{Upsert: ProfileTable(mk("batchA", "c"))},
+		{Remove: "geo"},
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("apply op %d: %v", i, err)
+		}
+	}
+	res, err := ix.Search(mk("query", "c"), DiscoverJoin, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 { // orders + batchA; geo and noise removed
+		t.Fatalf("results = %+v", res)
+	}
+	st := ix.Stats()
+	if st.Tables != 2 || st.Epoch == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Snapshot round trip through the public helpers.
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := ix.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDiscoverySnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(loaded.Tables(), ","); got != "batchA,orders" {
+		t.Fatalf("snapshot tables = %s", got)
+	}
+	viaFile, err := LoadDiscoveryIndexFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaFile.NumTables() != 2 {
+		t.Fatalf("LoadDiscoveryIndexFile(dir) tables = %d", viaFile.NumTables())
+	}
+
+	// HTTP layer over the same catalog.
+	srv := NewServer(ServeOptions{Index: ix})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Catalog DiscoveryStats `json:"catalog"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Catalog.Tables != 2 {
+		t.Fatalf("served stats = %+v", stats.Catalog)
 	}
 }
 

@@ -1,33 +1,58 @@
-// Package discovery implements a corpus-level column index for dataset
-// discovery: ingest N tables once, answer top-k joinability/unionability
-// queries in time proportional to the number of candidate columns rather
-// than the size of the corpus.
+// Package discovery implements the suite's live catalog: a corpus-level
+// column index for dataset discovery that mutates while it serves. Ingest N
+// tables, answer top-k joinability/unionability queries in time proportional
+// to the number of candidate columns rather than the size of the corpus, and
+// upsert or remove tables at any time without stalling a single query.
 //
 // The paper's lessons learned (§IX "Schema Matching is resource-expensive",
-// citing JOSIE, LSH Ensemble and Lazo) motivate the design: every indexed
-// column is summarized by a MinHash signature plus a lightweight profile
-// (inferred type, cardinality, name tokens), and signatures are sharded
-// across LSH band buckets — one bucket shard per band. A query probes the
-// shards with its own column signatures, collects the colliding columns as
-// candidates, and scores only those, so unrelated tables are never touched.
-// The signature and banding primitives live in internal/profile and are
-// shared with the pairwise lshmatch matcher, which makes indexed search
-// return the same scores a brute-force sweep with that matcher would.
+// citing JOSIE, LSH Ensemble and Lazo) motivate the summaries: every indexed
+// column is a MinHash signature plus a lightweight profile (inferred type,
+// cardinality, name tokens), and signatures are sharded across LSH band
+// buckets. A query probes the shards with its own column signatures, collects
+// the colliding columns as candidates, and scores only those, so unrelated
+// tables are never touched. The signature and banding primitives live in
+// internal/profile and are shared with the pairwise lshmatch matcher, which
+// makes indexed search return the same scores a brute-force sweep with that
+// matcher would.
 //
-// An Index is safe for concurrent use: queries run under a read lock and
-// may proceed in parallel; ingestion and loading take the write lock.
-// Indexes persist via Save/Load (a gob-encoded column-profile list; bucket
-// shards are rebuilt on load, keeping the on-disk format compact).
+// Architecture (the §IX scaling lesson applied — discovery at lake scale is
+// a serving problem, not a batch one):
+//
+//   - The catalog is a list of immutable sealed segments plus one small
+//     memtable segment. Each segment holds column profiles, its own LSH band
+//     shards, and a table directory; a table's columns never span segments.
+//   - Readers are lock-free: every search loads the current epoch snapshot
+//     with one atomic pointer read and then works entirely on frozen state.
+//     A search never blocks on a writer, and a writer never waits for
+//     readers to drain.
+//   - Writers (Add, Upsert, Remove, Apply) serialize among themselves on a
+//     writer mutex, profile their input before taking it, rebuild the small
+//     memtable copy-on-write, and publish a successor snapshot atomically.
+//     When the memtable reaches Options.SealAfter tables it is sealed and a
+//     fresh memtable starts.
+//   - Remove appends a tombstone for tables living in sealed segments (the
+//     deletable-summary direction of the IBLT line of work in PAPERS.md);
+//     tombstoned columns are skipped at probe time and physically dropped by
+//     compaction, which merges sealed segments in the background once enough
+//     garbage or fragmentation accumulates.
 //
 // Ingestion and queries run through the shared lazy column-profile layer
 // (internal/profile): AddProfiled and SearchProfiled accept an
 // already-profiled table so a corpus warmed once in a profile.Store is
 // never re-profiled here — the same distinct sets, name tokens and MinHash
 // signatures the matchers consume feed the index.
+//
+// Indexes persist two ways: Save/Load stream the flat live column list (the
+// compact single-file format, unchanged since v1), and SaveSnapshot/
+// LoadSnapshot write a segment manifest plus one immutable file per sealed
+// segment, so periodic snapshots of a long-running catalog rewrite only the
+// memtable and manifest. LoadFile accepts both.
 package discovery
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
@@ -60,7 +85,16 @@ func ParseMode(s string) (Mode, error) {
 	return "", fmt.Errorf("discovery: mode %q is not join|union", s)
 }
 
-// Options configures an index's LSH geometry and scoring.
+// defaultSealAfter is the memtable capacity (in tables) when
+// Options.SealAfter is zero: writers rebuild the memtable copy-on-write, so
+// this bounds the per-write copy cost independent of catalog size.
+const defaultSealAfter = 16
+
+// maxSealedSegments is the fragmentation bound: once more sealed segments
+// accumulate, a background compaction merges them into one.
+const maxSealedSegments = 8
+
+// Options configures an index's LSH geometry, scoring, and segment policy.
 type Options struct {
 	// Signature is the MinHash signature length (default 128).
 	Signature int
@@ -71,6 +105,10 @@ type Options struct {
 	// score = jaccard + TokenBoost × tokenJaccard(names). Zero (the
 	// default) keeps scores identical to the lshmatch matcher's.
 	TokenBoost float64
+	// SealAfter is the number of tables the memtable accepts before being
+	// sealed into an immutable segment (default 16). Smaller values bound
+	// per-write copy cost tighter; larger values reduce fragmentation.
+	SealAfter int
 }
 
 // ColumnProfile is the indexed summary of one column: identity, lightweight
@@ -86,139 +124,151 @@ type ColumnProfile struct {
 	Signature []uint64
 }
 
-// Index is a sharded corpus-level column index.
+// Index is the live catalog: a segmented, copy-on-write column index safe
+// for fully concurrent use. Searches are lock-free (they read an atomically
+// swapped epoch snapshot); Add/Upsert/Remove serialize among themselves and
+// publish new epochs without ever blocking a search.
 type Index struct {
 	opts           Options
 	k, bands, rows int
+	sealAfter      int
 
-	mu     sync.RWMutex
-	cols   []ColumnProfile
-	tables map[string][]int     // table name → column ids
-	shards []map[uint64][]int32 // one bucket map per LSH band
+	// wmu serializes writers (ingest, removal, sealing, snapshot splicing).
+	// Readers never take it: the hot path is a single snap.Load().
+	wmu     sync.Mutex
+	snap    atomic.Pointer[snapshot]
+	nextSeg uint64 // next segment id; guarded by wmu
+
+	// compactMu serializes compactions (background and explicit); the flag
+	// keeps apply from spawning redundant background runs.
+	compactMu  sync.Mutex
+	compacting atomic.Bool
+	compactWG  sync.WaitGroup
+
+	// lineage identifies this catalog's snapshot history: segment ids are
+	// only unique within one lineage, so SaveSnapshot must not reuse
+	// same-named segment files left in a directory by a different catalog.
+	lineage uint64
 }
 
 // New returns an empty index with the given options (zero value selects the
 // lshmatch defaults: 128-slot signatures, 32 bands).
 func New(opts Options) *Index {
 	k, bands, rows := profile.Geometry(opts.Signature, opts.Bands)
+	sealAfter := opts.SealAfter
+	if sealAfter <= 0 {
+		sealAfter = defaultSealAfter
+	}
 	ix := &Index{
-		opts:   opts,
-		k:      k,
-		bands:  bands,
-		rows:   rows,
-		tables: make(map[string][]int),
-		shards: make([]map[uint64][]int32, bands),
+		opts:      opts,
+		k:         k,
+		bands:     bands,
+		rows:      rows,
+		sealAfter: sealAfter,
+		nextSeg:   1,
+		lineage:   newLineage(),
 	}
-	for b := range ix.shards {
-		ix.shards[b] = make(map[uint64][]int32)
-	}
+	ix.snap.Store(&snapshot{mem: newSegment(0, bands)})
 	return ix
+}
+
+// newLineage draws a random lineage id. Collisions only matter between the
+// handful of catalogs ever snapshotted into one directory, so 64 random
+// bits are ample.
+func newLineage() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// crypto/rand is effectively infallible; a zero lineage still
+		// yields correct (never-skip) snapshot behavior.
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[:])
 }
 
 // Options returns the options the index was created with.
 func (ix *Index) Options() Options { return ix.opts }
 
-// Add ingests every column of t: profile, signature, and bucket insertion.
-// Table names must be unique within an index. Callers holding a warmed
-// profile.Store should use AddProfiled to reuse its cached work.
-func (ix *Index) Add(t *table.Table) error {
-	return ix.AddProfiled(profile.New(t))
-}
+// NumTables returns the number of live (non-removed) tables.
+func (ix *Index) NumTables() int { return ix.snap.Load().nTables }
 
-// AddProfiled ingests an already-profiled table, reusing the profile
-// layer's cached distinct sets, name tokens and MinHash signatures.
-func (ix *Index) AddProfiled(tp *profile.TableProfile) error {
-	t := tp.Table()
-	if err := t.Validate(); err != nil {
-		return err
-	}
-	profiles := make([]ColumnProfile, tp.NumColumns())
-	for i := range profiles {
-		p := tp.Column(i)
-		profiles[i] = ColumnProfile{
-			Table:     t.Name,
-			Column:    p.Name(),
-			Type:      p.Type(),
-			Rows:      p.Rows(),
-			Distinct:  p.Distinct(),
-			Tokens:    p.NameTokens(),
-			Signature: p.Signature(ix.k),
-		}
-	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if _, dup := ix.tables[t.Name]; dup {
-		return fmt.Errorf("discovery: table %q already indexed", t.Name)
-	}
-	ids := make([]int, len(profiles))
-	for i, p := range profiles {
-		id := len(ix.cols)
-		ix.cols = append(ix.cols, p)
-		ids[i] = id
-		ix.insertShards(id, p.Signature)
-	}
-	ix.tables[t.Name] = ids
-	return nil
-}
+// NumColumns returns the number of live (non-tombstoned) columns.
+func (ix *Index) NumColumns() int { return ix.snap.Load().nCols }
 
-// insertShards banks a column id under its band keys. Empty-column
-// signatures are skipped: they would all share one bucket per band (every
-// slot is the EmptySlot sentinel) and collide with every other empty
-// column at Jaccard 0, bloating candidate sets without ever ranking.
-func (ix *Index) insertShards(id int, sig []uint64) {
-	if profile.IsEmptySignature(sig) {
-		return
-	}
-	for b := 0; b < ix.bands; b++ {
-		key := profile.BandKey(sig, b, ix.rows)
-		ix.shards[b][key] = append(ix.shards[b][key], int32(id))
-	}
-}
+// Epoch returns the catalog's current epoch: it increments on every
+// published write batch and compaction, so two equal epochs observed over
+// time guarantee no intervening mutation.
+func (ix *Index) Epoch() uint64 { return ix.snap.Load().epoch }
 
-// NumTables returns the number of indexed tables.
-func (ix *Index) NumTables() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.tables)
-}
-
-// NumColumns returns the number of indexed columns.
-func (ix *Index) NumColumns() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.cols)
-}
-
-// Tables returns the sorted names of indexed tables.
+// Tables returns the sorted names of live tables.
 func (ix *Index) Tables() []string {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	out := make([]string, 0, len(ix.tables))
-	for name := range ix.tables {
-		out = append(out, name)
+	sn := ix.snap.Load()
+	out := make([]string, 0, sn.nTables)
+	for _, seg := range sn.segments() {
+		for name := range seg.tables {
+			if !sn.dead(seg, name) {
+				out = append(out, name)
+			}
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Profiles returns the column profiles of one indexed table (nil if the
-// table is unknown). The returned profiles are deep copies safe to retain
-// and mutate.
+// Profiles returns the column profiles of one live table (nil if the
+// table is unknown or removed). The returned profiles are deep copies safe
+// to retain and mutate.
 func (ix *Index) Profiles(tableName string) []ColumnProfile {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	ids, ok := ix.tables[tableName]
-	if !ok {
+	sn := ix.snap.Load()
+	seg, ids := sn.lookup(tableName)
+	if seg == nil {
 		return nil
 	}
 	out := make([]ColumnProfile, len(ids))
 	for i, id := range ids {
-		p := ix.cols[id]
+		p := seg.cols[id]
 		p.Tokens = append([]string(nil), p.Tokens...)
 		p.Signature = append([]uint64(nil), p.Signature...)
 		out[i] = p
 	}
 	return out
+}
+
+// Stats is a point-in-time summary of the catalog's internal state, shaped
+// for monitoring endpoints and tests.
+type Stats struct {
+	// Epoch is the snapshot's epoch counter (one publish per write batch or
+	// compaction).
+	Epoch uint64 `json:"epoch"`
+	// Tables and Columns count the live corpus.
+	Tables  int `json:"tables"`
+	Columns int `json:"columns"`
+	// SealedSegments counts immutable segments; MemTables counts tables
+	// currently in the mutable memtable segment.
+	SealedSegments int `json:"sealed_segments"`
+	MemTables      int `json:"mem_tables"`
+	// Tombstones counts removed-but-not-yet-compacted table occurrences;
+	// TombstonedColumns counts the columns they shadow (the garbage the
+	// next compaction reclaims).
+	Tombstones        int `json:"tombstones"`
+	TombstonedColumns int `json:"tombstoned_columns"`
+}
+
+// Stats returns a consistent point-in-time summary of the catalog.
+func (ix *Index) Stats() Stats {
+	sn := ix.snap.Load()
+	memTables := 0
+	if sn.mem != nil {
+		memTables = sn.mem.numTables()
+	}
+	return Stats{
+		Epoch:             sn.epoch,
+		Tables:            sn.nTables,
+		Columns:           sn.nCols,
+		SealedSegments:    len(sn.sealed),
+		MemTables:         memTables,
+		Tombstones:        len(sn.tombs),
+		TombstonedColumns: sn.tombstonedCols(),
+	}
 }
 
 // Result is one ranked table from a search.
@@ -238,9 +288,14 @@ type Result struct {
 // columns colliding with a query column in at least one band are scored.
 // Results are ordered by descending score with names as tiebreak; at most k
 // results are returned (k <= 0 means all). A table whose name equals the
-// query's is skipped, so a corpus member can be its own query.
+// query's is skipped, so a corpus member can be its own query; an anonymous
+// (empty-named) query skips nothing — no indexed table can share its name.
+//
+// Search is lock-free: it reads the epoch snapshot current at its start and
+// never observes, nor waits for, concurrent writers.
 func (ix *Index) Search(q *table.Table, mode Mode, k int) ([]Result, error) {
-	return ix.search(context.Background(), profile.New(q), mode, k, false)
+	out, _, err := ix.search(context.Background(), profile.New(q), mode, k, false)
+	return out, err
 }
 
 // SearchContext is Search under a context: bucket probing and candidate
@@ -249,25 +304,52 @@ func (ix *Index) Search(q *table.Table, mode Mode, k int) ([]Result, error) {
 // abandons the partial search and returns ctx.Err() promptly. Results are
 // bit-identical to Search's at any parallelism.
 func (ix *Index) SearchContext(ctx context.Context, q *table.Table, mode Mode, k int) ([]Result, error) {
+	out, _, err := ix.search(ctx, profile.New(q), mode, k, false)
+	return out, err
+}
+
+// SearchContextEpoch is SearchContext returning also the epoch of the
+// snapshot the search pinned — under concurrent writers this is the only
+// value safe to correlate with Stats().Epoch or mutation responses
+// (sampling Epoch() around the call can race past an intervening publish).
+func (ix *Index) SearchContextEpoch(ctx context.Context, q *table.Table, mode Mode, k int) ([]Result, uint64, error) {
 	return ix.search(ctx, profile.New(q), mode, k, false)
 }
 
 // SearchProfiled is Search over an already-profiled query: repeated queries
 // with the same profile never recompute signatures or name tokens.
 func (ix *Index) SearchProfiled(qp *profile.TableProfile, mode Mode, k int) ([]Result, error) {
-	return ix.search(context.Background(), qp, mode, k, false)
+	out, _, err := ix.search(context.Background(), qp, mode, k, false)
+	return out, err
 }
 
 // SearchProfiledContext is SearchContext over an already-profiled query.
 func (ix *Index) SearchProfiledContext(ctx context.Context, qp *profile.TableProfile, mode Mode, k int) ([]Result, error) {
-	return ix.search(ctx, qp, mode, k, false)
+	out, _, err := ix.search(ctx, qp, mode, k, false)
+	return out, err
 }
 
-// SearchBruteForce scores every indexed column against every query column,
+// SearchBruteForce scores every live column against every query column,
 // bypassing the LSH shards. It is the reference implementation Search is
 // tested against, and the honest baseline for benchmarks.
 func (ix *Index) SearchBruteForce(q *table.Table, mode Mode, k int) ([]Result, error) {
-	return ix.search(context.Background(), profile.New(q), mode, k, true)
+	out, _, err := ix.search(context.Background(), profile.New(q), mode, k, true)
+	return out, err
+}
+
+// SearchBruteForceContext is SearchBruteForce under a context — the
+// full-corpus sweep is the most expensive search path, so served callers
+// need its deadline and cancellation honored mid-sweep too. Returns the
+// pinned snapshot's epoch like SearchContextEpoch.
+func (ix *Index) SearchBruteForceContext(ctx context.Context, q *table.Table, mode Mode, k int) ([]Result, uint64, error) {
+	return ix.search(ctx, profile.New(q), mode, k, true)
+}
+
+// colRef addresses one column in a snapshot: the owning segment plus the
+// segment-local column id.
+type colRef struct {
+	seg *segment
+	id  int32
 }
 
 // colAcc accumulates one query column's candidates for one indexed table —
@@ -275,21 +357,23 @@ func (ix *Index) SearchBruteForce(q *table.Table, mode Mode, k int) ([]Result, e
 // order so the result is independent of scheduling.
 type colAcc struct {
 	best       float64
-	bestC      int32 // first column achieving best, in probe order; -1 = none
+	bestC      colRef // first column achieving best, in probe order
 	candidates int
 }
 
-func (ix *Index) search(ctx context.Context, qp *profile.TableProfile, mode Mode, k int, brute bool) ([]Result, error) {
+// search is the one scoring path behind every Search variant. It returns
+// the ranked results plus the epoch of the snapshot it pinned.
+func (ix *Index) search(ctx context.Context, qp *profile.TableProfile, mode Mode, k int, brute bool) ([]Result, uint64, error) {
 	if mode != ModeJoin && mode != ModeUnion {
-		return nil, fmt.Errorf("discovery: mode %q is not join|union", mode)
+		return nil, 0, fmt.Errorf("discovery: mode %q is not join|union", mode)
 	}
 	q := qp.Table()
-	if err := q.Validate(); err != nil {
-		return nil, err
+	if err := ValidateQuery(q); err != nil {
+		return nil, 0, err
 	}
 	stats := engine.StatsFrom(ctx)
-	// Query-side work is lock-free: signatures and tokens come from the
-	// query profile's caches and depend only on q.
+	// Query-side work needs no catalog state: signatures and tokens come
+	// from the query profile's caches and depend only on q.
 	nq := qp.NumColumns()
 	qSigs := make([][]uint64, nq)
 	qTokens := make([][]string, nq)
@@ -300,8 +384,11 @@ func (ix *Index) search(ctx context.Context, qp *profile.TableProfile, mode Mode
 		}
 	})
 
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	// The hot path's only synchronization: one atomic load pins this
+	// search's epoch. Everything below reads frozen state, so concurrent
+	// writers never block (or are blocked by) this search.
+	sn := ix.snap.Load()
+	segs := sn.segments()
 
 	// Candidate generation + scoring, one pool unit per query column. Each
 	// unit accumulates into private state; merging happens afterwards in
@@ -316,13 +403,16 @@ func (ix *Index) search(ctx context.Context, qp *profile.TableProfile, mode Mode
 			return nil // can only hit empty columns, all at score 0
 		}
 		acc := make(map[string]*colAcc)
-		score := func(id int32) {
-			// Empty columns never rank (see insertShards); the brute path
-			// must apply the same rule so it stays the reference
+		score := func(seg *segment, id int32) {
+			// Empty columns never rank (see segment.insertShards); the brute
+			// path must apply the same rule so it stays the reference
 			// implementation of the pruned path even with TokenBoost set.
-			p := &ix.cols[id]
+			p := &seg.cols[id]
 			if p.Table == q.Name || profile.IsEmptySignature(p.Signature) {
 				return
+			}
+			if sn.dead(seg, p.Table) {
+				return // tombstoned, awaiting compaction
 			}
 			s := profile.EstimateJaccard(sig, p.Signature)
 			if ix.opts.TokenBoost != 0 {
@@ -330,29 +420,34 @@ func (ix *Index) search(ctx context.Context, qp *profile.TableProfile, mode Mode
 			}
 			a := acc[p.Table]
 			if a == nil {
-				a = &colAcc{bestC: -1}
+				a = &colAcc{bestC: colRef{nil, -1}}
 				acc[p.Table] = a
 			}
 			a.candidates++
 			scored.Add(1)
-			if s > a.best || a.bestC < 0 {
-				a.best, a.bestC = s, id
+			if s > a.best || a.bestC.seg == nil {
+				a.best, a.bestC = s, colRef{seg, id}
 			}
 		}
-		if brute {
-			for id := range ix.cols {
-				score(int32(id))
+		// Probe segments oldest-first so the within-table column probe
+		// order — and therefore tie-broken best correspondences — is
+		// stable across memtable seals and compactions.
+		for _, seg := range segs {
+			if brute {
+				for id := range seg.cols {
+					score(seg, int32(id))
+				}
+				continue
 			}
-		} else {
 			seen := make(map[int32]struct{})
 			for b := 0; b < ix.bands; b++ {
 				key := profile.BandKey(sig, b, ix.rows)
-				for _, id := range ix.shards[b][key] {
+				for _, id := range seg.shards[b][key] {
 					if _, dup := seen[id]; dup {
 						continue
 					}
 					seen[id] = struct{}{}
-					score(id)
+					score(seg, id)
 				}
 			}
 		}
@@ -361,15 +456,15 @@ func (ix *Index) search(ctx context.Context, qp *profile.TableProfile, mode Mode
 	})
 	stats.Observe(engine.StageScore, time.Since(start))
 	// Candidates counts the pairs that reached scoring; everything else the
-	// full (query columns × indexed columns) sweep would have visited was
-	// pruned — by the band shards, the empty-signature rules, or the
-	// self-table skip — so candidates + pruned always equals the sweep the
-	// shards saved.
+	// full (query columns × live columns) sweep would have visited was
+	// pruned — by the band shards, the empty-signature rules, the tombstone
+	// filter, or the self-table skip — so candidates + pruned always equals
+	// the sweep the shards saved.
 	stats.AddCandidates(scored.Load())
 	stats.AddScored(scored.Load())
-	stats.AddPruned(int64(nq)*int64(len(ix.cols)) - scored.Load())
+	stats.AddPruned(int64(nq)*int64(sn.nCols) - scored.Load())
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	// Merge per-query-column accumulators in query-column order — the exact
@@ -378,7 +473,7 @@ func (ix *Index) search(ctx context.Context, qp *profile.TableProfile, mode Mode
 		perQuery   []float64 // best score per query column (union mode)
 		best       float64
 		bestQ      int
-		bestC      int32
+		bestC      colRef
 		candidates int
 	}
 	acc := make(map[string]*tableAcc)
@@ -386,14 +481,14 @@ func (ix *Index) search(ctx context.Context, qp *profile.TableProfile, mode Mode
 		for name, ca := range perQuery[qi] {
 			a := acc[name]
 			if a == nil {
-				a = &tableAcc{perQuery: make([]float64, nq), bestQ: -1, bestC: -1}
+				a = &tableAcc{perQuery: make([]float64, nq), bestQ: -1, bestC: colRef{nil, -1}}
 				acc[name] = a
 			}
 			a.candidates += ca.candidates
 			if ca.best > a.perQuery[qi] {
 				a.perQuery[qi] = ca.best
 			}
-			if ca.bestC >= 0 && (ca.best > a.best || a.bestQ < 0) {
+			if ca.bestC.seg != nil && (ca.best > a.best || a.bestQ < 0) {
 				a.best, a.bestQ, a.bestC = ca.best, qi, ca.bestC
 			}
 		}
@@ -406,7 +501,7 @@ func (ix *Index) search(ctx context.Context, qp *profile.TableProfile, mode Mode
 			r := Result{Table: name, Candidates: a.candidates}
 			if a.bestQ >= 0 {
 				r.BestQuery = q.Columns[a.bestQ].Name
-				r.BestIndexed = ix.cols[a.bestC].Column
+				r.BestIndexed = a.bestC.seg.cols[a.bestC.id].Column
 			}
 			switch mode {
 			case ModeJoin:
@@ -430,7 +525,21 @@ func (ix *Index) search(ctx context.Context, qp *profile.TableProfile, mode Mode
 			out = out[:k]
 		}
 	})
-	return out, nil
+	return out, sn.epoch, nil
+}
+
+// ValidateQuery checks a query table's structure. Unlike table.Validate, an
+// empty table name is legal for queries: anonymous queries can never share
+// an indexed table's name, so the self-table skip never hides a result
+// (defaulting anonymous queries to a fixed name like "query" would silently
+// exclude a real table of that name).
+func ValidateQuery(q *table.Table) error {
+	if q.Name != "" {
+		return q.Validate()
+	}
+	named := *q
+	named.Name = "(anonymous query)"
+	return named.Validate()
 }
 
 // tokenJaccard is the Jaccard similarity of two token lists as sets.

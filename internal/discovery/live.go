@@ -1,0 +1,358 @@
+package discovery
+
+// The catalog's write path. Writers serialize on wmu, but do all profiling
+// work before taking it and publish their effects as a single atomic
+// snapshot swap, so searches (which only load the snapshot pointer) never
+// block on ingest and ingest never waits for searches to drain.
+
+import (
+	"fmt"
+
+	"valentine/internal/profile"
+	"valentine/internal/table"
+)
+
+// Op is one catalog mutation for Apply: exactly one of Upsert or Remove
+// must be set. Batching ops amortizes the copy-on-write memtable rebuild
+// and publishes all effects in one epoch — the server's ingest micro-batcher
+// rides on this.
+type Op struct {
+	// Upsert inserts the profiled table, replacing any live table of the
+	// same name.
+	Upsert *profile.TableProfile
+	// Remove deletes the named table.
+	Remove string
+}
+
+// rawOp is the internal, already-profiled form of one mutation.
+type rawOp struct {
+	remove string // non-empty: remove this table
+
+	name   string
+	cols   []ColumnProfile
+	upsert bool // replace an existing occurrence instead of failing
+}
+
+// profileOp flattens a table profile into the indexed column summaries —
+// the potentially expensive work (signatures, tokens, distinct counts), done
+// strictly before the writer lock is taken.
+func (ix *Index) profileOp(tp *profile.TableProfile, upsert bool) (rawOp, error) {
+	t := tp.Table()
+	if err := t.Validate(); err != nil {
+		return rawOp{}, err
+	}
+	cols := make([]ColumnProfile, tp.NumColumns())
+	for i := range cols {
+		p := tp.Column(i)
+		cols[i] = ColumnProfile{
+			Table:     t.Name,
+			Column:    p.Name(),
+			Type:      p.Type(),
+			Rows:      p.Rows(),
+			Distinct:  p.Distinct(),
+			Tokens:    p.NameTokens(),
+			Signature: p.Signature(ix.k),
+		}
+	}
+	return rawOp{name: t.Name, cols: cols, upsert: upsert}, nil
+}
+
+// Add ingests every column of t: profile, signature, and shard insertion.
+// Table names must be unique within an index. Callers holding a warmed
+// profile.Store should use AddProfiled to reuse its cached work.
+func (ix *Index) Add(t *table.Table) error {
+	return ix.AddProfiled(profile.New(t))
+}
+
+// AddProfiled ingests an already-profiled table, reusing the profile
+// layer's cached distinct sets, name tokens and MinHash signatures. It
+// fails if a live table of the same name exists (use Upsert to replace).
+func (ix *Index) AddProfiled(tp *profile.TableProfile) error {
+	op, err := ix.profileOp(tp, false)
+	if err != nil {
+		return err
+	}
+	return ix.apply([]rawOp{op})[0]
+}
+
+// Upsert ingests t, replacing any live table of the same name.
+func (ix *Index) Upsert(t *table.Table) error {
+	return ix.UpsertProfiled(profile.New(t))
+}
+
+// UpsertProfiled is Upsert over an already-profiled table.
+func (ix *Index) UpsertProfiled(tp *profile.TableProfile) error {
+	op, err := ix.profileOp(tp, true)
+	if err != nil {
+		return err
+	}
+	return ix.apply([]rawOp{op})[0]
+}
+
+// Remove deletes the named table from the catalog. Tables living in the
+// memtable are dropped immediately; tables in sealed segments get a
+// tombstone that hides them from every subsequent search until compaction
+// reclaims the space. Removing an unknown table is an error.
+func (ix *Index) Remove(name string) error {
+	return ix.apply([]rawOp{{remove: name}})[0]
+}
+
+// Apply executes a batch of mutations as one write: a single memtable
+// rebuild, a single epoch publish. The returned slice has one entry per op
+// (nil on success), so callers multiplexing concurrent ingest — like the
+// serving layer's micro-batcher — can report per-op outcomes. Ops are
+// applied in order; a failed op (duplicate Add is impossible here since
+// Upsert replaces, but removing an unknown table fails) does not abort the
+// rest of the batch.
+func (ix *Index) Apply(ops []Op) []error {
+	raw := make([]rawOp, len(ops))
+	errs := make([]error, len(ops))
+	for i, op := range ops {
+		switch {
+		case op.Upsert != nil && op.Remove != "":
+			errs[i] = fmt.Errorf("discovery: op %d sets both Upsert and Remove", i)
+			raw[i] = rawOp{} // placeholder; skipped below
+		case op.Upsert != nil:
+			raw[i], errs[i] = ix.profileOp(op.Upsert, true)
+		case op.Remove != "":
+			raw[i] = rawOp{remove: op.Remove}
+		default:
+			errs[i] = fmt.Errorf("discovery: op %d sets neither Upsert nor Remove", i)
+		}
+	}
+	valid := make([]rawOp, 0, len(raw))
+	slot := make([]int, 0, len(raw))
+	for i, op := range raw {
+		if errs[i] == nil {
+			valid = append(valid, op)
+			slot = append(slot, i)
+		}
+	}
+	for i, err := range ix.apply(valid) {
+		errs[slot[i]] = err
+	}
+	return errs
+}
+
+// apply is the single writer entry point: it rebuilds the memtable
+// copy-on-write, applies every op, and publishes one successor snapshot.
+func (ix *Index) apply(ops []rawOp) []error {
+	errs := make([]error, len(ops))
+	if len(ops) == 0 {
+		return errs
+	}
+	ix.wmu.Lock()
+	cur := ix.snap.Load()
+	// Copy-on-write state for this batch. The memtable clone is bounded by
+	// SealAfter tables, the sealed list is a slice-header copy (segments
+	// are shared), and tombstones clone lazily on first change.
+	mem := cur.mem.clone()
+	sealed := append([]*segment(nil), cur.sealed...)
+	tombs := cur.tombs
+	tombsOwned := false
+	nTables, nCols := cur.nTables, cur.nCols
+
+	ensureTombs := func() {
+		if tombsOwned {
+			return
+		}
+		nt := make(map[tombKey]struct{}, len(tombs)+1)
+		for k := range tombs {
+			nt[k] = struct{}{}
+		}
+		tombs, tombsOwned = nt, true
+	}
+	// exists reports whether name is live in this batch's working state.
+	exists := func(name string) bool {
+		if _, ok := mem.tables[name]; ok {
+			return true
+		}
+		for i := len(sealed) - 1; i >= 0; i-- {
+			seg := sealed[i]
+			if _, ok := seg.tables[name]; ok {
+				if _, dead := tombs[tombKey{seg.id, name}]; !dead {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// remove drops the live occurrence of name, reporting whether one
+	// existed. Memtable occurrences are rebuilt away; sealed occurrences
+	// are tombstoned.
+	remove := func(name string) bool {
+		if ids, ok := mem.tables[name]; ok {
+			nCols -= len(ids)
+			nTables--
+			mem = mem.without(name, ix.rows)
+			return true
+		}
+		for i := len(sealed) - 1; i >= 0; i-- {
+			seg := sealed[i]
+			ids, ok := seg.tables[name]
+			if !ok {
+				continue
+			}
+			key := tombKey{seg.id, name}
+			if _, dead := tombs[key]; dead {
+				continue
+			}
+			ensureTombs()
+			tombs[key] = struct{}{}
+			nCols -= len(ids)
+			nTables--
+			return true
+		}
+		return false
+	}
+
+	changed := false
+	for i, op := range ops {
+		if op.remove != "" {
+			if !remove(op.remove) {
+				errs[i] = fmt.Errorf("discovery: table %q not indexed", op.remove)
+				continue
+			}
+			changed = true
+			continue
+		}
+		if op.upsert {
+			remove(op.name)
+		} else if exists(op.name) {
+			errs[i] = fmt.Errorf("discovery: table %q already indexed", op.name)
+			continue
+		}
+		mem.add(op.name, op.cols, ix.rows)
+		changed = true
+		nTables++
+		nCols += len(op.cols)
+		if mem.numTables() >= ix.sealAfter {
+			sealed = append(sealed, mem)
+			mem = newSegment(ix.nextSeg, ix.bands)
+			ix.nextSeg++
+		}
+	}
+	if !changed {
+		// Every op failed: nothing to publish — the epoch only moves when
+		// the corpus does.
+		ix.wmu.Unlock()
+		return errs
+	}
+
+	next := &snapshot{
+		sealed:  sealed,
+		mem:     mem,
+		tombs:   tombs,
+		epoch:   cur.epoch + 1,
+		nTables: nTables,
+		nCols:   nCols,
+	}
+	ix.snap.Store(next)
+	ix.wmu.Unlock()
+
+	ix.maybeCompact(next)
+	return errs
+}
+
+// maybeCompact starts a background compaction when the snapshot has
+// accumulated enough fragmentation (too many sealed segments) or garbage
+// (tombstoned columns rivaling the live corpus). At most one compaction
+// runs at a time.
+func (ix *Index) maybeCompact(sn *snapshot) {
+	garbage := sn.tombstonedCols()
+	if len(sn.sealed) <= maxSealedSegments && (garbage == 0 || garbage*2 < sn.nCols) {
+		return
+	}
+	if !ix.compacting.CompareAndSwap(false, true) {
+		return // one already running
+	}
+	ix.compactWG.Add(1)
+	go func() {
+		defer ix.compactWG.Done()
+		defer ix.compacting.Store(false)
+		ix.Compact()
+	}()
+}
+
+// WaitCompaction blocks until any in-flight background compaction finishes
+// (tests and orderly shutdown).
+func (ix *Index) WaitCompaction() { ix.compactWG.Wait() }
+
+// Compact merges all sealed segments into one, physically dropping
+// tombstoned columns, and publishes the compacted catalog as a new epoch.
+// Searches are never blocked: they keep reading whichever snapshot they
+// pinned. Compact is safe to call concurrently with writers; concurrent
+// Compact calls serialize.
+func (ix *Index) Compact() {
+	ix.compactMu.Lock()
+	defer ix.compactMu.Unlock()
+
+	// Phase 1 (no writer lock): merge a frozen prefix of sealed segments,
+	// skipping tombstoned tables. Writers may append segments and tombstones
+	// meanwhile; they cannot touch the prefix itself (sealed segments are
+	// immutable and only compaction — serialized by compactMu — replaces
+	// them).
+	cur := ix.snap.Load()
+	if len(cur.sealed) == 0 {
+		return
+	}
+	prefix := len(cur.sealed)
+	prefixIDs := make(map[uint64]struct{}, prefix)
+	ix.wmu.Lock()
+	mergedID := ix.nextSeg
+	ix.nextSeg++
+	ix.wmu.Unlock()
+	merged := newSegment(mergedID, ix.bands)
+	for _, seg := range cur.sealed {
+		prefixIDs[seg.id] = struct{}{}
+		for _, name := range seg.order {
+			if cur.dead(seg, name) {
+				continue
+			}
+			ids := seg.tables[name]
+			profiles := make([]ColumnProfile, len(ids))
+			for i, id := range ids {
+				profiles[i] = seg.cols[id]
+			}
+			merged.add(name, profiles, ix.rows)
+		}
+	}
+
+	// Phase 2 (writer lock): splice the merged segment in place of the
+	// prefix. Tombstones that arrived during the merge and hit the prefix
+	// are applied by rebuilding the (already deduplicated) merged segment.
+	ix.wmu.Lock()
+	latest := ix.snap.Load()
+	tombs := make(map[tombKey]struct{})
+	for key := range latest.tombs {
+		if _, inPrefix := prefixIDs[key.seg]; inPrefix {
+			// Tombstones already present at merge time were applied by the
+			// cur.dead skip in phase 1; re-applying them here could kill a
+			// live re-added occurrence that merged from another prefix
+			// segment. Only tombstones that arrived during the merge still
+			// shadow a column inside the merged slab.
+			if _, old := cur.tombs[key]; !old {
+				if _, ok := merged.tables[key.table]; ok {
+					merged = merged.without(key.table, ix.rows)
+				}
+			}
+			continue // consumed either way: the occurrence is gone
+		}
+		tombs[key] = struct{}{}
+	}
+	sealed := make([]*segment, 0, 1+len(latest.sealed)-prefix)
+	if len(merged.cols) > 0 || merged.numTables() > 0 {
+		sealed = append(sealed, merged)
+	}
+	sealed = append(sealed, latest.sealed[prefix:]...)
+	next := &snapshot{
+		sealed:  sealed,
+		mem:     latest.mem,
+		tombs:   tombs,
+		epoch:   latest.epoch + 1,
+		nTables: latest.nTables,
+		nCols:   latest.nCols,
+	}
+	ix.snap.Store(next)
+	ix.wmu.Unlock()
+}

@@ -1,0 +1,505 @@
+package discovery
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"valentine/internal/profile"
+	"valentine/internal/table"
+)
+
+func TestUpsertReplacesLiveTable(t *testing.T) {
+	ix := New(Options{})
+	if err := ix.Add(table.New("orders").AddColumn("cust", vals("c", 0, 50))); err != nil {
+		t.Fatal(err)
+	}
+	// Upsert with disjoint content: the old values must stop matching.
+	if err := ix.Upsert(table.New("orders").AddColumn("cust", vals("z", 0, 50))); err != nil {
+		t.Fatal(err)
+	}
+	if n := ix.NumTables(); n != 1 {
+		t.Fatalf("tables after upsert = %d, want 1", n)
+	}
+	q := table.New("q").AddColumn("cust", vals("c", 0, 50))
+	res, err := ix.SearchBruteForce(q, ModeJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Score != 0 {
+		t.Fatalf("old content still matches after upsert: %+v", res)
+	}
+	// Upsert acts as insert for a fresh name.
+	if err := ix.Upsert(table.New("fresh").AddColumn("k", vals("c", 0, 50))); err != nil {
+		t.Fatal(err)
+	}
+	if n := ix.NumTables(); n != 2 {
+		t.Fatalf("tables after insert-upsert = %d, want 2", n)
+	}
+}
+
+func TestRemoveMemtableAndSealed(t *testing.T) {
+	// SealAfter 2: the first two tables seal into a segment, the third
+	// stays in the memtable — so one removal exercises the tombstone path
+	// and the other the memtable-rebuild path.
+	ix := New(Options{SealAfter: 2})
+	for i, name := range []string{"a", "b", "c"} {
+		if err := ix.Add(table.New(name).AddColumn("k", vals(fmt.Sprintf("v%d", i), 0, 30))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := ix.Stats(); st.SealedSegments != 1 || st.MemTables != 1 {
+		t.Fatalf("stats = %+v, want 1 sealed segment and 1 memtable table", st)
+	}
+	if err := ix.Remove("c"); err != nil { // memtable
+		t.Fatal(err)
+	}
+	if err := ix.Remove("a"); err != nil { // sealed → tombstone
+		t.Fatal(err)
+	}
+	if err := ix.Remove("nope"); err == nil {
+		t.Error("removing an unknown table should fail")
+	}
+	if err := ix.Remove("a"); err == nil {
+		t.Error("removing an already-removed table should fail")
+	}
+	if got := ix.Tables(); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("live tables = %v, want [b]", got)
+	}
+	if n, c := ix.NumTables(), ix.NumColumns(); n != 1 || c != 1 {
+		t.Fatalf("tables/columns = %d/%d, want 1/1", n, c)
+	}
+	if st := ix.Stats(); st.Tombstones != 1 || st.TombstonedColumns != 1 {
+		t.Fatalf("stats = %+v, want 1 tombstone shadowing 1 column", st)
+	}
+	// Tombstoned and memtable-removed tables must be invisible to both
+	// search paths and to Profiles.
+	q := table.New("q").AddColumn("k", append(vals("v0", 0, 30), vals("v2", 0, 30)...))
+	for _, search := range []func(*table.Table, Mode, int) ([]Result, error){ix.Search, ix.SearchBruteForce} {
+		res, err := search(q, ModeJoin, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Table == "a" || r.Table == "c" {
+				t.Errorf("removed table %q surfaced: %+v", r.Table, r)
+			}
+		}
+	}
+	if ix.Profiles("a") != nil || ix.Profiles("c") != nil {
+		t.Error("Profiles leaked a removed table")
+	}
+}
+
+func TestTombstonedNameCanBeReAdded(t *testing.T) {
+	ix := New(Options{SealAfter: 1}) // every add seals immediately
+	if err := ix.Add(table.New("t").AddColumn("k", vals("old", 0, 40))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Remove("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add(table.New("t").AddColumn("k", vals("new", 0, 40))); err != nil {
+		t.Fatal(err)
+	}
+	q := table.New("q").AddColumn("k", vals("new", 0, 40))
+	res, err := ix.Search(q, ModeJoin, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Table != "t" || res[0].Score < 0.9 {
+		t.Fatalf("re-added table not served from its new content: %+v", res)
+	}
+	// The dead occurrence must not shadow the live one in the other
+	// direction either.
+	qOld := table.New("q").AddColumn("k", vals("old", 0, 40))
+	res, err = ix.SearchBruteForce(qOld, ModeJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Score != 0 {
+		t.Fatalf("dead occurrence still scored: %+v", res)
+	}
+}
+
+func TestSealingPreservesSearchEquivalence(t *testing.T) {
+	// The same corpus, three segment geometries: monolithic, small
+	// segments, one-table segments. All must rank identically.
+	layouts := []Options{{SealAfter: 100}, {SealAfter: 3}, {SealAfter: 1}}
+	var want []Result
+	for li, opts := range layouts {
+		ix := New(opts)
+		q := fixtureCorpus(t, ix)
+		res, err := ix.Search(q, ModeJoin, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if li == 0 {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(res, want) {
+			t.Errorf("SealAfter=%d: results diverge from monolithic layout:\n got %+v\nwant %+v",
+				opts.SealAfter, res, want)
+		}
+	}
+}
+
+func TestCompactReclaimsTombstones(t *testing.T) {
+	ix := New(Options{SealAfter: 2})
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if err := ix.Add(table.New(name).AddColumn("k", vals(fmt.Sprintf("v%d_", i), 0, 30))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"t0", "t3", "t5"} {
+		if err := ix.Remove(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.WaitCompaction() // drain any auto-compaction so the explicit one is observable
+	q := table.New("q").AddColumn("k", vals("v1_", 0, 30))
+	before, err := ix.Search(q, ModeJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeTables := ix.Tables()
+
+	ix.Compact()
+	st := ix.Stats()
+	if st.SealedSegments != 1 {
+		t.Errorf("sealed segments after compact = %d, want 1", st.SealedSegments)
+	}
+	if st.Tombstones != 0 || st.TombstonedColumns != 0 {
+		t.Errorf("tombstones survived compaction: %+v", st)
+	}
+	if st.Tables != 5 {
+		t.Errorf("live tables after compact = %d, want 5", st.Tables)
+	}
+	after, err := ix.Search(q, ModeJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("compaction changed search results:\n before %+v\n after  %+v", before, after)
+	}
+	if !reflect.DeepEqual(beforeTables, ix.Tables()) {
+		t.Errorf("compaction changed the live table set: %v → %v", beforeTables, ix.Tables())
+	}
+	// Compacting an already-compact catalog is a no-op.
+	ix.Compact()
+	if got := ix.Stats(); got.SealedSegments != 1 || got.Tables != 5 {
+		t.Errorf("second compact changed state: %+v", got)
+	}
+}
+
+func TestAutoCompactionTriggersOnGarbage(t *testing.T) {
+	ix := New(Options{SealAfter: 2})
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if err := ix.Add(table.New(name).AddColumn("k", vals(fmt.Sprintf("v%d_", i), 0, 30))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Removing four of six sealed tables pushes garbage past the live
+	// column count — the write itself must schedule a compaction.
+	for _, name := range []string{"t0", "t1", "t2", "t3"} {
+		if err := ix.Remove(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.WaitCompaction()
+	st := ix.Stats()
+	if st.Tombstones != 0 {
+		t.Errorf("auto-compaction did not run: %+v", st)
+	}
+	if st.Tables != 2 {
+		t.Errorf("live tables = %d, want 2", st.Tables)
+	}
+}
+
+func TestApplyBatchPerOpErrors(t *testing.T) {
+	ix := New(Options{})
+	if err := ix.Add(table.New("keep").AddColumn("k", vals("k", 0, 20))); err != nil {
+		t.Fatal(err)
+	}
+	before := ix.Epoch()
+	errs := ix.Apply([]Op{
+		{Upsert: profile.New(table.New("a").AddColumn("x", vals("a", 0, 20)))},
+		{Remove: "missing"},
+		{Remove: "keep"},
+		{},
+	})
+	if errs[0] != nil {
+		t.Errorf("op 0 (upsert): %v", errs[0])
+	}
+	if errs[1] == nil {
+		t.Error("op 1 (remove missing) should fail")
+	}
+	if errs[2] != nil {
+		t.Errorf("op 2 (remove keep): %v", errs[2])
+	}
+	if errs[3] == nil {
+		t.Error("op 3 (empty op) should fail")
+	}
+	if got := ix.Tables(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("live tables = %v, want [a]", got)
+	}
+	// One batch, one epoch: the three state-touching ops publish together.
+	if d := ix.Epoch() - before; d != 1 {
+		t.Errorf("epoch advanced by %d for one batch, want 1", d)
+	}
+	// A batch where every op fails publishes nothing: the epoch only moves
+	// when the corpus does.
+	at := ix.Epoch()
+	if errs := ix.Apply([]Op{{Remove: "still-missing"}}); errs[0] == nil {
+		t.Error("remove of unknown table should fail")
+	}
+	if ix.Epoch() != at {
+		t.Errorf("failed-only batch advanced the epoch: %d → %d", at, ix.Epoch())
+	}
+}
+
+// TestRandomizedLiveConformance is the acceptance criterion: after any
+// interleaving of Add/Upsert/Remove, the catalog's searches agree with a
+// freshly built index over the same live corpus — Search top-k equals
+// SearchBruteForce, and the segmented/tombstoned brute force equals a
+// clean-room rebuild, scores and all. Run under -race in CI.
+func TestRandomizedLiveConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// All tables draw from one value universe, so related tables genuinely
+	// collide in the LSH bands and the top-k comparison is meaningful.
+	makeTable := func(name string) *table.Table {
+		tab := table.New(name)
+		ncols := 1 + rng.Intn(3)
+		nrows := 80 + rng.Intn(120) // columns must be row-aligned
+		for c := 0; c < ncols; c++ {
+			lo := rng.Intn(300)
+			tab.AddColumn(fmt.Sprintf("col%d", c), vals("u", lo, lo+nrows))
+		}
+		return tab
+	}
+	ix := New(Options{SealAfter: 3}) // frequent seals → many segments
+	live := make(map[string]*table.Table)
+	names := make([]string, 30)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%02d", i)
+	}
+
+	check := func(step int) {
+		t.Helper()
+		q := makeTable("query")
+		fast, err := ix.Search(q, ModeJoin, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := ix.SearchBruteForce(q, ModeJoin, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast) != len(slow) {
+			t.Fatalf("step %d: %d indexed vs %d brute results", step, len(fast), len(slow))
+		}
+		for i := range fast {
+			if fast[i].Table != slow[i].Table || math.Abs(fast[i].Score-slow[i].Score) > 1e-12 {
+				t.Fatalf("step %d rank %d: indexed %+v, brute %+v", step, i+1, fast[i], slow[i])
+			}
+		}
+		// Clean-room rebuild over the live corpus: the mutated, segmented,
+		// tombstoned catalog must be indistinguishable from it.
+		fresh := New(Options{})
+		for _, tab := range live {
+			if err := fresh.Add(tab); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := fresh.SearchBruteForce(q, ModeJoin, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix.SearchBruteForce(q, ModeJoin, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("step %d: live corpus has %d rankable tables, rebuild has %d", step, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Table != want[i].Table || math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+				t.Fatalf("step %d rank %d: catalog %+v, rebuild %+v", step, i+1, got[i], want[i])
+			}
+		}
+	}
+
+	steps := 150
+	if testing.Short() {
+		steps = 60
+	}
+	for step := 0; step < steps; step++ {
+		name := names[rng.Intn(len(names))]
+		switch op := rng.Intn(10); {
+		case op < 4: // upsert
+			tab := makeTable(name)
+			if err := ix.Upsert(tab); err != nil {
+				t.Fatalf("step %d upsert %s: %v", step, name, err)
+			}
+			live[name] = tab
+		case op < 7: // add (must fail iff live)
+			tab := makeTable(name)
+			err := ix.Add(tab)
+			if _, ok := live[name]; ok {
+				if err == nil {
+					t.Fatalf("step %d: add of live %s succeeded", step, name)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("step %d add %s: %v", step, name, err)
+				}
+				live[name] = tab
+			}
+		default: // remove (must fail iff not live)
+			err := ix.Remove(name)
+			if _, ok := live[name]; ok {
+				if err != nil {
+					t.Fatalf("step %d remove %s: %v", step, name, err)
+				}
+				delete(live, name)
+			} else if err == nil {
+				t.Fatalf("step %d: remove of unknown %s succeeded", step, name)
+			}
+		}
+		if n := ix.NumTables(); n != len(live) {
+			t.Fatalf("step %d: NumTables = %d, want %d", step, n, len(live))
+		}
+		if step%25 == 24 {
+			ix.WaitCompaction()
+			check(step)
+		}
+		if step == steps/2 {
+			ix.Compact() // mid-run explicit compaction must be invisible
+			check(step)
+		}
+	}
+	ix.WaitCompaction()
+	check(steps)
+}
+
+// TestAnonymousQuerySeesTableNamedQuery: an empty-named query must not be
+// assigned any default name — a catalog can contain a table literally named
+// "query", and the self-table skip must not hide it.
+func TestAnonymousQuerySeesTableNamedQuery(t *testing.T) {
+	ix := New(Options{})
+	if err := ix.Add(table.New("query").AddColumn("k", vals("q", 0, 40))); err != nil {
+		t.Fatal(err)
+	}
+	anon := table.New("").AddColumn("k", vals("q", 0, 40))
+	res, err := ix.Search(anon, ModeJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Table != "query" || res[0].Score < 0.9 {
+		t.Fatalf("anonymous query missed the table named \"query\": %+v", res)
+	}
+	// Structural validation still applies to anonymous queries.
+	ragged := &table.Table{Columns: []table.Column{
+		{Name: "a", Values: []string{"1", "2"}},
+		{Name: "b", Values: []string{"1"}},
+	}}
+	if _, err := ix.Search(ragged, ModeJoin, 0); err == nil {
+		t.Error("ragged anonymous query should fail validation")
+	}
+}
+
+// TestConcurrentMutateSearch is the satellite's Add+Search race test, grown
+// to the full live-catalog surface: writers add, upsert and remove while
+// readers search continuously; compaction runs in the background. Run with
+// -race. At no point may a search block on a writer, error, or observe a
+// torn snapshot (enforced by the race detector plus the final conformance
+// sweep).
+func TestConcurrentMutateSearch(t *testing.T) {
+	ix := New(Options{SealAfter: 4})
+	for i := 0; i < 8; i++ {
+		if err := ix.Add(table.New(fmt.Sprintf("base%d", i)).
+			AddColumn("k", vals("u", i*20, i*20+60))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := table.New("query").AddColumn("k", vals("u", 0, 120))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	stop := make(chan struct{})
+	// Readers: continuous searches on both paths.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := ix.Search(q, ModeJoin, 5); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := ix.SearchBruteForce(q, ModeUnion, 5); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	// Writers: interleaved add/upsert/remove on a private name space each.
+	var ww sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < 30; i++ {
+				name := fmt.Sprintf("w%d_%d", w, i%5)
+				tab := table.New(name).AddColumn("k", vals("u", i*10, i*10+50))
+				var err error
+				switch i % 3 {
+				case 0, 1:
+					err = ix.Upsert(tab)
+				case 2:
+					// Remove a name this writer upserted two steps ago.
+					err = ix.Remove(fmt.Sprintf("w%d_%d", w, (i-2)%5))
+				}
+				if err != nil {
+					errs <- fmt.Errorf("writer %d step %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	ix.WaitCompaction()
+
+	// Final state: every live table must still resolve, and the catalog
+	// must still rank.
+	for _, name := range ix.Tables() {
+		if ix.Profiles(name) == nil {
+			t.Fatalf("live table %s has no profiles", name)
+		}
+	}
+	got, err := ix.SearchBruteForce(q, ModeJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no results after concurrent churn")
+	}
+}

@@ -1,10 +1,22 @@
 package discovery
 
-// Index persistence. The on-disk format is a gob-encoded header plus the
-// flat column-profile list — the band bucket shards are derivable from the
-// signatures and are rebuilt on load, which keeps the file compact (the
-// IBLT line of work in PAPERS.md makes the same trade: store the compact
-// sketch, recompute the addressing).
+// Index persistence, two formats:
+//
+//   - Save/Load: the original single-file format — a gob-encoded header plus
+//     the flat live column-profile list. Band bucket shards are derivable
+//     from the signatures and are rebuilt on load, which keeps the file
+//     compact (the IBLT line of work in PAPERS.md makes the same trade:
+//     store the compact sketch, recompute the addressing). Tombstoned
+//     columns are not written, so the flat format doubles as an offline
+//     compaction.
+//   - SaveSnapshot/LoadSnapshot: the live catalog's incremental format — a
+//     manifest plus one file per sealed segment. Sealed segments are
+//     immutable, so a periodic snapshot rewrites only the manifest, the
+//     memtable file, and segment files that did not exist yet; files of
+//     compacted-away segments are pruned.
+//
+// LoadFile accepts both: a directory is a snapshot, a plain file is the
+// single-file format.
 
 import (
 	"encoding/gob"
@@ -12,11 +24,20 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // formatVersion guards against loading files written by an incompatible
 // layout of indexFile.
 const formatVersion = 1
+
+// snapshotVersion guards the snapshot manifest layout.
+const snapshotVersion = 1
+
+const (
+	manifestName = "MANIFEST.gob"
+	memName      = "mem.seg"
+)
 
 type indexFile struct {
 	Version int
@@ -24,11 +45,22 @@ type indexFile struct {
 	Columns []ColumnProfile
 }
 
-// Save writes the index to w in the versioned gob format.
+// Save writes the live corpus to w in the versioned single-file gob format.
+// Tombstoned tables are skipped, so a save/load round-trip is also a full
+// compaction.
 func (ix *Index) Save(w io.Writer) error {
-	ix.mu.RLock()
-	f := indexFile{Version: formatVersion, Options: ix.opts, Columns: ix.cols}
-	ix.mu.RUnlock()
+	sn := ix.snap.Load()
+	f := indexFile{Version: formatVersion, Options: ix.opts, Columns: make([]ColumnProfile, 0, sn.nCols)}
+	for _, seg := range sn.segments() {
+		for _, name := range seg.order {
+			if sn.dead(seg, name) {
+				continue
+			}
+			for _, id := range seg.tables[name] {
+				f.Columns = append(f.Columns, seg.cols[id])
+			}
+		}
+	}
 	if err := gob.NewEncoder(w).Encode(f); err != nil {
 		return fmt.Errorf("discovery: encoding index: %w", err)
 	}
@@ -53,7 +85,8 @@ func (ix *Index) SaveFile(path string) error {
 	return f.Close()
 }
 
-// Load reads an index written by Save and rebuilds its band bucket shards.
+// Load reads an index written by Save and rebuilds its segments and band
+// bucket shards.
 func Load(r io.Reader) (*Index, error) {
 	var f indexFile
 	if err := gob.NewDecoder(r).Decode(&f); err != nil {
@@ -63,24 +96,314 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("discovery: index format version %d, want %d", f.Version, formatVersion)
 	}
 	ix := New(f.Options)
-	for id, p := range f.Columns {
-		if len(p.Signature) != ix.k {
-			return nil, fmt.Errorf("discovery: column %s.%s has %d-slot signature, want %d",
-				p.Table, p.Column, len(p.Signature), ix.k)
+	// Columns of one table are contiguous in the flat list; regroup them
+	// and ingest through the normal write path (which seals segments as the
+	// memtable fills).
+	var ops []rawOp
+	for i := 0; i < len(f.Columns); {
+		name := f.Columns[i].Table
+		j := i
+		for j < len(f.Columns) && f.Columns[j].Table == name {
+			if len(f.Columns[j].Signature) != ix.k {
+				return nil, fmt.Errorf("discovery: column %s.%s has %d-slot signature, want %d",
+					name, f.Columns[j].Column, len(f.Columns[j].Signature), ix.k)
+			}
+			j++
 		}
-		ix.cols = append(ix.cols, p)
-		ix.tables[p.Table] = append(ix.tables[p.Table], id)
-		ix.insertShards(id, p.Signature)
+		ops = append(ops, rawOp{name: name, cols: f.Columns[i:j]})
+		i = j
+	}
+	for _, err := range ix.apply(ops) {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return ix, nil
 }
 
-// LoadFile reads an index from path.
+// LoadFile reads an index from path: a directory written by SaveSnapshot,
+// or a single file written by Save/SaveFile.
 func LoadFile(path string) (*Index, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		return LoadSnapshot(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// --- snapshot (manifest + segment files) format ---
+
+// manifest is the snapshot directory's table of contents.
+type manifest struct {
+	Version int
+	Options Options
+	// Lineage identifies the catalog that wrote the snapshot: segment ids
+	// are only unique within one lineage, so an incremental save must not
+	// trust same-named segment files written by a different catalog.
+	Lineage uint64
+	Epoch   uint64
+	NextSeg uint64
+	Sealed  []uint64 // sealed segment ids, oldest first (one seg-<id>.gob each)
+	HasMem  bool     // whether mem.seg holds a non-empty memtable
+	Tombs   []tombRecord
+}
+
+type tombRecord struct {
+	Seg   uint64
+	Table string
+}
+
+// segFile is one segment on disk: the per-table column runs, in insertion
+// order. Shards are rebuilt on load.
+type segFile struct {
+	Version int
+	ID      uint64
+	Tables  []tableBlock
+}
+
+type tableBlock struct {
+	Name    string
+	Columns []ColumnProfile
+}
+
+func segFileName(id uint64) string { return fmt.Sprintf("seg-%d.gob", id) }
+
+func writeGob(path string, v any) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(v); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readGob(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewDecoder(f).Decode(v)
+}
+
+func segToFile(seg *segment) segFile {
+	sf := segFile{Version: snapshotVersion, ID: seg.id, Tables: make([]tableBlock, 0, len(seg.order))}
+	for _, name := range seg.order {
+		ids := seg.tables[name]
+		cols := make([]ColumnProfile, len(ids))
+		for i, id := range ids {
+			cols[i] = seg.cols[id]
+		}
+		sf.Tables = append(sf.Tables, tableBlock{Name: name, Columns: cols})
+	}
+	return sf
+}
+
+func segFromFile(sf segFile, bands, rows int) *segment {
+	seg := newSegment(sf.ID, bands)
+	for _, tb := range sf.Tables {
+		seg.add(tb.Name, tb.Columns, rows)
+	}
+	return seg
+}
+
+// SaveSnapshot writes the catalog's current epoch to dir in the incremental
+// manifest+segments format: sealed segment files already on disk are left
+// untouched (segments are immutable, so identity of name implies identity
+// of content), the memtable and manifest are rewritten, and segment files
+// no longer referenced — compacted away since the previous snapshot — are
+// deleted. Concurrent searches and writes proceed freely; the snapshot is
+// consistent as of one epoch.
+func (ix *Index) SaveSnapshot(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	sn := ix.snap.Load()
+	m := manifest{
+		Version: snapshotVersion,
+		Options: ix.opts,
+		Lineage: ix.lineage,
+		Epoch:   sn.epoch,
+		Sealed:  make([]uint64, 0, len(sn.sealed)),
+	}
+	ix.wmu.Lock()
+	m.NextSeg = ix.nextSeg
+	ix.wmu.Unlock()
+	for key := range sn.tombs {
+		m.Tombs = append(m.Tombs, tombRecord{Seg: key.seg, Table: key.table})
+	}
+	// The skip-if-exists fast path is only sound for segment files this
+	// catalog's own lineage wrote: a directory holding another catalog's
+	// snapshot can contain same-named files with unrelated content (segment
+	// ids always start at 0), which must be overwritten, not adopted.
+	sameLineage := false
+	if ix.lineage != 0 {
+		var prev manifest
+		if err := readGob(filepath.Join(dir, manifestName), &prev); err == nil {
+			sameLineage = prev.Version == snapshotVersion && prev.Lineage == ix.lineage
+		}
+	}
+	for _, seg := range sn.sealed {
+		m.Sealed = append(m.Sealed, seg.id)
+		path := filepath.Join(dir, segFileName(seg.id))
+		if sameLineage {
+			if _, err := os.Stat(path); err == nil {
+				continue // immutable segment already snapshotted by this catalog
+			}
+		}
+		if err := writeGob(path, segToFile(seg)); err != nil {
+			return fmt.Errorf("discovery: writing segment %d: %w", seg.id, err)
+		}
+	}
+	if sn.mem != nil && len(sn.mem.tables) > 0 {
+		m.HasMem = true
+		if err := writeGob(filepath.Join(dir, memName), segToFile(sn.mem)); err != nil {
+			return fmt.Errorf("discovery: writing memtable: %w", err)
+		}
+	} else {
+		os.Remove(filepath.Join(dir, memName))
+	}
+	if err := writeGob(filepath.Join(dir, manifestName), m); err != nil {
+		return fmt.Errorf("discovery: writing manifest: %w", err)
+	}
+	// Prune files of segments compacted away since the previous snapshot.
+	live := make(map[string]struct{}, len(m.Sealed))
+	for _, id := range m.Sealed {
+		live[segFileName(id)] = struct{}{}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".gob") {
+			continue
+		}
+		if _, ok := live[name]; !ok {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+	return nil
+}
+
+// LoadSnapshot reads a snapshot directory written by SaveSnapshot and
+// reconstructs the catalog: segment layout, tombstones and epoch included.
+func LoadSnapshot(dir string) (*Index, error) {
+	var m manifest
+	if err := readGob(filepath.Join(dir, manifestName), &m); err != nil {
+		return nil, fmt.Errorf("discovery: reading manifest: %w", err)
+	}
+	if m.Version != snapshotVersion {
+		return nil, fmt.Errorf("discovery: snapshot version %d, want %d", m.Version, snapshotVersion)
+	}
+	ix := New(m.Options)
+	nextSeg := m.NextSeg
+	sn := &snapshot{epoch: m.Epoch}
+	load := func(path string) (*segment, error) {
+		var sf segFile
+		if err := readGob(path, &sf); err != nil {
+			return nil, err
+		}
+		if sf.Version != snapshotVersion {
+			return nil, fmt.Errorf("segment version %d, want %d", sf.Version, snapshotVersion)
+		}
+		for _, tb := range sf.Tables {
+			for _, c := range tb.Columns {
+				if len(c.Signature) != ix.k {
+					return nil, fmt.Errorf("column %s.%s has %d-slot signature, want %d",
+						tb.Name, c.Column, len(c.Signature), ix.k)
+				}
+			}
+		}
+		return segFromFile(sf, ix.bands, ix.rows), nil
+	}
+	for _, id := range m.Sealed {
+		seg, err := load(filepath.Join(dir, segFileName(id)))
+		if err != nil {
+			return nil, fmt.Errorf("discovery: segment %d: %w", id, err)
+		}
+		sn.sealed = append(sn.sealed, seg)
+	}
+	// A crash between writing segment files and the manifest can leave
+	// orphan seg-<id>.gob files with ids at or past the manifest's NextSeg.
+	// If such an id were ever reallocated, a later SaveSnapshot's
+	// "file exists → skip" fast path would adopt the stale orphan into the
+	// manifest. Scan the directory and allocate strictly past every file
+	// on disk; unreferenced orphans are then pruned by the next successful
+	// SaveSnapshot without ever being adopted.
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			var id uint64
+			if n, _ := fmt.Sscanf(e.Name(), "seg-%d.gob", &id); n == 1 && id >= nextSeg {
+				nextSeg = id + 1
+			}
+		}
+	}
+	if m.HasMem {
+		mem, err := load(filepath.Join(dir, memName))
+		if err != nil {
+			return nil, fmt.Errorf("discovery: memtable: %w", err)
+		}
+		// The restored memtable gets a fresh id: its saved id may equal an
+		// orphan segment file's, and when this memtable seals, its id
+		// becomes a segment file name.
+		mem.id = nextSeg
+		nextSeg++
+		sn.mem = mem
+	} else {
+		// The fresh memtable needs an id no sealed segment (and so no
+		// tombstone) can reference.
+		sn.mem = newSegment(nextSeg, ix.bands)
+		nextSeg++
+	}
+	tombs := make(map[tombKey]struct{}, len(m.Tombs))
+	for _, t := range m.Tombs {
+		tombs[tombKey{t.Seg, t.Table}] = struct{}{}
+	}
+	sn.tombs = tombs
+	for _, seg := range sn.segments() {
+		for name := range seg.tables {
+			if sn.dead(seg, name) {
+				continue
+			}
+			sn.nTables++
+			sn.nCols += len(seg.tables[name])
+		}
+	}
+	ix.lineage = m.Lineage
+	if ix.lineage == 0 {
+		// Pre-lineage manifest: adopt a fresh lineage so future saves can
+		// be incremental again (the first one rewrites every file).
+		ix.lineage = newLineage()
+	}
+	ix.nextSeg = nextSeg
+	maxID := uint64(0)
+	for _, seg := range sn.segments() {
+		if seg.id > maxID {
+			maxID = seg.id
+		}
+	}
+	if ix.nextSeg <= maxID {
+		ix.nextSeg = maxID + 1
+	}
+	ix.snap.Store(sn)
+	return ix, nil
 }

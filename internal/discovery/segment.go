@@ -1,0 +1,187 @@
+package discovery
+
+// Segments are the building block of the live catalog: an immutable slab of
+// column profiles with their LSH band shards and a table→column directory.
+// Sealed segments are shared between epoch snapshots and never mutated after
+// publication; the memtable segment is rebuilt copy-on-write by each writer,
+// so readers holding any snapshot see frozen state without taking a lock.
+
+import "valentine/internal/profile"
+
+// segment is one immutable slab of the catalog. A table's columns never
+// span segments: every table lives wholly inside exactly one segment.
+type segment struct {
+	id     uint64
+	cols   []ColumnProfile
+	tables map[string][]int32   // table name → column ids within this segment
+	shards []map[uint64][]int32 // one bucket map per LSH band
+	order  []string             // table names in insertion order (memtable rebuilds)
+}
+
+// newSegment returns an empty segment with the given identity and band
+// geometry.
+func newSegment(id uint64, bands int) *segment {
+	s := &segment{
+		id:     id,
+		tables: make(map[string][]int32),
+		shards: make([]map[uint64][]int32, bands),
+	}
+	for b := range s.shards {
+		s.shards[b] = make(map[uint64][]int32)
+	}
+	return s
+}
+
+// add appends one table's column profiles, banking each signature under its
+// band keys. Only the writer building an unpublished segment may call it.
+func (s *segment) add(name string, profiles []ColumnProfile, rows int) {
+	ids := make([]int32, len(profiles))
+	for i, p := range profiles {
+		id := int32(len(s.cols))
+		s.cols = append(s.cols, p)
+		ids[i] = id
+		s.insertShards(id, p.Signature, rows)
+	}
+	s.tables[name] = ids
+	s.order = append(s.order, name)
+}
+
+// insertShards banks a column id under its band keys. Empty-column
+// signatures are skipped: they would all share one bucket per band (every
+// slot is the EmptySlot sentinel) and collide with every other empty
+// column at Jaccard 0, bloating candidate sets without ever ranking.
+func (s *segment) insertShards(id int32, sig []uint64, rows int) {
+	if profile.IsEmptySignature(sig) {
+		return
+	}
+	bands := len(s.shards)
+	for b := 0; b < bands; b++ {
+		key := profile.BandKey(sig, b, rows)
+		s.shards[b][key] = append(s.shards[b][key], id)
+	}
+}
+
+// clone deep-copies the segment's directory structures. Column profiles are
+// shared (they are treated as immutable once ingested); the slice header,
+// table map and shard maps are fresh, so the clone can be mutated without
+// disturbing readers of the original. Only the bounded memtable is ever
+// cloned, which keeps the per-write cost independent of catalog size.
+func (s *segment) clone() *segment {
+	out := &segment{
+		id:     s.id,
+		cols:   append([]ColumnProfile(nil), s.cols...),
+		tables: make(map[string][]int32, len(s.tables)),
+		shards: make([]map[uint64][]int32, len(s.shards)),
+		order:  append([]string(nil), s.order...),
+	}
+	for name, ids := range s.tables {
+		out.tables[name] = append([]int32(nil), ids...)
+	}
+	for b, m := range s.shards {
+		nm := make(map[uint64][]int32, len(m))
+		for k, v := range m {
+			nm[k] = append([]int32(nil), v...)
+		}
+		out.shards[b] = nm
+	}
+	return out
+}
+
+// without rebuilds the segment dropping the named table (no-op copy when the
+// table is absent). Remaining tables keep their relative insertion order;
+// column ids are reassigned, which is safe because the result is unpublished.
+func (s *segment) without(name string, rows int) *segment {
+	out := newSegment(s.id, len(s.shards))
+	for _, t := range s.order {
+		if t == name {
+			continue
+		}
+		ids := s.tables[t]
+		profiles := make([]ColumnProfile, len(ids))
+		for i, id := range ids {
+			profiles[i] = s.cols[id]
+		}
+		out.add(t, profiles, rows)
+	}
+	return out
+}
+
+// numTables returns the number of tables in the segment.
+func (s *segment) numTables() int { return len(s.tables) }
+
+// tombKey identifies one sealed-segment table occurrence. Tombstones are
+// per-occurrence, not per-name: a removed table can be re-added (landing in
+// the memtable or a newer segment) without resurrecting the dead copy.
+type tombKey struct {
+	seg   uint64
+	table string
+}
+
+// snapshot is one immutable epoch of the catalog. Readers load the current
+// snapshot with a single atomic pointer read and then work entirely on
+// frozen state; writers publish a successor snapshot and never touch a
+// published one.
+type snapshot struct {
+	sealed []*segment // immutable slabs, oldest first
+	mem    *segment   // the memtable: rebuilt copy-on-write by each writer
+	tombs  map[tombKey]struct{}
+	epoch  uint64
+
+	nTables int // live tables across all segments
+	nCols   int // live (non-tombstoned) columns
+}
+
+// segments returns the snapshot's segments in probe order: sealed oldest
+// first, memtable last.
+func (sn *snapshot) segments() []*segment {
+	out := make([]*segment, 0, len(sn.sealed)+1)
+	out = append(out, sn.sealed...)
+	if sn.mem != nil && len(sn.mem.tables) > 0 {
+		out = append(out, sn.mem)
+	}
+	return out
+}
+
+// dead reports whether the named table in seg is tombstoned.
+func (sn *snapshot) dead(seg *segment, name string) bool {
+	if len(sn.tombs) == 0 {
+		return false
+	}
+	_, ok := sn.tombs[tombKey{seg.id, name}]
+	return ok
+}
+
+// lookup finds the live occurrence of a table: the owning segment and its
+// column ids, or nil when the table is not indexed (or tombstoned).
+func (sn *snapshot) lookup(name string) (*segment, []int32) {
+	if sn.mem != nil {
+		if ids, ok := sn.mem.tables[name]; ok {
+			return sn.mem, ids
+		}
+	}
+	// Newest sealed segment first: with per-occurrence tombstones at most
+	// one occurrence is live, but probing newest-first keeps the lookup
+	// correct even mid-refactor if an older dead copy still exists.
+	for i := len(sn.sealed) - 1; i >= 0; i-- {
+		seg := sn.sealed[i]
+		if ids, ok := seg.tables[name]; ok && !sn.dead(seg, name) {
+			return seg, ids
+		}
+	}
+	return nil, nil
+}
+
+// tombstonedCols counts columns shadowed by tombstones — the garbage
+// compaction exists to drop.
+func (sn *snapshot) tombstonedCols() int {
+	n := 0
+	for key := range sn.tombs {
+		for _, seg := range sn.sealed {
+			if seg.id == key.seg {
+				n += len(seg.tables[key.table])
+				break
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,303 @@
+package discovery
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"valentine/internal/table"
+)
+
+func liveCatalog(t *testing.T) *Index {
+	t.Helper()
+	ix := New(Options{SealAfter: 2})
+	for i := 0; i < 7; i++ {
+		name := fmt.Sprintf("t%d", i)
+		tab := table.New(name).
+			AddColumn("k", vals("u", i*15, i*15+60)).
+			AddColumn("v", vals(fmt.Sprintf("p%d_", i), 0, 60))
+		if err := ix.Add(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Remove("t1"); err != nil { // sealed → tombstone
+		t.Fatal(err)
+	}
+	ix.WaitCompaction()
+	return ix
+}
+
+func snapshotQuery() *table.Table {
+	return table.New("q").AddColumn("k", vals("u", 0, 90))
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	ix := liveCatalog(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := ix.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Options(), ix.Options(); got != want {
+		t.Errorf("options = %+v, want %+v", got, want)
+	}
+	if got, want := loaded.Stats(), ix.Stats(); got != want {
+		t.Errorf("stats = %+v, want %+v (segment layout must survive the round trip)", got, want)
+	}
+	if !reflect.DeepEqual(loaded.Tables(), ix.Tables()) {
+		t.Errorf("tables = %v, want %v", loaded.Tables(), ix.Tables())
+	}
+	q := snapshotQuery()
+	for _, mode := range []Mode{ModeJoin, ModeUnion} {
+		want, err := ix.Search(q, mode, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Search(q, mode, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s search diverged after round trip:\n got %+v\nwant %+v", mode, got, want)
+		}
+	}
+	// The loaded catalog stays live: tombstoned names can return, new
+	// writes land, removal still works.
+	if err := loaded.Add(table.New("t1").AddColumn("k", vals("u", 0, 40))); err != nil {
+		t.Fatalf("re-adding tombstoned name to loaded catalog: %v", err)
+	}
+	if err := loaded.Remove("t0"); err != nil {
+		t.Fatal(err)
+	}
+	if n := loaded.NumTables(); n != ix.NumTables() {
+		t.Errorf("tables after mutating loaded catalog = %d, want %d", n, ix.NumTables())
+	}
+}
+
+func TestSnapshotIsIncremental(t *testing.T) {
+	ix := liveCatalog(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := ix.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	segFiles := func() map[string]time.Time {
+		out := map[string]time.Time{}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "seg-") {
+				info, err := e.Info()
+				if err != nil {
+					t.Fatal(err)
+				}
+				out[e.Name()] = info.ModTime()
+			}
+		}
+		return out
+	}
+	first := segFiles()
+	if len(first) == 0 {
+		t.Fatal("no sealed segment files written")
+	}
+	// Grow the catalog past another seal, snapshot again: every segment
+	// file from the first snapshot must be byte-untouched (same mtime),
+	// with only new files added.
+	time.Sleep(10 * time.Millisecond) // ensure mtime resolution can't mask a rewrite
+	for i := 0; i < 3; i++ {
+		if err := ix.Add(table.New(fmt.Sprintf("x%d", i)).AddColumn("k", vals("x", i*10, i*10+40))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	second := segFiles()
+	if len(second) <= len(first) {
+		t.Fatalf("second snapshot has %d segment files, want more than %d", len(second), len(first))
+	}
+	for name, mtime := range first {
+		got, ok := second[name]
+		if !ok {
+			t.Errorf("segment file %s disappeared without compaction", name)
+			continue
+		}
+		if !got.Equal(mtime) {
+			t.Errorf("immutable segment file %s was rewritten", name)
+		}
+	}
+	// After compaction, the next snapshot prunes the merged-away files.
+	ix.Compact()
+	if err := ix.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	third := segFiles()
+	if len(third) != 1 {
+		t.Errorf("segment files after compaction snapshot = %v, want exactly 1", third)
+	}
+	loaded, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Tables(), ix.Tables()) {
+		t.Errorf("tables after pruned snapshot = %v, want %v", loaded.Tables(), ix.Tables())
+	}
+}
+
+// TestSnapshotCrashOrphanNotAdopted: a crash between writing segment files
+// and the manifest leaves orphan seg-<id>.gob files. Their ids must never
+// be reallocated — otherwise a later SaveSnapshot's "file exists → skip"
+// fast path would adopt the stale orphan — and the next successful
+// snapshot prunes them.
+func TestSnapshotCrashOrphanNotAdopted(t *testing.T) {
+	ix := liveCatalog(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := ix.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crashed snapshot: a stale segment file with an id past
+	// the manifest's NextSeg, holding a table the catalog no longer has.
+	ghost := newSegment(9, ix.bands)
+	ghost.add("ghost", []ColumnProfile{{
+		Table: "ghost", Column: "k", Rows: 1, Distinct: 1,
+		Signature: make([]uint64, ix.k),
+	}}, ix.rows)
+	if err := writeGob(filepath.Join(dir, segFileName(9)), segToFile(ghost)); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Join(loaded.Tables(), ",")
+	if strings.Contains(names, "ghost") {
+		t.Fatalf("orphan segment leaked into the loaded catalog: %s", names)
+	}
+	// Drive enough seals that a naive id counter would reach the orphan's
+	// id, snapshot, and reload: the orphan must never be adopted.
+	for i := 0; i < 20; i++ {
+		if err := loaded.Upsert(table.New(fmt.Sprintf("g%02d", i)).
+			AddColumn("k", vals("g", i, i+30))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded.WaitCompaction()
+	if err := loaded.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join(loaded.Tables(), ",")
+	re, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(re.Tables(), ",")
+	if got != want {
+		t.Fatalf("reloaded corpus diverged:\n got %s\nwant %s", got, want)
+	}
+	if strings.Contains(got, "ghost") {
+		t.Fatal("orphan segment adopted after id reuse")
+	}
+	if _, err := os.Stat(filepath.Join(dir, segFileName(9))); !os.IsNotExist(err) {
+		t.Error("orphan segment file survived the next successful snapshot")
+	}
+}
+
+// TestSnapshotForeignDirectoryOverwritten: snapshotting a catalog into a
+// directory holding a different catalog's snapshot must overwrite the
+// same-named segment files (segment ids always start at 0), never adopt
+// them via the incremental fast path.
+func TestSnapshotForeignDirectoryOverwritten(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	a := New(Options{SealAfter: 1}) // every add seals → seg-0.gob exists
+	if err := a.Add(table.New("old_table").AddColumn("k", vals("a", 0, 30))); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	b := New(Options{SealAfter: 1})
+	if err := b.Add(table.New("new_table").AddColumn("k", vals("b", 0, 30))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(loaded.Tables(), ","); got != "new_table" {
+		t.Fatalf("foreign snapshot adopted stale segments: tables = %s", got)
+	}
+	// The catalog that owns the directory still snapshots incrementally.
+	if err := b.Add(table.New("extra").AddColumn("k", vals("c", 0, 30))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(re.Tables(), ","); got != "extra,new_table" {
+		t.Fatalf("tables after incremental save = %s", got)
+	}
+}
+
+func TestLoadFileDetectsBothFormats(t *testing.T) {
+	ix := liveCatalog(t)
+	base := t.TempDir()
+	// Single-file format.
+	flat := filepath.Join(base, "lake.idx")
+	if err := ix.SaveFile(flat); err != nil {
+		t.Fatal(err)
+	}
+	fromFlat, err := LoadFile(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot-directory format.
+	dir := filepath.Join(base, "snapdir")
+	if err := ix.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	fromSnap, err := LoadFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := snapshotQuery()
+	want, err := ix.Search(q, ModeJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, loaded := range map[string]*Index{"flat": fromFlat, "snapshot": fromSnap} {
+		got, err := loaded.Search(q, ModeJoin, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: search diverged:\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+	// The flat format drops tombstones and segment layout (it is an
+	// offline compaction); the snapshot format preserves them.
+	if st := fromFlat.Stats(); st.Tombstones != 0 {
+		t.Errorf("flat format preserved tombstones: %+v", st)
+	}
+	if st, want := fromSnap.Stats(), ix.Stats(); st != want {
+		t.Errorf("snapshot stats = %+v, want %+v", st, want)
+	}
+	if _, err := LoadSnapshot(filepath.Join(base, "absent")); err == nil {
+		t.Error("loading a missing snapshot should fail")
+	}
+}

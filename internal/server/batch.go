@@ -1,0 +1,159 @@
+package server
+
+// The ingest micro-batcher: concurrent PUT/DELETE requests profile their
+// tables in their own goroutines, then queue catalog ops here. A single
+// background loop gathers ops that arrive within one batch window (or up to
+// the batch cap) and applies them as one discovery.Apply call — one
+// copy-on-write memtable rebuild and one epoch publish per batch instead of
+// per request — then fans the per-op results back to the waiting handlers.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"valentine/internal/discovery"
+)
+
+type ingestOp struct {
+	op   discovery.Op
+	done chan error
+}
+
+type batcher struct {
+	ix     *discovery.Index
+	window time.Duration
+	maxOps int
+
+	ch      chan ingestOp
+	stop    chan struct{}
+	drained chan struct{}
+
+	// mu/closed gate new submissions; inflight counts submitters that
+	// passed the gate but may not have enqueued yet. close waits for them
+	// before stopping the loop, so an accepted op is never stranded in the
+	// channel after the final drain.
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+
+	batches atomic.Int64
+	ops     atomic.Int64
+}
+
+func newBatcher(ix *discovery.Index, window time.Duration, maxOps int) *batcher {
+	b := &batcher{
+		ix:      ix,
+		window:  window,
+		maxOps:  maxOps,
+		ch:      make(chan ingestOp, maxOps),
+		stop:    make(chan struct{}),
+		drained: make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// submit queues one op and waits for its batch to be applied, honoring ctx.
+// An op accepted into the queue is applied even if the submitter stops
+// waiting (the write survives a client disconnect; only the response is
+// lost).
+func (b *batcher) submit(ctx context.Context, op discovery.Op) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return fmt.Errorf("server: shutting down")
+	}
+	b.inflight.Add(1)
+	b.mu.Unlock()
+	defer b.inflight.Done()
+
+	done := make(chan error, 1)
+	select {
+	case b.ch <- ingestOp{op: op, done: done}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// close stops accepting ops, waits for in-flight submissions to finish
+// enqueuing, applies everything queued, and waits for the loop to exit.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	// All gated submitters have either enqueued or aborted on their own
+	// context by the time Wait returns; nothing can enter the channel after
+	// the loop's final drain.
+	b.inflight.Wait()
+	close(b.stop)
+	<-b.drained
+}
+
+func (b *batcher) loop() {
+	defer close(b.drained)
+	for {
+		// Wait for the first op of the next batch.
+		var first ingestOp
+		select {
+		case first = <-b.ch:
+		case <-b.stop:
+			b.flushQueued()
+			return
+		}
+		batch := []ingestOp{first}
+		// Gather companions until the window closes or the batch is full.
+		timer := time.NewTimer(b.window)
+	gather:
+		for len(batch) < b.maxOps {
+			select {
+			case op := <-b.ch:
+				batch = append(batch, op)
+			case <-timer.C:
+				break gather
+			case <-b.stop:
+				break gather
+			}
+		}
+		timer.Stop()
+		b.apply(batch)
+	}
+}
+
+// flushQueued applies any ops still queued at shutdown, so an accepted
+// ingest is never silently dropped.
+func (b *batcher) flushQueued() {
+	var batch []ingestOp
+	for {
+		select {
+		case op := <-b.ch:
+			batch = append(batch, op)
+		default:
+			if len(batch) > 0 {
+				b.apply(batch)
+			}
+			return
+		}
+	}
+}
+
+func (b *batcher) apply(batch []ingestOp) {
+	ops := make([]discovery.Op, len(batch))
+	for i, q := range batch {
+		ops[i] = q.op
+	}
+	errs := b.ix.Apply(ops)
+	b.batches.Add(1)
+	b.ops.Add(int64(len(batch)))
+	for i, q := range batch {
+		q.done <- errs[i]
+	}
+}

@@ -1,0 +1,600 @@
+// Package server is the suite's serving layer: a long-running HTTP front
+// end over the live discovery catalog (internal/discovery), the lazy
+// column-profile layer (internal/profile) and the execution engine
+// (internal/engine) — the paper's §IX scaling lesson taken to its
+// conclusion: dataset discovery at lake scale is a serving problem, and the
+// catalog must mutate while it serves.
+//
+// Endpoints (JSON request/response bodies):
+//
+//	POST   /v1/search          top-k joinability/unionability query
+//	GET    /v1/tables          list live tables
+//	GET    /v1/tables/{name}   column profiles of one live table
+//	PUT    /v1/tables/{name}   upsert a table into the catalog
+//	DELETE /v1/tables/{name}   remove a table
+//	POST   /v1/match           pairwise column matching via any method
+//	GET    /v1/stats           catalog + server counters
+//
+// Every request runs under a per-request deadline (Config.RequestTimeout)
+// with the engine's options installed on its context, so long scoring work
+// is cancellable mid-flight. Searches hit the catalog's lock-free snapshot
+// path and are never blocked by ingest. Concurrent PUT/DELETE requests are
+// micro-batched (Config.BatchWindow/BatchMaxOps): ops arriving within one
+// window are applied as a single catalog write — one memtable rebuild, one
+// epoch publish — which keeps write amplification flat under concurrent
+// ingest. Profiling still happens per-request, before the op enters the
+// batch, so the expensive work is parallel and the serialized section stays
+// small.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"valentine/internal/core"
+	"valentine/internal/discovery"
+	"valentine/internal/engine"
+	"valentine/internal/experiment"
+	"valentine/internal/profile"
+	"valentine/internal/table"
+)
+
+// Config configures a Server. The zero value of every field selects a
+// sensible serving default.
+type Config struct {
+	// Index is the live catalog to serve; nil creates a fresh empty one
+	// with default options.
+	Index *discovery.Index
+	// RequestTimeout is the per-request wall-clock budget (default 30s).
+	RequestTimeout time.Duration
+	// Parallelism is the engine worker-pool size per request (default
+	// GOMAXPROCS).
+	Parallelism int
+	// BatchWindow is how long an ingest op waits for companions before the
+	// batch is applied (default 2ms). BatchMaxOps caps one batch (default
+	// 64) so a flood cannot delay the first op unboundedly.
+	BatchWindow time.Duration
+	BatchMaxOps int
+	// MaxBodyBytes bounds request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// SnapshotDir, when set, enables periodic catalog snapshots every
+	// SnapshotEvery (default 30s) and a final snapshot on Close.
+	SnapshotDir   string
+	SnapshotEvery time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Index == nil {
+		c.Index = discovery.New(discovery.Options{})
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchMaxOps <= 0 {
+		c.BatchMaxOps = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 30 * time.Second
+	}
+	return c
+}
+
+// Server serves the live catalog over HTTP. Create with New, mount
+// Handler(), and Close when done (Close flushes the ingest batcher and, if
+// snapshots are configured, writes a final snapshot).
+type Server struct {
+	cfg      Config
+	registry *core.Registry
+	batcher  *batcher
+	start    time.Time
+	sigLen   int // the catalog's MinHash signature length
+
+	requests atomic.Int64
+	searches atomic.Int64
+	upserts  atomic.Int64
+	removes  atomic.Int64
+	matches  atomic.Int64
+
+	snapStop chan struct{}
+	snapDone chan struct{}
+	snapErr  atomic.Pointer[string]
+}
+
+// New returns a Server over cfg's catalog.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	opts := cfg.Index.Options()
+	sigLen, _, _ := profile.Geometry(opts.Signature, opts.Bands)
+	s := &Server{
+		cfg:      cfg,
+		registry: experiment.NewRegistry(),
+		start:    time.Now(),
+		sigLen:   sigLen,
+	}
+	s.batcher = newBatcher(cfg.Index, cfg.BatchWindow, cfg.BatchMaxOps)
+	if cfg.SnapshotDir != "" {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop()
+	}
+	return s
+}
+
+// Index returns the served catalog.
+func (s *Server) Index() *discovery.Index { return s.cfg.Index }
+
+// Close flushes pending ingest batches, stops the snapshot loop, and — when
+// snapshots are configured — writes a final snapshot. Safe to call once,
+// after the HTTP listener has stopped accepting requests.
+func (s *Server) Close() error {
+	s.batcher.close()
+	if s.snapStop != nil {
+		close(s.snapStop)
+		<-s.snapDone
+		s.cfg.Index.WaitCompaction()
+		return s.cfg.Index.SaveSnapshot(s.cfg.SnapshotDir)
+	}
+	s.cfg.Index.WaitCompaction()
+	return nil
+}
+
+func (s *Server) snapshotLoop() {
+	defer close(s.snapDone)
+	tick := time.NewTicker(s.cfg.SnapshotEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-tick.C:
+			if err := s.cfg.Index.SaveSnapshot(s.cfg.SnapshotDir); err != nil {
+				msg := err.Error()
+				s.snapErr.Store(&msg)
+			} else {
+				s.snapErr.Store(nil) // stats report current health, not history
+			}
+		}
+	}
+}
+
+// Handler returns the server's HTTP handler (mount it on any mux or
+// http.Server).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", s.wrap(s.handleSearch))
+	mux.HandleFunc("GET /v1/tables", s.wrap(s.handleListTables))
+	mux.HandleFunc("GET /v1/tables/{name}", s.wrap(s.handleGetTable))
+	mux.HandleFunc("PUT /v1/tables/{name}", s.wrap(s.handleUpsert))
+	mux.HandleFunc("DELETE /v1/tables/{name}", s.wrap(s.handleRemove))
+	mux.HandleFunc("POST /v1/match", s.wrap(s.handleMatch))
+	mux.HandleFunc("GET /v1/stats", s.wrap(s.handleStats))
+	return mux
+}
+
+// wrap installs the per-request deadline and engine options, counts the
+// request, and renders handler errors as JSON.
+func (s *Server) wrap(h func(ctx context.Context, w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		ctx, cancel := engine.Options{
+			Parallelism: s.cfg.Parallelism,
+			Deadline:    s.cfg.RequestTimeout,
+		}.Start(r.Context())
+		defer cancel()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		if err := h(ctx, w, r.WithContext(ctx)); err != nil {
+			writeError(w, err)
+		}
+	}
+}
+
+// httpError carries a status code through the handler error path.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...any) error {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+func errNotFound(format string, args ...any) error {
+	return &httpError{http.StatusNotFound, fmt.Sprintf(format, args...)}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is moot but 499-style semantics fit.
+		status = http.StatusRequestTimeout
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(v)
+}
+
+// --- wire types ---
+
+// TableJSON is the wire form of a table: ordered columns of row-aligned
+// string cells, exactly the CSV data model.
+type TableJSON struct {
+	Name    string       `json:"name,omitempty"`
+	Columns []ColumnJSON `json:"columns"`
+}
+
+// ColumnJSON is one named column.
+type ColumnJSON struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// toTable converts the wire form, inferring column types like the CSV
+// reader does. name overrides the embedded name when non-empty (the path
+// component wins for /v1/tables/{name}).
+func (tj TableJSON) toTable(name string) (*table.Table, error) {
+	if name == "" {
+		name = tj.Name
+	}
+	t := table.New(name)
+	for _, c := range tj.Columns {
+		t.AddColumn(c.Name, c.Values)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, errBadRequest("invalid table: %v", err)
+	}
+	return t, nil
+}
+
+// toTableDefault converts the wire form keeping the embedded name, falling
+// back to def when none was sent — match tables are anonymous inputs, and
+// validation must see the effective name.
+func (tj TableJSON) toTableDefault(def string) (*table.Table, error) {
+	name := tj.Name
+	if name == "" {
+		name = def
+	}
+	return TableJSON{Name: name, Columns: tj.Columns}.toTable("")
+}
+
+// toQueryTable converts the wire form of a search query. The embedded name
+// is kept as-is — including empty: an anonymous query must not default to
+// any fixed name, or an indexed table of that name would be silently
+// self-skipped out of the results.
+func (tj TableJSON) toQueryTable() (*table.Table, error) {
+	t := table.New(tj.Name)
+	for _, c := range tj.Columns {
+		t.AddColumn(c.Name, c.Values)
+	}
+	if err := discovery.ValidateQuery(t); err != nil {
+		return nil, errBadRequest("invalid table: %v", err)
+	}
+	return t, nil
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errBadRequest("decoding request body: %v", err)
+	}
+	return nil
+}
+
+// --- search ---
+
+// SearchRequest asks for the top-k tables related to the query table.
+type SearchRequest struct {
+	Table TableJSON `json:"table"`
+	Mode  string    `json:"mode"` // "join" (default) | "union"
+	K     int       `json:"k"`    // <= 0: all
+	// BruteForce bypasses the LSH shards (debugging/regression tool).
+	BruteForce bool `json:"brute_force,omitempty"`
+}
+
+// SearchResult is one ranked table.
+type SearchResult struct {
+	Table       string  `json:"table"`
+	Score       float64 `json:"score"`
+	BestQuery   string  `json:"best_query,omitempty"`
+	BestIndexed string  `json:"best_indexed,omitempty"`
+	Candidates  int     `json:"candidates"`
+}
+
+// SearchResponse carries the ranked results plus the engine's per-stage
+// instrumentation for the request.
+type SearchResponse struct {
+	Epoch   uint64          `json:"epoch"`
+	Results []SearchResult  `json:"results"`
+	Stats   engine.Snapshot `json:"stats"`
+}
+
+func (s *Server) handleSearch(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req SearchRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	if req.Mode == "" {
+		req.Mode = string(discovery.ModeJoin)
+	}
+	mode, err := discovery.ParseMode(req.Mode)
+	if err != nil {
+		return errBadRequest("%v", err)
+	}
+	q, err := req.Table.toQueryTable()
+	if err != nil {
+		return err
+	}
+	s.searches.Add(1)
+	ctx, stats := engine.WithStats(ctx)
+	ix := s.cfg.Index
+	// Both paths run under the request context (deadline + cancellation
+	// honored mid-sweep) and report the epoch of the snapshot actually
+	// searched — sampling ix.Epoch() separately could race past a
+	// concurrently published write.
+	var (
+		results []discovery.Result
+		epoch   uint64
+	)
+	if req.BruteForce {
+		results, epoch, err = ix.SearchBruteForceContext(ctx, q, mode, req.K)
+	} else {
+		results, epoch, err = ix.SearchContextEpoch(ctx, q, mode, req.K)
+	}
+	if err != nil {
+		return err
+	}
+	resp := SearchResponse{Epoch: epoch, Stats: stats.Snapshot(), Results: make([]SearchResult, len(results))}
+	for i, res := range results {
+		resp.Results[i] = SearchResult{
+			Table:       res.Table,
+			Score:       res.Score,
+			BestQuery:   res.BestQuery,
+			BestIndexed: res.BestIndexed,
+			Candidates:  res.Candidates,
+		}
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// --- tables ---
+
+// TablesResponse lists the live tables.
+type TablesResponse struct {
+	Tables []string `json:"tables"`
+	Epoch  uint64   `json:"epoch"`
+}
+
+func (s *Server) handleListTables(_ context.Context, w http.ResponseWriter, _ *http.Request) error {
+	ix := s.cfg.Index
+	return writeJSON(w, http.StatusOK, TablesResponse{Tables: ix.Tables(), Epoch: ix.Epoch()})
+}
+
+// ProfileJSON is the served summary of one indexed column.
+type ProfileJSON struct {
+	Column   string   `json:"column"`
+	Type     string   `json:"type"`
+	Rows     int      `json:"rows"`
+	Distinct int      `json:"distinct"`
+	Tokens   []string `json:"tokens,omitempty"`
+}
+
+// TableProfileResponse is the served summary of one indexed table.
+type TableProfileResponse struct {
+	Table   string        `json:"table"`
+	Columns []ProfileJSON `json:"columns"`
+}
+
+func (s *Server) handleGetTable(_ context.Context, w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("name")
+	ps := s.cfg.Index.Profiles(name)
+	if ps == nil {
+		return errNotFound("table %q not indexed", name)
+	}
+	resp := TableProfileResponse{Table: name, Columns: make([]ProfileJSON, len(ps))}
+	for i, p := range ps {
+		resp.Columns[i] = ProfileJSON{
+			Column:   p.Column,
+			Type:     p.Type.String(),
+			Rows:     p.Rows,
+			Distinct: p.Distinct,
+			Tokens:   p.Tokens,
+		}
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// UpsertRequest is the PUT /v1/tables/{name} body; the path name wins over
+// any embedded name.
+type UpsertRequest struct {
+	Name    string       `json:"name,omitempty"`
+	Columns []ColumnJSON `json:"columns"`
+}
+
+// MutationResponse reports the catalog state after an ingest or removal.
+type MutationResponse struct {
+	Status  string `json:"status"`
+	Table   string `json:"table"`
+	Tables  int    `json:"tables"`
+	Columns int    `json:"columns"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+func (s *Server) handleUpsert(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("name")
+	var req UpsertRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	t, err := TableJSON{Name: req.Name, Columns: req.Columns}.toTable(name)
+	if err != nil {
+		return err
+	}
+	// Profile in this request's goroutine — concurrent upserts profile in
+	// parallel; only the batched catalog apply is serialized. The profile
+	// is private to the request (HTTP tables are fresh pointers, so a
+	// shared store could never hit on them — it would only pin the table),
+	// and only the artifacts catalog ingestion reads are precomputed.
+	tp := profile.New(t)
+	for i := 0; i < tp.NumColumns(); i++ {
+		p := tp.Column(i)
+		p.Signature(s.sigLen)
+		p.NameTokens()
+		p.Distinct()
+	}
+	if err := s.batcher.submit(ctx, discovery.Op{Upsert: tp}); err != nil {
+		return err
+	}
+	s.upserts.Add(1)
+	ix := s.cfg.Index
+	return writeJSON(w, http.StatusOK, MutationResponse{
+		Status: "ok", Table: t.Name,
+		Tables: ix.NumTables(), Columns: ix.NumColumns(), Epoch: ix.Epoch(),
+	})
+}
+
+func (s *Server) handleRemove(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("name")
+	if err := s.batcher.submit(ctx, discovery.Op{Remove: name}); err != nil {
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return errNotFound("%v", err)
+		}
+		return err
+	}
+	s.removes.Add(1)
+	ix := s.cfg.Index
+	return writeJSON(w, http.StatusOK, MutationResponse{
+		Status: "ok", Table: name,
+		Tables: ix.NumTables(), Columns: ix.NumColumns(), Epoch: ix.Epoch(),
+	})
+}
+
+// --- match ---
+
+// MatchRequest runs one pairwise matching method over two inline tables.
+type MatchRequest struct {
+	Source TableJSON      `json:"source"`
+	Target TableJSON      `json:"target"`
+	Method string         `json:"method"` // default "coma-schema"
+	Params map[string]any `json:"params,omitempty"`
+	Top    int            `json:"top"` // <= 0: all
+}
+
+// MatchJSON is one scored column correspondence.
+type MatchJSON struct {
+	SourceColumn string  `json:"source_column"`
+	TargetColumn string  `json:"target_column"`
+	Score        float64 `json:"score"`
+}
+
+// MatchResponse carries the ranked matches.
+type MatchResponse struct {
+	Method  string      `json:"method"`
+	Matches []MatchJSON `json:"matches"`
+}
+
+func (s *Server) handleMatch(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req MatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	if req.Method == "" {
+		req.Method = experiment.MethodComaSchema
+	}
+	src, err := req.Source.toTableDefault("source")
+	if err != nil {
+		return errBadRequest("source: %v", err)
+	}
+	tgt, err := req.Target.toTableDefault("target")
+	if err != nil {
+		return errBadRequest("target: %v", err)
+	}
+	m, err := s.registry.New(req.Method, core.Params(req.Params))
+	if err != nil {
+		return errBadRequest("%v", err)
+	}
+	s.matches.Add(1)
+	// The engine path: context deadline and parallelism honored
+	// mid-scoring. No profile store: HTTP tables are fresh pointers a
+	// pointer-keyed store could never hit on again — a nil store still
+	// shares one profile per table within this call, then lets it be
+	// collected.
+	matches, err := core.MatchWithContext(ctx, m, nil, src, tgt)
+	if err != nil {
+		return err
+	}
+	if req.Top > 0 && len(matches) > req.Top {
+		matches = matches[:req.Top]
+	}
+	resp := MatchResponse{Method: req.Method, Matches: make([]MatchJSON, len(matches))}
+	for i, match := range matches {
+		resp.Matches[i] = MatchJSON{
+			SourceColumn: match.SourceColumn,
+			TargetColumn: match.TargetColumn,
+			Score:        match.Score,
+		}
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// --- stats ---
+
+// StatsResponse merges catalog state with server counters.
+type StatsResponse struct {
+	Catalog discovery.Stats `json:"catalog"`
+	Server  ServerStats     `json:"server"`
+}
+
+// ServerStats are the serving-layer counters.
+type ServerStats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	Searches      int64   `json:"searches"`
+	Upserts       int64   `json:"upserts"`
+	Removes       int64   `json:"removes"`
+	Matches       int64   `json:"matches"`
+	Batches       int64   `json:"ingest_batches"`
+	BatchedOps    int64   `json:"ingest_batched_ops"`
+	SnapshotError string  `json:"snapshot_error,omitempty"`
+}
+
+func (s *Server) handleStats(_ context.Context, w http.ResponseWriter, _ *http.Request) error {
+	st := ServerStats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Searches:      s.searches.Load(),
+		Upserts:       s.upserts.Load(),
+		Removes:       s.removes.Load(),
+		Matches:       s.matches.Load(),
+		Batches:       s.batcher.batches.Load(),
+		BatchedOps:    s.batcher.ops.Load(),
+	}
+	if msg := s.snapErr.Load(); msg != nil {
+		st.SnapshotError = *msg
+	}
+	return writeJSON(w, http.StatusOK, StatsResponse{Catalog: s.cfg.Index.Stats(), Server: st})
+}

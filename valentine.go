@@ -13,8 +13,9 @@
 //     (TPCDI, OpenData, ChEMBL, WikiDataPairs, MagellanPairs, ING1, ING2)
 //   - the Recall@GroundTruth metric and experiment engine (RecallAtGT,
 //     RunExperiments, DefaultGrids)
-//   - a corpus-level discovery index for served top-k search
-//     (NewDiscoveryIndex, LoadDiscoveryIndexFile)
+//   - a corpus-level live catalog for served top-k search that mutates
+//     while it serves (NewDiscoveryIndex, Upsert/Remove,
+//     LoadDiscoveryIndexFile) and its HTTP serving layer (NewServer)
 //   - the unified concurrent execution engine behind all of the above
 //     (MatchWithContext, EngineOptions, Stats): context-propagated deadlines
 //     and cancellation, a bounded worker pool, per-stage instrumentation —
@@ -38,15 +39,24 @@
 // column is summarized by a MinHash signature plus a lightweight profile
 // and sharded across LSH band buckets, so a query only scores the columns
 // it collides with (the paper's §IX scaling lesson, after JOSIE, LSH
-// Ensemble and Lazo). The index persists to disk and is safe for
-// concurrent queries:
+// Ensemble and Lazo). The index is a live catalog — searches are lock-free
+// reads of an epoch snapshot while Upsert/Remove mutate the corpus
+// underneath — and persists to disk both as a single file and as an
+// incremental snapshot directory:
 //
 //	ix := valentine.NewDiscoveryIndex(valentine.DiscoveryOptions{})
 //	for _, t := range corpus {
 //		ix.Add(t)
 //	}
 //	results, _ := ix.Search(query, valentine.DiscoverJoin, 10)
+//	_ = ix.Upsert(newVersion) // replace a table while searches run
+//	_ = ix.Remove("stale")    // tombstoned, reclaimed by compaction
 //	_ = ix.SaveFile("lake.idx") // later: valentine.LoadDiscoveryIndexFile
+//
+// NewServer wraps the catalog in an HTTP API (search, upsert, delete,
+// match, stats) with per-request deadlines and micro-batched ingest; the
+// `valentine serve` command runs it with graceful shutdown and periodic
+// snapshots.
 package valentine
 
 import (
@@ -131,6 +141,10 @@ func NewMatcher(method string, p Params) (Matcher, error) {
 
 // ReadCSVFile loads a table from a CSV file with a header row.
 func ReadCSVFile(path string) (*Table, error) { return table.ReadCSVFile(path) }
+
+// NewTable returns an empty named table; chain AddColumn to populate it
+// (column types are inferred from the values).
+func NewTable(name string) *Table { return table.New(name) }
 
 // NewFabricator returns a dataset-pair fabricator seeded for reproducible
 // splits and noise.
