@@ -32,7 +32,11 @@ type jsonReport struct {
 	// concurrent ingest, against the global-lock baseline (see serve.go);
 	// absent when the measurement is skipped.
 	Serve *jsonServe `json:"serve,omitempty"`
-	Runs  []jsonRun  `json:"runs"`
+	// Kernels records the scoring-kernel measurements: map-based vs interned
+	// sorted-merge vs bitmap overlap, and raw vs shared-dictionary MinHash
+	// (see kernels.go); absent when the measurement is skipped.
+	Kernels *jsonKernels `json:"kernels,omitempty"`
+	Runs    []jsonRun    `json:"runs"`
 }
 
 type jsonMethod struct {

@@ -1,0 +1,110 @@
+package main
+
+// Scoring-kernel measurement (-json "kernels" section): one pairwise
+// Jaccard overlap over two 5000-distinct-value columns (half shared),
+// through the map-based kernel the suite used before interning and through
+// the interned sorted-merge and bitmap kernels; plus one 128-slot MinHash
+// signature from raw strings vs from dictionary-memoized base hashes. The
+// ratios land in BENCH_<n>.json so the trajectory records what the
+// interning layer buys on the hardware that produced the file. These are
+// single-threaded kernels, so — unlike the engine/serve sections — the
+// numbers are meaningful even on a one-core runner.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"valentine/internal/intern"
+	"valentine/internal/profile"
+	"valentine/internal/table"
+)
+
+type jsonKernels struct {
+	CPUs int `json:"cpus"`
+	// SetSize is the distinct-value count per column (half shared).
+	SetSize int `json:"set_size"`
+	// One pairwise overlap, nanoseconds per op.
+	OverlapMapNS    int64 `json:"overlap_map_ns"`
+	OverlapMergeNS  int64 `json:"overlap_merge_ns"`
+	OverlapBitmapNS int64 `json:"overlap_bitmap_ns"`
+	// Speedups of the interned kernels over the map kernel.
+	MergeSpeedup  float64 `json:"merge_speedup"`
+	BitmapSpeedup float64 `json:"bitmap_speedup"`
+	// One 128-slot MinHash signature, nanoseconds per op.
+	MinHashRawNS     int64   `json:"minhash_raw_ns"`
+	MinHashSharedNS  int64   `json:"minhash_shared_ns"`
+	MinHashSpeedup   float64 `json:"minhash_speedup"`
+	MinHashSignature int     `json:"minhash_signature"`
+}
+
+// measureKernels times the kernel arms, best of reps, enough iterations per
+// rep to dominate timer noise.
+func measureKernels() (*jsonKernels, error) {
+	const (
+		n    = 5000
+		reps = 5
+	)
+	out := &jsonKernels{CPUs: runtime.NumCPU(), SetSize: n, MinHashSignature: profile.DefaultSignature}
+
+	aMap := make(map[string]struct{}, n)
+	bMap := make(map[string]struct{}, n)
+	sparseA := make([]uint32, 0, n)
+	sparseB := make([]uint32, 0, n)
+	denseA := make([]uint32, 0, n)
+	denseB := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		aMap[fmt.Sprintf("value-%07d", i)] = struct{}{}
+		bMap[fmt.Sprintf("value-%07d", i+n/2)] = struct{}{}
+		sparseA = append(sparseA, uint32(i)*211)
+		sparseB = append(sparseB, uint32(i+n/2)*211)
+		denseA = append(denseA, uint32(i))
+		denseB = append(denseB, uint32(i+n/2))
+	}
+	sa, sb := intern.NewSet(sparseA), intern.NewSet(sparseB)
+	da, db := intern.NewSet(denseA), intern.NewSet(denseB)
+	if sa.HasBitmap() || !da.HasBitmap() {
+		return nil, fmt.Errorf("kernel fixtures mis-shaped (sparse bitmap %v, dense bitmap %v)",
+			sa.HasBitmap(), da.HasBitmap())
+	}
+	d := intern.NewDict()
+	hashes := make([]uint64, 0, n)
+	for v := range aMap {
+		_, h := d.InternHash(v)
+		hashes = append(hashes, h)
+	}
+
+	var sinkF float64
+	var sinkS []uint64
+	best := func(iters int, f func()) int64 {
+		bestNS := int64(0)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				f()
+			}
+			ns := time.Since(start).Nanoseconds() / int64(iters)
+			if bestNS == 0 || ns < bestNS {
+				bestNS = ns
+			}
+		}
+		return bestNS
+	}
+	out.OverlapMapNS = best(50, func() { sinkF = table.JaccardOfSets(aMap, bMap) })
+	out.OverlapMergeNS = best(500, func() { sinkF = intern.Jaccard(sa, sb) })
+	out.OverlapBitmapNS = best(5000, func() { sinkF = intern.Jaccard(da, db) })
+	out.MinHashRawNS = best(10, func() { sinkS = profile.SignatureOf(aMap, profile.DefaultSignature) })
+	out.MinHashSharedNS = best(10, func() { sinkS = profile.SignatureFromHashes(hashes, profile.DefaultSignature) })
+	_, _ = sinkF, sinkS
+
+	if out.OverlapMergeNS > 0 {
+		out.MergeSpeedup = float64(out.OverlapMapNS) / float64(out.OverlapMergeNS)
+	}
+	if out.OverlapBitmapNS > 0 {
+		out.BitmapSpeedup = float64(out.OverlapMapNS) / float64(out.OverlapBitmapNS)
+	}
+	if out.MinHashSharedNS > 0 {
+		out.MinHashSpeedup = float64(out.MinHashRawNS) / float64(out.MinHashSharedNS)
+	}
+	return out, nil
+}

@@ -97,6 +97,13 @@ func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fi
 			} else {
 				rep.Serve = srv
 			}
+			// So is the kernels section.
+			fmt.Fprintln(os.Stderr, "measuring scoring-kernel speedups (map vs interned)...")
+			if ker, err := measureKernels(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: skipping kernels section: %v\n", err)
+			} else {
+				rep.Kernels = ker
+			}
 			if err := writeJSONReport(jsonOut, rep); err != nil {
 				return err
 			}

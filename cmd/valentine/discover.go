@@ -13,6 +13,7 @@ import (
 	"valentine/internal/core"
 	"valentine/internal/discovery"
 	"valentine/internal/engine"
+	"valentine/internal/intern"
 	"valentine/internal/table"
 )
 
@@ -265,11 +266,21 @@ func unionTypeCoverage(qp, cp *valentine.TableProfile) bool {
 
 // valueEvidence reports whether any (query, candidate) column pair has a
 // positive estimated Jaccard similarity, from the profiles' cached MinHash
-// signatures.
+// signatures. Profiles sharing the store's value dictionary first run the
+// integer-set exact-overlap kernel as a prescreen: a pair with zero true
+// overlap cannot estimate positive (two disjoint sets would need a 64-bit
+// hash collision to agree on a signature slot), so the — strictly more
+// expensive — signature computation is skipped for it entirely.
 func valueEvidence(qp, cp *valentine.TableProfile) bool {
 	for _, qc := range qp.Columns() {
+		qset := qc.InternedDistinct()
 		qsig := qc.Signature(0)
 		for _, cc := range cp.Columns() {
+			if qset != nil && qc.Dict() == cc.Dict() {
+				if cset := cc.InternedDistinct(); cset != nil && intern.IntersectCount(qset, cset) == 0 {
+					continue
+				}
+			}
 			if valentine.EstimateJaccard(qsig, cc.Signature(0)) > 0 {
 				return true
 			}

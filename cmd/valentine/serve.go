@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -25,11 +26,12 @@ import (
 	"valentine/internal/server"
 )
 
-// serveHooks lets tests observe the bound address and drive shutdown; both
+// serveHooks lets tests observe the bound addresses and drive shutdown; all
 // are nil in production use.
 var serveHooks struct {
-	ready    func(addr string)
-	shutdown <-chan struct{}
+	ready      func(addr string)
+	pprofReady func(addr string)
+	shutdown   <-chan struct{}
 }
 
 func cmdServe(args []string) error {
@@ -45,6 +47,7 @@ func cmdServe(args []string) error {
 	bands := fs.Int("bands", 0, "LSH bands for a fresh catalog (default 32)")
 	tokenBoost := fs.Float64("token-boost", 0, "blend column-name token overlap into scores (fresh catalog)")
 	sealAfter := fs.Int("seal-after", 0, "tables per memtable segment before sealing (default 16)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060; default off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,6 +124,31 @@ func cmdServe(args []string) error {
 		SnapshotDir:    *snapshotDir,
 		SnapshotEvery:  *snapshotEvery,
 	})
+
+	// Opt-in profiling endpoint on its own listener, never on the serving
+	// address: hot paths (scoring kernels, ingest, search) can be profiled
+	// in situ with `go tool pprof http://<pprof-addr>/debug/pprof/profile`
+	// without exposing pprof to serving traffic.
+	var pprofLn net.Listener
+	if *pprofAddr != "" {
+		var err error
+		pprofLn, err = net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("serve: pprof listener: %w", err)
+		}
+		defer pprofLn.Close()
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go http.Serve(pprofLn, pmux)
+		fmt.Fprintf(os.Stderr, "serve: pprof on http://%s/debug/pprof/\n", pprofLn.Addr())
+		if serveHooks.pprofReady != nil {
+			serveHooks.pprofReady(pprofLn.Addr().String())
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -269,3 +269,40 @@ func TestServeRejectsCatalogFlagsOnLoad(t *testing.T) {
 		t.Errorf("serve resume with -seal-after should fail naming the flag, got %v", err)
 	}
 }
+
+// TestServePprofEndpoint: -pprof must expose net/http/pprof on its own
+// listener (never the serving address), and leaving the flag off must not
+// open any profiling endpoint on the API.
+func TestServePprofEndpoint(t *testing.T) {
+	pprofReady := make(chan string, 1)
+	serveHooks.pprofReady = func(addr string) { pprofReady <- addr }
+	defer func() { serveHooks.pprofReady = nil }()
+	err := runServe(t, []string{"-pprof", "127.0.0.1:0"}, func(baseURL string) {
+		var pprofAddr string
+		select {
+		case pprofAddr = <-pprofReady:
+		case <-time.After(5 * time.Second):
+			t.Fatal("pprof listener did not come up")
+		}
+		resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/cmdline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof cmdline status = %d", resp.StatusCode)
+		}
+		// The serving mux must not expose pprof.
+		resp, err = http.Get(baseURL + "/debug/pprof/cmdline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("pprof must not be reachable on the serving address")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

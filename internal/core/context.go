@@ -31,11 +31,12 @@ type ProfiledContextMatcher interface {
 }
 
 // ProfilePair resolves a table pair's profiles through store; a nil store
-// yields fresh one-shot profiles private to the call — the exact behaviour
-// of the profile-less Match path.
+// yields fresh one-shot profiles private to the call, sharing one private
+// value dictionary so even the store-less path scores on the integer-set
+// kernels (scores are bit-identical to the map-based kernels either way).
 func ProfilePair(store *profile.Store, source, target *table.Table) (*profile.TableProfile, *profile.TableProfile) {
 	if store == nil {
-		return profile.New(source), profile.New(target)
+		return profile.NewPair(source, target)
 	}
 	return store.Of(source), store.Of(target)
 }

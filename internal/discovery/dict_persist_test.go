@@ -1,0 +1,133 @@
+package discovery
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"valentine/internal/table"
+)
+
+// TestSnapshotPersistsDictIDSpace: a snapshot round trip must reconstruct
+// the catalog dictionary exactly — same entries, same ids — so id-derived
+// state stays valid across a resume while sealed segment files (which are
+// id-free) stay immutable.
+func TestSnapshotPersistsDictIDSpace(t *testing.T) {
+	ix := liveCatalog(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := ix.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := ix.Dict(), loaded.Dict()
+	if want.Len() != got.Len() {
+		t.Fatalf("dict sizes differ: %d vs %d", want.Len(), got.Len())
+	}
+	for _, v := range want.Entries(0, want.Len()) {
+		wid, _ := want.Lookup(v)
+		gid, ok := got.Lookup(v)
+		if !ok || gid != wid {
+			t.Fatalf("value %q: id %d (present %v), want %d", v, gid, ok, wid)
+		}
+	}
+}
+
+// TestSnapshotDictLogIsIncremental: a second save of a grown catalog must
+// append to dict.log, not rewrite it, and the reloaded dictionary must
+// match the live one.
+func TestSnapshotDictLogIsIncremental(t *testing.T) {
+	ix := New(Options{SealAfter: 2})
+	add := func(lo, hi int) {
+		t.Helper()
+		for i := lo; i < hi; i++ {
+			tab := table.New(fmt.Sprintf("t%d", i)).AddColumn("k", vals("w", i*10, i*10+30))
+			if err := ix.Add(tab); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add(0, 3)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := ix.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, dictName)
+	info1, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstEntries := ix.Dict().Len()
+
+	add(3, 6)
+	if ix.Dict().Len() <= firstEntries {
+		t.Fatal("second batch interned nothing new; test is vacuous")
+	}
+	if err := ix.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	info2, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Size() <= info1.Size() {
+		t.Fatalf("dict.log did not grow: %d -> %d", info1.Size(), info2.Size())
+	}
+	loaded, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dict().Len() != ix.Dict().Len() {
+		t.Fatalf("reloaded dict has %d entries, want %d", loaded.Dict().Len(), ix.Dict().Len())
+	}
+}
+
+// TestSnapshotDictLogCrashTail: bytes appended to dict.log by a save that
+// crashed before committing its manifest must be ignored on load and
+// truncated away by the next successful save.
+func TestSnapshotDictLogCrashTail(t *testing.T) {
+	ix := liveCatalog(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := ix.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, dictName)
+	committed, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash tail: garbage past the manifest-committed offset.
+	f, err := os.OpenFile(logPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\xff\xff garbage from a crashed save"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	loaded, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatalf("load with crash tail: %v", err)
+	}
+	if loaded.Dict().Len() != ix.Dict().Len() {
+		t.Fatalf("crash tail corrupted the dict: %d entries, want %d", loaded.Dict().Len(), ix.Dict().Len())
+	}
+	// The next save from the original catalog truncates the tail back.
+	if err := ix.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Size() != committed.Size() {
+		t.Fatalf("tail not truncated: %d bytes, want %d", clean.Size(), committed.Size())
+	}
+	if _, err := LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"valentine/internal/engine"
+	"valentine/internal/intern"
 	"valentine/internal/profile"
 	"valentine/internal/table"
 )
@@ -149,6 +150,15 @@ type Index struct {
 	// only unique within one lineage, so SaveSnapshot must not reuse
 	// same-named segment files left in a directory by a different catalog.
 	lineage uint64
+
+	// dict is the catalog's corpus-scoped value dictionary: ingest interns
+	// each distinct value once (memoizing its MinHash base hash), and every
+	// query profiles in hash-sharing mode against it — repeated values are
+	// never re-hashed, and transient query values never grow it. The dict is
+	// append-only (removals do not shrink it; its size is bounded by the
+	// vocabulary ever ingested and reported in Stats); snapshots persist it
+	// incrementally so a resumed catalog keeps the exact id space.
+	dict *intern.Dict
 }
 
 // New returns an empty index with the given options (zero value selects the
@@ -167,6 +177,7 @@ func New(opts Options) *Index {
 		sealAfter: sealAfter,
 		nextSeg:   1,
 		lineage:   newLineage(),
+		dict:      intern.NewDict(),
 	}
 	ix.snap.Store(&snapshot{mem: newSegment(0, bands)})
 	return ix
@@ -187,6 +198,12 @@ func newLineage() uint64 {
 
 // Options returns the options the index was created with.
 func (ix *Index) Options() Options { return ix.opts }
+
+// Dict returns the catalog's corpus-scoped value dictionary. Ingest paths
+// that profile tables themselves (the serving layer's per-request
+// profiling) should attach it via profile.NewInterned so signatures derive
+// from the catalog's memoized hashes.
+func (ix *Index) Dict() *intern.Dict { return ix.dict }
 
 // NumTables returns the number of live (non-removed) tables.
 func (ix *Index) NumTables() int { return ix.snap.Load().nTables }
@@ -251,6 +268,10 @@ type Stats struct {
 	// next compaction reclaims).
 	Tombstones        int `json:"tombstones"`
 	TombstonedColumns int `json:"tombstoned_columns"`
+	// DictEntries/DictBytes size the catalog's append-only value dictionary
+	// (distinct values ever ingested, with memoized MinHash base hashes).
+	DictEntries int   `json:"dict_entries"`
+	DictBytes   int64 `json:"dict_bytes"`
 }
 
 // Stats returns a consistent point-in-time summary of the catalog.
@@ -260,6 +281,7 @@ func (ix *Index) Stats() Stats {
 	if sn.mem != nil {
 		memTables = sn.mem.numTables()
 	}
+	ds := ix.dict.Stats()
 	return Stats{
 		Epoch:             sn.epoch,
 		Tables:            sn.nTables,
@@ -268,6 +290,8 @@ func (ix *Index) Stats() Stats {
 		MemTables:         memTables,
 		Tombstones:        len(sn.tombs),
 		TombstonedColumns: sn.tombstonedCols(),
+		DictEntries:       ds.Entries,
+		DictBytes:         ds.Bytes,
 	}
 }
 
@@ -294,7 +318,7 @@ type Result struct {
 // Search is lock-free: it reads the epoch snapshot current at its start and
 // never observes, nor waits for, concurrent writers.
 func (ix *Index) Search(q *table.Table, mode Mode, k int) ([]Result, error) {
-	out, _, err := ix.search(context.Background(), profile.New(q), mode, k, false)
+	out, _, err := ix.search(context.Background(), ix.queryProfile(q), mode, k, false)
 	return out, err
 }
 
@@ -304,7 +328,7 @@ func (ix *Index) Search(q *table.Table, mode Mode, k int) ([]Result, error) {
 // abandons the partial search and returns ctx.Err() promptly. Results are
 // bit-identical to Search's at any parallelism.
 func (ix *Index) SearchContext(ctx context.Context, q *table.Table, mode Mode, k int) ([]Result, error) {
-	out, _, err := ix.search(ctx, profile.New(q), mode, k, false)
+	out, _, err := ix.search(ctx, ix.queryProfile(q), mode, k, false)
 	return out, err
 }
 
@@ -313,7 +337,7 @@ func (ix *Index) SearchContext(ctx context.Context, q *table.Table, mode Mode, k
 // value safe to correlate with Stats().Epoch or mutation responses
 // (sampling Epoch() around the call can race past an intervening publish).
 func (ix *Index) SearchContextEpoch(ctx context.Context, q *table.Table, mode Mode, k int) ([]Result, uint64, error) {
-	return ix.search(ctx, profile.New(q), mode, k, false)
+	return ix.search(ctx, ix.queryProfile(q), mode, k, false)
 }
 
 // SearchProfiled is Search over an already-profiled query: repeated queries
@@ -333,7 +357,7 @@ func (ix *Index) SearchProfiledContext(ctx context.Context, qp *profile.TablePro
 // bypassing the LSH shards. It is the reference implementation Search is
 // tested against, and the honest baseline for benchmarks.
 func (ix *Index) SearchBruteForce(q *table.Table, mode Mode, k int) ([]Result, error) {
-	out, _, err := ix.search(context.Background(), profile.New(q), mode, k, true)
+	out, _, err := ix.search(context.Background(), ix.queryProfile(q), mode, k, true)
 	return out, err
 }
 
@@ -342,7 +366,17 @@ func (ix *Index) SearchBruteForce(q *table.Table, mode Mode, k int) ([]Result, e
 // need its deadline and cancellation honored mid-sweep too. Returns the
 // pinned snapshot's epoch like SearchContextEpoch.
 func (ix *Index) SearchBruteForceContext(ctx context.Context, q *table.Table, mode Mode, k int) ([]Result, uint64, error) {
-	return ix.search(ctx, profile.New(q), mode, k, true)
+	return ix.search(ctx, ix.queryProfile(q), mode, k, true)
+}
+
+// queryProfile profiles a query table in hash-sharing mode against the
+// catalog dictionary: query values the corpus already holds reuse their
+// memoized MinHash base hashes, and values the corpus has never seen are
+// hashed on the fly without ever being inserted — a flood of junk queries
+// cannot grow a served catalog's dictionary. Signatures are bit-identical
+// to the plain profile.New path.
+func (ix *Index) queryProfile(q *table.Table) *profile.TableProfile {
+	return profile.NewHashSharing(q, ix.dict)
 }
 
 // colRef addresses one column in a snapshot: the owning segment plus the

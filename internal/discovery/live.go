@@ -61,7 +61,7 @@ func (ix *Index) profileOp(tp *profile.TableProfile, upsert bool) (rawOp, error)
 // Table names must be unique within an index. Callers holding a warmed
 // profile.Store should use AddProfiled to reuse its cached work.
 func (ix *Index) Add(t *table.Table) error {
-	return ix.AddProfiled(profile.New(t))
+	return ix.AddProfiled(profile.NewInterned(t, ix.dict))
 }
 
 // AddProfiled ingests an already-profiled table, reusing the profile
@@ -77,7 +77,7 @@ func (ix *Index) AddProfiled(tp *profile.TableProfile) error {
 
 // Upsert ingests t, replacing any live table of the same name.
 func (ix *Index) Upsert(t *table.Table) error {
-	return ix.UpsertProfiled(profile.New(t))
+	return ix.UpsertProfiled(profile.NewInterned(t, ix.dict))
 }
 
 // UpsertProfiled is Upsert over an already-profiled table.

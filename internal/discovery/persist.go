@@ -13,18 +13,26 @@ package discovery
 //     manifest plus one file per sealed segment. Sealed segments are
 //     immutable, so a periodic snapshot rewrites only the manifest, the
 //     memtable file, and segment files that did not exist yet; files of
-//     compacted-away segments are pruned.
+//     compacted-away segments are pruned. The catalog's value dictionary
+//     is persisted alongside as an append-only log (dict.log): entries are
+//     written in id order, so replaying them reconstructs the exact id
+//     space — the id-space "remap" lives entirely in that one small log,
+//     and the (id-free) sealed segment files never need rewriting.
 //
 // LoadFile accepts both: a directory is a snapshot, a plain file is the
 // single-file format.
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+
+	"valentine/internal/intern"
 )
 
 // formatVersion guards against loading files written by an incompatible
@@ -37,6 +45,7 @@ const snapshotVersion = 1
 const (
 	manifestName = "MANIFEST.gob"
 	memName      = "mem.seg"
+	dictName     = "dict.log"
 )
 
 type indexFile struct {
@@ -154,6 +163,16 @@ type manifest struct {
 	Sealed  []uint64 // sealed segment ids, oldest first (one seg-<id>.gob each)
 	HasMem  bool     // whether mem.seg holds a non-empty memtable
 	Tombs   []tombRecord
+	// DictEntries/DictLogBytes describe the persisted prefix of the value
+	// dictionary in dict.log: replaying the first DictEntries values through
+	// Intern in order reconstructs the exact id space the catalog used, so
+	// any id-derived state stays valid across a resume while the sealed
+	// segment files — which are id-free — stay immutable. The dictionary is
+	// append-only, so an incremental save appends only the new entries; the
+	// recorded byte offset lets the next save truncate away the tail of a
+	// save that crashed before committing its manifest.
+	DictEntries  int
+	DictLogBytes int64
 }
 
 type tombRecord struct {
@@ -254,11 +273,20 @@ func (ix *Index) SaveSnapshot(dir string) error {
 	// snapshot can contain same-named files with unrelated content (segment
 	// ids always start at 0), which must be overwritten, not adopted.
 	sameLineage := false
+	var prev manifest
 	if ix.lineage != 0 {
-		var prev manifest
 		if err := readGob(filepath.Join(dir, manifestName), &prev); err == nil {
 			sameLineage = prev.Version == snapshotVersion && prev.Lineage == ix.lineage
 		}
+	}
+	prevEntries, prevBytes := 0, int64(0)
+	if sameLineage {
+		prevEntries, prevBytes = prev.DictEntries, prev.DictLogBytes
+	}
+	var err error
+	m.DictEntries, m.DictLogBytes, err = appendDictLog(filepath.Join(dir, dictName), ix.dict, prevEntries, prevBytes)
+	if err != nil {
+		return fmt.Errorf("discovery: writing dictionary log: %w", err)
 	}
 	for _, seg := range sn.sealed {
 		m.Sealed = append(m.Sealed, seg.id)
@@ -388,6 +416,11 @@ func LoadSnapshot(dir string) (*Index, error) {
 			sn.nCols += len(seg.tables[name])
 		}
 	}
+	if m.DictEntries > 0 {
+		if err := replayDictLog(filepath.Join(dir, dictName), ix.dict, m.DictEntries); err != nil {
+			return nil, fmt.Errorf("discovery: reading dictionary log: %w", err)
+		}
+	}
 	ix.lineage = m.Lineage
 	if ix.lineage == 0 {
 		// Pre-lineage manifest: adopt a fresh lineage so future saves can
@@ -406,4 +439,92 @@ func LoadSnapshot(dir string) (*Index, error) {
 	}
 	ix.snap.Store(sn)
 	return ix, nil
+}
+
+// appendDictLog persists the dictionary prefix [0, Len) to path as
+// length-prefixed raw values, appending only the entries past prevEntries
+// when the existing log (prevBytes long) was written by this catalog. A log
+// shorter than prevBytes, or a fresh directory, forces a full rewrite; a
+// log longer than prevBytes carries the tail of a save that crashed before
+// its manifest committed, and is truncated back first. Returns the entry
+// count and byte length the caller's manifest must record.
+func appendDictLog(path string, d *intern.Dict, prevEntries int, prevBytes int64) (int, int64, error) {
+	n := d.Len()
+	if info, err := os.Stat(path); err != nil || info.Size() < prevBytes || prevEntries > n {
+		prevEntries, prevBytes = 0, 0 // missing or inconsistent: rewrite
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, 0, err
+	}
+	written, err := func() (int64, error) {
+		if err := f.Truncate(prevBytes); err != nil {
+			return 0, err
+		}
+		if _, err := f.Seek(prevBytes, io.SeekStart); err != nil {
+			return 0, err
+		}
+		w := bufio.NewWriter(f)
+		written := prevBytes
+		var lenBuf [binary.MaxVarintLen64]byte
+		for _, v := range d.Entries(prevEntries, n) {
+			k := binary.PutUvarint(lenBuf[:], uint64(len(v)))
+			if _, err := w.Write(lenBuf[:k]); err != nil {
+				return 0, err
+			}
+			if _, err := w.WriteString(v); err != nil {
+				return 0, err
+			}
+			written += int64(k) + int64(len(v))
+		}
+		return written, w.Flush()
+	}()
+	if err != nil {
+		f.Close()
+		return 0, 0, err
+	}
+	// A close-time write-back failure must fail the save before the manifest
+	// commits a byte count that never reached disk.
+	if err := f.Close(); err != nil {
+		return 0, 0, err
+	}
+	return n, written, nil
+}
+
+// replayDictLog reads the first entries values of the log and interns them
+// in order, reconstructing the exact id space recorded by the manifest.
+// Bytes past the recorded prefix (a crashed save's tail) are ignored.
+func replayDictLog(path string, d *intern.Dict, entries int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	r := bufio.NewReader(f)
+	buf := make([]byte, 0, 64)
+	for i := 0; i < entries; i++ {
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("entry %d of %d: %w", i, entries, err)
+		}
+		// A corrupt log (or one a different catalog rewrote under us) can
+		// decode an absurd length; no valid entry outsizes its own file, so
+		// fail cleanly instead of attempting the allocation.
+		if n > uint64(info.Size()) {
+			return fmt.Errorf("entry %d of %d: length %d exceeds log size %d", i, entries, n, info.Size())
+		}
+		if uint64(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("entry %d of %d: %w", i, entries, err)
+		}
+		d.Intern(string(buf))
+	}
+	return nil
 }

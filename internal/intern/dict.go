@@ -1,0 +1,169 @@
+// Package intern is the suite's value-interning layer: a corpus-scoped
+// dictionary mapping each distinct column value to a dense uint32 id, with
+// the value's 64-bit base hash memoized at intern time.
+//
+// Every hot scoring path in the suite ultimately reduces to set operations
+// over distinct-value sets and to MinHash signatures over hashed values.
+// Interning turns both into integer work done once per *corpus* instead of
+// once per column pair or per signature length:
+//
+//   - distinct sets become sorted []uint32 id slices (Set), so pairwise
+//     Jaccard/containment is an allocation-free sorted-merge or galloping
+//     intersection — or a word-wise bitmap AND for dense columns — instead
+//     of a map probe per value;
+//   - MinHash needs each value's base hash exactly once, at intern time;
+//     per-column signatures then derive from cached hashes without touching
+//     string bytes again.
+//
+// A Dict is safe for fully concurrent use (lookups take a read lock; only
+// the first intern of a value takes the write lock) and append-only: ids are
+// dense, never reused, and stable for the Dict's lifetime, so id slices
+// cached by different profiles of the same corpus stay mutually comparable.
+package intern
+
+import "sync"
+
+// dictEntryOverhead approximates the per-entry bookkeeping bytes beyond the
+// value's own bytes: the map cell (string header + id + bucket share), the
+// vals slice header share, and the memoized hash.
+const dictEntryOverhead = 48
+
+// Dict is a corpus-scoped value dictionary. The zero value is not usable;
+// create with NewDict.
+type Dict struct {
+	mu     sync.RWMutex
+	ids    map[string]uint32
+	vals   []string // id → value
+	hashes []uint64 // id → Hash64(value), memoized at intern time
+	bytes  int64    // approximate retained bytes (values + overhead)
+}
+
+// DictStats is a point-in-time memory summary of a Dict.
+type DictStats struct {
+	// Entries is the number of distinct values interned.
+	Entries int `json:"entries"`
+	// Bytes approximates the dictionary's retained memory.
+	Bytes int64 `json:"bytes"`
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]uint32)}
+}
+
+// Intern returns v's dense id, assigning the next one on first sight.
+// Already-interned values take only the read lock — re-admitting a table
+// whose values are all in the dictionary allocates nothing and contends
+// with nothing but concurrent first-sight inserts.
+func (d *Dict) Intern(v string) uint32 {
+	id, _ := d.InternHash(v)
+	return id
+}
+
+// InternHash is Intern returning also the value's memoized base hash, so
+// callers building both an id set and a hash set pay one lookup.
+func (d *Dict) InternHash(v string) (uint32, uint64) {
+	d.mu.RLock()
+	id, ok := d.ids[v]
+	var h uint64
+	if ok {
+		h = d.hashes[id]
+	}
+	d.mu.RUnlock()
+	if ok {
+		return id, h
+	}
+	h = Hash64(v)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[v]; ok {
+		return id, d.hashes[id]
+	}
+	id = uint32(len(d.vals))
+	d.ids[v] = id
+	d.vals = append(d.vals, v)
+	d.hashes = append(d.hashes, h)
+	d.bytes += int64(len(v)) + dictEntryOverhead
+	return id, h
+}
+
+// Lookup returns v's id without interning it.
+func (d *Dict) Lookup(v string) (uint32, bool) {
+	d.mu.RLock()
+	id, ok := d.ids[v]
+	d.mu.RUnlock()
+	return id, ok
+}
+
+// HashOf returns v's base hash, from the memo when v is interned and
+// computed on the fly (without inserting) when it is not — the read-only
+// path query-side profiles use so transient query values never grow a
+// served corpus's dictionary.
+func (d *Dict) HashOf(v string) uint64 {
+	d.mu.RLock()
+	id, ok := d.ids[v]
+	var h uint64
+	if ok {
+		h = d.hashes[id]
+	}
+	d.mu.RUnlock()
+	if ok {
+		return h
+	}
+	return Hash64(v)
+}
+
+// Value returns the value of id (which must have been issued by this Dict).
+func (d *Dict) Value(id uint32) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.vals[id]
+}
+
+// Len returns the number of interned values.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.vals)
+}
+
+// Stats returns the dictionary's entry count and approximate memory.
+func (d *Dict) Stats() DictStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return DictStats{Entries: len(d.vals), Bytes: d.bytes}
+}
+
+// Entries returns a copy of the values with ids in [lo, hi), in id order —
+// the persistence hook: replaying the returned values through Intern in
+// order reconstructs the exact id space.
+func (d *Dict) Entries(lo, hi int) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(d.vals) {
+		hi = len(d.vals)
+	}
+	if lo >= hi {
+		return nil
+	}
+	return append([]string(nil), d.vals[lo:hi]...)
+}
+
+// Hash64 is the suite's allocation-free FNV-1a base hash (identical to
+// hash/fnv.New64a over the same bytes). It is the single hash every MinHash
+// signature in the suite derives from; the Dict memoizes it per entry.
+func Hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

@@ -16,6 +16,7 @@ import (
 
 	"valentine/internal/core"
 	"valentine/internal/engine"
+	"valentine/internal/intern"
 	"valentine/internal/profile"
 	"valentine/internal/strutil"
 	"valentine/internal/table"
@@ -103,11 +104,19 @@ type element struct {
 	siblings map[string]struct{} // token context of sibling columns
 	features []float64           // instance feature vector
 	sample   map[string]struct{} // sampled distinct values
+
+	// Interned form of sample, present when the element's profile carries a
+	// value dictionary: overlapMatcher then intersects two sorted id slices
+	// (or bitmaps) without touching the map. dict guards comparability —
+	// ids from different dictionaries never meet.
+	dict      *intern.Dict
+	sampleIDs *intern.Set
 }
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	return m.MatchProfilesContext(context.Background(), profile.New(source), profile.New(target))
+	sp, tp := profile.NewPair(source, target)
+	return m.MatchProfilesContext(context.Background(), sp, tp)
 }
 
 // MatchProfiles implements core.ProfiledMatcher: name tokens, distinct-value
@@ -136,10 +145,14 @@ func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.Tabl
 		limit = 150
 	}
 	withInstances := m.Strategy == StrategyInstance
+	// Both tables interning into one dictionary selects the integer-set
+	// sample representation up front; otherwise only the string maps are
+	// built — never both.
+	useIDs := sp.InterningDict() != nil && sp.InterningDict() == tp.InterningDict()
 	var srcEls, tgtEls []element
 	engine.StatsFrom(ctx).Timed(engine.StageGenerate, func() {
-		srcEls = buildElements(sp, withInstances, limit)
-		tgtEls = buildElements(tp, withInstances, limit)
+		srcEls = buildElements(sp, withInstances, limit, useIDs)
+		tgtEls = buildElements(tp, withInstances, limit, useIDs)
 	})
 	return engine.ScorePairs(ctx, sp, tp, func(i, j int) (float64, bool) {
 		// Direction "both": the matcher library is evaluated src→tgt
@@ -152,7 +165,7 @@ func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.Tabl
 	})
 }
 
-func buildElements(tp *profile.TableProfile, withInstances bool, limit int) []element {
+func buildElements(tp *profile.TableProfile, withInstances bool, limit int, useIDs bool) []element {
 	t := tp.Table()
 	els := make([]element, len(t.Columns))
 	for i := range t.Columns {
@@ -173,7 +186,23 @@ func buildElements(tp *profile.TableProfile, withInstances bool, limit int) []el
 		}
 		if withInstances {
 			e.features = instanceFeatures(p)
-			e.sample = sampleSet(p, limit)
+			if useIDs {
+				// All distinct values are interned (InternedDistinct forces
+				// that), so the sample — a subset — resolves fully, and the
+				// string map is never consulted.
+				d := p.Dict()
+				p.InternedDistinct()
+				sample := p.SampleDistinct(limit)
+				ids := make([]uint32, 0, len(sample))
+				for _, v := range sample {
+					id, _ := d.Lookup(v)
+					ids = append(ids, id)
+				}
+				e.dict = d
+				e.sampleIDs = intern.NewSet(ids)
+			} else {
+				e.sample = sampleSet(p, limit)
+			}
 		}
 		els[i] = e
 	}
@@ -282,8 +311,23 @@ func contextMatcher(a, b *element) float64 {
 	return float64(inter) / float64(len(a.siblings))
 }
 
-// overlapMatcher is the exact value-overlap instance matcher.
+// overlapMatcher is the exact value-overlap instance matcher. Elements
+// sharing a value dictionary intersect through the integer-set kernel;
+// the score is bit-identical to the map path (strutil.JaccardSets scores
+// two empty sets 1, so that edge is preserved explicitly).
 func overlapMatcher(a, b *element) float64 {
+	if a.dict != nil && a.dict == b.dict {
+		la, lb := a.sampleIDs.Len(), b.sampleIDs.Len()
+		if la == 0 && lb == 0 {
+			return 1
+		}
+		inter := intern.IntersectCount(a.sampleIDs, b.sampleIDs)
+		union := la + lb - inter
+		if union == 0 {
+			return 0
+		}
+		return float64(inter) / float64(union)
+	}
 	return strutil.JaccardSets(a.sample, b.sample)
 }
 
@@ -346,15 +390,8 @@ func sigmoidScale(x float64) float64 {
 }
 
 func sampleSet(p *profile.Profile, limit int) map[string]struct{} {
-	vals := p.SortedDistinct()
-	out := make(map[string]struct{}, limit)
-	if len(vals) > limit {
-		step := float64(len(vals)) / float64(limit)
-		for i := 0; i < limit; i++ {
-			out[vals[int(float64(i)*step)]] = struct{}{}
-		}
-		return out
-	}
+	vals := p.SampleDistinct(limit)
+	out := make(map[string]struct{}, len(vals))
 	for _, v := range vals {
 		out[v] = struct{}{}
 	}

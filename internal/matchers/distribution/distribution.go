@@ -63,7 +63,8 @@ type columnDist struct {
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	return m.MatchProfilesContext(context.Background(), profile.New(source), profile.New(target))
+	sp, tp := profile.NewPair(source, target)
+	return m.MatchProfilesContext(context.Background(), sp, tp)
 }
 
 // MatchProfiles implements core.ProfiledMatcher: the global value universe

@@ -164,7 +164,8 @@ func (g *tripartite) walk(start string, length int, rng *rand.Rand) []string {
 
 // Match implements core.Matcher.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	return m.MatchProfilesContext(context.Background(), profile.New(source), profile.New(target))
+	sp, tp := profile.NewPair(source, target)
+	return m.MatchProfilesContext(context.Background(), sp, tp)
 }
 
 // MatchProfiles implements core.ProfiledMatcher. EmbDI trains pair-local

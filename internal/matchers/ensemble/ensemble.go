@@ -95,7 +95,8 @@ func (e *Matcher) Name() string {
 // column data (distinct sets, tokens, signatures, statistics) is computed
 // once instead of once per member.
 func (e *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	return e.MatchProfilesContext(context.Background(), profile.New(source), profile.New(target))
+	sp, tp := profile.NewPair(source, target)
+	return e.MatchProfilesContext(context.Background(), sp, tp)
 }
 
 // MatchProfiles implements core.ProfiledMatcher: members that are

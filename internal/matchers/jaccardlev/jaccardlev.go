@@ -10,6 +10,7 @@ import (
 
 	"valentine/internal/core"
 	"valentine/internal/engine"
+	"valentine/internal/intern"
 	"valentine/internal/profile"
 	"valentine/internal/strutil"
 	"valentine/internal/table"
@@ -41,7 +42,8 @@ func (m *Matcher) Name() string { return "jaccard-levenshtein" }
 
 // Match ranks every cross-table column pair by fuzzy Jaccard similarity.
 func (m *Matcher) Match(source, target *table.Table) ([]core.Match, error) {
-	return m.MatchProfilesContext(context.Background(), profile.New(source), profile.New(target))
+	sp, tp := profile.NewPair(source, target)
+	return m.MatchProfilesContext(context.Background(), sp, tp)
 }
 
 // MatchProfiles implements core.ProfiledMatcher: the per-column sorted
@@ -57,8 +59,10 @@ func (m *Matcher) MatchContext(ctx context.Context, store *profile.Store, source
 }
 
 // MatchProfilesContext implements core.ProfiledContextMatcher — the single
-// scoring path: distinct-value samples are generated per column, then the
-// quadratic fuzzy-Jaccard scoring fans out on the engine's worker pool.
+// scoring path: per-column distinct-value samples (plus their interned-id
+// form and length-sorted fuzzy candidates) are generated once up front,
+// then the quadratic fuzzy-Jaccard scoring fans out on the engine's worker
+// pool with no per-pair allocation.
 func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.TableProfile) ([]core.Match, error) {
 	if err := core.ValidatePair(sp, tp); err != nil {
 		return nil, err
@@ -68,66 +72,131 @@ func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.Tabl
 	if limit <= 0 {
 		limit = 120
 	}
-	var srcSets, tgtSets [][]string
+	// Both tables interning into one dictionary selects the integer-set
+	// representation for every sample up front; otherwise only the string
+	// maps are built — never both.
+	useIDs := sp.InterningDict() != nil && sp.InterningDict() == tp.InterningDict()
+	var srcSets, tgtSets []colSample
 	engine.StatsFrom(ctx).Timed(engine.StageGenerate, func() {
-		srcSets = make([][]string, len(source.Columns))
+		srcSets = make([]colSample, len(source.Columns))
 		for i := range source.Columns {
-			srcSets[i] = sampleDistinct(sp.Column(i), limit)
+			srcSets[i] = sampleColumn(sp.Column(i), limit, useIDs)
 		}
-		tgtSets = make([][]string, len(target.Columns))
+		tgtSets = make([]colSample, len(target.Columns))
 		for i := range target.Columns {
-			tgtSets[i] = sampleDistinct(tp.Column(i), limit)
+			tgtSets[i] = sampleColumn(tp.Column(i), limit, useIDs)
 		}
 	})
 	return engine.ScorePairs(ctx, sp, tp, func(i, j int) (float64, bool) {
-		return fuzzyJaccard(srcSets[i], tgtSets[j], m.Threshold), true
+		return fuzzyJaccard(&srcSets[i], &tgtSets[j], m.Threshold), true
 	})
 }
 
-// sampleDistinct returns up to max distinct values, deterministically (the
-// lexicographically first ones), so runs are reproducible. The returned
-// slice may alias the profile's cache and must be treated as read-only.
-func sampleDistinct(p *profile.Profile, max int) []string {
-	vals := p.SortedDistinct()
-	if len(vals) > max {
-		// stride-sample across the sorted set to keep the value range
-		out := make([]string, 0, max)
-		step := float64(len(vals)) / float64(max)
-		for i := 0; i < max; i++ {
-			out = append(out, vals[int(float64(i)*step)])
+// colSample is one column's sampled distinct values in every form scoring
+// needs, precomputed once per column instead of once per pair:
+//
+//   - vals: the sample, lexicographic (the deterministic stride sample)
+//   - byLen: vals sorted by length — the fuzzy phase's candidate order
+//   - ids/idVals: the sample sorted by interned id with the values kept
+//     parallel, when the column's profile carries a value dictionary — the
+//     exact-overlap prescreen merges two id slices allocation-free instead
+//     of probing a per-pair string map.
+type colSample struct {
+	vals   []string
+	byLen  []string
+	set    map[string]struct{} // exact-membership fallback (mixed/no dictionary)
+	dict   *intern.Dict        // the dictionary ids were minted by (nil: none)
+	ids    []uint32
+	idVals []string
+}
+
+// sampleColumn samples up to max distinct values, deterministically (the
+// lexicographically first ones, stride-sampled across the sorted set to
+// keep the value range), so runs are reproducible. useIDs selects the
+// interned-id representation (the caller must have checked both tables
+// intern into one dictionary); otherwise the string-membership map is
+// built instead.
+func sampleColumn(p *profile.Profile, max int, useIDs bool) colSample {
+	cs := colSample{vals: p.SampleDistinct(max)}
+	vals := cs.vals
+	cs.byLen = append([]string(nil), vals...)
+	sort.Slice(cs.byLen, func(i, j int) bool { return len(cs.byLen[i]) < len(cs.byLen[j]) })
+	if !useIDs {
+		cs.set = make(map[string]struct{}, len(vals))
+		for _, v := range vals {
+			cs.set[v] = struct{}{}
 		}
-		return out
+	} else if d := p.Dict(); p.InternedDistinct() != nil {
+		cs.dict = d
+		// The profile's distinct values are all interned (InternedDistinct
+		// forced that), so every sample value resolves; sorting the sample
+		// by id sets up the pairwise sorted-merge prescreen.
+		type pair struct {
+			id uint32
+			v  string
+		}
+		pairs := make([]pair, len(vals))
+		for i, v := range vals {
+			id, _ := d.Lookup(v)
+			pairs[i] = pair{id, v}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].id < pairs[j].id })
+		cs.ids = make([]uint32, len(pairs))
+		cs.idVals = make([]string, len(pairs))
+		for i, pr := range pairs {
+			cs.ids[i] = pr.id
+			cs.idVals[i] = pr.v
+		}
 	}
-	return vals
+	return cs
 }
 
 // fuzzyJaccard computes |fuzzy ∩| / |∪| where a source value is in the
-// intersection when some target value is within the Levenshtein threshold.
-func fuzzyJaccard(a, b []string, threshold float64) float64 {
-	if len(a) == 0 && len(b) == 0 {
+// intersection when it appears verbatim on the target side or some target
+// value is within the Levenshtein threshold. With interned samples the
+// exact-overlap prescreen is a sorted-merge over id slices: values matched
+// by id never touch the Levenshtein machinery, and the whole pairwise call
+// allocates nothing. Scores are bit-identical on both paths — id equality
+// is value equality.
+func fuzzyJaccard(a, b *colSample, threshold float64) float64 {
+	if len(a.vals) == 0 || len(b.vals) == 0 {
 		return 0
 	}
-	if len(a) == 0 || len(b) == 0 {
-		return 0
-	}
-	bSet := make(map[string]struct{}, len(b))
-	for _, v := range b {
-		bSet[v] = struct{}{}
-	}
-	// b sorted by length for the length-difference prune
-	bByLen := append([]string(nil), b...)
-	sort.Slice(bByLen, func(i, j int) bool { return len(bByLen[i]) < len(bByLen[j]) })
 	matched := 0
-	for _, av := range a {
-		if _, ok := bSet[av]; ok {
-			matched++
-			continue
+	if a.dict != nil && a.dict == b.dict {
+		i, j := 0, 0
+		for i < len(a.ids) && j < len(b.ids) {
+			switch {
+			case a.ids[i] == b.ids[j]:
+				matched++
+				i++
+				j++
+			case a.ids[i] < b.ids[j]:
+				if fuzzyContains(a.idVals[i], b.byLen, threshold) {
+					matched++
+				}
+				i++
+			default:
+				j++
+			}
 		}
-		if fuzzyContains(av, bByLen, threshold) {
-			matched++
+		for ; i < len(a.ids); i++ {
+			if fuzzyContains(a.idVals[i], b.byLen, threshold) {
+				matched++
+			}
+		}
+	} else {
+		for _, av := range a.vals {
+			if _, ok := b.set[av]; ok {
+				matched++
+				continue
+			}
+			if fuzzyContains(av, b.byLen, threshold) {
+				matched++
+			}
 		}
 	}
-	union := len(a) + len(b) - matched
+	union := len(a.vals) + len(b.vals) - matched
 	if union <= 0 {
 		return 0
 	}

@@ -62,22 +62,66 @@ func TestInvariants(t *testing.T) {
 	}
 }
 
+// sampleOf builds the dictionary-less colSample of a raw value list.
+func sampleOf(vals []string) *colSample {
+	c := table.Column{Name: "x", Values: vals}
+	cs := sampleColumn(profile.NewColumn("t", &c), len(vals)+1, false)
+	return &cs
+}
+
 func TestFuzzyJaccardBasics(t *testing.T) {
-	if got := fuzzyJaccard([]string{"abc", "def"}, []string{"abc", "def"}, 0.8); got != 1 {
+	if got := fuzzyJaccard(sampleOf([]string{"abc", "def"}), sampleOf([]string{"abc", "def"}), 0.8); got != 1 {
 		t.Errorf("identical sets = %v", got)
 	}
-	if got := fuzzyJaccard([]string{"abc"}, []string{"xyz"}, 0.8); got != 0 {
+	if got := fuzzyJaccard(sampleOf([]string{"abc"}), sampleOf([]string{"xyz"}), 0.8); got != 0 {
 		t.Errorf("disjoint = %v", got)
 	}
 	// typo within threshold 0.6: "color" vs "colour" sim = 1-1/6 ≈ 0.83
-	if got := fuzzyJaccard([]string{"colour"}, []string{"color"}, 0.8); got != 1 {
+	if got := fuzzyJaccard(sampleOf([]string{"colour"}), sampleOf([]string{"color"}), 0.8); got != 1 {
 		t.Errorf("fuzzy match = %v", got)
 	}
-	if got := fuzzyJaccard(nil, []string{"x"}, 0.8); got != 0 {
+	if got := fuzzyJaccard(sampleOf(nil), sampleOf([]string{"x"}), 0.8); got != 0 {
 		t.Errorf("empty side = %v", got)
 	}
-	if got := fuzzyJaccard(nil, nil, 0.8); got != 0 {
+	if got := fuzzyJaccard(sampleOf(nil), sampleOf(nil), 0.8); got != 0 {
 		t.Errorf("both empty = %v", got)
+	}
+}
+
+// TestInternedPrescreenMatchesMapPath: the sorted-merge exact-overlap
+// prescreen over interned ids must score every pair exactly as the
+// map-membership path does.
+func TestInternedPrescreenMatchesMapPath(t *testing.T) {
+	vals := func(n, off int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = matchName(i + off)
+		}
+		return out
+	}
+	src := table.New("s")
+	src.AddColumn("a", vals(80, 0))
+	src.AddColumn("b", vals(80, 100))
+	tgt := table.New("t")
+	tgt.AddColumn("x", vals(80, 20))
+	tgt.AddColumn("y", vals(80, 500))
+	m := newM(t, core.Params{"threshold": 0.6})
+	plain, err := core.MatchWith(m, profile.New(src), profile.New(tgt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, tp := profile.NewPair(src, tgt)
+	interned, err := core.MatchWith(m, sp, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(interned) {
+		t.Fatalf("match counts differ: %d vs %d", len(plain), len(interned))
+	}
+	for i := range plain {
+		if plain[i] != interned[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, plain[i], interned[i])
+		}
 	}
 }
 
@@ -87,12 +131,12 @@ func TestSampleDistinctCaps(t *testing.T) {
 		vals[i] = matchName(i)
 	}
 	c := table.Column{Name: "x", Values: vals}
-	s := sampleDistinct(profile.NewColumn("t", &c), 50)
+	s := sampleColumn(profile.NewColumn("t", &c), 50, false).vals
 	if len(s) != 50 {
 		t.Fatalf("sample = %d", len(s))
 	}
 	// determinism
-	s2 := sampleDistinct(profile.NewColumn("t", &c), 50)
+	s2 := sampleColumn(profile.NewColumn("t", &c), 50, false).vals
 	for i := range s {
 		if s[i] != s2[i] {
 			t.Fatal("sampling not deterministic")

@@ -1,0 +1,158 @@
+package profile
+
+// Conformance tests of the interned kernels against the map-based reference
+// path: same distinct sets, same signatures, same overlap scores — bit for
+// bit — whatever mode a profile was built in.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"valentine/internal/intern"
+	"valentine/internal/table"
+)
+
+// randomTable builds a table of string columns drawing from a shared value
+// pool, so cross-table and cross-column overlap is substantial (the
+// interesting case for the kernels).
+func randomTable(rng *rand.Rand, name string, cols, rows, vocab int) *table.Table {
+	t := table.New(name)
+	for c := 0; c < cols; c++ {
+		vals := make([]string, rows)
+		for r := range vals {
+			if rng.Intn(10) == 0 {
+				vals[r] = "" // empties must stay excluded from distinct sets
+			} else {
+				vals[r] = fmt.Sprintf("val-%d", rng.Intn(vocab))
+			}
+		}
+		t.AddColumn(fmt.Sprintf("c%d", c), vals)
+	}
+	return t
+}
+
+func TestInternedSignatureMatchesMapSignature(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		tab := randomTable(rng, "t", 3, 80, 60)
+		plain := New(tab)
+		interned := NewInterned(tab.Clone(), intern.NewDict())
+		ro := NewHashSharing(tab.Clone(), intern.NewDict())
+		for _, k := range []int{DefaultSignature, CompactSignature, 16} {
+			for i := 0; i < plain.NumColumns(); i++ {
+				want := plain.Column(i).Signature(k)
+				if got := interned.Column(i).Signature(k); !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d col %d k=%d: interned signature diverges", trial, i, k)
+				}
+				if got := ro.Column(i).Signature(k); !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d col %d k=%d: hash-sharing signature diverges", trial, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestHashSharingModeNeverInterns(t *testing.T) {
+	d := intern.NewDict()
+	d.Intern("val-1")
+	tab := randomTable(rand.New(rand.NewSource(3)), "q", 2, 50, 30)
+	tp := NewHashSharing(tab, d)
+	tp.Warm()
+	if tp.Column(0).InternedDistinct() != nil {
+		t.Fatal("hash-sharing profile must not expose an interned set")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("query profiling grew the dictionary to %d entries", d.Len())
+	}
+}
+
+func TestInternedOverlapKernelsMatchMapKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		a := randomTable(rng, "a", 4, 60+rng.Intn(120), 40+rng.Intn(100))
+		b := randomTable(rng, "b", 4, 60+rng.Intn(120), 40+rng.Intn(100))
+		pa, pb := New(a), New(b)
+		ia, ib := NewPair(a.Clone(), b.Clone())
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				mp, mc := ValueOverlap(pa.Column(i), pb.Column(j)), Containment(pa.Column(i), pb.Column(j))
+				ip, ic := ValueOverlap(ia.Column(i), ib.Column(j)), Containment(ia.Column(i), ib.Column(j))
+				if mp != ip {
+					t.Fatalf("trial %d (%d,%d): ValueOverlap map %v vs interned %v", trial, i, j, mp, ip)
+				}
+				if mc != ic {
+					t.Fatalf("trial %d (%d,%d): Containment map %v vs interned %v", trial, i, j, mc, ic)
+				}
+			}
+		}
+	}
+}
+
+func TestSharedInternedRequiresOneDictionary(t *testing.T) {
+	tab := fixtureTable()
+	a := NewInterned(tab, intern.NewDict())
+	b := NewInterned(tab.Clone(), intern.NewDict())
+	if _, _, ok := SharedInterned(a.Column(0), b.Column(0)); ok {
+		t.Fatal("profiles on different dictionaries must not compare ids")
+	}
+	c, d := NewPair(tab.Clone(), tab.Clone())
+	if _, _, ok := SharedInterned(c.Column(0), d.Column(0)); !ok {
+		t.Fatal("NewPair profiles must share a dictionary")
+	}
+	plain := New(tab.Clone())
+	if _, _, ok := SharedInterned(plain.Column(0), plain.Column(1)); ok {
+		t.Fatal("dictionary-less profiles must fall back to the map kernel")
+	}
+}
+
+// TestStoreEvictionDoesNotReintern is the regression test for the
+// warm/evict/re-admit cycle: a table evicted under SetCapacity and profiled
+// again must resolve its values through the dictionary's read-locked fast
+// path — the dictionary must not grow, and the re-admitted profile's ids
+// must equal the ones handed out before the eviction (so sets cached by
+// still-live profiles stay comparable with the new ones).
+func TestStoreEvictionDoesNotReintern(t *testing.T) {
+	s := NewStore()
+	tabs := storeTables(3)
+	profiles := s.Warm(tabs...)
+	before := s.DictStats()
+	if before.Entries == 0 {
+		t.Fatal("warm interned nothing")
+	}
+	oldIDs := profiles[0].Column(0).InternedDistinct().IDs()
+
+	s.SetCapacity(1) // evicts tabs[0] and tabs[1]
+	if s.Len() != 1 {
+		t.Fatalf("Len after SetCapacity(1) = %d", s.Len())
+	}
+	readmitted := s.Of(tabs[0])
+	if readmitted == profiles[0] {
+		t.Fatal("eviction did not drop the cached profile")
+	}
+	readmitted.Warm()
+	after := s.DictStats()
+	if after != before {
+		t.Fatalf("re-admission grew the dictionary: %+v -> %+v", before, after)
+	}
+	newIDs := readmitted.Column(0).InternedDistinct().IDs()
+	if !reflect.DeepEqual(oldIDs, newIDs) {
+		t.Fatalf("re-admitted ids %v differ from pre-eviction ids %v", newIDs, oldIDs)
+	}
+	if ValueOverlap(profiles[0].Column(0), readmitted.Column(0)) != 1 {
+		t.Fatal("pre-eviction and re-admitted profiles must still be comparable")
+	}
+}
+
+func TestStoreDictSurvivesReset(t *testing.T) {
+	s := NewStore()
+	tabs := storeTables(1)
+	s.Warm(tabs...)
+	n := s.DictStats().Entries
+	s.Reset()
+	s.Warm(tabs...)
+	if got := s.DictStats().Entries; got != n {
+		t.Fatalf("Reset + re-warm changed dictionary size: %d -> %d", n, got)
+	}
+}

@@ -8,6 +8,8 @@ package profile
 // identical to one computed anywhere else, so estimated Jaccard scores agree
 // across every code path.
 
+import "valentine/internal/intern"
+
 // EmptySlot is the sentinel value of a signature slot that never saw a
 // value (empty column). Two empty slots never count as agreement.
 const EmptySlot = ^uint64(0)
@@ -25,14 +27,17 @@ const (
 const CompactSignature = 64
 
 // SignatureOf computes the k-slot MinHash signature of a value set. Callers
-// that already hold the distinct set avoid recomputing it.
+// that already hold the distinct set avoid recomputing it. Profiles with a
+// value dictionary attached derive signatures from memoized base hashes
+// instead (SignatureFromHashes) — bit-identical, since per-slot minima are
+// order-independent and the base hash is the same intern.Hash64.
 func SignatureOf(values map[string]struct{}, k int) []uint64 {
 	sig := make([]uint64, k)
 	for s := range sig {
 		sig[s] = EmptySlot
 	}
 	for v := range values {
-		base := fnv64a(v)
+		base := intern.Hash64(v)
 		for s := 0; s < k; s++ {
 			hv := mix(base, uint64(s))
 			if hv < sig[s] {
@@ -43,19 +48,25 @@ func SignatureOf(values map[string]struct{}, k int) []uint64 {
 	return sig
 }
 
-// fnv64a is the allocation-free FNV-1a hash of s (identical to
-// hash/fnv.New64a over the same bytes).
-func fnv64a(s string) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime64
+// SignatureFromHashes computes the k-slot MinHash signature from
+// precomputed base hashes (one per distinct value, any order). This is the
+// "hash once per dictionary entry" path: the string bytes were hashed when
+// the value was interned; every signature after that — any column, any
+// length — only mixes cached 64-bit hashes.
+func SignatureFromHashes(hashes []uint64, k int) []uint64 {
+	sig := make([]uint64, k)
+	for s := range sig {
+		sig[s] = EmptySlot
 	}
-	return h
+	for _, base := range hashes {
+		for s := 0; s < k; s++ {
+			hv := mix(base, uint64(s))
+			if hv < sig[s] {
+				sig[s] = hv
+			}
+		}
+	}
+	return sig
 }
 
 // IsEmptySignature reports whether sig is the signature of a column with no

@@ -13,6 +13,15 @@
 // Store (store.go) caches TableProfiles per corpus with explicit
 // invalidation, stale detection, and a parallel Warm pass.
 //
+// Profiles built against a corpus-scoped value dictionary (internal/intern
+// — the Store attaches its own automatically; NewPair attaches a private
+// one to a one-shot pair) additionally cache their distinct sets as sorted
+// interned-id slices and derive MinHash signatures from base hashes
+// memoized once per dictionary entry, so the pairwise overlap kernels
+// (ValueOverlap, Containment, and the matchers' sampled-overlap paths) run
+// allocation-free on integers. Every interned path is bit-identical in
+// scores to the dictionary-less reference path.
+//
 // The cached slices and maps returned by accessors are shared, not copied:
 // callers must treat them as read-only.
 package profile
@@ -23,6 +32,7 @@ import (
 	"strings"
 	"sync"
 
+	"valentine/internal/intern"
 	"valentine/internal/strutil"
 	"valentine/internal/table"
 )
@@ -31,6 +41,20 @@ import (
 type Profile struct {
 	tableName string
 	col       *table.Column
+
+	// dict, when non-nil, is the corpus-scoped value dictionary shared by
+	// every profile of one Store (or one NewPair/NewInterned call): distinct
+	// values intern to dense uint32 ids, so pairwise overlap kernels run on
+	// sorted id slices and MinHash derives from hashes memoized per
+	// dictionary entry. hashOnly marks a read-only attachment (query-side):
+	// cached hashes are reused but absent values are never inserted, so
+	// transient queries cannot grow a served corpus's dictionary.
+	dict     *intern.Dict
+	hashOnly bool
+
+	internOnce sync.Once
+	idset      *intern.Set // sorted interned distinct ids (nil in hashOnly mode)
+	baseHashes []uint64    // one base hash per distinct value, order unspecified
 
 	distinctOnce sync.Once
 	distinct     map[string]struct{}
@@ -119,6 +143,25 @@ func (p *Profile) NameTokenSet() map[string]struct{} {
 	return p.tokenSet
 }
 
+// SampleDistinct returns up to limit distinct values, deterministically:
+// the full sorted set when it fits, otherwise a stride sample across it so
+// the sample spans the value range. Both instance-overlap matchers (coma,
+// jaccard-levenshtein) sample through this one helper, so their sampling
+// determinism can never diverge. The result may alias the profile's cache
+// and must be treated as read-only.
+func (p *Profile) SampleDistinct(limit int) []string {
+	vals := p.SortedDistinct()
+	if len(vals) <= limit {
+		return vals
+	}
+	out := make([]string, 0, limit)
+	step := float64(len(vals)) / float64(limit)
+	for i := 0; i < limit; i++ {
+		out = append(out, vals[int(float64(i)*step)])
+	}
+	return out
+}
+
 // ParsedDistinct returns the distinct values in trimmed/lowercased/parsed
 // form, ordered as SortedDistinct. Values that trim to the empty string are
 // dropped; values whose trimmed forms collide are reported once.
@@ -166,19 +209,73 @@ func (p *Profile) Stats() table.ColumnStats {
 	return p.stats
 }
 
+// Dict returns the attached value dictionary (nil when the profile is
+// dictionary-less).
+func (p *Profile) Dict() *intern.Dict { return p.dict }
+
+// InternedDistinct returns the column's distinct values as a sorted
+// interned-id set over the attached dictionary, or nil when no dictionary
+// is attached in interning mode. Two profiles sharing one dictionary can
+// overlap through integer-set kernels (ValueOverlap/Containment do so
+// automatically) with scores bit-identical to the map path.
+func (p *Profile) InternedDistinct() *intern.Set {
+	if p.dict == nil || p.hashOnly {
+		return nil
+	}
+	p.buildIntern()
+	return p.idset
+}
+
+// buildIntern computes the interned id set and/or memoized base hashes of
+// the distinct values, once.
+func (p *Profile) buildIntern() {
+	p.internOnce.Do(func() {
+		set := p.DistinctValues()
+		hashes := make([]uint64, 0, len(set))
+		if p.hashOnly {
+			for v := range set {
+				hashes = append(hashes, p.dict.HashOf(v))
+			}
+			p.baseHashes = hashes
+			return
+		}
+		ids := make([]uint32, 0, len(set))
+		for v := range set {
+			id, h := p.dict.InternHash(v)
+			ids = append(ids, id)
+			hashes = append(hashes, h)
+		}
+		p.baseHashes = hashes
+		p.idset = intern.NewSet(ids)
+	})
+}
+
 // Signature returns the cached k-slot MinHash signature of the column's
-// distinct values, computing and memoizing it per requested length.
+// distinct values, computing and memoizing it per requested length. With a
+// dictionary attached the signature derives from base hashes memoized per
+// dictionary entry — each distinct value of the corpus is hashed once, ever
+// — and is bit-identical to the dictionary-less SignatureOf path.
 func (p *Profile) Signature(k int) []uint64 {
 	if k <= 0 {
 		k = DefaultSignature
 	}
 	set := p.DistinctValues() // outside the lock: sync.Once-guarded
+	var hashes []uint64
+	if p.dict != nil {
+		p.buildIntern()
+		hashes = p.baseHashes
+	}
 	p.sigMu.Lock()
 	defer p.sigMu.Unlock()
 	if sig, ok := p.sigs[k]; ok {
 		return sig
 	}
-	sig := SignatureOf(set, k)
+	var sig []uint64
+	if hashes != nil {
+		sig = SignatureFromHashes(hashes, k)
+	} else {
+		sig = SignatureOf(set, k)
+	}
 	if p.sigs == nil {
 		p.sigs = make(map[int][]uint64, 2)
 	}
@@ -200,8 +297,10 @@ func (p *Profile) warm() {
 // TableProfile bundles the per-column profiles of one table plus
 // table-level derived data (name tokens).
 type TableProfile struct {
-	tab  *table.Table
-	cols []*Profile
+	tab      *table.Table
+	cols     []*Profile
+	dict     *intern.Dict // the dictionary shared by cols (nil when dict-less)
+	hashOnly bool         // dict attached read-only (query-side)
 
 	nameTokensOnce sync.Once
 	nameTokens     []string
@@ -213,15 +312,69 @@ func NewColumn(tableName string, c *table.Column) *Profile {
 	return &Profile{tableName: tableName, col: c}
 }
 
-// New profiles a table without caching it in any Store. Derived data is
-// still computed lazily and at most once, so the profiles of one New call
-// can be shared across matchers (the ensemble's members, for instance).
+// New profiles a table without caching it in any Store and without a value
+// dictionary: set kernels run on string maps, MinHash hashes raw values.
+// This is the reference path the interned kernels are conformance-tested
+// against. Derived data is still computed lazily and at most once, so the
+// profiles of one New call can be shared across matchers.
 func New(t *table.Table) *TableProfile {
-	tp := &TableProfile{tab: t, cols: make([]*Profile, len(t.Columns))}
+	return newWith(t, nil, false)
+}
+
+// NewInterned profiles a table against a shared value dictionary: distinct
+// values intern to dense ids (enabling the integer-set overlap kernels
+// against any other profile on the same dictionary) and MinHash signatures
+// derive from the dictionary's memoized base hashes. Scores are
+// bit-identical to New's on every path.
+func NewInterned(t *table.Table, d *intern.Dict) *TableProfile {
+	if d == nil {
+		return New(t)
+	}
+	return newWith(t, d, false)
+}
+
+// NewHashSharing profiles a table against a dictionary in read-only mode:
+// MinHash reuses the dictionary's memoized hashes for values it already
+// holds, but absent values are hashed on the fly and never inserted. This
+// is the query-side attachment — a served catalog's dictionary tracks its
+// corpus, and transient query values must not grow it.
+func NewHashSharing(t *table.Table, d *intern.Dict) *TableProfile {
+	if d == nil {
+		return New(t)
+	}
+	return newWith(t, d, true)
+}
+
+// NewPair profiles two tables against one fresh private dictionary, so a
+// one-shot pairwise match (the store-less Match path) still runs on the
+// integer-set kernels. The dictionary's lifetime is the pair's.
+func NewPair(source, target *table.Table) (*TableProfile, *TableProfile) {
+	d := intern.NewDict()
+	return newWith(source, d, false), newWith(target, d, false)
+}
+
+func newWith(t *table.Table, d *intern.Dict, hashOnly bool) *TableProfile {
+	tp := &TableProfile{tab: t, cols: make([]*Profile, len(t.Columns)), dict: d, hashOnly: hashOnly}
 	for i := range t.Columns {
-		tp.cols[i] = &Profile{tableName: t.Name, col: &t.Columns[i]}
+		tp.cols[i] = &Profile{tableName: t.Name, col: &t.Columns[i], dict: d, hashOnly: hashOnly}
 	}
 	return tp
+}
+
+// Dict returns the value dictionary shared by this table's column profiles
+// (nil when dictionary-less).
+func (tp *TableProfile) Dict() *intern.Dict { return tp.dict }
+
+// InterningDict returns the dictionary when the table's profiles intern
+// their values into it — nil for dictionary-less and hash-sharing profiles.
+// Two TableProfiles with the same non-nil InterningDict can compare
+// interned-id sets column-for-column (matchers use this to pick between
+// the integer-set and map scoring representations up front).
+func (tp *TableProfile) InterningDict() *intern.Dict {
+	if tp.hashOnly {
+		return nil
+	}
+	return tp.dict
 }
 
 // Table returns the underlying table.
@@ -266,14 +419,33 @@ func (tp *TableProfile) Warm() {
 	}
 }
 
+// SharedInterned returns both profiles' interned distinct sets when they
+// are mutually comparable — same non-nil dictionary, interning mode — which
+// is the precondition for every integer-set kernel below.
+func SharedInterned(a, b *Profile) (sa, sb *intern.Set, ok bool) {
+	if a.dict == nil || a.dict != b.dict || a.hashOnly || b.hashOnly {
+		return nil, nil, false
+	}
+	return a.InternedDistinct(), b.InternedDistinct(), true
+}
+
 // ValueOverlap returns |A∩B| / |A∪B| over the cached distinct value sets —
-// the profile-aware form of table.ValueOverlap.
+// the profile-aware form of table.ValueOverlap. Profiles sharing a value
+// dictionary overlap through the allocation-free integer-set kernel; the
+// result is bit-identical to the map path either way.
 func ValueOverlap(a, b *Profile) float64 {
+	if sa, sb, ok := SharedInterned(a, b); ok {
+		return intern.Jaccard(sa, sb)
+	}
 	return table.JaccardOfSets(a.DistinctValues(), b.DistinctValues())
 }
 
 // Containment returns |A∩B| / |A| over the cached distinct value sets —
-// the profile-aware form of table.Containment.
+// the profile-aware form of table.Containment. Like ValueOverlap it runs on
+// the integer-set kernel when both profiles share a dictionary.
 func Containment(a, b *Profile) float64 {
+	if sa, sb, ok := SharedInterned(a, b); ok {
+		return intern.Containment(sa, sb)
+	}
 	return table.ContainmentOfSets(a.DistinctValues(), b.DistinctValues())
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"valentine/internal/intern"
 	"valentine/internal/table"
 )
 
@@ -33,6 +34,17 @@ type Store struct {
 	entries  map[*table.Table]*entry
 	lru      list.List // front = most recently used; elements hold *table.Table
 	capacity int       // 0 = unbounded
+
+	// dict is the store's corpus-scoped value dictionary, shared by every
+	// profile the store builds: cross-table overlap kernels run on interned
+	// id slices and MinHash derives from hashes memoized once per distinct
+	// corpus value. The dictionary deliberately survives LRU eviction and
+	// Reset — it is keyed by value, not by table, so a table evicted under
+	// SetCapacity and later re-admitted rebuilds its profile over the
+	// already-interned values through the dictionary's read-locked fast
+	// path: no new entries, no re-hashing, and ids identical to the ones
+	// profiles handed out before the eviction still carry.
+	dict *intern.Dict
 }
 
 type entry struct {
@@ -49,8 +61,15 @@ type colSnap struct {
 
 // NewStore returns an empty, unbounded profile store.
 func NewStore() *Store {
-	return &Store{entries: make(map[*table.Table]*entry)}
+	return &Store{entries: make(map[*table.Table]*entry), dict: intern.NewDict()}
 }
+
+// Dict returns the store's corpus-scoped value dictionary.
+func (s *Store) Dict() *intern.Dict { return s.dict }
+
+// DictStats returns the dictionary's entry count and approximate memory —
+// the number its append-only growth is monitored by.
+func (s *Store) DictStats() intern.DictStats { return s.dict.Stats() }
 
 // SetCapacity bounds the store to at most n cached tables, evicting the
 // least-recently-used entries immediately if the store is already over; n
@@ -98,7 +117,7 @@ func (s *Store) Of(t *table.Table) *TableProfile {
 	if old, ok := s.entries[t]; ok {
 		s.lru.Remove(old.elem) // stale: rebuild below re-inserts at front
 	}
-	e := &entry{tp: New(t), snap: snapshot(t)}
+	e := &entry{tp: NewInterned(t, s.dict), snap: snapshot(t)}
 	e.elem = s.lru.PushFront(t)
 	s.entries[t] = e
 	s.evictOver()

@@ -458,8 +458,12 @@ func (s *Server) handleUpsert(ctx context.Context, w http.ResponseWriter, r *htt
 	// parallel; only the batched catalog apply is serialized. The profile
 	// is private to the request (HTTP tables are fresh pointers, so a
 	// shared store could never hit on them — it would only pin the table),
-	// and only the artifacts catalog ingestion reads are precomputed.
-	tp := profile.New(t)
+	// and only the artifacts catalog ingestion reads are precomputed. The
+	// catalog's value dictionary is attached, so every distinct value the
+	// corpus has seen before reuses its memoized MinHash base hash instead
+	// of being re-hashed — under micro-batched ingest of overlapping tables
+	// the signature work per request drops to mixing cached hashes.
+	tp := profile.NewInterned(t, s.cfg.Index.Dict())
 	for i := 0; i < tp.NumColumns(); i++ {
 		p := tp.Column(i)
 		p.Signature(s.sigLen)

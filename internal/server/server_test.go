@@ -226,6 +226,13 @@ func TestServerStatsCounters(t *testing.T) {
 	if stats.Catalog.Tables != 0 {
 		t.Errorf("catalog tables = %d, want 0 after delete", stats.Catalog.Tables)
 	}
+	// Ingest interned the upserted table's values into the catalog's value
+	// dictionary (removal never shrinks it — it is an append-only cache),
+	// and the stats endpoint reports its size.
+	if stats.Catalog.DictEntries == 0 || stats.Catalog.DictBytes <= 0 {
+		t.Errorf("dictionary stats = entries %d bytes %d, want both positive",
+			stats.Catalog.DictEntries, stats.Catalog.DictBytes)
+	}
 	if srv.Index().Epoch() == 0 {
 		t.Error("epoch still zero after mutations")
 	}
