@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"valentine/internal/experiment"
+	"valentine/internal/scenario"
 )
 
 // jsonSchemaVersion guards readers against layout changes.
@@ -36,7 +37,12 @@ type jsonReport struct {
 	// sorted-merge vs bitmap overlap, and raw vs shared-dictionary MinHash
 	// (see kernels.go); absent when the measurement is skipped.
 	Kernels *jsonKernels `json:"kernels,omitempty"`
-	Runs    []jsonRun    `json:"runs"`
+	// Scenario records one declarative scenario replay against an in-process
+	// server (see scenario.go): corpus hash, per-endpoint latency histograms,
+	// achieved-vs-target QPS, probe top-k; absent when -scenario is off or
+	// the replay fails.
+	Scenario *scenario.Report `json:"scenario,omitempty"`
+	Runs     []jsonRun        `json:"runs"`
 }
 
 type jsonMethod struct {

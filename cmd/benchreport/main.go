@@ -7,6 +7,8 @@
 //	benchreport -table1 -fig4       # selected artifacts
 //	benchreport -rows 400 -seeds 3  # closer to paper scale
 //	benchreport -json BENCH_2.json  # machine-readable trajectory file
+//	benchreport -scenario -json out.json  # scenario replay section only (fast)
+//	benchreport -check out.json     # validate a written scenario section
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"valentine/internal/datagen"
 	"valentine/internal/experiment"
 	"valentine/internal/report"
+	"valentine/internal/scenario"
 )
 
 // detailedCSV, when set by -csv, receives every fabricated-pair result.
@@ -42,26 +45,36 @@ func main() {
 		fig5     = flag.Bool("fig5", false, "Figure 5: instance-based methods")
 		fig6     = flag.Bool("fig6", false, "Figure 6: hybrid methods")
 		fig7     = flag.Bool("fig7", false, "Figure 7: WikiData")
+		scenF    = flag.Bool("scenario", false, "scenario section: open-loop replay against an in-process server")
+		scenFile = flag.String("scenario-file", defaultScenarioFile, "scenario file for -scenario")
+		checkF   = flag.String("check", "", "validate the scenario section of an existing -json file and exit")
 		csvOut   = flag.String("csv", "", "also write detailed per-run results to this CSV file")
 		jsonOutF = flag.String("json", "", "also write machine-readable results (runs + aggregates) to this JSON file")
 	)
 	flag.Parse()
+	if *checkF != "" {
+		if err := checkReport(*checkF); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	detailedCSV = *csvOut
 	jsonOut = *jsonOutF
-	if !(*table1 || *table2 || *table3 || *table4 || *table5 || *fig4 || *fig5 || *fig6 || *fig7) {
+	if !(*table1 || *table2 || *table3 || *table4 || *table5 || *fig4 || *fig5 || *fig6 || *fig7 || *scenF) {
 		*all = true
 	}
 	if *all {
 		*table1, *table2, *table3, *table4, *table5 = true, true, true, true, true
-		*fig4, *fig5, *fig6, *fig7 = true, true, true, true
+		*fig4, *fig5, *fig6, *fig7, *scenF = true, true, true, true, true
 	}
-	if err := run(*rows, *seeds, *table1, *table2, *table3, *table4, *table5, *fig4, *fig5, *fig6, *fig7); err != nil {
+	if err := run(*rows, *seeds, *table1, *table2, *table3, *table4, *table5, *fig4, *fig5, *fig6, *fig7, *scenF, *scenFile); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fig6, fig7 bool) error {
+func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fig6, fig7, scen bool, scenFile string) error {
 	ctx := context.Background()
 	cfg := report.Config{Rows: rows, Seeds: seeds}
 
@@ -72,42 +85,18 @@ func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fi
 		fmt.Println(report.TableII())
 	}
 
+	// The fabricated grid runs when a fabricated artifact needs it, or when a
+	// -json trajectory is requested beyond the (cheap, self-contained)
+	// scenario-only mode — `-scenario -json out.json` must stay fast enough
+	// for a CI smoke leg.
 	var fabricated []experiment.Result
-	if fig4 || fig5 || fig6 || table5 || jsonOut != "" {
+	needFab := fig4 || fig5 || fig6 || table5 || (jsonOut != "" && !scen)
+	if needFab {
 		fmt.Fprintf(os.Stderr, "running fabricated-pair experiments (rows=%d seeds=%d)...\n", rows, seeds)
 		var err error
 		fabricated, err = report.RunFabricated(ctx, cfg)
 		if err != nil {
 			return err
-		}
-		if jsonOut != "" {
-			rep := buildJSONReport(rows, seeds, fabricated)
-			// The engine section is best-effort: a measurement failure must
-			// not discard the (much more expensive) run results above.
-			fmt.Fprintln(os.Stderr, "measuring engine parallel-vs-sequential speedups...")
-			if eng, err := measureEngine(); err != nil {
-				fmt.Fprintf(os.Stderr, "benchreport: skipping engine section: %v\n", err)
-			} else {
-				rep.Engine = eng
-			}
-			// The serve section is best-effort for the same reason.
-			fmt.Fprintln(os.Stderr, "measuring serve-path search latency under ingest...")
-			if srv, err := measureServe(); err != nil {
-				fmt.Fprintf(os.Stderr, "benchreport: skipping serve section: %v\n", err)
-			} else {
-				rep.Serve = srv
-			}
-			// So is the kernels section.
-			fmt.Fprintln(os.Stderr, "measuring scoring-kernel speedups (map vs interned)...")
-			if ker, err := measureKernels(); err != nil {
-				fmt.Fprintf(os.Stderr, "benchreport: skipping kernels section: %v\n", err)
-			} else {
-				rep.Kernels = ker
-			}
-			if err := writeJSONReport(jsonOut, rep); err != nil {
-				return err
-			}
-			fmt.Fprintf(os.Stderr, "wrote %d run results to %s\n", len(fabricated), jsonOut)
 		}
 		if detailedCSV != "" {
 			f, err := os.Create(detailedCSV)
@@ -175,6 +164,50 @@ func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fi
 	}
 	if table5 {
 		fmt.Println(report.FormatTableV(fabricated))
+	}
+	// The scenario replay is deterministic and fails hard: a scenario that
+	// errors mid-replay is a regression, not a section to skip.
+	var scenRep *scenario.Report
+	if scen {
+		fmt.Fprintf(os.Stderr, "replaying scenario %s against an in-process server...\n", scenFile)
+		var err error
+		scenRep, err = measureScenario(ctx, scenFile)
+		if err != nil {
+			return err
+		}
+		fmt.Println(formatScenario(scenRep))
+	}
+	if jsonOut != "" {
+		rep := buildJSONReport(rows, seeds, fabricated)
+		rep.Scenario = scenRep
+		if needFab {
+			// The engine section is best-effort: a measurement failure must
+			// not discard the (much more expensive) run results above.
+			fmt.Fprintln(os.Stderr, "measuring engine parallel-vs-sequential speedups...")
+			if eng, err := measureEngine(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: skipping engine section: %v\n", err)
+			} else {
+				rep.Engine = eng
+			}
+			// The serve section is best-effort for the same reason.
+			fmt.Fprintln(os.Stderr, "measuring serve-path search latency under ingest...")
+			if srv, err := measureServe(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: skipping serve section: %v\n", err)
+			} else {
+				rep.Serve = srv
+			}
+			// So is the kernels section.
+			fmt.Fprintln(os.Stderr, "measuring scoring-kernel speedups (map vs interned)...")
+			if ker, err := measureKernels(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: skipping kernels section: %v\n", err)
+			} else {
+				rep.Kernels = ker
+			}
+		}
+		if err := writeJSONReport(jsonOut, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d run results to %s\n", len(fabricated), jsonOut)
 	}
 	return nil
 }

@@ -1,0 +1,86 @@
+package main
+
+// The scenario section (-scenario): replay a declarative scenario file
+// (default examples/scenarios/smoke.json) against an in-process server and
+// embed the full report — corpus hash, per-endpoint latency histograms,
+// achieved QPS, probe top-k — in the -json trajectory document. The
+// companion -check mode re-reads a written document and validates the
+// section's schema, which is CI's guard that the emitted numbers stay
+// well-formed.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"valentine/internal/scenario"
+)
+
+// defaultScenarioFile is the checked-in smoke scenario.
+const defaultScenarioFile = "examples/scenarios/smoke.json"
+
+// measureScenario replays one scenario file in-process.
+func measureScenario(ctx context.Context, file string) (*scenario.Report, error) {
+	s, err := scenario.ParseFile(file)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := scenario.Run(ctx, s, "")
+	if err != nil {
+		return nil, err
+	}
+	if rep.Errors > 0 {
+		return nil, fmt.Errorf("scenario %s: %d of %d ops failed", s.Name, rep.Errors, rep.Ops)
+	}
+	return rep, nil
+}
+
+// formatScenario renders the section as prose, next to the paper tables.
+func formatScenario(rep *scenario.Report) string {
+	out := fmt.Sprintf("Scenario %s (seed %d) — open-loop replay, in-process server\n",
+		rep.Scenario, rep.Seed)
+	out += fmt.Sprintf("  corpus %d tables / %d columns (hash %s…), load %d ms\n",
+		rep.Corpus.Tables, rep.Corpus.Columns, rep.Corpus.Hash[:12], rep.LoadMS)
+	out += fmt.Sprintf("  %d ops in %d ms: %.0f qps achieved of %.0f target, %d errors\n",
+		rep.Ops, rep.ElapsedMS, rep.AchievedQPS, rep.TargetQPS, rep.Errors)
+	for _, kind := range []string{"ingest", "search", "match"} {
+		ep, ok := rep.Endpoints[kind]
+		if !ok {
+			continue
+		}
+		out += fmt.Sprintf("  %-7s n=%-6d p50=%dµs p95=%dµs p99=%dµs max=%dµs\n",
+			kind, ep.Count, ep.P50US, ep.P95US, ep.P99US, ep.MaxUS)
+	}
+	return out
+}
+
+// checkReport validates the scenario section of a written -json document:
+// present, schema-current, histograms internally consistent. It decodes
+// only what it checks, so trajectory files may carry more than it knows.
+func checkReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Schema   int              `json:"schema"`
+		Scenario *scenario.Report `json:"scenario"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if doc.Schema != jsonSchemaVersion {
+		return fmt.Errorf("%s: document schema %d, want %d", path, doc.Schema, jsonSchemaVersion)
+	}
+	if doc.Scenario == nil {
+		return fmt.Errorf("%s: no scenario section (was -scenario set when it was written?)", path)
+	}
+	if err := doc.Scenario.Check(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: scenario section ok — %s, %d ops, %d endpoints, hash %s…\n",
+		path, doc.Scenario.Scenario, doc.Scenario.Ops,
+		len(doc.Scenario.Endpoints), doc.Scenario.Corpus.Hash[:12])
+	return nil
+}

@@ -1,0 +1,100 @@
+package main
+
+// valentine loadgen: replay a declarative scenario file against a live
+// catalog server. With no -addr a fresh in-process server is started, so a
+// checked-in scenario is a self-contained, reproducible load test; with
+// -addr the same traffic drives a remote `valentine serve` instance.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"valentine/internal/scenario"
+)
+
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	file := fs.String("scenario", "", "scenario JSON file (required)")
+	addr := fs.String("addr", "", "base URL of a running server, e.g. http://127.0.0.1:8080 (default: in-process)")
+	jsonOut := fs.String("json", "", "write the full replay report as JSON to this file ('-' for stdout)")
+	quiet := fs.Bool("q", false, "suppress the human-readable summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("loadgen: -scenario is required")
+	}
+	s, err := scenario.ParseFile(*file)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "loadgen: %s\n", s)
+	}
+
+	// SIGINT/SIGTERM aborts the replay cleanly mid-dispatch.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	rep, err := scenario.Run(ctx, s, *addr)
+	if err != nil {
+		return err
+	}
+
+	if !*quiet {
+		printReport(rep)
+	}
+	if *jsonOut != "" {
+		data, err := rep.WriteJSON()
+		if err != nil {
+			return err
+		}
+		if *jsonOut == "-" {
+			_, err = os.Stdout.Write(data)
+		} else {
+			err = os.WriteFile(*jsonOut, data, 0o644)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("loadgen: %d of %d ops failed", rep.Errors, rep.Ops)
+	}
+	return nil
+}
+
+func printReport(rep *scenario.Report) {
+	fmt.Printf("scenario %s (seed %d)\n", rep.Scenario, rep.Seed)
+	fmt.Printf("  corpus: %d tables / %d columns / %d rows (+%d churn), hash %s\n",
+		rep.Corpus.Tables, rep.Corpus.Columns, rep.Corpus.Rows, rep.Corpus.ChurnTables,
+		rep.Corpus.Hash[:12])
+	fmt.Printf("  load:   %d ms\n", rep.LoadMS)
+	fmt.Printf("  replay: %d ops in %d ms — %.0f qps achieved (target %.0f), %d errors\n",
+		rep.Ops, rep.ElapsedMS, rep.AchievedQPS, rep.TargetQPS, rep.Errors)
+	for _, kind := range []string{"ingest", "search", "match"} {
+		ep, ok := rep.Endpoints[kind]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-7s n=%-6d err=%-4d p50=%dµs p95=%dµs p99=%dµs max=%dµs\n",
+			kind, ep.Count, ep.Errors, ep.P50US, ep.P95US, ep.P99US, ep.MaxUS)
+	}
+	fmt.Printf("  probes: %d top-%d queries, ops hash %s\n",
+		len(rep.Probes), topKOf(rep), rep.OpsHash[:12])
+}
+
+// topKOf infers the probe k from the report (probes all share the scenario's
+// top_k; the report doesn't restate the spec).
+func topKOf(rep *scenario.Report) int {
+	k := 0
+	for _, p := range rep.Probes {
+		if len(p.TopK) > k {
+			k = len(p.TopK)
+		}
+	}
+	return k
+}

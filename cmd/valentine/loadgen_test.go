@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"valentine/internal/scenario"
+)
+
+const smokeScenario = "../../examples/scenarios/smoke.json"
+
+// TestLoadgenInProcess runs the CLI path end to end: smoke scenario,
+// in-process server, JSON report out — and validates the report.
+func TestLoadgenInProcess(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	if err := cmdLoadgen([]string{"-scenario", smokeScenario, "-q", "-json", out}); err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep scenario.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatalf("written report fails schema check: %v", err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("replay had %d errors", rep.Errors)
+	}
+	if rep.Scenario != "smoke" {
+		t.Errorf("scenario name = %q", rep.Scenario)
+	}
+}
+
+// TestLoadgenAgainstServe drives a `valentine serve` instance with -addr —
+// the remote-target path, loadgen and server in separate command stacks.
+func TestLoadgenAgainstServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: serve+loadgen integration")
+	}
+	err := runServe(t, nil, func(baseURL string) {
+		if err := cmdLoadgen([]string{"-scenario", smokeScenario, "-q", "-addr", baseURL}); err != nil {
+			t.Errorf("loadgen against serve: %v", err)
+		}
+		// The corpus must be live in the served catalog afterwards.
+		var tabs struct {
+			Tables []string `json:"tables"`
+		}
+		if code := httpJSON(t, http.MethodGet, baseURL+"/v1/tables", nil, &tabs); code != 200 {
+			t.Fatalf("GET /v1/tables = %d", code)
+		}
+		corpus := 0
+		for _, name := range tabs.Tables {
+			if strings.HasPrefix(name, "c0") {
+				corpus++
+			}
+		}
+		if corpus == 0 {
+			t.Error("no corpus tables live after replay")
+		}
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+func TestLoadgenBadInvocation(t *testing.T) {
+	if err := cmdLoadgen(nil); err == nil {
+		t.Error("missing -scenario accepted")
+	}
+	if err := cmdLoadgen([]string{"-scenario", "no-such-file.json"}); err == nil {
+		t.Error("missing scenario file accepted")
+	}
+}

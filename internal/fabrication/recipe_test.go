@@ -1,0 +1,95 @@
+package fabrication
+
+import (
+	"strings"
+	"testing"
+
+	"valentine/internal/core"
+	"valentine/internal/table"
+)
+
+func recipeSource() *table.Table {
+	t := table.New("src")
+	vals := func(prefix string) []string {
+		out := make([]string, 40)
+		for i := range out {
+			out[i] = prefix + string(rune('a'+i%26)) + string(rune('0'+i%10))
+		}
+		return out
+	}
+	t.AddColumn("id", vals("i"))
+	t.AddColumn("name", vals("n"))
+	t.AddColumn("city", vals("c"))
+	t.AddColumn("code", vals("k"))
+	return t
+}
+
+// Every valid recipe kind dispatches to the matching scenario and carries
+// the same pair a direct method call would produce.
+func TestRecipeDispatch(t *testing.T) {
+	src := recipeSource()
+	cases := []struct {
+		recipe   Recipe
+		scenario string
+	}{
+		{Recipe{Kind: core.ScenarioUnionable, RowOverlap: 0.5}, core.ScenarioUnionable},
+		{Recipe{Kind: core.ScenarioViewUnionable, ColOverlap: 0.5}, core.ScenarioViewUnionable},
+		{Recipe{Kind: core.ScenarioJoinable, ColOverlap: 0.5, RowOverlap: 1}, core.ScenarioJoinable},
+		{Recipe{Kind: core.ScenarioJoinable, ColOverlap: -1, RowOverlap: 0.5}, core.ScenarioJoinable},
+		{Recipe{Kind: core.ScenarioSemJoinable, ColOverlap: 0.5, RowOverlap: 1}, core.ScenarioSemJoinable},
+		// joinable + noisy instances is the semantically-joinable scenario
+		{Recipe{Kind: core.ScenarioJoinable, ColOverlap: 0.5, RowOverlap: 1,
+			Variant: Variant{NoisyInstances: true}}, core.ScenarioSemJoinable},
+	}
+	for _, c := range cases {
+		pair, err := New(7).Fabricate(src, c.recipe)
+		if err != nil {
+			t.Fatalf("%+v: %v", c.recipe, err)
+		}
+		if pair.Scenario != c.scenario {
+			t.Errorf("%+v: scenario = %q, want %q", c.recipe, pair.Scenario, c.scenario)
+		}
+		if pair.Truth.Size() == 0 {
+			t.Errorf("%+v: empty ground truth", c.recipe)
+		}
+	}
+}
+
+// Fabricate with the same seed and recipe is deterministic.
+func TestRecipeDeterministic(t *testing.T) {
+	src := recipeSource()
+	r := Recipe{Kind: core.ScenarioJoinable, ColOverlap: 0.5, RowOverlap: 0.5}
+	a, err := New(3).Fabricate(src, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(3).Fabricate(recipeSource(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source.String() != b.Source.String() || a.Target.String() != b.Target.String() {
+		t.Error("same seed + recipe fabricated different pairs")
+	}
+}
+
+func TestRecipeValidate(t *testing.T) {
+	bad := []struct {
+		recipe Recipe
+		want   string
+	}{
+		{Recipe{Kind: "frobnicate"}, "unknown recipe kind"},
+		{Recipe{Kind: core.ScenarioUnionable, RowOverlap: 1.5}, "row overlap"},
+		{Recipe{Kind: core.ScenarioViewUnionable, ColOverlap: 0}, "column overlap"},
+		{Recipe{Kind: core.ScenarioJoinable, ColOverlap: 2}, "column overlap"},
+		{Recipe{Kind: core.ScenarioSemJoinable, ColOverlap: 0.5, RowOverlap: -0.1}, "row overlap"},
+	}
+	for _, c := range bad {
+		err := c.recipe.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%+v) = %v, want error containing %q", c.recipe, err, c.want)
+		}
+		if _, err := New(1).Fabricate(recipeSource(), c.recipe); err == nil {
+			t.Errorf("Fabricate(%+v) should fail validation", c.recipe)
+		}
+	}
+}

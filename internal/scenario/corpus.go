@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"math/rand"
+
+	"valentine/internal/datagen"
+	"valentine/internal/fabrication"
+	"valentine/internal/table"
+)
+
+// Corpus is one materialized scenario corpus: the fabricated tables in
+// their deterministic generation order, the pair structure they came from,
+// the churn pool for ingest traffic, and the canonical content hash.
+type Corpus struct {
+	// Tables are the corpus tables in generation order; names are
+	// prefixed "cNNNN_" so every table is unique even when many pairs
+	// fabricate from the same source.
+	Tables []*table.Table
+	// Pairs records which corpus tables form a fabricated pair, for match
+	// ops and probe queries.
+	Pairs []Pair
+	// Churn is the pool of ingest-op payload tables.
+	Churn []*table.Table
+	// Hash is the hex SHA-256 of the corpus's canonical serialization
+	// (every table's name, header and cells in order — churn included,
+	// since churn tables reach the catalog during replay).
+	Hash string
+	// Columns and Rows are corpus-wide totals (churn excluded).
+	Columns int
+	Rows    int
+}
+
+// Pair is one fabricated pair inside the corpus.
+type Pair struct {
+	// Source and Target index Corpus.Tables.
+	Source, Target int
+	// Recipe is the grid label ("joinable" etc.); Variant the noise label.
+	Recipe  string
+	Variant string
+}
+
+// Materialize deterministically builds the scenario's corpus. Two calls on
+// equal scenarios always return byte-identical tables and equal hashes —
+// the seeding contract in the package doc.
+func (s *Scenario) Materialize() (*Corpus, error) {
+	sources := make([]*table.Table, len(s.Corpus.Sources))
+	for i, name := range s.Corpus.Sources {
+		src, err := datagen.Source(name, datagen.Options{Rows: s.Corpus.Rows, Seed: s.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorpus, err)
+		}
+		sources[i] = src
+	}
+	srcWeights := make([]float64, len(sources))
+	for i := range srcWeights {
+		srcWeights[i] = 1 / math.Pow(float64(i+1), s.Corpus.Skew)
+	}
+	recWeights := make([]float64, len(s.Corpus.Recipes))
+	for i, r := range s.Corpus.Recipes {
+		recWeights[i] = r.Weight
+	}
+
+	c := &Corpus{}
+	rng := rand.New(rand.NewSource(saltedSeed(s.Seed, "corpus")))
+	for p := 0; len(c.Tables) < s.Corpus.Tables; p++ {
+		src := sources[weightedPick(rng, srcWeights)]
+		spec := s.Corpus.Recipes[weightedPick(rng, recWeights)]
+		f := fabrication.New(s.Seed + int64(p)*7919) // GridSeeds' per-seed spacing
+		pair, err := f.Fabricate(src, spec.recipe())
+		if err != nil {
+			return nil, fmt.Errorf("%w: pair %d (%s on %s): %v",
+				ErrCorpus, p, spec.Kind, src.Name, err)
+		}
+		c.Pairs = append(c.Pairs, Pair{
+			Source:  c.addTable(pair.Source),
+			Target:  c.addTable(pair.Target),
+			Recipe:  pair.Scenario,
+			Variant: pair.Variant,
+		})
+	}
+	for j := 0; j < s.Corpus.ChurnTables; j++ {
+		c.Churn = append(c.Churn,
+			datagen.Churn(j, datagen.Options{Rows: s.Corpus.ChurnRows, Seed: s.Seed}))
+	}
+
+	h := sha256.New()
+	for _, t := range c.Tables {
+		hashTable(h, t)
+	}
+	for _, t := range c.Churn {
+		hashTable(h, t)
+	}
+	c.Hash = hex.EncodeToString(h.Sum(nil))
+	return c, nil
+}
+
+// addTable names the table uniquely by its corpus position and appends it,
+// returning its index.
+func (c *Corpus) addTable(t *table.Table) int {
+	t.Name = fmt.Sprintf("c%04d_%s", len(c.Tables), t.Name)
+	c.Tables = append(c.Tables, t)
+	c.Columns += t.NumColumns()
+	c.Rows += t.NumRows()
+	return len(c.Tables) - 1
+}
+
+// hashTable feeds one table's canonical serialization into h: the name,
+// then every column's name and cells, each field length-prefixed so no two
+// distinct corpora can collide by field concatenation.
+func hashTable(h hash.Hash, t *table.Table) {
+	writeField(h, t.Name)
+	for i := range t.Columns {
+		col := &t.Columns[i]
+		writeField(h, col.Name)
+		for _, v := range col.Values {
+			writeField(h, v)
+		}
+	}
+}
+
+func writeField(h hash.Hash, s string) {
+	var lenBuf [10]byte
+	n := len(s)
+	i := 0
+	for n >= 0x80 {
+		lenBuf[i] = byte(n) | 0x80
+		n >>= 7
+		i++
+	}
+	lenBuf[i] = byte(n)
+	h.Write(lenBuf[:i+1])
+	h.Write([]byte(s))
+}
+
+// weightedPick draws one index with probability proportional to weights.
+// Weights are validated positive-sum upstream.
+func weightedPick(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// probePairs returns up to n pair source-table indices, evenly spread over
+// the corpus, used for the post-replay top-k stability probes.
+func (c *Corpus) probePairs(n int) []int {
+	if n > len(c.Pairs) {
+		n = len(c.Pairs)
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, c.Pairs[i*len(c.Pairs)/n].Source)
+	}
+	return out
+}

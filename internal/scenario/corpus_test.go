@@ -1,0 +1,148 @@
+package scenario
+
+import (
+	"testing"
+)
+
+const smokeFile = "../../examples/scenarios/smoke.json"
+
+// smokeCorpusHash and smokeOpsHash are the golden digests of the checked-in
+// smoke scenario. They pin the seeding contract end to end: any change to
+// datagen pools, fabrication splitting, the corpus picker or the op stream
+// shows up here as a byte-level diff, which is exactly when the scenario
+// format version (or the golden) must be revisited deliberately.
+const (
+	smokeCorpusHash = "af6c54d67bdd837ec6e0467702576703a0aec267ccc51e64c1385e3f9913a779"
+	smokeOpsHash    = "5945e2b397026e9911204d93fd340bad093c613fb9b305c8d88c332bc9a042cc"
+)
+
+func TestMaterializeGolden(t *testing.T) {
+	s, err := ParseFile(smokeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash != smokeCorpusHash {
+		t.Errorf("corpus hash = %s, want golden %s", c.Hash, smokeCorpusHash)
+	}
+	if got := OpsHash(s.Ops(c)); got != smokeOpsHash {
+		t.Errorf("ops hash = %s, want golden %s", got, smokeOpsHash)
+	}
+	if len(c.Tables) != s.Corpus.Tables {
+		t.Errorf("corpus has %d tables, want %d", len(c.Tables), s.Corpus.Tables)
+	}
+	if len(c.Churn) != s.Corpus.ChurnTables {
+		t.Errorf("corpus has %d churn tables, want %d", len(c.Churn), s.Corpus.ChurnTables)
+	}
+}
+
+// TestMaterializeDeterministic is the byte-level half of the determinism
+// suite: two materializations of one scenario are identical, table by table,
+// cell by cell — not merely hash-equal.
+func TestMaterializeDeterministic(t *testing.T) {
+	s1, err := ParseFile(smokeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := ParseFile(smokeFile)
+	c1, err := s1.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s2.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Hash != c2.Hash {
+		t.Fatalf("hashes differ: %s vs %s", c1.Hash, c2.Hash)
+	}
+	for i := range c1.Tables {
+		a, b := c1.Tables[i], c2.Tables[i]
+		if a.Name != b.Name {
+			t.Fatalf("table %d name %q vs %q", i, a.Name, b.Name)
+		}
+		for j := range a.Columns {
+			ca, cb := &a.Columns[j], &b.Columns[j]
+			if ca.Name != cb.Name {
+				t.Fatalf("%s column %d name %q vs %q", a.Name, j, ca.Name, cb.Name)
+			}
+			for k := range ca.Values {
+				if ca.Values[k] != cb.Values[k] {
+					t.Fatalf("%s.%s[%d]: %q vs %q", a.Name, ca.Name, k, ca.Values[k], cb.Values[k])
+				}
+			}
+		}
+	}
+	if len(c1.Pairs) != len(c2.Pairs) {
+		t.Fatalf("pair counts differ: %d vs %d", len(c1.Pairs), len(c2.Pairs))
+	}
+	for i := range c1.Pairs {
+		if c1.Pairs[i] != c2.Pairs[i] {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, c1.Pairs[i], c2.Pairs[i])
+		}
+	}
+}
+
+// TestOpsDeterministicAndMixed checks the op stream: deterministic in the
+// seed, sized QPS×duration, indices in range, and every mixed kind present
+// in a long enough stream.
+func TestOpsDeterministicAndMixed(t *testing.T) {
+	s, err := ParseFile(smokeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops1, ops2 := s.Ops(c), s.Ops(c)
+	if OpsHash(ops1) != OpsHash(ops2) {
+		t.Fatal("op sequences differ across calls")
+	}
+	wantN := int(s.Workload.TargetQPS * float64(s.Workload.DurationMS) / 1000)
+	if len(ops1) != wantN {
+		t.Errorf("len(ops) = %d, want %d", len(ops1), wantN)
+	}
+	seen := map[OpKind]int{}
+	for _, op := range ops1 {
+		seen[op.Kind]++
+		switch op.Kind {
+		case OpIngest:
+			if op.Index < 0 || op.Index >= len(c.Churn) {
+				t.Fatalf("ingest index %d out of range [0,%d)", op.Index, len(c.Churn))
+			}
+		default:
+			if op.Index < 0 || op.Index >= len(c.Pairs) {
+				t.Fatalf("%s index %d out of range [0,%d)", op.Kind, op.Index, len(c.Pairs))
+			}
+		}
+	}
+	for _, kind := range []OpKind{OpIngest, OpSearch, OpMatch} {
+		if seen[kind] == 0 {
+			t.Errorf("mix produced no %s ops in %d draws", kind, len(ops1))
+		}
+	}
+	// Changing the seed must change the stream.
+	s.Seed++
+	if OpsHash(s.Ops(c)) == OpsHash(ops1) {
+		t.Error("op sequence unchanged after seed change")
+	}
+}
+
+func TestProbePairsSpread(t *testing.T) {
+	c := &Corpus{Pairs: make([]Pair, 6)}
+	for i := range c.Pairs {
+		c.Pairs[i] = Pair{Source: 2 * i, Target: 2*i + 1}
+	}
+	got := c.probePairs(3)
+	if len(got) != 3 {
+		t.Fatalf("probePairs(3) returned %d indices", len(got))
+	}
+	// Capped at the pair count when asked for more.
+	if n := len(c.probePairs(100)); n != 6 {
+		t.Errorf("probePairs(100) returned %d indices, want 6", n)
+	}
+}

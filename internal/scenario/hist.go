@@ -1,0 +1,116 @@
+package scenario
+
+// Latency histograms: log-bucketed (≈12% resolution), fixed memory, safe
+// for concurrent recording. Replay workers record into one histogram per
+// endpoint; quantiles are read once at report time.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// histBuckets spans 1µs to ~2000s at ×1.125 per bucket.
+const histBuckets = 182
+
+var histGrowth = math.Log(1.125)
+
+// hist is a concurrent latency histogram with exact count/sum/max.
+type hist struct {
+	mu     sync.Mutex
+	counts [histBuckets]uint64
+	n      uint64
+	errs   uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+// bucketOf maps a latency to its bucket: floor(log1.125(µs)), clamped.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := int(math.Log(float64(us)) / histGrowth)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper is the inclusive upper bound of bucket b in microseconds —
+// what quantiles report, so a quantile never understates the latency.
+func bucketUpper(b int) int64 {
+	return int64(math.Ceil(math.Exp(float64(b+1) * histGrowth)))
+}
+
+func (h *hist) observe(d time.Duration) {
+	h.mu.Lock()
+	h.counts[bucketOf(d)]++
+	h.n++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+func (h *hist) fail() {
+	h.mu.Lock()
+	h.errs++
+	h.mu.Unlock()
+}
+
+// quantileUS returns the q-quantile in microseconds (upper bucket bound,
+// clamped to the exact max so p99 can never exceed it).
+func (h *hist) quantileUS(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for b, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			us := bucketUpper(b)
+			if m := h.max.Microseconds(); us > m {
+				us = m
+			}
+			return us
+		}
+	}
+	return h.max.Microseconds()
+}
+
+// EndpointStats is the report form of one endpoint's histogram.
+type EndpointStats struct {
+	Count  int64 `json:"count"`
+	Errors int64 `json:"errors"`
+	MeanUS int64 `json:"mean_us"`
+	P50US  int64 `json:"p50_us"`
+	P95US  int64 `json:"p95_us"`
+	P99US  int64 `json:"p99_us"`
+	MaxUS  int64 `json:"max_us"`
+}
+
+// stats snapshots the histogram. Call after all recording stopped.
+func (h *hist) stats() EndpointStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := EndpointStats{
+		Count:  int64(h.n),
+		Errors: int64(h.errs),
+		MaxUS:  h.max.Microseconds(),
+	}
+	if h.n > 0 {
+		st.MeanUS = (h.sum / time.Duration(h.n)).Microseconds()
+	}
+	// quantileUS takes no lock itself; counts are stable under h.mu here.
+	st.P50US = h.quantileUS(0.50)
+	st.P95US = h.quantileUS(0.95)
+	st.P99US = h.quantileUS(0.99)
+	return st
+}

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+)
+
+// OpKind names one replay operation class; kinds double as the report's
+// endpoint keys.
+type OpKind string
+
+const (
+	// OpIngest upserts a churn table (PUT /v1/tables/{name}).
+	OpIngest OpKind = "ingest"
+	// OpSearch runs a top-k search with a pair's source table as the query
+	// (POST /v1/search).
+	OpSearch OpKind = "search"
+	// OpMatch matches a pair's source against its target
+	// (POST /v1/match).
+	OpMatch OpKind = "match"
+)
+
+// Op is one precomputed replay operation. Index selects the payload:
+// a churn table (ingest), or a corpus pair (search, match).
+type Op struct {
+	Kind  OpKind
+	Index int
+}
+
+// Ops precomputes the scenario's full operation sequence against the
+// corpus. The sequence depends only on (Seed, Workload, corpus shape) —
+// never on timing — and its length is TargetQPS × Duration arrivals
+// (at least one).
+func (s *Scenario) Ops(c *Corpus) []Op {
+	n := int(s.Workload.TargetQPS * float64(s.Workload.DurationMS) / 1000)
+	if n < 1 {
+		n = 1
+	}
+	mix := s.Workload.Mix
+	weights := []float64{mix.Ingest, mix.Search, mix.Match}
+	kinds := []OpKind{OpIngest, OpSearch, OpMatch}
+	rng := rand.New(rand.NewSource(saltedSeed(s.Seed, "ops")))
+	ops := make([]Op, n)
+	for i := range ops {
+		kind := kinds[weightedPick(rng, weights)]
+		var idx int
+		switch kind {
+		case OpIngest:
+			idx = rng.Intn(len(c.Churn))
+		default:
+			idx = rng.Intn(len(c.Pairs))
+		}
+		ops[i] = Op{Kind: kind, Index: idx}
+	}
+	return ops
+}
+
+// OpsHash pins an operation sequence: the hex SHA-256 of every op's kind
+// and payload index. Equal scenario + seed ⇒ equal hash; the determinism
+// suite asserts it across runs.
+func OpsHash(ops []Op) string {
+	h := sha256.New()
+	for _, op := range ops {
+		fmt.Fprintf(h, "%s:%d\n", op.Kind, op.Index)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,199 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReplaySmokeDeterministic is the determinism suite: the checked-in
+// smoke scenario replayed twice against fresh in-process servers, with
+// concurrent ingest+search+match workers, must report zero errors,
+// identical corpus hashes, identical op sequences, and identical probe
+// top-k results. Runs in short mode (it is the acceptance gate) and is in
+// the CI race matrix, so the replay path itself is the race test.
+func TestReplaySmokeDeterministic(t *testing.T) {
+	run := func() *Report {
+		t.Helper()
+		s, err := ParseFile(smokeFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(context.Background(), s, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Errors != 0 {
+			t.Fatalf("replay reported %d errors:\n%+v", rep.Errors, rep.Endpoints)
+		}
+		if err := rep.Check(); err != nil {
+			t.Fatalf("report failed its own schema check: %v", err)
+		}
+		return rep
+	}
+	r1 := run()
+	r2 := run()
+
+	if r1.Corpus.Hash != smokeCorpusHash {
+		t.Errorf("corpus hash = %s, want golden %s", r1.Corpus.Hash, smokeCorpusHash)
+	}
+	if r1.Corpus.Hash != r2.Corpus.Hash {
+		t.Errorf("corpus hashes differ across runs: %s vs %s", r1.Corpus.Hash, r2.Corpus.Hash)
+	}
+	if r1.OpsHash != r2.OpsHash {
+		t.Errorf("ops hashes differ across runs: %s vs %s", r1.OpsHash, r2.OpsHash)
+	}
+	if len(r1.Probes) == 0 {
+		t.Fatal("no probe results")
+	}
+	if !reflect.DeepEqual(r1.Probes, r2.Probes) {
+		t.Errorf("probe top-k differ across runs:\n%+v\nvs\n%+v", r1.Probes, r2.Probes)
+	}
+}
+
+// TestReplayFillsCatalog replays against a caller-owned catalog and checks
+// the post-replay state: every corpus table is live, and ingest ops added
+// churn tables on top.
+func TestReplayFillsCatalog(t *testing.T) {
+	s, err := ParseFile(smokeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := StartInProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	cl := NewClient(p.URL, s.Workload.Workers)
+	if err := cl.WaitReady(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Replay(context.Background(), c, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d ops failed", rep.Errors)
+	}
+	ix := p.Index()
+	live := map[string]bool{}
+	for _, name := range ix.Tables() {
+		live[name] = true
+	}
+	for _, tab := range c.Tables {
+		if !live[tab.Name] {
+			t.Errorf("corpus table %s not live after replay", tab.Name)
+		}
+	}
+	if st, ok := rep.Endpoints["ingest"]; ok && st.Count > 0 {
+		churned := 0
+		for _, tab := range c.Churn {
+			if live[tab.Name] {
+				churned++
+			}
+		}
+		if churned == 0 {
+			t.Error("ingest ops ran but no churn table is live")
+		}
+	}
+}
+
+func TestWaitReadyTimeout(t *testing.T) {
+	// Nothing listens on a reserved port; readiness must fail when the
+	// context expires, not hang.
+	cl := NewClient("http://127.0.0.1:1", 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	err := cl.WaitReady(ctx)
+	if err == nil {
+		t.Fatal("WaitReady succeeded against a dead address")
+	}
+	if !strings.Contains(err.Error(), "not ready") {
+		t.Errorf("error %v does not name readiness", err)
+	}
+}
+
+// TestReportCheck exercises the schema gate the CI bench-smoke leg relies
+// on: a well-formed report passes, and each corruption is caught.
+func TestReportCheck(t *testing.T) {
+	good := func() *Report {
+		return &Report{
+			Schema:    ReportSchema,
+			Scenario:  "t",
+			Seed:      1,
+			Corpus:    CorpusInfo{Tables: 2, Columns: 4, Hash: strings.Repeat("a", 64)},
+			Ops:       10,
+			OpsHash:   strings.Repeat("b", 64),
+			TargetQPS: 100, AchievedQPS: 90, ElapsedMS: 100,
+			Endpoints: map[string]EndpointStats{
+				"search": {Count: 9, Errors: 1, MeanUS: 50, P50US: 40, P95US: 80, P99US: 90, MaxUS: 100},
+			},
+		}
+	}
+	if err := good().Check(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		corrupt func(*Report)
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = 99 }},
+		{"empty name", func(r *Report) { r.Scenario = "" }},
+		{"bad corpus hash", func(r *Report) { r.Corpus.Hash = "abc" }},
+		{"empty corpus", func(r *Report) { r.Corpus.Tables = 0 }},
+		{"bad ops hash", func(r *Report) { r.OpsHash = "" }},
+		{"no ops", func(r *Report) { r.Ops = 0 }},
+		{"no qps", func(r *Report) { r.AchievedQPS = 0 }},
+		{"no endpoints", func(r *Report) { r.Endpoints = nil }},
+		{"non-monotone quantiles", func(r *Report) {
+			ep := r.Endpoints["search"]
+			ep.P95US = ep.P99US + 1000
+			ep.P50US = ep.P95US + 1000
+			r.Endpoints["search"] = ep
+		}},
+		{"mean above max", func(r *Report) {
+			ep := r.Endpoints["search"]
+			ep.MeanUS = ep.MaxUS + 1
+			r.Endpoints["search"] = ep
+		}},
+		{"ops not accounted for", func(r *Report) { r.Ops = 99 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := good()
+			tc.corrupt(r)
+			if err := r.Check(); err == nil {
+				t.Fatalf("Check accepted a report with %s", tc.name)
+			}
+		})
+	}
+}
+
+// TestHistQuantiles pins the histogram's ordering guarantee at the unit
+// level: quantiles are monotone and never exceed the exact max.
+func TestHistQuantiles(t *testing.T) {
+	h := &hist{}
+	for i := 1; i <= 1000; i++ {
+		h.observe(time.Duration(i) * time.Microsecond)
+	}
+	h.fail()
+	st := h.stats()
+	if st.Count != 1000 || st.Errors != 1 {
+		t.Fatalf("count=%d errors=%d", st.Count, st.Errors)
+	}
+	if !(st.P50US <= st.P95US && st.P95US <= st.P99US && st.P99US <= st.MaxUS) {
+		t.Errorf("quantiles not monotone: %+v", st)
+	}
+	if st.MaxUS != 1000 {
+		t.Errorf("max = %dµs, want 1000", st.MaxUS)
+	}
+	if st.P50US < 500/2 || st.P50US > 1000 {
+		t.Errorf("p50 = %dµs implausible for uniform 1..1000", st.P50US)
+	}
+}

@@ -1,0 +1,330 @@
+// Package scenario is the suite's declarative workload engine: a versioned
+// scenario file deterministically materializes a corpus of fabricated
+// tables (internal/datagen + internal/fabrication) and replays open-loop
+// traffic — a weighted ingest:search:match mix at a target QPS — against a
+// live internal/server instance, recording per-endpoint latency histograms,
+// error counts and achieved-vs-target throughput. Every perf claim that
+// used to be a microbench becomes a reproducible scenario: the same file
+// and seed produce the same corpus bytes, the same operation sequence and
+// the same post-replay top-k results on any machine.
+//
+// # Seeding contract
+//
+// All randomness flows from Scenario.Seed; wall clocks, goroutine
+// scheduling and map iteration never influence what is generated or
+// replayed. Concretely:
+//
+//   - Source tables: source i of the corpus spec is generated with
+//     datagen.Source(name, Options{Rows, Seed}) — datagen salts per source
+//     internally, so distinct sources diverge under one seed.
+//   - Corpus picks: which source and which recipe fabricate corpus pair p
+//     are drawn from one rand stream seeded with hash(Seed, "corpus").
+//     Skew biases the source pick toward earlier sources (Zipf-like
+//     weight 1/(rank+1)^Skew).
+//   - Fabrication: pair p uses fabrication.New(Seed + p*7919), the same
+//     per-seed spacing as fabrication.GridSeeds, so pairs from the same
+//     source and recipe still split differently.
+//   - Churn tables: ingest op payloads come from datagen.Churn(j,
+//     Options{Rows: ChurnRows, Seed}) — deterministic in (j, Seed).
+//   - Operation sequence: op kinds and payload indices are drawn from a
+//     rand stream seeded with hash(Seed, "ops") and fully precomputed
+//     before replay starts. Concurrency affects only timing, never which
+//     ops run or what they carry; OpsHash pins the sequence.
+//
+// The contract is what the determinism suite tests assert: two runs of the
+// same scenario file report identical corpus hashes, identical op-sequence
+// hashes, and identical post-replay probe top-k results.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"valentine/internal/datagen"
+	"valentine/internal/fabrication"
+)
+
+// Version is the scenario file format version this package reads. Files
+// must declare it explicitly: a reader refusing unknown versions is what
+// lets the format evolve without silently reinterpreting old files.
+const Version = 1
+
+// Named validation errors. Parse wraps each in context (field, value), so
+// callers match with errors.Is.
+var (
+	// ErrParse: the file is not syntactically valid scenario JSON (includes
+	// unknown fields — a typo'd knob must fail, not silently default).
+	ErrParse = errors.New("scenario: parse error")
+	// ErrVersion: the file's version field is missing or not Version.
+	ErrVersion = errors.New("scenario: unsupported version")
+	// ErrSeed: the seed is missing, zero or negative.
+	ErrSeed = errors.New("scenario: invalid seed")
+	// ErrCorpus: corpus sizing/sources/skew are invalid.
+	ErrCorpus = errors.New("scenario: invalid corpus")
+	// ErrRecipes: the recipe mix is empty or contains an invalid recipe.
+	ErrRecipes = errors.New("scenario: invalid recipe mix")
+	// ErrQPS: target QPS is zero or negative.
+	ErrQPS = errors.New("scenario: invalid target QPS")
+	// ErrDuration: replay duration is zero or negative.
+	ErrDuration = errors.New("scenario: invalid duration")
+	// ErrMix: the ingest:search:match ratios are negative or sum to zero.
+	ErrMix = errors.New("scenario: invalid workload mix")
+	// ErrWorkload: other workload knobs (top-k, workers) are out of range.
+	ErrWorkload = errors.New("scenario: invalid workload")
+)
+
+// Scenario is one versioned workload definition. The JSON form is the
+// on-disk format (see examples/scenarios/smoke.json); unknown fields are
+// rejected.
+type Scenario struct {
+	// Version must equal Version (1).
+	Version int `json:"version"`
+	// Name labels the scenario in reports.
+	Name string `json:"name"`
+	// Seed drives all corpus and replay randomness (see the package doc's
+	// seeding contract). Must be > 0.
+	Seed int64 `json:"seed"`
+	// Corpus sizes and shapes the materialized corpus.
+	Corpus CorpusSpec `json:"corpus"`
+	// Workload shapes the replayed traffic.
+	Workload WorkloadSpec `json:"workload"`
+}
+
+// CorpusSpec declares the fabricated corpus.
+type CorpusSpec struct {
+	// Sources names the datagen fabrication sources to draw from
+	// (default: all of datagen.SourceNames()).
+	Sources []string `json:"sources,omitempty"`
+	// Rows is the row count of each generated source table (default 120).
+	Rows int `json:"rows,omitempty"`
+	// Tables is the corpus size: fabrication stops once at least this many
+	// tables exist (each fabricated pair contributes two). Must be > 0.
+	Tables int `json:"tables"`
+	// Skew ≥ 0 biases source picks toward earlier Sources entries with
+	// Zipf-like weight 1/(rank+1)^Skew; 0 is uniform.
+	Skew float64 `json:"skew,omitempty"`
+	// Recipes is the weighted fabrication mix; at least one entry.
+	Recipes []RecipeSpec `json:"recipes"`
+	// ChurnTables/ChurnRows size the pool of churn tables that ingest ops
+	// upsert during replay (defaults 8 and Rows/2).
+	ChurnTables int `json:"churn_tables,omitempty"`
+	ChurnRows   int `json:"churn_rows,omitempty"`
+}
+
+// RecipeSpec is one weighted cell of the fabrication grid: a scenario kind
+// with its overlap parameters and noise grade.
+type RecipeSpec struct {
+	// Kind is one of fabrication.RecipeKinds(): "unionable",
+	// "view-unionable", "joinable", "semantically-joinable".
+	Kind string `json:"kind"`
+	// Weight > 0 is the relative pick probability (default 1).
+	Weight float64 `json:"weight,omitempty"`
+	// RowOverlap/ColOverlap parameterize the split (see fabrication.Recipe).
+	RowOverlap float64 `json:"row_overlap,omitempty"`
+	ColOverlap float64 `json:"col_overlap,omitempty"`
+	// NoisySchema/NoisyInstances select the noise grade (paper's NS/NI).
+	NoisySchema    bool `json:"noisy_schema,omitempty"`
+	NoisyInstances bool `json:"noisy_instances,omitempty"`
+}
+
+// recipe converts the spec to the fabrication package's form.
+func (r RecipeSpec) recipe() fabrication.Recipe {
+	return fabrication.Recipe{
+		Kind:       r.Kind,
+		RowOverlap: r.RowOverlap,
+		ColOverlap: r.ColOverlap,
+		Variant: fabrication.Variant{
+			NoisySchema:    r.NoisySchema,
+			NoisyInstances: r.NoisyInstances,
+		},
+	}
+}
+
+// WorkloadSpec declares the replayed traffic.
+type WorkloadSpec struct {
+	// TargetQPS is the open-loop arrival rate. Must be > 0.
+	TargetQPS float64 `json:"target_qps"`
+	// DurationMS is the replay length in milliseconds. Must be > 0.
+	DurationMS int `json:"duration_ms"`
+	// Mix is the relative ingest:search:match ratio; ratios must be ≥ 0 and
+	// sum to > 0.
+	Mix MixSpec `json:"mix"`
+	// TopK is the k of every search op (default 10).
+	TopK int `json:"top_k,omitempty"`
+	// Workers is the replay worker-pool size (default 8).
+	Workers int `json:"workers,omitempty"`
+	// MatchMethod is the matcher match ops run (default "coma-schema").
+	MatchMethod string `json:"match_method,omitempty"`
+}
+
+// MixSpec is the relative operation mix.
+type MixSpec struct {
+	Ingest float64 `json:"ingest"`
+	Search float64 `json:"search"`
+	Match  float64 `json:"match"`
+}
+
+// Parse reads, validates and defaults one scenario document.
+func Parse(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	// A second document in the same file is a config error, not trailing
+	// noise to ignore.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after scenario document", ErrParse)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	s.applyDefaults()
+	return &s, nil
+}
+
+// ParseFile reads one scenario file.
+func ParseFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// validate applies the validation-first contract: an invalid scenario
+// fails by name before any table is generated or any request sent.
+func (s *Scenario) validate() error {
+	if s.Version != Version {
+		return fmt.Errorf("%w: file declares version %d, this build reads %d",
+			ErrVersion, s.Version, Version)
+	}
+	if s.Seed <= 0 {
+		return fmt.Errorf("%w: seed %d must be > 0", ErrSeed, s.Seed)
+	}
+	if s.Corpus.Tables <= 0 {
+		return fmt.Errorf("%w: tables %d must be > 0", ErrCorpus, s.Corpus.Tables)
+	}
+	if s.Corpus.Rows < 0 || s.Corpus.ChurnTables < 0 || s.Corpus.ChurnRows < 0 {
+		return fmt.Errorf("%w: negative sizing", ErrCorpus)
+	}
+	if s.Corpus.Skew < 0 {
+		return fmt.Errorf("%w: skew %v must be ≥ 0", ErrCorpus, s.Corpus.Skew)
+	}
+	for _, name := range s.Corpus.Sources {
+		if !knownSource(name) {
+			return fmt.Errorf("%w: unknown source %q (have %v)",
+				ErrCorpus, name, datagen.SourceNames())
+		}
+	}
+	if len(s.Corpus.Recipes) == 0 {
+		return fmt.Errorf("%w: empty — name at least one recipe", ErrRecipes)
+	}
+	for i, r := range s.Corpus.Recipes {
+		if r.Weight < 0 {
+			return fmt.Errorf("%w: recipe %d weight %v must be ≥ 0 (0 defaults to 1)",
+				ErrRecipes, i, r.Weight)
+		}
+		if err := r.recipe().Validate(); err != nil {
+			return fmt.Errorf("%w: recipe %d: %v", ErrRecipes, i, err)
+		}
+	}
+	w := s.Workload
+	if w.TargetQPS <= 0 {
+		return fmt.Errorf("%w: target_qps %v must be > 0", ErrQPS, w.TargetQPS)
+	}
+	if w.DurationMS <= 0 {
+		return fmt.Errorf("%w: duration_ms %d must be > 0", ErrDuration, w.DurationMS)
+	}
+	if w.Mix.Ingest < 0 || w.Mix.Search < 0 || w.Mix.Match < 0 {
+		return fmt.Errorf("%w: negative ratio in ingest:search:match = %v:%v:%v",
+			ErrMix, w.Mix.Ingest, w.Mix.Search, w.Mix.Match)
+	}
+	if w.Mix.Ingest+w.Mix.Search+w.Mix.Match == 0 {
+		return fmt.Errorf("%w: ingest:search:match ratios sum to zero", ErrMix)
+	}
+	if w.TopK < 0 {
+		return fmt.Errorf("%w: top_k %d must be ≥ 0", ErrWorkload, w.TopK)
+	}
+	if w.Workers < 0 {
+		return fmt.Errorf("%w: workers %d must be ≥ 0", ErrWorkload, w.Workers)
+	}
+	return nil
+}
+
+func knownSource(name string) bool {
+	for _, s := range datagen.SourceNames() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// applyDefaults fills the documented defaults after validation, so the
+// materializer and replayer never re-derive them.
+func (s *Scenario) applyDefaults() {
+	if s.Name == "" {
+		s.Name = "unnamed"
+	}
+	if len(s.Corpus.Sources) == 0 {
+		s.Corpus.Sources = datagen.SourceNames()
+	}
+	if s.Corpus.Rows == 0 {
+		s.Corpus.Rows = 120
+	}
+	if s.Corpus.ChurnTables == 0 {
+		s.Corpus.ChurnTables = 8
+	}
+	if s.Corpus.ChurnRows == 0 {
+		s.Corpus.ChurnRows = (s.Corpus.Rows + 1) / 2
+	}
+	for i := range s.Corpus.Recipes {
+		if s.Corpus.Recipes[i].Weight == 0 {
+			s.Corpus.Recipes[i].Weight = 1
+		}
+	}
+	if s.Workload.TopK == 0 {
+		s.Workload.TopK = 10
+	}
+	if s.Workload.Workers == 0 {
+		s.Workload.Workers = 8
+	}
+	if s.Workload.MatchMethod == "" {
+		s.Workload.MatchMethod = "coma-schema"
+	}
+}
+
+// saltedSeed derives an independent seed stream from the scenario seed and
+// a label, FNV-1a style — the same construction internal/fabrication uses,
+// so streams with different labels never alias.
+func saltedSeed(seed int64, label string) int64 {
+	h := int64(1469598103934665603)
+	for _, b := range []byte(label) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	return seed ^ h
+}
+
+// String renders a one-line summary for CLI banners.
+func (s *Scenario) String() string {
+	kinds := make([]string, len(s.Corpus.Recipes))
+	for i, r := range s.Corpus.Recipes {
+		kinds[i] = r.Kind
+	}
+	return fmt.Sprintf("%s (seed %d): %d tables from %s via [%s]; %.0f qps × %dms, mix %v:%v:%v",
+		s.Name, s.Seed, s.Corpus.Tables, strings.Join(s.Corpus.Sources, ","),
+		strings.Join(kinds, ","), s.Workload.TargetQPS, s.Workload.DurationMS,
+		s.Workload.Mix.Ingest, s.Workload.Mix.Search, s.Workload.Mix.Match)
+}

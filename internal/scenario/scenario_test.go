@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// validDoc is a minimal well-formed scenario document; the validation table
+// below perturbs one field at a time.
+const validDoc = `{
+  "version": 1,
+  "seed": 7,
+  "corpus": {
+    "tables": 4,
+    "recipes": [{"kind": "unionable", "row_overlap": 0.5}]
+  },
+  "workload": {
+    "target_qps": 50,
+    "duration_ms": 100,
+    "mix": {"ingest": 1, "search": 1, "match": 1}
+  }
+}`
+
+func TestParseValid(t *testing.T) {
+	s, err := Parse(strings.NewReader(validDoc))
+	if err != nil {
+		t.Fatalf("Parse(valid) = %v", err)
+	}
+	// Defaults applied after validation.
+	if s.Name != "unnamed" {
+		t.Errorf("Name = %q, want default %q", s.Name, "unnamed")
+	}
+	if len(s.Corpus.Sources) == 0 {
+		t.Error("Sources not defaulted")
+	}
+	if s.Corpus.Rows != 120 || s.Workload.TopK != 10 || s.Workload.Workers != 8 {
+		t.Errorf("defaults not applied: rows=%d top_k=%d workers=%d",
+			s.Corpus.Rows, s.Workload.TopK, s.Workload.Workers)
+	}
+	if s.Workload.MatchMethod != "coma-schema" {
+		t.Errorf("MatchMethod = %q", s.Workload.MatchMethod)
+	}
+	if s.Corpus.Recipes[0].Weight != 1 {
+		t.Errorf("zero weight not defaulted to 1, got %v", s.Corpus.Recipes[0].Weight)
+	}
+}
+
+// TestParseInvalid is the validation-first contract: every malformed
+// document fails with its named sentinel, before any table is generated.
+func TestParseInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want error
+	}{
+		{"not json", `{"version": `, ErrParse},
+		{"unknown top-level field", `{"version": 1, "sede": 7}`, ErrParse},
+		{"unknown nested field", strings.Replace(validDoc, `"tables"`, `"tabels"`, 1), ErrParse},
+		{"trailing document", validDoc + `{"version": 1}`, ErrParse},
+		{"missing version", strings.Replace(validDoc, `"version": 1`, `"version": 0`, 1), ErrVersion},
+		{"future version", strings.Replace(validDoc, `"version": 1`, `"version": 2`, 1), ErrVersion},
+		{"zero seed", strings.Replace(validDoc, `"seed": 7`, `"seed": 0`, 1), ErrSeed},
+		{"negative seed", strings.Replace(validDoc, `"seed": 7`, `"seed": -3`, 1), ErrSeed},
+		{"zero tables", strings.Replace(validDoc, `"tables": 4`, `"tables": 0`, 1), ErrCorpus},
+		{"negative skew", strings.Replace(validDoc, `"tables": 4`, `"tables": 4, "skew": -1`, 1), ErrCorpus},
+		{"unknown source", strings.Replace(validDoc, `"tables": 4`, `"tables": 4, "sources": ["NotASource"]`, 1), ErrCorpus},
+		{"empty recipes", strings.Replace(validDoc,
+			`"recipes": [{"kind": "unionable", "row_overlap": 0.5}]`, `"recipes": []`, 1), ErrRecipes},
+		{"unknown recipe kind", strings.Replace(validDoc, `"kind": "unionable"`, `"kind": "splittable"`, 1), ErrRecipes},
+		{"negative weight", strings.Replace(validDoc, `"row_overlap": 0.5`, `"row_overlap": 0.5, "weight": -1`, 1), ErrRecipes},
+		{"overlap out of range", strings.Replace(validDoc, `"row_overlap": 0.5`, `"row_overlap": 1.5`, 1), ErrRecipes},
+		{"zero qps", strings.Replace(validDoc, `"target_qps": 50`, `"target_qps": 0`, 1), ErrQPS},
+		{"negative qps", strings.Replace(validDoc, `"target_qps": 50`, `"target_qps": -10`, 1), ErrQPS},
+		{"zero duration", strings.Replace(validDoc, `"duration_ms": 100`, `"duration_ms": 0`, 1), ErrDuration},
+		{"negative duration", strings.Replace(validDoc, `"duration_ms": 100`, `"duration_ms": -5`, 1), ErrDuration},
+		{"negative mix ratio", strings.Replace(validDoc,
+			`"mix": {"ingest": 1, "search": 1, "match": 1}`, `"mix": {"ingest": -1, "search": 2, "match": 0}`, 1), ErrMix},
+		{"mix sums to zero", strings.Replace(validDoc,
+			`"mix": {"ingest": 1, "search": 1, "match": 1}`, `"mix": {"ingest": 0, "search": 0, "match": 0}`, 1), ErrMix},
+		{"negative top-k", strings.Replace(validDoc, `"duration_ms": 100`, `"duration_ms": 100, "top_k": -1`, 1), ErrWorkload},
+		{"negative workers", strings.Replace(validDoc, `"duration_ms": 100`, `"duration_ms": 100, "workers": -2`, 1), ErrWorkload},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Parse(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted %s (got %+v)", tc.name, s)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Parse error = %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile("testdata/does-not-exist.json"); err == nil {
+		t.Fatal("ParseFile on a missing path succeeded")
+	}
+}
+
+func TestSaltedSeedStreams(t *testing.T) {
+	// Distinct labels must yield distinct streams under one seed, and the
+	// derivation must be pure.
+	if saltedSeed(42, "corpus") == saltedSeed(42, "ops") {
+		t.Error("corpus and ops streams alias")
+	}
+	if saltedSeed(42, "ops") != saltedSeed(42, "ops") {
+		t.Error("saltedSeed is not pure")
+	}
+	if saltedSeed(42, "ops") == saltedSeed(43, "ops") {
+		t.Error("seed does not influence the stream")
+	}
+}

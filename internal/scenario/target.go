@@ -1,0 +1,188 @@
+package scenario
+
+// The replay target: every operation goes over HTTP against a live
+// internal/server instance — remote (an -addr the user points at) or
+// in-process (a loopback listener started here). There is deliberately no
+// direct-call shortcut: the point of the scenario engine is to measure the
+// served path, JSON codec and batcher included.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"valentine/internal/discovery"
+	"valentine/internal/server"
+	"valentine/internal/table"
+)
+
+// Client replays operations against one server base URL.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a replay client for the server at base
+// (e.g. "http://127.0.0.1:8080"). workers sizes the connection pool.
+func NewClient(base string, workers int) *Client {
+	tr := &http.Transport{
+		MaxIdleConns:        workers * 2,
+		MaxIdleConnsPerHost: workers * 2,
+	}
+	return &Client{base: base, hc: &http.Client{Transport: tr}}
+}
+
+// wire form shared with internal/server's JSON API.
+type wireColumn struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+type wireTable struct {
+	Name    string       `json:"name,omitempty"`
+	Columns []wireColumn `json:"columns"`
+}
+
+func toWire(t *table.Table) wireTable {
+	w := wireTable{Name: t.Name, Columns: make([]wireColumn, len(t.Columns))}
+	for i := range t.Columns {
+		w.Columns[i] = wireColumn{Name: t.Columns[i].Name, Values: t.Columns[i].Values}
+	}
+	return w
+}
+
+// ProbeHit is one ranked search result of a probe query.
+type ProbeHit struct {
+	Table string  `json:"table"`
+	Score float64 `json:"score"`
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	return c.do(ctx, http.MethodPost, path, body, out)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, msg)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// Upsert PUTs one table into the catalog.
+func (c *Client) Upsert(ctx context.Context, t *table.Table) error {
+	body := map[string]any{"columns": toWire(t).Columns}
+	return c.do(ctx, http.MethodPut, "/v1/tables/"+t.Name, body, nil)
+}
+
+// Search runs one top-k query and returns the ranked tables.
+func (c *Client) Search(ctx context.Context, q *table.Table, k int) ([]ProbeHit, error) {
+	body := map[string]any{"table": toWire(q), "mode": "join", "k": k}
+	var resp struct {
+		Results []ProbeHit `json:"results"`
+	}
+	if err := c.post(ctx, "/v1/search", body, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// Match runs one pairwise match between two tables.
+func (c *Client) Match(ctx context.Context, method string, src, tgt *table.Table) error {
+	body := map[string]any{"source": toWire(src), "target": toWire(tgt), "method": method}
+	return c.post(ctx, "/v1/match", body, nil)
+}
+
+// WaitReady polls the server's health endpoint until it answers or the
+// context expires — the remote-target handshake before a replay starts.
+func (c *Client) WaitReady(ctx context.Context) error {
+	for {
+		err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+		if err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("scenario: server at %s not ready: %w (last: %v)", c.base, ctx.Err(), err)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// InProcess is a loopback server.Server for self-contained replays.
+type InProcess struct {
+	// URL is the http://127.0.0.1:port base address.
+	URL string
+	srv *server.Server
+	hs  *http.Server
+	ln  net.Listener
+	err chan error
+}
+
+// StartInProcess serves a fresh default-geometry catalog on a loopback
+// listener. Close releases it.
+func StartInProcess() (*InProcess, error) {
+	return StartInProcessIndex(discovery.New(discovery.Options{}))
+}
+
+// StartInProcessIndex serves an existing catalog on a loopback listener.
+func StartInProcessIndex(ix *discovery.Index) (*InProcess, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(server.Config{Index: ix})
+	p := &InProcess{
+		URL: "http://" + ln.Addr().String(),
+		srv: srv,
+		hs:  &http.Server{Handler: srv.Handler()},
+		ln:  ln,
+		err: make(chan error, 1),
+	}
+	go func() { p.err <- p.hs.Serve(ln) }()
+	return p, nil
+}
+
+// Index returns the served catalog (post-replay state inspection).
+func (p *InProcess) Index() *discovery.Index { return p.srv.Index() }
+
+// Close drains in-flight requests, flushes the ingest batcher, and stops
+// the listener.
+func (p *InProcess) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutdownErr := p.hs.Shutdown(ctx)
+	if err := <-p.err; err != nil && err != http.ErrServerClosed {
+		p.srv.Close()
+		return err
+	}
+	if err := p.srv.Close(); err != nil {
+		return err
+	}
+	return shutdownErr
+}

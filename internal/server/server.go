@@ -14,6 +14,7 @@
 //	DELETE /v1/tables/{name}   remove a table
 //	POST   /v1/match           pairwise column matching via any method
 //	GET    /v1/stats           catalog + server counters
+//	GET    /v1/healthz         liveness probe (no body)
 //
 // Every request runs under a per-request deadline (Config.RequestTimeout)
 // with the engine's options installed on its context, so long scoring work
@@ -179,7 +180,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/tables/{name}", s.wrap(s.handleRemove))
 	mux.HandleFunc("POST /v1/match", s.wrap(s.handleMatch))
 	mux.HandleFunc("GET /v1/stats", s.wrap(s.handleStats))
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz is the liveness probe: load generators and orchestrators
+// poll it before sending traffic. Unwrapped — readiness must not consume an
+// engine context or count as a served request.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // wrap installs the per-request deadline and engine options, counts the

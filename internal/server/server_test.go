@@ -428,3 +428,19 @@ func TestServerPeriodicSnapshot(t *testing.T) {
 		t.Fatalf("reloaded tables = %v", got)
 	}
 }
+
+// TestServerHealthz: the liveness probe answers without touching the
+// request-counting or engine-context machinery.
+func TestServerHealthz(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	var body map[string]string
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/healthz", nil, &body); code != http.StatusOK {
+		t.Fatalf("GET /v1/healthz = %d", code)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("healthz body = %v", body)
+	}
+	if n := s.requests.Load(); n != 0 {
+		t.Errorf("healthz counted as %d served requests; probes must not skew stats", n)
+	}
+}
