@@ -1,0 +1,231 @@
+package main
+
+// Cascade measurement (-cascade / -json "cascade" section): the query
+// planner's bound-then-refine discovery re-rank against the full-fidelity
+// reference on a skewed corpus — a handful of genuinely related tables in a
+// sea of junk with disjoint values and names, which is the regime served
+// search actually sees. Every rep verifies the two arms return the same
+// top-k (the planner's exactness contract) before its timing counts, so a
+// speedup can never be bought with a wrong answer. Each arm starts from a
+// cold profile store, mirroring the discover CLI: full fidelity warms every
+// candidate, the cascade pays profiling lazily and only for candidates
+// whose bound survives the cutoff.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"valentine/internal/experiment"
+	"valentine/internal/planner"
+	"valentine/internal/profile"
+	"valentine/internal/table"
+)
+
+type jsonCascade struct {
+	// CPUs and GOMAXPROCS qualify the latencies: the container this report
+	// ships from is typically single-core, so the arms are serial anyway.
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Method     string `json:"method"`
+	Mode       string `json:"mode"`
+	K          int    `json:"k"`
+	// Candidates = Relevant + Junk tables per query.
+	Candidates int `json:"candidates"`
+	Relevant   int `json:"relevant"`
+	Junk       int `json:"junk"`
+	Reps       int `json:"reps"`
+	// Per-query wall latency, microseconds.
+	FullMeanUS    int64 `json:"full_mean_us"`
+	FullP50US     int64 `json:"full_p50_us"`
+	FullP99US     int64 `json:"full_p99_us"`
+	CascadeMeanUS int64 `json:"cascade_mean_us"`
+	CascadeP50US  int64 `json:"cascade_p50_us"`
+	CascadeP99US  int64 `json:"cascade_p99_us"`
+	// Speedups of the cascade arm over the full-fidelity arm.
+	MeanSpeedup float64 `json:"mean_speedup"`
+	P50Speedup  float64 `json:"p50_speedup"`
+	P99Speedup  float64 `json:"p99_speedup"`
+	// Pruned is the candidates cut by the bound-vs-cutoff check per query
+	// (identical across reps: the corpus and cutoff are deterministic).
+	Pruned int `json:"pruned"`
+	// VerifiedReps counts reps whose cascade top-k was checked equal to the
+	// full-fidelity top-k; measureCascade fails unless it equals Reps.
+	VerifiedReps int `json:"verified_reps"`
+}
+
+// cascadeCorpus builds the skewed discovery corpus: relevant tables share
+// the query's value vocabulary and column names with graded overlap, junk
+// tables carry per-table value pools and column names. Deterministic, so
+// every rep (and every run of benchreport) ranks the same corpus.
+func cascadeCorpus(relevant, junk, cols, rows int) (*table.Table, []*table.Table) {
+	rng := rand.New(rand.NewSource(7))
+	draw := func(lo, span, n int) []string {
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("cust-%04d", lo+rng.Intn(span))
+		}
+		return vals
+	}
+	// Shared column names carry no digit tokens: junk column names embed
+	// digits, and a stray shared token (even "0") would lift the name-token
+	// bound of every junk table to 1.
+	greek := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+		"eta", "theta", "iota", "kappa", "lambda", "mu"}
+	fill := func(t *table.Table, prefix string, lo int) {
+		for c := 0; c < cols; c++ {
+			t.AddColumn(fmt.Sprintf("%s %s", prefix, greek[c%len(greek)]), draw(lo, 400, rows))
+		}
+	}
+	query := table.New("query")
+	fill(query, "shared", 0)
+
+	corpus := make([]*table.Table, 0, relevant+junk)
+	for i := 0; i < relevant; i++ {
+		// Later relevant tables drift away from the query's value range, so
+		// the top-k has a real ranking to get right, not a tie plateau.
+		t := table.New(fmt.Sprintf("relevant%02d", i))
+		fill(t, "shared", i*35)
+		corpus = append(corpus, t)
+	}
+	for j := 0; j < junk; j++ {
+		t := table.New(fmt.Sprintf("junk%03d", j))
+		for c := 0; c < cols; c++ {
+			vals := make([]string, rows)
+			for r := range vals {
+				vals[r] = fmt.Sprintf("junk%03d-%d-%d", j, c, rng.Intn(400))
+			}
+			t.AddColumn(fmt.Sprintf("junk%03d field%d", j, c), vals)
+		}
+		corpus = append(corpus, t)
+	}
+	return query, corpus
+}
+
+// measureCascade times both arms, alternating full/cascade each rep, and
+// hard-fails on any top-k divergence — a wrong answer is a regression, not
+// a section to skip.
+func measureCascade(ctx context.Context) (*jsonCascade, error) {
+	// Wide-but-short tables tilt the ratio toward matching: the matcher's
+	// per-candidate work is quadratic in columns (every column pair pays
+	// element construction, name distances and instance features) while the
+	// profiling the cascade's bounds force is linear, so the corpus shape
+	// controls how much a pruned candidate actually saves.
+	const (
+		relevant = 12
+		junk     = 150
+		cols     = 8
+		rows     = 30
+		k        = 10
+		mode     = "union"
+		reps     = 20
+	)
+	query, corpus := cascadeCorpus(relevant, junk, cols, rows)
+	m, err := experiment.NewRegistry().New(experiment.MethodComaInstance, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	runArm := func(cascade bool) (time.Duration, *planner.RerankResult, error) {
+		store := profile.NewStore()
+		start := time.Now()
+		cands := make([]planner.Candidate, len(corpus))
+		for i, t := range corpus {
+			cands[i] = planner.Candidate{Name: t.Name, Profile: store.Of(t)}
+		}
+		var rr *planner.RerankResult
+		var rerr error
+		if cascade {
+			rr, rerr = planner.Rerank(ctx, m, store.Of(query), cands, mode, k)
+		} else {
+			store.Warm(corpus...)
+			rr, rerr = planner.RerankFull(ctx, m, store.Of(query), cands, mode, k)
+		}
+		return time.Since(start), rr, rerr
+	}
+
+	out := &jsonCascade{
+		CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Method: experiment.MethodComaInstance, Mode: mode, K: k,
+		Candidates: relevant + junk, Relevant: relevant, Junk: junk, Reps: reps,
+	}
+	fullDs := make([]time.Duration, 0, reps)
+	cascDs := make([]time.Duration, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		fullD, full, err := runArm(false)
+		if err != nil {
+			return nil, fmt.Errorf("cascade section: full-fidelity arm: %w", err)
+		}
+		cascD, casc, err := runArm(true)
+		if err != nil {
+			return nil, fmt.Errorf("cascade section: cascade arm: %w", err)
+		}
+		if len(full.Ranked) != len(casc.Ranked) {
+			return nil, fmt.Errorf("cascade section: rep %d: top-k sizes diverge (%d vs %d)",
+				rep, len(full.Ranked), len(casc.Ranked))
+		}
+		for i := range full.Ranked {
+			if full.Ranked[i] != casc.Ranked[i] {
+				return nil, fmt.Errorf("cascade section: rep %d: rank %d diverges: full %+v cascade %+v",
+					rep, i, full.Ranked[i], casc.Ranked[i])
+			}
+		}
+		out.VerifiedReps++
+		out.Pruned = casc.Pruned
+		fullDs = append(fullDs, fullD)
+		cascDs = append(cascDs, cascD)
+	}
+	if out.Pruned == 0 {
+		return nil, fmt.Errorf("cascade section: bounds pruned nothing on a %d-junk corpus", junk)
+	}
+
+	out.FullMeanUS, out.FullP50US, out.FullP99US = latencySummary(fullDs)
+	out.CascadeMeanUS, out.CascadeP50US, out.CascadeP99US = latencySummary(cascDs)
+	if out.CascadeMeanUS > 0 {
+		out.MeanSpeedup = float64(out.FullMeanUS) / float64(out.CascadeMeanUS)
+	}
+	if out.CascadeP50US > 0 {
+		out.P50Speedup = float64(out.FullP50US) / float64(out.CascadeP50US)
+	}
+	if out.CascadeP99US > 0 {
+		out.P99Speedup = float64(out.FullP99US) / float64(out.CascadeP99US)
+	}
+	return out, nil
+}
+
+// latencySummary reduces one arm's rep latencies to mean/p50/p99 in µs.
+func latencySummary(ds []time.Duration) (mean, p50, p99 int64) {
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	pct := func(p float64) int64 {
+		idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return sorted[idx].Microseconds()
+	}
+	return (sum / time.Duration(len(sorted))).Microseconds(), pct(0.50), pct(0.99)
+}
+
+// formatCascade renders the section as prose, next to the paper tables.
+func formatCascade(c *jsonCascade) string {
+	out := fmt.Sprintf("Cascade — bound-then-refine planner vs full fidelity (%s, %s, k=%d)\n",
+		c.Method, c.Mode, c.K)
+	out += fmt.Sprintf("  corpus %d candidates (%d relevant, %d junk), %d reps, cpus=%d gomaxprocs=%d\n",
+		c.Candidates, c.Relevant, c.Junk, c.Reps, c.CPUs, c.GOMAXPROCS)
+	out += fmt.Sprintf("  full     mean=%dµs p50=%dµs p99=%dµs\n", c.FullMeanUS, c.FullP50US, c.FullP99US)
+	out += fmt.Sprintf("  cascade  mean=%dµs p50=%dµs p99=%dµs (%d of %d candidates pruned)\n",
+		c.CascadeMeanUS, c.CascadeP50US, c.CascadeP99US, c.Pruned, c.Candidates)
+	out += fmt.Sprintf("  speedup  mean=%.1fx p50=%.1fx p99=%.1fx — top-k verified equal on all %d reps\n",
+		c.MeanSpeedup, c.P50Speedup, c.P99Speedup, c.VerifiedReps)
+	return out
+}

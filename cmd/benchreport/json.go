@@ -9,6 +9,7 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -20,11 +21,16 @@ import (
 const jsonSchemaVersion = 1
 
 type jsonReport struct {
-	Schema      int          `json:"schema"`
-	GeneratedAt string       `json:"generated_at"`
-	Rows        int          `json:"rows"`
-	Seeds       int          `json:"seeds"`
-	Methods     []jsonMethod `json:"methods"`
+	Schema      int    `json:"schema"`
+	GeneratedAt string `json:"generated_at"`
+	Rows        int    `json:"rows"`
+	Seeds       int    `json:"seeds"`
+	// CPUs and GOMAXPROCS qualify every runtime/latency number in the
+	// document: a p99 from a single-core runner is not comparable to one
+	// from a wide machine.
+	CPUs       int          `json:"cpus"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Methods    []jsonMethod `json:"methods"`
 	// Engine records the concurrent execution engine's measured
 	// parallel-vs-sequential wall-clock speedups on this machine (see
 	// engine.go); absent when the measurement is skipped.
@@ -42,7 +48,12 @@ type jsonReport struct {
 	// achieved-vs-target QPS, probe top-k; absent when -scenario is off or
 	// the replay fails.
 	Scenario *scenario.Report `json:"scenario,omitempty"`
-	Runs     []jsonRun        `json:"runs"`
+	// Cascade records the query planner's bound-then-refine cascade against
+	// the full-fidelity path on a skewed discovery corpus — equal top-k
+	// verified, mean/p50/p99 latency per arm (see cascade.go); absent when
+	// the measurement is skipped.
+	Cascade *jsonCascade `json:"cascade,omitempty"`
+	Runs    []jsonRun    `json:"runs"`
 }
 
 type jsonMethod struct {
@@ -71,6 +82,8 @@ func buildJSONReport(rows, seeds int, rs []experiment.Result) jsonReport {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Rows:        rows,
 		Seeds:       seeds,
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Runs:        make([]jsonRun, 0, len(rs)),
 	}
 	counts := make(map[string]int)

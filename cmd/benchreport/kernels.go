@@ -21,7 +21,8 @@ import (
 )
 
 type jsonKernels struct {
-	CPUs int `json:"cpus"`
+	CPUs       int `json:"cpus"`
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// SetSize is the distinct-value count per column (half shared).
 	SetSize int `json:"set_size"`
 	// One pairwise overlap, nanoseconds per op.
@@ -45,7 +46,8 @@ func measureKernels() (*jsonKernels, error) {
 		n    = 5000
 		reps = 5
 	)
-	out := &jsonKernels{CPUs: runtime.NumCPU(), SetSize: n, MinHashSignature: profile.DefaultSignature}
+	out := &jsonKernels{CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SetSize: n, MinHashSignature: profile.DefaultSignature}
 
 	aMap := make(map[string]struct{}, n)
 	bMap := make(map[string]struct{}, n)

@@ -8,7 +8,9 @@
 //	benchreport -rows 400 -seeds 3  # closer to paper scale
 //	benchreport -json BENCH_2.json  # machine-readable trajectory file
 //	benchreport -scenario -json out.json  # scenario replay section only (fast)
+//	benchreport -cascade            # planner cascade vs full fidelity only
 //	benchreport -check out.json     # validate a written scenario section
+//	benchreport -check out.json -baseline BENCH_7.json  # + p99 regression gate
 package main
 
 import (
@@ -47,13 +49,16 @@ func main() {
 		fig7     = flag.Bool("fig7", false, "Figure 7: WikiData")
 		scenF    = flag.Bool("scenario", false, "scenario section: open-loop replay against an in-process server")
 		scenFile = flag.String("scenario-file", defaultScenarioFile, "scenario file for -scenario")
+		cascF    = flag.Bool("cascade", false, "cascade section: bound-then-refine planner vs full fidelity on a skewed corpus")
 		checkF   = flag.String("check", "", "validate the scenario section of an existing -json file and exit")
+		baseF    = flag.String("baseline", "", "with -check: fail if scenario p99s regress beyond -baseline-tolerance vs this trajectory file")
+		baseTolF = flag.Float64("baseline-tolerance", 3.0, "with -baseline: allowed p99 ratio (checked/baseline) per endpoint")
 		csvOut   = flag.String("csv", "", "also write detailed per-run results to this CSV file")
 		jsonOutF = flag.String("json", "", "also write machine-readable results (runs + aggregates) to this JSON file")
 	)
 	flag.Parse()
 	if *checkF != "" {
-		if err := checkReport(*checkF); err != nil {
+		if err := checkReport(*checkF, *baseF, *baseTolF); err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
 			os.Exit(1)
 		}
@@ -61,20 +66,20 @@ func main() {
 	}
 	detailedCSV = *csvOut
 	jsonOut = *jsonOutF
-	if !(*table1 || *table2 || *table3 || *table4 || *table5 || *fig4 || *fig5 || *fig6 || *fig7 || *scenF) {
+	if !(*table1 || *table2 || *table3 || *table4 || *table5 || *fig4 || *fig5 || *fig6 || *fig7 || *scenF || *cascF) {
 		*all = true
 	}
 	if *all {
 		*table1, *table2, *table3, *table4, *table5 = true, true, true, true, true
-		*fig4, *fig5, *fig6, *fig7, *scenF = true, true, true, true, true
+		*fig4, *fig5, *fig6, *fig7, *scenF, *cascF = true, true, true, true, true, true
 	}
-	if err := run(*rows, *seeds, *table1, *table2, *table3, *table4, *table5, *fig4, *fig5, *fig6, *fig7, *scenF, *scenFile); err != nil {
+	if err := run(*rows, *seeds, *table1, *table2, *table3, *table4, *table5, *fig4, *fig5, *fig6, *fig7, *scenF, *cascF, *scenFile); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fig6, fig7, scen bool, scenFile string) error {
+func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fig6, fig7, scen, casc bool, scenFile string) error {
 	ctx := context.Background()
 	cfg := report.Config{Rows: rows, Seeds: seeds}
 
@@ -89,8 +94,10 @@ func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fi
 	// -json trajectory is requested beyond the (cheap, self-contained)
 	// scenario-only mode — `-scenario -json out.json` must stay fast enough
 	// for a CI smoke leg.
+	// Section-only runs (`-scenario -json …`, `-cascade -json …`) skip it so
+	// they stay fast enough for CI smoke legs.
 	var fabricated []experiment.Result
-	needFab := fig4 || fig5 || fig6 || table5 || (jsonOut != "" && !scen)
+	needFab := fig4 || fig5 || fig6 || table5 || (jsonOut != "" && !scen && !casc)
 	if needFab {
 		fmt.Fprintf(os.Stderr, "running fabricated-pair experiments (rows=%d seeds=%d)...\n", rows, seeds)
 		var err error
@@ -177,9 +184,23 @@ func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fi
 		}
 		fmt.Println(formatScenario(scenRep))
 	}
+	// The cascade section fails hard too: its exactness check (cascade top-k
+	// == full-fidelity top-k on every rep) is a correctness gate, not a
+	// best-effort measurement.
+	var cascRep *jsonCascade
+	if casc {
+		fmt.Fprintln(os.Stderr, "measuring cascade vs full-fidelity re-rank on a skewed corpus...")
+		var err error
+		cascRep, err = measureCascade(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(formatCascade(cascRep))
+	}
 	if jsonOut != "" {
 		rep := buildJSONReport(rows, seeds, fabricated)
 		rep.Scenario = scenRep
+		rep.Cascade = cascRep
 		if needFab {
 			// The engine section is best-effort: a measurement failure must
 			// not discard the (much more expensive) run results above.

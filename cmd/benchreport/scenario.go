@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 
 	"valentine/internal/scenario"
 )
@@ -58,29 +59,76 @@ func formatScenario(rep *scenario.Report) string {
 // checkReport validates the scenario section of a written -json document:
 // present, schema-current, histograms internally consistent. It decodes
 // only what it checks, so trajectory files may carry more than it knows.
-func checkReport(path string) error {
-	data, err := os.ReadFile(path)
+// With baselinePath set it additionally gates on latency: every endpoint
+// present in the baseline's scenario section must keep its p99 within
+// tol × the baseline p99, CI's tripwire against serving-path regressions.
+func checkReport(path, baselinePath string, tol float64) error {
+	doc, err := readScenarioDoc(path)
 	if err != nil {
 		return err
+	}
+	fmt.Printf("%s: scenario section ok — %s, %d ops, %d endpoints, hash %s…\n",
+		path, doc.Scenario, doc.Ops, len(doc.Endpoints), doc.Corpus.Hash[:12])
+	if baselinePath == "" {
+		return nil
+	}
+	if tol <= 0 {
+		return fmt.Errorf("-baseline-tolerance %v: must be positive", tol)
+	}
+	base, err := readScenarioDoc(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline %w", err)
+	}
+	// Compare per endpoint kind, sorted for stable output. The tolerance is
+	// deliberately loose (default 3x): shared CI runners are noisy, and the
+	// gate exists to catch order-of-magnitude serving regressions, not to
+	// re-run a microbenchmark.
+	kinds := make([]string, 0, len(base.Endpoints))
+	for kind := range base.Endpoints {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		bp99 := base.Endpoints[kind].P99US
+		ep, ok := doc.Endpoints[kind]
+		if !ok {
+			return fmt.Errorf("%s: endpoint %q in baseline %s but missing here", path, kind, baselinePath)
+		}
+		if bp99 <= 0 {
+			continue
+		}
+		ratio := float64(ep.P99US) / float64(bp99)
+		if ratio > tol {
+			return fmt.Errorf("%s: %s p99 %dµs is %.1fx baseline %dµs (tolerance %.1fx, baseline %s)",
+				path, kind, ep.P99US, ratio, bp99, tol, baselinePath)
+		}
+		fmt.Printf("%s: %s p99 %dµs vs baseline %dµs (%.2fx, tolerance %.1fx) ok\n",
+			path, kind, ep.P99US, bp99, ratio, tol)
+	}
+	return nil
+}
+
+// readScenarioDoc loads one trajectory file's scenario section, validated.
+func readScenarioDoc(path string) (*scenario.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
 	var doc struct {
 		Schema   int              `json:"schema"`
 		Scenario *scenario.Report `json:"scenario"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return fmt.Errorf("%s: %v", path, err)
+		return nil, fmt.Errorf("%s: %v", path, err)
 	}
 	if doc.Schema != jsonSchemaVersion {
-		return fmt.Errorf("%s: document schema %d, want %d", path, doc.Schema, jsonSchemaVersion)
+		return nil, fmt.Errorf("%s: document schema %d, want %d", path, doc.Schema, jsonSchemaVersion)
 	}
 	if doc.Scenario == nil {
-		return fmt.Errorf("%s: no scenario section (was -scenario set when it was written?)", path)
+		return nil, fmt.Errorf("%s: no scenario section (was -scenario set when it was written?)", path)
 	}
 	if err := doc.Scenario.Check(); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	fmt.Printf("%s: scenario section ok — %s, %d ops, %d endpoints, hash %s…\n",
-		path, doc.Scenario.Scenario, doc.Scenario.Ops,
-		len(doc.Scenario.Endpoints), doc.Scenario.Corpus.Hash[:12])
-	return nil
+	return doc.Scenario, nil
 }

@@ -23,6 +23,7 @@ import (
 
 type jsonServe struct {
 	CPUs          int `json:"cpus"`
+	GOMAXPROCS    int `json:"gomaxprocs"`
 	CorpusTables  int `json:"corpus_tables"`
 	CorpusColumns int `json:"corpus_columns"`
 	Searches      int `json:"searches_per_arm"`
@@ -72,6 +73,7 @@ func measureServe() (*jsonServe, error) {
 	)
 	out := &jsonServe{
 		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Searches:      searches,
 		IngestEveryUS: ingestEvery.Microseconds(),
 	}

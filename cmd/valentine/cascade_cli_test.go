@@ -1,0 +1,87 @@
+package main
+
+// End-to-end CLI tests of the planner flags: -cascade on|off parity for
+// discover, budget expiry as best-effort (exit 0, flagged output), and
+// flag validation.
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCorpusDir materializes the union corpus as CSVs and returns the
+// corpus dir and the query CSV path (outside the dir, so discover does not
+// index the query itself).
+func writeCorpusDir(t *testing.T) (dir, queryPath string) {
+	t.Helper()
+	q, corpus := unionCorpus(t)
+	dir = t.TempDir()
+	for _, tab := range corpus {
+		if err := tab.WriteCSVFile(filepath.Join(dir, tab.Name+".csv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queryPath = filepath.Join(t.TempDir(), "query.csv")
+	if err := q.WriteCSVFile(queryPath); err != nil {
+		t.Fatal(err)
+	}
+	return dir, queryPath
+}
+
+// TestCmdDiscoverCascadeMatchesOff: the user-visible contract — discover
+// output with the cascade on is byte-identical to -cascade=off when no
+// budget is in play.
+func TestCmdDiscoverCascadeMatchesOff(t *testing.T) {
+	dir, query := writeCorpusDir(t)
+	base := []string{"-query", query, "-dir", dir, "-mode", "union", "-method", "coma-instance", "-top", "3"}
+	on := captureStdout(t, func() error { return cmdDiscover(append(base, "-cascade", "on")) })
+	off := captureStdout(t, func() error { return cmdDiscover(append(base, "-cascade", "off")) })
+	if on != off {
+		t.Fatalf("cascade output diverges from full fidelity\n--- cascade on ---\n%s--- cascade off ---\n%s", on, off)
+	}
+	if !strings.Contains(on, "related_a") {
+		t.Fatalf("expected related_a in the top ranking:\n%s", on)
+	}
+}
+
+// TestCmdDiscoverBudgetBestEffort: a spent budget is not a CLI failure —
+// the command prints the best-effort ranking and the budget note.
+func TestCmdDiscoverBudgetBestEffort(t *testing.T) {
+	dir, query := writeCorpusDir(t)
+	out := captureStdout(t, func() error {
+		return cmdDiscover([]string{"-query", query, "-dir", dir, "-mode", "union",
+			"-method", "coma-instance", "-budget", "1ns"})
+	})
+	if !strings.Contains(out, "budget 1ns exhausted") {
+		t.Fatalf("missing best-effort note:\n%s", out)
+	}
+}
+
+func TestCmdDiscoverRejectsBadCascadeFlag(t *testing.T) {
+	dir, query := writeCorpusDir(t)
+	if err := cmdDiscover([]string{"-query", query, "-dir", dir, "-cascade", "sometimes"}); err == nil {
+		t.Fatal("expected -cascade validation error")
+	}
+}
+
+// TestCmdMatchBudgetBestEffort: same contract on the match command, which
+// dispatches through the matcher's own cascade (jaccard-levenshtein).
+func TestCmdMatchBudgetBestEffort(t *testing.T) {
+	dir, query := writeCorpusDir(t)
+	target := filepath.Join(dir, "related_a.csv")
+	out := captureStdout(t, func() error {
+		return cmdMatch([]string{"-method", "jaccard-levenshtein",
+			"-source", query, "-target", target, "-budget", "1ns"})
+	})
+	if !strings.Contains(out, "budget 1ns exhausted") {
+		t.Fatalf("missing best-effort note:\n%s", out)
+	}
+	// And with no budget, cascade output matches -cascade=off exactly.
+	base := []string{"-method", "jaccard-levenshtein", "-source", query, "-target", target, "-top", "5"}
+	on := captureStdout(t, func() error { return cmdMatch(append(base, "-cascade", "on")) })
+	off := captureStdout(t, func() error { return cmdMatch(append(base, "-cascade", "off")) })
+	if on != off {
+		t.Fatalf("match cascade output diverges\n--- on ---\n%s--- off ---\n%s", on, off)
+	}
+}

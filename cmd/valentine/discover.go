@@ -14,6 +14,7 @@ import (
 	"valentine/internal/discovery"
 	"valentine/internal/engine"
 	"valentine/internal/intern"
+	"valentine/internal/planner"
 	"valentine/internal/table"
 )
 
@@ -44,13 +45,19 @@ func cmdDiscover(args []string) error {
 	top := fs.Int("top", 10, "candidates to print")
 	parallelism := fs.Int("parallelism", 0, "engine worker-pool size (default GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole discovery (default none); expiry aborts mid-scoring")
-	verbose := fs.Bool("v", false, "print engine pipeline stats (candidates, pruned, scored, per-stage wall time)")
+	budget := fs.Duration("budget", 0, "per-query latency budget for the re-scoring phase (default none); expiry prints the best-effort ranking so far")
+	cascade := fs.String("cascade", "on", "on|off: cost-based bound-then-refine cascade for candidate re-scoring (off = full fidelity on every candidate)")
+	verbose := fs.Bool("v", false, "print engine pipeline stats (candidates, bounded, pruned, scored, per-stage wall time)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *query == "" {
 		return fmt.Errorf("discover: -query is required")
 	}
+	if *cascade != "on" && *cascade != "off" {
+		return fmt.Errorf("discover: -cascade %q is not on|off", *cascade)
+	}
+	cascadeOn := *cascade == "on"
 	// One engine context for the whole invocation: parallelism and deadline
 	// flow to candidate generation, index probing and matcher re-scoring.
 	ctx, cancel := engine.Options{Parallelism: *parallelism, Deadline: *timeout}.Start(context.Background())
@@ -131,52 +138,63 @@ func cmdDiscover(args []string) error {
 		nominate = unionPrescreen(store.Of(q), cands)
 	}
 
-	// Phase 2: exact re-scoring of nominated candidates through the shared
-	// profiles, fully warmed in parallel now that the survivors are known.
+	// Phase 2: re-scoring of nominated candidates through the planner's
+	// cost-based cascade — cheap admissible bounds first, the full matcher
+	// only on candidates whose bound reaches the top-k cutoff. With
+	// -cascade=off every candidate is fully scored (and warmed eagerly, as
+	// the pre-cascade pipeline did); the cascade instead lets pruned
+	// candidates skip full profiling entirely.
 	nominated := make([]*table.Table, 0, len(nominate))
 	for _, name := range nominate {
 		if t := byName[name]; t != nil {
 			nominated = append(nominated, t)
 		}
 	}
-	store.Warm(nominated...)
+	cands := make([]planner.Candidate, len(nominated))
+	for i, t := range nominated {
+		cands[i] = planner.Candidate{Name: files[t.Name], Profile: store.Of(t)}
+	}
+	qctx, qcancel := core.BudgetContext(ctx, *budget)
+	defer qcancel()
+	var rr *planner.RerankResult
+	var rerr error
+	if cascadeOn {
+		rr, rerr = planner.Rerank(qctx, m, store.Of(q), cands, *mode, *top)
+	} else {
+		store.Warm(nominated...)
+		rr, rerr = planner.RerankFull(qctx, m, store.Of(q), cands, *mode, 0)
+	}
+	if rerr != nil && !core.IsBudgetExpiry(ctx, rerr) {
+		return rerr
+	}
+	errNames := make([]string, 0, len(rr.Errs))
+	for name := range rr.Errs {
+		errNames = append(errNames, name)
+	}
+	sort.Strings(errNames)
+	for _, name := range errNames {
+		fmt.Fprintf(os.Stderr, "discover: skipping %s: %v\n", name, rr.Errs[name])
+	}
 	type candidate struct {
 		name  string
 		score float64
 		best  valentine.Match
-		err   error
 	}
-	// Re-score the nominated tables concurrently on the engine pool; slots
-	// keep nomination order so output and error reporting stay stable.
-	slots := make([]candidate, len(nominated))
-	if err := engine.Map(ctx, engine.OptionsFrom(ctx).Workers(), len(nominated), func(i int) error {
-		t := nominated[i]
-		matches, err := core.MatchProfilesWithContext(ctx, m, store.Of(q), store.Of(t))
-		if err != nil {
-			slots[i] = candidate{name: t.Name, err: err}
-			return nil
-		}
-		score, best := discoveryScore(matches, *mode, q)
-		slots[i] = candidate{name: files[t.Name], score: score, best: best}
-		return nil
-	}); err != nil {
-		return err
+	ranked := make([]candidate, 0, len(byName))
+	for _, r := range rr.Ranked {
+		ranked = append(ranked, candidate{name: r.Name, score: r.Score, best: r.Best})
 	}
-	var ranked []candidate
-	scored := make(map[string]bool, len(nominated))
-	for i, c := range slots {
-		// An errored candidate is dropped from the ranking entirely (and is
-		// not re-listed as pruned below — it was attempted, not pruned).
-		scored[nominated[i].Name] = true
-		if c.err != nil {
-			fmt.Fprintf(os.Stderr, "discover: skipping %s: %v\n", files[nominated[i].Name], c.err)
-			continue
-		}
-		ranked = append(ranked, c)
+	// Tables pruned before matching (phase 1) still appear, at score 0, so
+	// the output covers the whole corpus; candidates the cascade pruned or
+	// a budget skipped are provably (resp. knowably) outside the top-k and
+	// are reported via the counters instead.
+	nominatedSet := make(map[string]bool, len(nominated))
+	for _, t := range nominated {
+		nominatedSet[t.Name] = true
 	}
 	pruned := 0
 	for name := range byName {
-		if !scored[name] {
+		if !nominatedSet[name] {
 			ranked = append(ranked, candidate{name: files[name]})
 			pruned++
 		}
@@ -188,7 +206,11 @@ func cmdDiscover(args []string) error {
 		return ranked[i].name < ranked[j].name
 	})
 	fmt.Printf("%s-ability of %d candidates with %q (%s; %d pruned before matching):\n",
-		*mode, len(ranked), q.Name, *method, pruned)
+		*mode, len(byName), q.Name, *method, pruned)
+	if rr.BestEffort {
+		fmt.Printf("budget %s exhausted: best-effort ranking (%d candidates skipped, %d pruned by bounds)\n",
+			*budget, rr.Skipped, rr.Pruned)
+	}
 	if *top > len(ranked) {
 		*top = len(ranked)
 	}
@@ -308,26 +330,9 @@ func nameTokenEvidence(qp, cp *valentine.TableProfile) bool {
 	return false
 }
 
-// discoveryScore converts a ranked match list into one candidate score:
-// joinability is the best single correspondence (one good join column
-// suffices); unionability is the mean of each query column's best match
-// (union needs every column covered).
+// discoveryScore aliases planner.DiscoveryScore (where the aggregation
+// moved so the cascade and this CLI share one definition); kept for the
+// tests that pin its semantics.
 func discoveryScore(matches []valentine.Match, mode string, query *table.Table) (float64, valentine.Match) {
-	if len(matches) == 0 {
-		return 0, valentine.Match{}
-	}
-	if mode == "join" {
-		return matches[0].Score, matches[0]
-	}
-	bestPer := make(map[string]float64, query.NumColumns())
-	for _, m := range matches {
-		if m.Score > bestPer[m.SourceColumn] {
-			bestPer[m.SourceColumn] = m.Score
-		}
-	}
-	sum := 0.0
-	for _, c := range query.ColumnNames() {
-		sum += bestPer[c]
-	}
-	return sum / float64(query.NumColumns()), matches[0]
+	return planner.DiscoveryScore(matches, mode, query)
 }

@@ -7,8 +7,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"valentine"
+	"valentine/internal/core"
 	"valentine/internal/discovery"
 	"valentine/internal/engine"
 	"valentine/internal/table"
@@ -96,6 +98,8 @@ func cmdSearch(args []string) error {
 	top := fs.Int("top", 10, "results to print")
 	parallelism := fs.Int("parallelism", 0, "engine worker-pool size (default GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the search (default none); expiry aborts mid-search")
+	budget := fs.Duration("budget", 0, "per-query latency budget (default none); expiry prints the best-effort results so far")
+	verbose := fs.Bool("v", false, "print engine pipeline stats (candidates, bounded, pruned, scored, per-stage wall time)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,14 +120,23 @@ func cmdSearch(args []string) error {
 	}
 	ctx, cancel := engine.Options{Parallelism: *parallelism, Deadline: *timeout}.Start(context.Background())
 	defer cancel()
-	results, err := ix.SearchContext(ctx, q, m, *top)
-	if err != nil {
+	var stats *engine.Stats
+	if *verbose {
+		ctx, stats = engine.WithStats(ctx)
+	}
+	started := time.Now()
+	qctx, qcancel := core.BudgetContext(ctx, *budget)
+	defer qcancel()
+	results, _, bestEffort, err := ix.SearchBestEffortContext(qctx, q, m, *top, false)
+	if err != nil && !core.IsBudgetExpiry(ctx, err) {
 		return err
 	}
 	fmt.Printf("%s-ability of %q over %d indexed tables:\n", *mode, q.Name, ix.NumTables())
+	if bestEffort {
+		fmt.Printf("budget %s exhausted: best-effort results\n", *budget)
+	}
 	if len(results) == 0 {
 		fmt.Println("  no candidate tables collided with the query")
-		return nil
 	}
 	for i, r := range results {
 		fmt.Printf("%2d. %-30s %.3f", i+1, r.Table, r.Score)
@@ -131,6 +144,11 @@ func cmdSearch(args []string) error {
 			fmt.Printf("  via %s ~ %s", r.BestQuery, r.BestIndexed)
 		}
 		fmt.Println()
+	}
+	if stats != nil {
+		fmt.Printf("engine: %s (elapsed %s, parallelism %d)\n",
+			stats.Snapshot(), time.Since(started).Round(time.Millisecond),
+			engine.OptionsFrom(ctx).Workers())
 	}
 	return nil
 }

@@ -6,7 +6,7 @@
 //
 //	valentine methods
 //	valentine fabricate -src table.csv -scenario unionable -out out/ [flags]
-//	valentine match -method coma-schema -source a.csv -target b.csv [-top 10] [-param k=v]
+//	valentine match -method coma-schema -source a.csv -target b.csv [-top 10] [-param k=v] [-budget 50ms] [-cascade on|off]
 //	valentine evaluate -method coma-schema -source a.csv -target b.csv -truth gt.csv
 //	valentine experiment -source TPC-DI -rows 120 [-methods m1,m2]
 //	valentine index -dir lake/ -out lake.idx [-append] [-signature 128 -bands 32]
@@ -212,13 +212,66 @@ func runMatcher(fs *flag.FlagSet, args []string) (matches []core.Match, method s
 	return
 }
 
+// cmdMatch ranks column correspondences between two CSVs. Matchers that
+// implement the planner's cascade hooks (ensemble, jaccard-levenshtein) run
+// their internal bound-then-refine cascade by default — identical output,
+// but prunable work is skipped and a -budget expiry yields the best-effort
+// ranking so far instead of an error. -cascade=off forces the plain
+// full-fidelity path.
 func cmdMatch(args []string) error {
 	fs := flag.NewFlagSet("match", flag.ExitOnError)
-	matches, method, _, _, _, top, err := runMatcher(fs, args)
+	methodF := fs.String("method", valentine.MethodComaSchema, "matching method")
+	sourceF := fs.String("source", "", "source CSV (required)")
+	targetF := fs.String("target", "", "target CSV (required)")
+	topF := fs.Int("top", 10, "matches to print")
+	budget := fs.Duration("budget", 0, "latency budget (default none); expiry prints the best-effort ranking so far")
+	cascade := fs.String("cascade", "on", "on|off: matcher-internal bound-then-refine cascade where supported")
+	var pf paramFlags
+	fs.Var(&pf, "param", "matcher parameter key=value (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sourceF == "" || *targetF == "" {
+		return fmt.Errorf("-source and -target are required")
+	}
+	if *cascade != "on" && *cascade != "off" {
+		return fmt.Errorf("match: -cascade %q is not on|off", *cascade)
+	}
+	src, err := valentine.ReadCSVFile(*sourceF)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %d ranked matches\n", method, len(matches))
+	tgt, err := valentine.ReadCSVFile(*targetF)
+	if err != nil {
+		return err
+	}
+	m, err := valentine.NewMatcher(*methodF, pf.p)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	qctx, qcancel := core.BudgetContext(ctx, *budget)
+	defer qcancel()
+	var matches []core.Match
+	bestEffort := false
+	cm, cascades := m.(core.CascadeMatcher)
+	if cascades && *cascade == "on" {
+		sp, tp := core.ProfilePair(nil, src, tgt)
+		matches, bestEffort, err = cm.MatchCascade(qctx, sp, tp, 0)
+	} else {
+		matches, err = core.MatchWithContext(qctx, m, nil, src, tgt)
+	}
+	if err != nil {
+		if !core.IsBudgetExpiry(ctx, err) {
+			return err
+		}
+		bestEffort = true
+	}
+	fmt.Printf("%s: %d ranked matches\n", *methodF, len(matches))
+	if bestEffort {
+		fmt.Printf("budget %s exhausted: best-effort ranking\n", *budget)
+	}
+	top := *topF
 	if top > len(matches) {
 		top = len(matches)
 	}

@@ -369,6 +369,19 @@ func (ix *Index) SearchBruteForceContext(ctx context.Context, q *table.Table, mo
 	return ix.search(ctx, ix.queryProfile(q), mode, k, true)
 }
 
+// SearchBestEffortContext is SearchContextEpoch (or SearchBruteForceContext
+// when brute is set) under a latency budget: when ctx expires mid-scoring,
+// the query columns that finished are merged into a correctly ranked —
+// but possibly incomplete — result instead of being discarded. partial
+// reports that truncation happened; the context error is returned
+// alongside so the caller can tell a spent per-query budget from a dead
+// request (core.IsBudgetExpiry). With a live context the output is exactly
+// the non-best-effort variant's and partial is false.
+func (ix *Index) SearchBestEffortContext(ctx context.Context, q *table.Table, mode Mode, k int, brute bool) (results []Result, epoch uint64, partial bool, err error) {
+	results, epoch, err = ix.searchImpl(ctx, ix.queryProfile(q), mode, k, brute, true)
+	return results, epoch, err != nil, err
+}
+
 // queryProfile profiles a query table in hash-sharing mode against the
 // catalog dictionary: query values the corpus already holds reuse their
 // memoized MinHash base hashes, and values the corpus has never seen are
@@ -398,6 +411,14 @@ type colAcc struct {
 // search is the one scoring path behind every Search variant. It returns
 // the ranked results plus the epoch of the snapshot it pinned.
 func (ix *Index) search(ctx context.Context, qp *profile.TableProfile, mode Mode, k int, brute bool) ([]Result, uint64, error) {
+	return ix.searchImpl(ctx, qp, mode, k, brute, false)
+}
+
+// searchImpl additionally supports best-effort mode: a context error
+// mid-scoring merges whatever query columns completed (unfinished ones
+// contribute nothing) and returns the partial ranking alongside the error,
+// instead of dropping it.
+func (ix *Index) searchImpl(ctx context.Context, qp *profile.TableProfile, mode Mode, k int, brute, bestEffort bool) ([]Result, uint64, error) {
 	if mode != ModeJoin && mode != ModeUnion {
 		return nil, 0, fmt.Errorf("discovery: mode %q is not join|union", mode)
 	}
@@ -497,12 +518,16 @@ func (ix *Index) search(ctx context.Context, qp *profile.TableProfile, mode Mode
 	stats.AddCandidates(scored.Load())
 	stats.AddScored(scored.Load())
 	stats.AddPruned(int64(nq)*int64(sn.nCols) - scored.Load())
-	if err != nil {
+	mapErr := err
+	if err != nil && !bestEffort {
 		return nil, 0, err
 	}
 
 	// Merge per-query-column accumulators in query-column order — the exact
-	// order the sequential sweep updated its per-table state in.
+	// order the sequential sweep updated its per-table state in. In
+	// best-effort mode, columns the expired context left unfinished have a
+	// nil accumulator — identical in effect to an empty-signature column —
+	// and simply contribute no scores.
 	type tableAcc struct {
 		perQuery   []float64 // best score per query column (union mode)
 		best       float64
@@ -559,7 +584,7 @@ func (ix *Index) search(ctx context.Context, qp *profile.TableProfile, mode Mode
 			out = out[:k]
 		}
 	})
-	return out, sn.epoch, nil
+	return out, sn.epoch, mapErr
 }
 
 // ValidateQuery checks a query table's structure. Unlike table.Validate, an

@@ -16,9 +16,13 @@ const (
 	// construction, LSH probing — everything that enumerates what could be
 	// scored.
 	StageGenerate Stage = iota
+	// StageBound covers admissible upper-bound computation over candidates
+	// (the planner cascade's cheap interned-kernel tier that caps what a
+	// candidate could possibly score).
+	StageBound
 	// StagePrune covers cheap filters that cut candidates before full
 	// scoring (LSH collision misses, distribution phase-1 sketches,
-	// threshold screens).
+	// threshold screens, and cascade bound-vs-cutoff cuts).
 	StagePrune
 	// StageScore covers the full scoring of surviving candidates — the work
 	// the pool fans out.
@@ -33,6 +37,8 @@ func (s Stage) String() string {
 	switch s {
 	case StageGenerate:
 		return "generate"
+	case StageBound:
+		return "bound"
 	case StagePrune:
 		return "prune"
 	case StageScore:
@@ -49,6 +55,7 @@ func (s Stage) String() string {
 // instrumented code never branches on whether a collector is installed.
 type Stats struct {
 	candidates atomic.Int64
+	bounded    atomic.Int64
 	pruned     atomic.Int64
 	scored     atomic.Int64
 	wall       [numStages]atomic.Int64 // nanoseconds per stage
@@ -60,6 +67,15 @@ func (s *Stats) AddCandidates(n int64) {
 		return
 	}
 	s.candidates.Add(n)
+}
+
+// AddBounded records n candidates whose admissible upper bound was
+// computed by a cascade tier.
+func (s *Stats) AddBounded(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.bounded.Add(n)
 }
 
 // AddPruned records n candidates cut before full scoring.
@@ -105,12 +121,16 @@ type Snapshot struct {
 	// Candidates counts scoring units generated (e.g. column pairs
 	// enumerated or nominated by the LSH shards).
 	Candidates int64 `json:"candidates"`
+	// Bounded counts units whose admissible upper bound was computed by a
+	// cascade tier (zero on non-cascade paths).
+	Bounded int64 `json:"bounded"`
 	// Pruned counts units cut before full scoring.
 	Pruned int64 `json:"pruned"`
 	// Scored counts units fully scored.
 	Scored int64 `json:"scored"`
 	// Per-stage accumulated wall time.
 	Generate time.Duration `json:"generate_ns"`
+	Bound    time.Duration `json:"bound_ns"`
 	Prune    time.Duration `json:"prune_ns"`
 	Score    time.Duration `json:"score_ns"`
 	Rank     time.Duration `json:"rank_ns"`
@@ -124,9 +144,11 @@ func (s *Stats) Snapshot() Snapshot {
 	}
 	return Snapshot{
 		Candidates: s.candidates.Load(),
+		Bounded:    s.bounded.Load(),
 		Pruned:     s.pruned.Load(),
 		Scored:     s.scored.Load(),
 		Generate:   time.Duration(s.wall[StageGenerate].Load()),
+		Bound:      time.Duration(s.wall[StageBound].Load()),
 		Prune:      time.Duration(s.wall[StagePrune].Load()),
 		Score:      time.Duration(s.wall[StageScore].Load()),
 		Rank:       time.Duration(s.wall[StageRank].Load()),
@@ -136,9 +158,10 @@ func (s *Stats) Snapshot() Snapshot {
 // String renders the snapshot as one human-readable line (discover -v).
 func (sn Snapshot) String() string {
 	return fmt.Sprintf(
-		"candidates=%d pruned=%d scored=%d | generate=%s prune=%s score=%s rank=%s",
-		sn.Candidates, sn.Pruned, sn.Scored,
-		sn.Generate.Round(time.Microsecond), sn.Prune.Round(time.Microsecond),
+		"candidates=%d bounded=%d pruned=%d scored=%d | generate=%s bound=%s prune=%s score=%s rank=%s",
+		sn.Candidates, sn.Bounded, sn.Pruned, sn.Scored,
+		sn.Generate.Round(time.Microsecond), sn.Bound.Round(time.Microsecond),
+		sn.Prune.Round(time.Microsecond),
 		sn.Score.Round(time.Microsecond), sn.Rank.Round(time.Microsecond))
 }
 

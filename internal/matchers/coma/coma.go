@@ -222,6 +222,14 @@ func (m *Matcher) aggregate(a, b *element) float64 {
 	if m.Strategy == StrategyInstance {
 		scores = append(scores, overlapMatcher(a, b), constraintMatcher(a, b))
 	}
+	return m.combine(scores)
+}
+
+// combine applies the configured aggregation operator to a score vector.
+// Every operator is monotone non-decreasing in each argument — the
+// property ScoreBoundProfiles relies on to turn per-component maxima into
+// an admissible aggregate bound.
+func (m *Matcher) combine(scores []float64) float64 {
 	switch m.Aggregation {
 	case AggMax:
 		best := 0.0
@@ -276,7 +284,10 @@ func namePathMatcher(a, b *element) float64 {
 // lossy (0.6) — the coercion asymmetry that makes COMA's "both"-direction
 // combination meaningful.
 func typeMatcher(a, b *element) float64 {
-	ta, tb := a.column.Type, b.column.Type
+	return typeScore(a.column.Type, b.column.Type)
+}
+
+func typeScore(ta, tb table.Type) float64 {
 	switch {
 	case ta == tb:
 		return 1

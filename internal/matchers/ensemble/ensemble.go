@@ -135,11 +135,22 @@ func (e *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.Tabl
 	if err != nil {
 		return nil, err
 	}
+	return e.fuse(memberMatches, nil, source, target), nil
+}
 
+// fuse combines member rankings into the final ranked list. present
+// selects which members participate (nil: all) — the budgeted cascade
+// fuses only the members that completed. Members are always folded in
+// their original declaration order, so the floating-point sums (and hence
+// the fused scores) are bit-identical however the members were scheduled.
+func (e *Matcher) fuse(memberMatches [][]core.Match, present []bool, source, target *table.Table) []core.Match {
 	type key struct{ s, t string }
 	fused := make(map[key]float64)
 	totalWeight := 0.0
 	for mi, member := range e.Members {
+		if present != nil && !present[mi] {
+			continue
+		}
 		w := member.Weight
 		if w <= 0 {
 			w = 1
@@ -199,7 +210,7 @@ func (e *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.Tabl
 		}
 	}
 	core.SortMatches(out)
-	return out, nil
+	return out
 }
 
 // sortedPairKeys is exposed for tests: deterministic iteration order of the

@@ -1,0 +1,93 @@
+package jaccardlev
+
+import (
+	"context"
+
+	"valentine/internal/core"
+	"valentine/internal/engine"
+	"valentine/internal/planner"
+	"valentine/internal/profile"
+)
+
+// Cascade hooks. The fuzzy Jaccard score of a column pair is
+// matched/(sa+sb−matched) with matched ≤ sa (only source values are
+// matched), which is increasing in matched — so sa/sb is an admissible
+// per-pair bound (it can exceed 1, as the score itself can when sa > sb),
+// and zero when either sample is empty. Sample sizes follow from cached
+// distinct counts alone, so the bound costs no string work at all.
+
+// MatchCostHint implements core.Coster: measured average per-pair runtime
+// in microseconds (BENCH_6 Table V, rows=120) — by far the most expensive
+// non-embedding matcher, thanks to the quadratic Levenshtein phase.
+func (m *Matcher) MatchCostHint() float64 { return 55000 }
+
+// sampleSize is the column's effective sample cardinality: its distinct
+// count capped at the matcher's sample limit.
+func (m *Matcher) sampleSize(p *profile.Profile) int {
+	limit := m.MaxSample
+	if limit <= 0 {
+		limit = 120
+	}
+	d := p.Distinct()
+	if d > limit {
+		return limit
+	}
+	return d
+}
+
+func pairBound(sa, sb int) float64 {
+	if sa == 0 || sb == 0 {
+		return 0
+	}
+	return float64(sa) / float64(sb)
+}
+
+// ScoreBoundProfiles implements core.ScoreBounder: the best per-pair
+// bound over the cross product.
+func (m *Matcher) ScoreBoundProfiles(sp, tp *profile.TableProfile) float64 {
+	best := 0.0
+	for _, sc := range sp.Columns() {
+		sa := m.sampleSize(sc)
+		for _, tc := range tp.Columns() {
+			if b := pairBound(sa, m.sampleSize(tc)); b > best {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+// MatchCascade implements core.CascadeMatcher: the same scoring path as
+// MatchProfilesContext, but through the planner's bound-aware pair cascade
+// — pairs whose sa/sb bound cannot reach the current kth-best score skip
+// the quadratic fuzzy phase entirely. With k <= 0 and a live context the
+// output is exactly MatchProfilesContext's.
+func (m *Matcher) MatchCascade(ctx context.Context, sp, tp *profile.TableProfile, k int) ([]core.Match, bool, error) {
+	if err := core.ValidatePair(sp, tp); err != nil {
+		return nil, false, err
+	}
+	source, target := sp.Table(), tp.Table()
+	limit := m.MaxSample
+	if limit <= 0 {
+		limit = 120
+	}
+	useIDs := sp.InterningDict() != nil && sp.InterningDict() == tp.InterningDict()
+	var srcSets, tgtSets []colSample
+	engine.StatsFrom(ctx).Timed(engine.StageGenerate, func() {
+		srcSets = make([]colSample, len(source.Columns))
+		for i := range source.Columns {
+			srcSets[i] = sampleColumn(sp.Column(i), limit, useIDs)
+		}
+		tgtSets = make([]colSample, len(target.Columns))
+		for i := range target.Columns {
+			tgtSets[i] = sampleColumn(tp.Column(i), limit, useIDs)
+		}
+	})
+	return planner.ScorePairsTopK(ctx, sp, tp, k,
+		func(i, j int) float64 {
+			return pairBound(len(srcSets[i].vals), len(tgtSets[j].vals))
+		},
+		func(i, j int) (float64, bool) {
+			return fuzzyJaccard(&srcSets[i], &tgtSets[j], m.Threshold), true
+		})
+}

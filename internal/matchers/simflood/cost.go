@@ -1,0 +1,6 @@
+package simflood
+
+// MatchCostHint implements core.Coster: measured average per-pair runtime
+// in microseconds (BENCH_6 Table V, rows=120), used by the planner cascade
+// to refine candidates cheapest-first. Only the relative order matters.
+func (m *Matcher) MatchCostHint() float64 { return 2500 }

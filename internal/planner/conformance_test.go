@@ -1,0 +1,204 @@
+package planner_test
+
+// Randomized conformance fuzzing of the exactness contract on real
+// matchers: over fuzzed corpora, the cascade's top-k (Rerank) must be
+// bit-identical to the full-fidelity reference's (RerankFull) — scores,
+// names, best correspondences, order — for every cascade-relevant matcher
+// and both discovery modes. Run under -race in CI, so the concurrent
+// cutoff raising is exercised too.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"valentine/internal/core"
+	"valentine/internal/engine"
+	"valentine/internal/experiment"
+	"valentine/internal/matchers/ensemble"
+	"valentine/internal/planner"
+	"valentine/internal/profile"
+	"valentine/internal/table"
+)
+
+// fuzzTable draws string columns from a shared vocabulary so cross-table
+// value overlap — the signal the bounds read — is substantial but noisy.
+// disjoint tables draw from a separate pool and should bound near zero for
+// overlap-driven matchers.
+func fuzzTable(rng *rand.Rand, name string, disjoint bool) *table.Table {
+	t := table.New(name)
+	cols := 2 + rng.Intn(3)
+	rows := 20 + rng.Intn(30)
+	prefix := "val"
+	if disjoint {
+		prefix = "junk" + name
+	}
+	for c := 0; c < cols; c++ {
+		vals := make([]string, rows)
+		for r := range vals {
+			if rng.Intn(12) == 0 {
+				vals[r] = ""
+			} else {
+				vals[r] = fmt.Sprintf("%s-%d", prefix, rng.Intn(40))
+			}
+		}
+		// A mix of shared and per-table column names fuzzes the name-token
+		// bound signals as well.
+		cname := fmt.Sprintf("col%d", c)
+		if rng.Intn(3) == 0 {
+			cname = fmt.Sprintf("%s-own%d", name, c)
+		}
+		t.AddColumn(cname, vals)
+	}
+	return t
+}
+
+func fuzzCorpus(rng *rand.Rand, n int) (query *table.Table, cands []planner.Candidate, store *profile.Store) {
+	store = profile.NewStore()
+	query = fuzzTable(rng, "query", false)
+	for i := 0; i < n; i++ {
+		tbl := fuzzTable(rng, fmt.Sprintf("t%02d", i), rng.Intn(3) == 0)
+		cands = append(cands, planner.Candidate{Name: tbl.Name, Profile: store.Of(tbl)})
+	}
+	return query, cands, store
+}
+
+func conformanceMatchers(t *testing.T) map[string]core.Matcher {
+	t.Helper()
+	reg := experiment.NewRegistry()
+	grids := experiment.QuickGrids()
+	out := make(map[string]core.Matcher)
+	for _, name := range []string{
+		experiment.MethodComaSchema,
+		experiment.MethodComaInstance,
+		experiment.MethodJaccardLev,
+		experiment.MethodLSH,
+		experiment.MethodSimFlood,
+	} {
+		var params core.Params
+		if g := grids[name]; len(g) > 0 {
+			params = g[0]
+		}
+		m, err := reg.New(name, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = m
+	}
+	e, err := ensemble.FromRegistry(reg, map[string]core.Params{
+		experiment.MethodComaSchema: grids[experiment.MethodComaSchema][0],
+	}, []string{experiment.MethodComaSchema, experiment.MethodLSH}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["ensemble"] = e
+	return out
+}
+
+// TestRerankConformance is the exactness contract end to end: cascade
+// top-k == full-fidelity top-k, bit for bit, with no budget.
+func TestRerankConformance(t *testing.T) {
+	matchers := conformanceMatchers(t)
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		query, cands, store := fuzzCorpus(rng, 14)
+		qp := store.Of(query)
+		for name, m := range matchers {
+			for _, mode := range []string{"join", "union"} {
+				for _, k := range []int{1, 3, 5} {
+					ctx, cancel := engine.Options{}.Start(context.Background())
+					full, err := planner.RerankFull(ctx, m, qp, cands, mode, k)
+					if err != nil {
+						cancel()
+						t.Fatalf("seed %d %s/%s k=%d full: %v", seed, name, mode, k, err)
+					}
+					casc, err := planner.Rerank(ctx, m, qp, cands, mode, k)
+					cancel()
+					if err != nil {
+						t.Fatalf("seed %d %s/%s k=%d cascade: %v", seed, name, mode, k, err)
+					}
+					if casc.BestEffort {
+						t.Fatalf("seed %d %s/%s k=%d: best-effort without a budget", seed, name, mode, k)
+					}
+					if len(full.Errs) != 0 || len(casc.Errs) != 0 {
+						t.Fatalf("seed %d %s/%s k=%d: unexpected errs %v / %v", seed, name, mode, k, full.Errs, casc.Errs)
+					}
+					if len(casc.Ranked) != len(full.Ranked) {
+						t.Fatalf("seed %d %s/%s k=%d: %d ranked, want %d (pruned=%d)",
+							seed, name, mode, k, len(casc.Ranked), len(full.Ranked), casc.Pruned)
+					}
+					for i := range full.Ranked {
+						if casc.Ranked[i] != full.Ranked[i] {
+							t.Fatalf("seed %d %s/%s k=%d rank %d:\ncascade %+v\nfull    %+v\n(pruned=%d)",
+								seed, name, mode, k, i, casc.Ranked[i], full.Ranked[i], casc.Pruned)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRerankActuallyPrunes guards against the cascade silently degrading
+// into always-score-everything: on a corpus where most candidates share no
+// values or tokens with the query, overlap-driven matchers must prune.
+func TestRerankActuallyPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	store := profile.NewStore()
+	query := fuzzTable(rng, "query", false)
+	var cands []planner.Candidate
+	for i := 0; i < 20; i++ {
+		// All-junk corpus except two relatives: bounds for the junk are 0
+		// for lsh-value-overlap, so with k=1 almost everything prunes.
+		tbl := fuzzTable(rng, fmt.Sprintf("t%02d", i), i >= 2)
+		cands = append(cands, planner.Candidate{Name: tbl.Name, Profile: store.Of(tbl)})
+	}
+	reg := experiment.NewRegistry()
+	m, err := reg.New(experiment.MethodLSH, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := engine.Options{}.Start(context.Background())
+	defer cancel()
+	rr, err := planner.Rerank(ctx, m, store.Of(query), cands, "join", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Pruned == 0 {
+		t.Fatal("expected the cascade to prune junk candidates")
+	}
+}
+
+// TestRerankBudgetExpiry: an already-spent budget yields a best-effort
+// (possibly empty) ranking plus the deadline error — never a hard failure
+// while the outer request is alive.
+func TestRerankBudgetExpiry(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	query, cands, store := fuzzCorpus(rng, 10)
+	reg := experiment.NewRegistry()
+	m, err := reg.New(experiment.MethodComaInstance, experiment.QuickGrids()[experiment.MethodComaInstance][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, cancel := engine.Options{}.Start(context.Background())
+	defer cancel()
+	qctx, qcancel := core.BudgetContext(outer, time.Nanosecond)
+	defer qcancel()
+	time.Sleep(time.Millisecond) // the budget is deterministically spent
+	rr, rerr := planner.Rerank(qctx, m, store.Of(query), cands, "union", 5)
+	if !errors.Is(rerr, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", rerr)
+	}
+	if !core.IsBudgetExpiry(outer, rerr) {
+		t.Fatal("spent budget with a live outer context must classify as best-effort")
+	}
+	if !rr.BestEffort {
+		t.Fatal("BestEffort flag not set")
+	}
+	if rr.Skipped == 0 {
+		t.Fatal("expected skipped candidates")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -33,6 +34,12 @@ type Report struct {
 	DurationMS  int     `json:"duration_ms"`
 	ElapsedMS   int64   `json:"elapsed_ms"`
 	Workers     int     `json:"workers"`
+
+	// CPUs and GOMAXPROCS qualify the latency numbers: a p99 measured on a
+	// single-core runner is not comparable to one from a wide machine. Set
+	// by Replay, informational only (Check does not validate them).
+	CPUs       int `json:"cpus,omitempty"`
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 
 	// Endpoints maps op kind → latency histogram summary. Latencies are
 	// open-loop: measured from each op's scheduled arrival, so queueing
@@ -109,6 +116,8 @@ func (s *Scenario) Replay(ctx context.Context, c *Corpus, cl *Client) (*Report, 
 		TargetQPS:  s.Workload.TargetQPS,
 		DurationMS: s.Workload.DurationMS,
 		Workers:    s.Workload.Workers,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
 	// Pre-load the corpus through the served ingest path (workers in

@@ -107,6 +107,11 @@ type Server struct {
 	removes  atomic.Int64
 	matches  atomic.Int64
 
+	// engineTotals accumulates every scoring request's per-stage engine
+	// snapshot, so /v1/stats exposes cascade effectiveness (candidates /
+	// bounded / pruned / fully-scored and per-stage wall) in production.
+	engineTotals engine.Stats
+
 	snapStop chan struct{}
 	snapDone chan struct{}
 	snapErr  atomic.Pointer[string]
@@ -323,6 +328,11 @@ type SearchRequest struct {
 	K     int       `json:"k"`    // <= 0: all
 	// BruteForce bypasses the LSH shards (debugging/regression tool).
 	BruteForce bool `json:"brute_force,omitempty"`
+	// BudgetMS is the per-query latency budget in milliseconds (0: none).
+	// It is a sub-deadline of the request timeout: when it expires
+	// mid-scoring the response carries whatever completed, flagged
+	// best_effort, instead of a 504.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
 }
 
 // SearchResult is one ranked table.
@@ -340,6 +350,9 @@ type SearchResponse struct {
 	Epoch   uint64          `json:"epoch"`
 	Results []SearchResult  `json:"results"`
 	Stats   engine.Snapshot `json:"stats"`
+	// BestEffort reports that the per-query budget expired mid-scoring and
+	// Results covers only the work that finished in time.
+	BestEffort bool `json:"best_effort,omitempty"`
 }
 
 func (s *Server) handleSearch(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
@@ -360,16 +373,31 @@ func (s *Server) handleSearch(ctx context.Context, w http.ResponseWriter, r *htt
 	}
 	s.searches.Add(1)
 	ctx, stats := engine.WithStats(ctx)
+	defer func() { s.recordEngine(stats.Snapshot()) }()
 	ix := s.cfg.Index
 	// Both paths run under the request context (deadline + cancellation
 	// honored mid-sweep) and report the epoch of the snapshot actually
 	// searched — sampling ix.Epoch() separately could race past a
 	// concurrently published write.
 	var (
-		results []discovery.Result
-		epoch   uint64
+		results    []discovery.Result
+		epoch      uint64
+		bestEffort bool
 	)
-	if req.BruteForce {
+	if req.BudgetMS > 0 {
+		// The budget is a sub-deadline of the request context: its expiry
+		// yields a flagged best-effort response, while the request's own
+		// deadline (or cancellation) stays an error.
+		qctx, qcancel := core.BudgetContext(ctx, time.Duration(req.BudgetMS)*time.Millisecond)
+		defer qcancel()
+		results, epoch, bestEffort, err = ix.SearchBestEffortContext(qctx, q, mode, req.K, req.BruteForce)
+		if err != nil {
+			if !core.IsBudgetExpiry(ctx, err) {
+				return err
+			}
+			err = nil
+		}
+	} else if req.BruteForce {
 		results, epoch, err = ix.SearchBruteForceContext(ctx, q, mode, req.K)
 	} else {
 		results, epoch, err = ix.SearchContextEpoch(ctx, q, mode, req.K)
@@ -377,7 +405,7 @@ func (s *Server) handleSearch(ctx context.Context, w http.ResponseWriter, r *htt
 	if err != nil {
 		return err
 	}
-	resp := SearchResponse{Epoch: epoch, Stats: stats.Snapshot(), Results: make([]SearchResult, len(results))}
+	resp := SearchResponse{Epoch: epoch, Stats: stats.Snapshot(), BestEffort: bestEffort, Results: make([]SearchResult, len(results))}
 	for i, res := range results {
 		resp.Results[i] = SearchResult{
 			Table:       res.Table,
@@ -515,6 +543,13 @@ type MatchRequest struct {
 	Method string         `json:"method"` // default "coma-schema"
 	Params map[string]any `json:"params,omitempty"`
 	Top    int            `json:"top"` // <= 0: all
+	// BudgetMS is the per-query latency budget in milliseconds (0: none);
+	// expiry mid-scoring yields a flagged best-effort response.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+	// Cascade selects the planner cascade for methods that support it
+	// (nil: on — the escape hatch is {"cascade": false}). Without a
+	// budget, cascade output is bit-identical to the full-fidelity path.
+	Cascade *bool `json:"cascade,omitempty"`
 }
 
 // MatchJSON is one scored column correspondence.
@@ -524,10 +559,15 @@ type MatchJSON struct {
 	Score        float64 `json:"score"`
 }
 
-// MatchResponse carries the ranked matches.
+// MatchResponse carries the ranked matches plus the engine's per-stage
+// instrumentation for the request.
 type MatchResponse struct {
-	Method  string      `json:"method"`
-	Matches []MatchJSON `json:"matches"`
+	Method  string          `json:"method"`
+	Matches []MatchJSON     `json:"matches"`
+	Stats   engine.Snapshot `json:"stats"`
+	// BestEffort reports that the per-query budget expired mid-scoring and
+	// Matches covers only the work that finished in time.
+	BestEffort bool `json:"best_effort,omitempty"`
 }
 
 func (s *Server) handleMatch(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
@@ -551,19 +591,38 @@ func (s *Server) handleMatch(ctx context.Context, w http.ResponseWriter, r *http
 		return errBadRequest("%v", err)
 	}
 	s.matches.Add(1)
+	ctx, stats := engine.WithStats(ctx)
+	defer func() { s.recordEngine(stats.Snapshot()) }()
+	qctx, qcancel := core.BudgetContext(ctx, time.Duration(req.BudgetMS)*time.Millisecond)
+	defer qcancel()
 	// The engine path: context deadline and parallelism honored
 	// mid-scoring. No profile store: HTTP tables are fresh pointers a
 	// pointer-keyed store could never hit on again — a nil store still
 	// shares one profile per table within this call, then lets it be
 	// collected.
-	matches, err := core.MatchWithContext(ctx, m, nil, src, tgt)
+	var (
+		matches    []core.Match
+		bestEffort bool
+	)
+	cm, cascades := m.(core.CascadeMatcher)
+	if cascades && (req.Cascade == nil || *req.Cascade) {
+		sp, tp := core.ProfilePair(nil, src, tgt)
+		matches, bestEffort, err = cm.MatchCascade(qctx, sp, tp, req.Top)
+	} else {
+		matches, err = core.MatchWithContext(qctx, m, nil, src, tgt)
+		if req.Top > 0 && len(matches) > req.Top {
+			matches = matches[:req.Top]
+		}
+	}
 	if err != nil {
-		return err
+		// A spent budget (request still alive) downgrades to a flagged
+		// best-effort response; a dead request stays an error.
+		if !core.IsBudgetExpiry(ctx, err) {
+			return err
+		}
+		bestEffort = true
 	}
-	if req.Top > 0 && len(matches) > req.Top {
-		matches = matches[:req.Top]
-	}
-	resp := MatchResponse{Method: req.Method, Matches: make([]MatchJSON, len(matches))}
+	resp := MatchResponse{Method: req.Method, Stats: stats.Snapshot(), BestEffort: bestEffort, Matches: make([]MatchJSON, len(matches))}
 	for i, match := range matches {
 		resp.Matches[i] = MatchJSON{
 			SourceColumn: match.SourceColumn,
@@ -576,10 +635,26 @@ func (s *Server) handleMatch(ctx context.Context, w http.ResponseWriter, r *http
 
 // --- stats ---
 
-// StatsResponse merges catalog state with server counters.
+// StatsResponse merges catalog state with server counters and the
+// cumulative engine pipeline totals across every scoring request.
 type StatsResponse struct {
 	Catalog discovery.Stats `json:"catalog"`
 	Server  ServerStats     `json:"server"`
+	Engine  engine.Snapshot `json:"engine"`
+}
+
+// recordEngine folds one request's engine snapshot into the server-wide
+// totals served by /v1/stats.
+func (s *Server) recordEngine(sn engine.Snapshot) {
+	s.engineTotals.AddCandidates(sn.Candidates)
+	s.engineTotals.AddBounded(sn.Bounded)
+	s.engineTotals.AddPruned(sn.Pruned)
+	s.engineTotals.AddScored(sn.Scored)
+	s.engineTotals.Observe(engine.StageGenerate, sn.Generate)
+	s.engineTotals.Observe(engine.StageBound, sn.Bound)
+	s.engineTotals.Observe(engine.StagePrune, sn.Prune)
+	s.engineTotals.Observe(engine.StageScore, sn.Score)
+	s.engineTotals.Observe(engine.StageRank, sn.Rank)
 }
 
 // ServerStats are the serving-layer counters.
@@ -609,5 +684,9 @@ func (s *Server) handleStats(_ context.Context, w http.ResponseWriter, _ *http.R
 	if msg := s.snapErr.Load(); msg != nil {
 		st.SnapshotError = *msg
 	}
-	return writeJSON(w, http.StatusOK, StatsResponse{Catalog: s.cfg.Index.Stats(), Server: st})
+	return writeJSON(w, http.StatusOK, StatsResponse{
+		Catalog: s.cfg.Index.Stats(),
+		Server:  st,
+		Engine:  s.engineTotals.Snapshot(),
+	})
 }
