@@ -9,6 +9,7 @@
 //	benchreport -json BENCH_2.json  # machine-readable trajectory file
 //	benchreport -scenario -json out.json  # scenario replay section only (fast)
 //	benchreport -cascade            # planner cascade vs full fidelity only
+//	benchreport -segments           # v1 vs v2 snapshot restart + mapped search
 //	benchreport -check out.json     # validate a written scenario section
 //	benchreport -check out.json -baseline BENCH_7.json  # + p99 regression gate
 package main
@@ -50,6 +51,7 @@ func main() {
 		scenF    = flag.Bool("scenario", false, "scenario section: open-loop replay against an in-process server")
 		scenFile = flag.String("scenario-file", defaultScenarioFile, "scenario file for -scenario")
 		cascF    = flag.Bool("cascade", false, "cascade section: bound-then-refine planner vs full fidelity on a skewed corpus")
+		segF     = flag.Bool("segments", false, "segments section: v1 gob vs v2 columnar mmap snapshots — cold restart, search conformance, mapped kernel allocs")
 		checkF   = flag.String("check", "", "validate the scenario section of an existing -json file and exit")
 		baseF    = flag.String("baseline", "", "with -check: fail if scenario p99s regress beyond -baseline-tolerance vs this trajectory file")
 		baseTolF = flag.Float64("baseline-tolerance", 3.0, "with -baseline: allowed p99 ratio (checked/baseline) per endpoint")
@@ -66,20 +68,20 @@ func main() {
 	}
 	detailedCSV = *csvOut
 	jsonOut = *jsonOutF
-	if !(*table1 || *table2 || *table3 || *table4 || *table5 || *fig4 || *fig5 || *fig6 || *fig7 || *scenF || *cascF) {
+	if !(*table1 || *table2 || *table3 || *table4 || *table5 || *fig4 || *fig5 || *fig6 || *fig7 || *scenF || *cascF || *segF) {
 		*all = true
 	}
 	if *all {
 		*table1, *table2, *table3, *table4, *table5 = true, true, true, true, true
-		*fig4, *fig5, *fig6, *fig7, *scenF, *cascF = true, true, true, true, true, true
+		*fig4, *fig5, *fig6, *fig7, *scenF, *cascF, *segF = true, true, true, true, true, true, true
 	}
-	if err := run(*rows, *seeds, *table1, *table2, *table3, *table4, *table5, *fig4, *fig5, *fig6, *fig7, *scenF, *cascF, *scenFile); err != nil {
+	if err := run(*rows, *seeds, *table1, *table2, *table3, *table4, *table5, *fig4, *fig5, *fig6, *fig7, *scenF, *cascF, *segF, *scenFile); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fig6, fig7, scen, casc bool, scenFile string) error {
+func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fig6, fig7, scen, casc, seg bool, scenFile string) error {
 	ctx := context.Background()
 	cfg := report.Config{Rows: rows, Seeds: seeds}
 
@@ -97,7 +99,7 @@ func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fi
 	// Section-only runs (`-scenario -json …`, `-cascade -json …`) skip it so
 	// they stay fast enough for CI smoke legs.
 	var fabricated []experiment.Result
-	needFab := fig4 || fig5 || fig6 || table5 || (jsonOut != "" && !scen && !casc)
+	needFab := fig4 || fig5 || fig6 || table5 || (jsonOut != "" && !scen && !casc && !seg)
 	if needFab {
 		fmt.Fprintf(os.Stderr, "running fabricated-pair experiments (rows=%d seeds=%d)...\n", rows, seeds)
 		var err error
@@ -197,10 +199,23 @@ func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fi
 		}
 		fmt.Println(formatCascade(cascRep))
 	}
+	// The segments section fails hard as well: cross-format search divergence
+	// or an allocating mapped-kernel probe is a correctness regression.
+	var segRep *jsonSegments
+	if seg {
+		fmt.Fprintln(os.Stderr, "measuring v1 vs v2 snapshot restart and mapped-search conformance...")
+		var err error
+		segRep, err = measureSegments()
+		if err != nil {
+			return err
+		}
+		fmt.Println(formatSegments(segRep))
+	}
 	if jsonOut != "" {
 		rep := buildJSONReport(rows, seeds, fabricated)
 		rep.Scenario = scenRep
 		rep.Cascade = cascRep
+		rep.Segments = segRep
 		if needFab {
 			// The engine section is best-effort: a measurement failure must
 			// not discard the (much more expensive) run results above.

@@ -1,0 +1,266 @@
+package main
+
+// Segments measurement (-segments / -json "segments" section): cold-restart
+// latency and served-search throughput of the v1 gob snapshot encoding vs
+// the v2 columnar mmap-backed encoding, on one deterministic catalog saved
+// in both formats. Every query is answered by both loaded catalogs and the
+// results are checked identical before any timing counts — the zero-copy
+// path must never buy speed with a different answer — and the interned-set
+// kernels are probed against the mapped segments to pin the zero-alloc
+// contract in the trajectory file.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"valentine/internal/discovery"
+	"valentine/internal/intern"
+	"valentine/internal/table"
+)
+
+type jsonSegments struct {
+	// CPUs and GOMAXPROCS qualify the latencies.
+	CPUs       int `json:"cpus"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Catalog shape.
+	Tables         int   `json:"tables"`
+	Columns        int   `json:"columns"`
+	Rows           int   `json:"rows"`
+	SealedSegments int   `json:"sealed_segments"`
+	V1Bytes        int64 `json:"v1_bytes"`
+	V2Bytes        int64 `json:"v2_bytes"`
+	// Cold-restart wall latency per LoadSnapshot, microseconds.
+	LoadReps     int   `json:"load_reps"`
+	V1LoadMeanUS int64 `json:"v1_load_mean_us"`
+	V1LoadP50US  int64 `json:"v1_load_p50_us"`
+	V1LoadP99US  int64 `json:"v1_load_p99_us"`
+	V2LoadMeanUS int64 `json:"v2_load_mean_us"`
+	V2LoadP50US  int64 `json:"v2_load_p50_us"`
+	V2LoadP99US  int64 `json:"v2_load_p99_us"`
+	// RestartSpeedup is v1 mean load over v2 mean load: how much faster a
+	// crashed server is answering again on the columnar format.
+	RestartSpeedup float64 `json:"restart_speedup"`
+	// Search latency over the loaded catalogs, microseconds per query.
+	SearchQueries  int   `json:"search_queries"`
+	SearchReps     int   `json:"search_reps"`
+	V1SearchMeanUS int64 `json:"v1_search_mean_us"`
+	V2SearchMeanUS int64 `json:"v2_search_mean_us"`
+	// VerifiedQueries counts queries whose join and union results were
+	// checked bit-identical across the v1-loaded and v2-mapped catalogs;
+	// measureSegments fails unless every query verifies.
+	VerifiedQueries int `json:"verified_queries"`
+	// MappedProbeAllocs is testing.AllocsPerRun over the interned-set
+	// kernels reading a mapped segment's column sets; must be 0.
+	MappedProbeAllocs float64 `json:"mapped_probe_allocs"`
+}
+
+// segmentsCatalog builds the deterministic catalog: drifting value ranges
+// over a shared vocabulary, so searches have a real ranking to preserve.
+func segmentsCatalog(tables, cols, rows int) *discovery.Index {
+	ix := discovery.New(discovery.Options{SealAfter: 16})
+	greek := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for i := 0; i < tables; i++ {
+		t := table.New(fmt.Sprintf("seg%03d", i))
+		for c := 0; c < cols; c++ {
+			vals := make([]string, rows)
+			// Deterministic arithmetic (no rng): each column walks a
+			// drifting slice of the shared value space with a stride that
+			// varies per table and column.
+			lo := i*7 + c*150
+			for r := range vals {
+				vals[r] = fmt.Sprintf("val-%05d", lo+(r*(1+c)+i)%220)
+			}
+			t.AddColumn(fmt.Sprintf("%s %d", greek[c%len(greek)], c), vals)
+		}
+		if err := ix.Add(t); err != nil {
+			panic(err) // deterministic corpus with unique names: cannot fail
+		}
+	}
+	ix.WaitCompaction()
+	return ix
+}
+
+// segmentsQueries builds probe tables spanning different regions of the
+// catalog's value space.
+func segmentsQueries(n, rows int) []*table.Table {
+	out := make([]*table.Table, n)
+	for qi := 0; qi < n; qi++ {
+		q := table.New(fmt.Sprintf("q%d", qi))
+		vals := make([]string, rows)
+		lo := qi * 300
+		for r := range vals {
+			vals[r] = fmt.Sprintf("val-%05d", lo+r*2)
+		}
+		q.AddColumn("alpha 0", vals)
+		out[qi] = q
+	}
+	return out
+}
+
+func dirBytes(dir string) (int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		if fi, err := e.Info(); err == nil && !fi.IsDir() {
+			total += fi.Size()
+		}
+	}
+	return total, nil
+}
+
+// measureSegments saves the catalog in both formats, times cold restarts
+// and searches, verifies cross-format exactness, and probes the kernels on
+// mapped sets. Any divergence or mapped-probe allocation is an error, not a
+// number to report.
+func measureSegments() (*jsonSegments, error) {
+	const (
+		tables   = 600
+		cols     = 4
+		rows     = 100
+		loadReps = 15
+		queries  = 8
+		reps     = 10
+		topK     = 10
+	)
+	ix := segmentsCatalog(tables, cols, rows)
+	st := ix.Stats()
+
+	base, err := os.MkdirTemp("", "benchreport-segments-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(base)
+	dirV1 := filepath.Join(base, "v1")
+	dirV2 := filepath.Join(base, "v2")
+	if err := ix.SaveSnapshotFormat(dirV1, discovery.SegmentFormatV1); err != nil {
+		return nil, fmt.Errorf("segments section: saving v1 snapshot: %w", err)
+	}
+	if err := ix.SaveSnapshotFormat(dirV2, discovery.SegmentFormatV2); err != nil {
+		return nil, fmt.Errorf("segments section: saving v2 snapshot: %w", err)
+	}
+	out := &jsonSegments{
+		CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Tables: st.Tables, Columns: st.Columns, Rows: rows,
+		SealedSegments: st.SealedSegments,
+		LoadReps:       loadReps, SearchQueries: queries, SearchReps: reps,
+	}
+	if out.V1Bytes, err = dirBytes(dirV1); err != nil {
+		return nil, err
+	}
+	if out.V2Bytes, err = dirBytes(dirV2); err != nil {
+		return nil, err
+	}
+
+	// Cold restarts: every rep pays the full LoadSnapshot (gob decode for
+	// v1, header validation + mmap for v2). The file bytes sit in the OS
+	// page cache either way — deliberately, since that is exactly the state
+	// of a server restarting on a warm machine.
+	var v1Ds, v2Ds []time.Duration
+	var ixV1, ixV2 *discovery.Index
+	for rep := 0; rep < loadReps; rep++ {
+		if ixV1 != nil {
+			ixV1.Close()
+			ixV2.Close()
+		}
+		start := time.Now()
+		ixV1, err = discovery.LoadSnapshot(dirV1)
+		v1Ds = append(v1Ds, time.Since(start))
+		if err != nil {
+			return nil, fmt.Errorf("segments section: loading v1 snapshot: %w", err)
+		}
+		start = time.Now()
+		ixV2, err = discovery.LoadSnapshot(dirV2)
+		v2Ds = append(v2Ds, time.Since(start))
+		if err != nil {
+			return nil, fmt.Errorf("segments section: loading v2 snapshot: %w", err)
+		}
+	}
+	defer ixV1.Close()
+	defer ixV2.Close()
+	out.V1LoadMeanUS, out.V1LoadP50US, out.V1LoadP99US = latencySummary(v1Ds)
+	out.V2LoadMeanUS, out.V2LoadP50US, out.V2LoadP99US = latencySummary(v2Ds)
+	if out.V2LoadMeanUS > 0 {
+		out.RestartSpeedup = float64(out.V1LoadMeanUS) / float64(out.V2LoadMeanUS)
+	}
+
+	// Search both arms; identical results are the gate for the timings.
+	var v1Search, v2Search []time.Duration
+	for _, q := range segmentsQueries(queries, rows) {
+		for _, mode := range []discovery.Mode{discovery.ModeJoin, discovery.ModeUnion} {
+			start := time.Now()
+			want, err := ixV1.Search(q, mode, topK)
+			v1Search = append(v1Search, time.Since(start))
+			if err != nil {
+				return nil, fmt.Errorf("segments section: v1 search %s/%s: %w", q.Name, mode, err)
+			}
+			start = time.Now()
+			got, err := ixV2.Search(q, mode, topK)
+			v2Search = append(v2Search, time.Since(start))
+			if err != nil {
+				return nil, fmt.Errorf("segments section: v2 search %s/%s: %w", q.Name, mode, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				return nil, fmt.Errorf("segments section: %s/%s diverged between formats:\n v1 %+v\n v2 %+v",
+					q.Name, mode, want, got)
+			}
+		}
+		out.VerifiedQueries++
+		// Steady-state reps, timed the same way after the verified pass.
+		for rep := 1; rep < reps; rep++ {
+			for _, mode := range []discovery.Mode{discovery.ModeJoin, discovery.ModeUnion} {
+				start := time.Now()
+				if _, err := ixV1.Search(q, mode, topK); err != nil {
+					return nil, err
+				}
+				v1Search = append(v1Search, time.Since(start))
+				start = time.Now()
+				if _, err := ixV2.Search(q, mode, topK); err != nil {
+					return nil, err
+				}
+				v2Search = append(v2Search, time.Since(start))
+			}
+		}
+	}
+	out.V1SearchMeanUS, _, _ = latencySummary(v1Search)
+	out.V2SearchMeanUS, _, _ = latencySummary(v2Search)
+
+	// Kernel probes against the mapped catalog's interned sets: the whole
+	// point of the columnar layout is that scoring reads file-backed memory
+	// without materializing, so a single alloc here is a regression.
+	sets := ixV2.InternedColumnSets("seg000")
+	if len(sets) < 2 {
+		return nil, fmt.Errorf("segments section: mapped catalog returned %d interned sets for seg000", len(sets))
+	}
+	out.MappedProbeAllocs = testing.AllocsPerRun(200, func() {
+		intern.Jaccard(&sets[0], &sets[1])
+		intern.Containment(&sets[0], &sets[1])
+		intern.IntersectCount(&sets[0], &sets[1])
+	})
+	if out.MappedProbeAllocs != 0 {
+		return nil, fmt.Errorf("segments section: kernel probes on mapped sets allocate %v per op, want 0", out.MappedProbeAllocs)
+	}
+	return out, nil
+}
+
+// formatSegments renders the section as prose, next to the paper tables.
+func formatSegments(s *jsonSegments) string {
+	out := fmt.Sprintf("Segments — v1 gob vs v2 columnar mmap snapshots (%d tables, %d columns, %d sealed segments)\n",
+		s.Tables, s.Columns, s.SealedSegments)
+	out += fmt.Sprintf("  bytes    v1=%d v2=%d, cpus=%d gomaxprocs=%d\n", s.V1Bytes, s.V2Bytes, s.CPUs, s.GOMAXPROCS)
+	out += fmt.Sprintf("  restart  v1 mean=%dµs p50=%dµs p99=%dµs over %d loads\n",
+		s.V1LoadMeanUS, s.V1LoadP50US, s.V1LoadP99US, s.LoadReps)
+	out += fmt.Sprintf("           v2 mean=%dµs p50=%dµs p99=%dµs → %.1fx faster cold restart\n",
+		s.V2LoadMeanUS, s.V2LoadP50US, s.V2LoadP99US, s.RestartSpeedup)
+	out += fmt.Sprintf("  search   v1 mean=%dµs v2 mean=%dµs per query (%d queries × %d reps × 2 modes, all %d verified identical)\n",
+		s.V1SearchMeanUS, s.V2SearchMeanUS, s.SearchQueries, s.SearchReps, s.VerifiedQueries)
+	out += fmt.Sprintf("  kernels  %.0f allocs/op probing mapped interned sets\n", s.MappedProbeAllocs)
+	return out
+}

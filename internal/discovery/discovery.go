@@ -55,6 +55,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,6 +111,14 @@ type Options struct {
 	// sealed into an immutable segment (default 16). Smaller values bound
 	// per-write copy cost tighter; larger values reduce fragmentation.
 	SealAfter int
+	// SegmentFormat selects the sealed-segment encoding SaveSnapshot
+	// writes: SegmentFormatV2 (the default when empty; columnar files the
+	// loader memory-maps and searches in place) or SegmentFormatV1 (gob
+	// files fully decoded onto the heap on load — the opt-out for catalogs
+	// that must stay readable by pre-v2 binaries). Loads auto-detect the
+	// format on disk regardless, and the option is persisted with the
+	// snapshot, so a resumed catalog keeps its choice.
+	SegmentFormat string
 }
 
 // ColumnProfile is the indexed summary of one column: identity, lightweight
@@ -123,6 +132,13 @@ type ColumnProfile struct {
 	Distinct  int      // distinct non-empty values
 	Tokens    []string // lowercase name tokens ("customerID" → [customer id])
 	Signature []uint64
+	// SetIDs is the column's distinct values as sorted interned ids in the
+	// catalog dictionary's id space — the exact-kernel payload the v2
+	// columnar segment format persists. Only populated when the column was
+	// profiled against this catalog's dictionary (ingest always is); empty
+	// otherwise, and nil in the flat v1 file format, whose loads mint a
+	// fresh dictionary.
+	SetIDs []uint32
 }
 
 // Index is the live catalog: a segmented, copy-on-write column index safe
@@ -150,6 +166,13 @@ type Index struct {
 	// only unique within one lineage, so SaveSnapshot must not reuse
 	// same-named segment files left in a directory by a different catalog.
 	lineage uint64
+
+	// unmaps collects the release closures of every mapped v2 segment this
+	// index loaded; guarded by wmu. A mapping must outlive the segment's
+	// presence in the live snapshot (compaction can retire a mapped segment
+	// while a pinned search still reads it), so mappings are only released
+	// by Close, never by segment turnover.
+	unmaps []func() error
 
 	// dict is the catalog's corpus-scoped value dictionary: ingest interns
 	// each distinct value once (memoizing its MinHash base hash), and every
@@ -199,6 +222,26 @@ func newLineage() uint64 {
 // Options returns the options the index was created with.
 func (ix *Index) Options() Options { return ix.opts }
 
+// Close releases the memory mappings of every mapped v2 segment the index
+// loaded, after waiting for any background compaction to finish. The index
+// must not be used afterwards: searches over mapped segments would read
+// unmapped pages. Indexes without mapped segments (fresh, flat-loaded, or
+// heap-fallback) need no Close, but calling it is always safe, including
+// twice.
+func (ix *Index) Close() error {
+	ix.compactWG.Wait()
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	var first error
+	for _, unmap := range ix.unmaps {
+		if err := unmap(); err != nil && first == nil {
+			first = err
+		}
+	}
+	ix.unmaps = nil
+	return first
+}
+
 // Dict returns the catalog's corpus-scoped value dictionary. Ingest paths
 // that profile tables themselves (the serving layer's per-request
 // profiling) should attach it via profile.NewInterned so signatures derive
@@ -221,9 +264,11 @@ func (ix *Index) Tables() []string {
 	sn := ix.snap.Load()
 	out := make([]string, 0, sn.nTables)
 	for _, seg := range sn.segments() {
-		for name := range seg.tables {
+		for _, name := range seg.tableNames() {
 			if !sn.dead(seg, name) {
-				out = append(out, name)
+				// Clone: mapped segments hand out views into the mapping,
+				// which Close would invalidate under the caller.
+				out = append(out, strings.Clone(name))
 			}
 		}
 	}
@@ -242,10 +287,26 @@ func (ix *Index) Profiles(tableName string) []ColumnProfile {
 	}
 	out := make([]ColumnProfile, len(ids))
 	for i, id := range ids {
-		p := seg.cols[id]
-		p.Tokens = append([]string(nil), p.Tokens...)
-		p.Signature = append([]uint64(nil), p.Signature...)
-		out[i] = p
+		out[i] = seg.colProfile(id)
+	}
+	return out
+}
+
+// InternedColumnSets returns the distinct-value id sets of one live table's
+// columns as zero-copy intern.Set views — kernel-ready without copying a
+// single id out of a mapped segment. Nil when the table is unknown or
+// removed; individual sets are empty when the catalog holds no interned
+// payloads for them (flat-format loads). Views over mapped segments are
+// valid until Close.
+func (ix *Index) InternedColumnSets(tableName string) []intern.Set {
+	sn := ix.snap.Load()
+	seg, ids := sn.lookup(tableName)
+	if seg == nil {
+		return nil
+	}
+	out := make([]intern.Set, len(ids))
+	for i, id := range ids {
+		out[i] = seg.colSet(id)
 	}
 	return out
 }
@@ -272,6 +333,12 @@ type Stats struct {
 	// (distinct values ever ingested, with memoized MinHash base hashes).
 	DictEntries int   `json:"dict_entries"`
 	DictBytes   int64 `json:"dict_bytes"`
+	// HeapSegmentBytes estimates the segment state resident on the Go heap;
+	// MappedSegmentBytes counts v2 segment file bytes served via mmap from
+	// the page cache instead. Their ratio is the "catalog bigger than RAM"
+	// dial: mapped bytes cost address space, not resident memory.
+	HeapSegmentBytes   int64 `json:"heap_segment_bytes"`
+	MappedSegmentBytes int64 `json:"mapped_segment_bytes"`
 }
 
 // Stats returns a consistent point-in-time summary of the catalog.
@@ -281,17 +348,25 @@ func (ix *Index) Stats() Stats {
 	if sn.mem != nil {
 		memTables = sn.mem.numTables()
 	}
+	var heapBytes, mappedBytes int64
+	for _, seg := range sn.segments() {
+		h, m := seg.residentBytes()
+		heapBytes += h
+		mappedBytes += m
+	}
 	ds := ix.dict.Stats()
 	return Stats{
-		Epoch:             sn.epoch,
-		Tables:            sn.nTables,
-		Columns:           sn.nCols,
-		SealedSegments:    len(sn.sealed),
-		MemTables:         memTables,
-		Tombstones:        len(sn.tombs),
-		TombstonedColumns: sn.tombstonedCols(),
-		DictEntries:       ds.Entries,
-		DictBytes:         ds.Bytes,
+		Epoch:              sn.epoch,
+		Tables:             sn.nTables,
+		Columns:            sn.nCols,
+		SealedSegments:     len(sn.sealed),
+		MemTables:          memTables,
+		Tombstones:         len(sn.tombs),
+		TombstonedColumns:  sn.tombstonedCols(),
+		DictEntries:        ds.Entries,
+		DictBytes:          ds.Bytes,
+		HeapSegmentBytes:   heapBytes,
+		MappedSegmentBytes: mappedBytes,
 	}
 }
 
@@ -459,24 +534,32 @@ func (ix *Index) searchImpl(ctx context.Context, qp *profile.TableProfile, mode 
 		}
 		acc := make(map[string]*colAcc)
 		score := func(seg *segment, id int32) {
+			// A corrupt mapped segment's bucket payload could carry ids
+			// outside the column range; open-time validation checks every
+			// offset table but not bucket values, so the guard lives here —
+			// skip, never panic. Heap segments can't trip it.
+			if id < 0 || int(id) >= seg.numCols() {
+				return
+			}
 			// Empty columns never rank (see segment.insertShards); the brute
 			// path must apply the same rule so it stays the reference
 			// implementation of the pruned path even with TokenBoost set.
-			p := &seg.cols[id]
-			if p.Table == q.Name || profile.IsEmptySignature(p.Signature) {
+			tbl := seg.colTable(id)
+			colSig := seg.colSig(id)
+			if tbl == q.Name || profile.IsEmptySignature(colSig) {
 				return
 			}
-			if sn.dead(seg, p.Table) {
+			if sn.dead(seg, tbl) {
 				return // tombstoned, awaiting compaction
 			}
-			s := profile.EstimateJaccard(sig, p.Signature)
+			s := profile.EstimateJaccard(sig, colSig)
 			if ix.opts.TokenBoost != 0 {
-				s += ix.opts.TokenBoost * tokenJaccard(qTokens[qi], p.Tokens)
+				s += ix.opts.TokenBoost * tokenJaccard(qTokens[qi], seg.colTokens(id))
 			}
-			a := acc[p.Table]
+			a := acc[tbl]
 			if a == nil {
 				a = &colAcc{bestC: colRef{nil, -1}}
-				acc[p.Table] = a
+				acc[tbl] = a
 			}
 			a.candidates++
 			scored.Add(1)
@@ -489,7 +572,7 @@ func (ix *Index) searchImpl(ctx context.Context, qp *profile.TableProfile, mode 
 		// stable across memtable seals and compactions.
 		for _, seg := range segs {
 			if brute {
-				for id := range seg.cols {
+				for id, n := 0, seg.numCols(); id < n; id++ {
 					score(seg, int32(id))
 				}
 				continue
@@ -497,7 +580,7 @@ func (ix *Index) searchImpl(ctx context.Context, qp *profile.TableProfile, mode 
 			seen := make(map[int32]struct{})
 			for b := 0; b < ix.bands; b++ {
 				key := profile.BandKey(sig, b, ix.rows)
-				for _, id := range seg.shards[b][key] {
+				for _, id := range seg.probe(b, key) {
 					if _, dup := seen[id]; dup {
 						continue
 					}
@@ -557,10 +640,13 @@ func (ix *Index) searchImpl(ctx context.Context, qp *profile.TableProfile, mode 
 	stats.Timed(engine.StageRank, func() {
 		out = make([]Result, 0, len(acc))
 		for name, a := range acc {
-			r := Result{Table: name, Candidates: a.candidates}
+			// Clone the names out of the snapshot: for mapped segments they
+			// are views into the mapping, and results must stay valid past
+			// an Index.Close.
+			r := Result{Table: strings.Clone(name), Candidates: a.candidates}
 			if a.bestQ >= 0 {
 				r.BestQuery = q.Columns[a.bestQ].Name
-				r.BestIndexed = a.bestC.seg.cols[a.bestC.id].Column
+				r.BestIndexed = strings.Clone(a.bestC.seg.colName(a.bestC.id))
 			}
 			switch mode {
 			case ModeJoin:

@@ -7,6 +7,7 @@ package discovery
 
 import (
 	"fmt"
+	"strings"
 
 	"valentine/internal/profile"
 	"valentine/internal/table"
@@ -42,6 +43,7 @@ func (ix *Index) profileOp(tp *profile.TableProfile, upsert bool) (rawOp, error)
 		return rawOp{}, err
 	}
 	cols := make([]ColumnProfile, tp.NumColumns())
+	interned := tp.InterningDict() == ix.dict
 	for i := range cols {
 		p := tp.Column(i)
 		cols[i] = ColumnProfile{
@@ -52,6 +54,14 @@ func (ix *Index) profileOp(tp *profile.TableProfile, upsert bool) (rawOp, error)
 			Distinct:  p.Distinct(),
 			Tokens:    p.NameTokens(),
 			Signature: p.Signature(ix.k),
+		}
+		// Carry the sorted interned distinct-value ids only when they live
+		// in this catalog's id space — ids minted by a foreign dictionary
+		// would alias unrelated values once persisted next to ours.
+		if interned {
+			if set := p.InternedDistinct(); set != nil {
+				cols[i].SetIDs = set.IDs()
+			}
 		}
 	}
 	return rawOp{name: t.Name, cols: cols, upsert: upsert}, nil
@@ -169,7 +179,7 @@ func (ix *Index) apply(ops []rawOp) []error {
 		}
 		for i := len(sealed) - 1; i >= 0; i-- {
 			seg := sealed[i]
-			if _, ok := seg.tables[name]; ok {
+			if seg.hasTable(name) {
 				if _, dead := tombs[tombKey{seg.id, name}]; !dead {
 					return true
 				}
@@ -189,8 +199,7 @@ func (ix *Index) apply(ops []rawOp) []error {
 		}
 		for i := len(sealed) - 1; i >= 0; i-- {
 			seg := sealed[i]
-			ids, ok := seg.tables[name]
-			if !ok {
+			if !seg.hasTable(name) {
 				continue
 			}
 			key := tombKey{seg.id, name}
@@ -199,7 +208,7 @@ func (ix *Index) apply(ops []rawOp) []error {
 			}
 			ensureTombs()
 			tombs[key] = struct{}{}
-			nCols -= len(ids)
+			nCols -= seg.tableLen(name)
 			nTables--
 			return true
 		}
@@ -305,16 +314,14 @@ func (ix *Index) Compact() {
 	merged := newSegment(mergedID, ix.bands)
 	for _, seg := range cur.sealed {
 		prefixIDs[seg.id] = struct{}{}
-		for _, name := range seg.order {
+		for _, name := range seg.tableNames() {
 			if cur.dead(seg, name) {
 				continue
 			}
-			ids := seg.tables[name]
-			profiles := make([]ColumnProfile, len(ids))
-			for i, id := range ids {
-				profiles[i] = seg.cols[id]
-			}
-			merged.add(name, profiles, ix.rows)
+			// tableProfiles materializes mapped columns onto the heap (and
+			// the name is cloned), so a compaction's merged segment never
+			// borrows a byte from a mapping.
+			merged.add(strings.Clone(name), seg.tableProfiles(name), ix.rows)
 		}
 	}
 

@@ -1,0 +1,16 @@
+//go:build !linux || valentine_nommap
+
+package discovery
+
+// Portable arm of the mmap gate: platforms without the Linux mmap path (or
+// builds tagged valentine_nommap) read v2 segment files into aligned heap
+// buffers instead. Every byte past the read is served by the same
+// mappedSeg code, so behavior is identical — only memory residency differs.
+
+const mmapAvailable = false
+
+// mapSegmentFile is never called when mmapAvailable is false; it exists so
+// both build arms expose the same symbols.
+func mapSegmentFile(path string) (data []byte, unmap func() error, err error) {
+	panic("discovery: mapSegmentFile called with mmap unavailable")
+}

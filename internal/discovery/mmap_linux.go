@@ -1,0 +1,45 @@
+//go:build linux && !valentine_nommap
+
+package discovery
+
+// Memory mapping for v2 segment files on Linux. The mapping is read-only
+// and shared: segment bytes live in the page cache, not on the Go heap, so
+// a catalog's resident size is bounded by the working set the kernel keeps
+// hot — not by the corpus. Build with -tags valentine_nommap to force the
+// portable heap-read arm (mmap_fallback.go) for testing or exotic targets.
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+const mmapAvailable = true
+
+// mapSegmentFile maps path read-only and returns the bytes plus the unmap
+// function. The file descriptor is closed before returning — the mapping
+// keeps the pages alive on its own. Empty files return empty data (the
+// caller rejects them as truncated).
+func mapSegmentFile(path string) (data []byte, unmap func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("discovery: %s: %d bytes exceed the address space", path, size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("discovery: mmap %s: %w", path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -16,8 +16,19 @@ package discovery
 //     compacted-away segments are pruned. The catalog's value dictionary
 //     is persisted alongside as an append-only log (dict.log): entries are
 //     written in id order, so replaying them reconstructs the exact id
-//     space — the id-space "remap" lives entirely in that one small log,
-//     and the (id-free) sealed segment files never need rewriting.
+//     space — the id-space "remap" lives entirely in that one small log.
+//     Sealed segments come in two encodings, recorded in the manifest:
+//     "v1" (gob seg-<id>.gob, fully decoded onto the heap on load) and
+//     "v2" (columnar seg-<id>.seg, memory-mapped and searched in place —
+//     see segv2.go). Options.SegmentFormat selects what SaveSnapshot
+//     writes (default v2); LoadSnapshot serves either, so a catalog
+//     resumed from a v1 snapshot simply migrates on its next save.
+//
+// Durability: every save syncs its data files (segments, memtable,
+// dict.log) and the directory before committing the manifest via
+// temp-file + fsync + atomic rename, then syncs the directory again — a
+// crash at any point leaves either the previous manifest or the new one,
+// never a manifest referencing torn segment files.
 //
 // LoadFile accepts both: a directory is a snapshot, a plain file is the
 // single-file format.
@@ -42,6 +53,13 @@ const formatVersion = 1
 // snapshotVersion guards the snapshot manifest layout.
 const snapshotVersion = 1
 
+// Sealed-segment encodings a snapshot can record. The zero value in an old
+// manifest decodes as "" and means v1.
+const (
+	SegmentFormatV1 = "v1"
+	SegmentFormatV2 = "v2"
+)
+
 const (
 	manifestName = "MANIFEST.gob"
 	memName      = "mem.seg"
@@ -61,12 +79,18 @@ func (ix *Index) Save(w io.Writer) error {
 	sn := ix.snap.Load()
 	f := indexFile{Version: formatVersion, Options: ix.opts, Columns: make([]ColumnProfile, 0, sn.nCols)}
 	for _, seg := range sn.segments() {
-		for _, name := range seg.order {
+		for _, name := range seg.tableNames() {
 			if sn.dead(seg, name) {
 				continue
 			}
-			for _, id := range seg.tables[name] {
-				f.Columns = append(f.Columns, seg.cols[id])
+			for _, id := range seg.colIDs(name) {
+				p := seg.colProfile(id)
+				// The flat format carries no dictionary and Load mints a
+				// fresh one, so persisted interned ids would alias whatever
+				// values the new dictionary assigns them. Drop them; the
+				// signatures and profiles are self-contained.
+				p.SetIDs = nil
+				f.Columns = append(f.Columns, p)
 			}
 		}
 	}
@@ -145,6 +169,16 @@ func LoadFile(path string) (*Index, error) {
 		return nil, err
 	}
 	defer f.Close()
+	// A raw v2 segment file is a plausible mistake (it is the only other
+	// artifact this package writes); name it instead of surfacing a gob
+	// decode error.
+	var magic [len(segV2Magic)]byte
+	if n, _ := io.ReadFull(f, magic[:]); n == len(magic) && string(magic[:]) == segV2Magic {
+		return nil, fmt.Errorf("discovery: %s is a raw v2 segment file, not an index — load the snapshot directory that references it", path)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
 	return Load(f)
 }
 
@@ -160,9 +194,14 @@ type manifest struct {
 	Lineage uint64
 	Epoch   uint64
 	NextSeg uint64
-	Sealed  []uint64 // sealed segment ids, oldest first (one seg-<id>.gob each)
+	Sealed  []uint64 // sealed segment ids, oldest first (one file each)
 	HasMem  bool     // whether mem.seg holds a non-empty memtable
 	Tombs   []tombRecord
+	// Format records the sealed segments' encoding: SegmentFormatV2 for
+	// columnar seg-<id>.seg files, SegmentFormatV1 (or "", as pre-format
+	// manifests decode) for gob seg-<id>.gob files. The memtable is always
+	// gob — it is small and rewritten every save.
+	Format string
 	// DictEntries/DictLogBytes describe the persisted prefix of the value
 	// dictionary in dict.log: replaying the first DictEntries values through
 	// Intern in order reconstructs the exact id space the catalog used, so
@@ -193,7 +232,17 @@ type tableBlock struct {
 	Columns []ColumnProfile
 }
 
-func segFileName(id uint64) string { return fmt.Sprintf("seg-%d.gob", id) }
+func segFileName(id uint64) string   { return fmt.Sprintf("seg-%d.gob", id) }
+func segFileNameV2(id uint64) string { return fmt.Sprintf("seg-%d.seg", id) }
+
+// segFileNameFor names id's segment file in the given (already validated)
+// format.
+func segFileNameFor(id uint64, format string) string {
+	if format == SegmentFormatV2 {
+		return segFileNameV2(id)
+	}
+	return segFileName(id)
+}
 
 func writeGob(path string, v any) error {
 	tmp := path + ".tmp"
@@ -206,11 +255,67 @@ func writeGob(path string, v any) error {
 		os.Remove(tmp)
 		return err
 	}
+	// fsync before rename: the rename must never publish a file whose bytes
+	// are still only in the page cache when a crash follows.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// writeSegV2 writes seg to path in the v2 columnar format via temp-file +
+// fsync + atomic rename. A segment that is itself mapped from a v2 file is
+// copied byte-for-byte — re-encoding would only reproduce the same bytes.
+func writeSegV2(path string, seg *segment, k int) error {
+	var data []byte
+	if seg.mapped != nil {
+		data = seg.mapped.data
+	} else {
+		var err error
+		if data, err = encodeSegV2(seg, k); err != nil {
+			return err
+		}
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// syncDir fsyncs a directory, making renames and creates within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func readGob(path string, v any) error {
@@ -223,14 +328,9 @@ func readGob(path string, v any) error {
 }
 
 func segToFile(seg *segment) segFile {
-	sf := segFile{Version: snapshotVersion, ID: seg.id, Tables: make([]tableBlock, 0, len(seg.order))}
-	for _, name := range seg.order {
-		ids := seg.tables[name]
-		cols := make([]ColumnProfile, len(ids))
-		for i, id := range ids {
-			cols[i] = seg.cols[id]
-		}
-		sf.Tables = append(sf.Tables, tableBlock{Name: name, Columns: cols})
+	sf := segFile{Version: snapshotVersion, ID: seg.id, Tables: make([]tableBlock, 0, seg.numTables())}
+	for _, name := range seg.tableNames() {
+		sf.Tables = append(sf.Tables, tableBlock{Name: name, Columns: seg.tableProfiles(name)})
 	}
 	return sf
 }
@@ -249,8 +349,27 @@ func segFromFile(sf segFile, bands, rows int) *segment {
 // of content), the memtable and manifest are rewritten, and segment files
 // no longer referenced — compacted away since the previous snapshot — are
 // deleted. Concurrent searches and writes proceed freely; the snapshot is
-// consistent as of one epoch.
+// consistent as of one epoch. Sealed segments are encoded per
+// Options.SegmentFormat (default v2 columnar); saving over a snapshot of
+// the other format rewrites every segment file once and prunes the old
+// ones — the in-place migration path.
 func (ix *Index) SaveSnapshot(dir string) error {
+	format := ix.opts.SegmentFormat
+	if format == "" {
+		format = SegmentFormatV2
+	}
+	return ix.SaveSnapshotFormat(dir, format)
+}
+
+// SaveSnapshotFormat is SaveSnapshot with an explicit sealed-segment
+// encoding, overriding Options.SegmentFormat for this save.
+func (ix *Index) SaveSnapshotFormat(dir, format string) error {
+	switch format {
+	case SegmentFormatV1, SegmentFormatV2:
+	default:
+		return fmt.Errorf("discovery: unknown segment format %q (want %q or %q)",
+			format, SegmentFormatV1, SegmentFormatV2)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -261,6 +380,7 @@ func (ix *Index) SaveSnapshot(dir string) error {
 		Lineage: ix.lineage,
 		Epoch:   sn.epoch,
 		Sealed:  make([]uint64, 0, len(sn.sealed)),
+		Format:  format,
 	}
 	ix.wmu.Lock()
 	m.NextSeg = ix.nextSeg
@@ -290,17 +410,25 @@ func (ix *Index) SaveSnapshot(dir string) error {
 	}
 	for _, seg := range sn.sealed {
 		m.Sealed = append(m.Sealed, seg.id)
-		path := filepath.Join(dir, segFileName(seg.id))
+		path := filepath.Join(dir, segFileNameFor(seg.id, format))
 		if sameLineage {
+			// Sound per format: the file name encodes the format, so a
+			// format switch misses this stat and rewrites every segment.
 			if _, err := os.Stat(path); err == nil {
 				continue // immutable segment already snapshotted by this catalog
 			}
 		}
-		if err := writeGob(path, segToFile(seg)); err != nil {
+		var err error
+		if format == SegmentFormatV2 {
+			err = writeSegV2(path, seg, ix.k)
+		} else {
+			err = writeGob(path, segToFile(seg))
+		}
+		if err != nil {
 			return fmt.Errorf("discovery: writing segment %d: %w", seg.id, err)
 		}
 	}
-	if sn.mem != nil && len(sn.mem.tables) > 0 {
+	if sn.mem != nil && sn.mem.numTables() > 0 {
 		m.HasMem = true
 		if err := writeGob(filepath.Join(dir, memName), segToFile(sn.mem)); err != nil {
 			return fmt.Errorf("discovery: writing memtable: %w", err)
@@ -308,13 +436,24 @@ func (ix *Index) SaveSnapshot(dir string) error {
 	} else {
 		os.Remove(filepath.Join(dir, memName))
 	}
+	// Barrier between data and manifest: every segment, memtable and dict
+	// byte — and the directory entries naming them — must be durable before
+	// the manifest can reference them. The manifest itself then commits via
+	// writeGob's fsync + atomic rename, made durable by the second sync.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("discovery: syncing snapshot directory: %w", err)
+	}
 	if err := writeGob(filepath.Join(dir, manifestName), m); err != nil {
 		return fmt.Errorf("discovery: writing manifest: %w", err)
 	}
-	// Prune files of segments compacted away since the previous snapshot.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("discovery: syncing snapshot directory: %w", err)
+	}
+	// Prune files of segments compacted away since the previous snapshot —
+	// in either encoding, so a format migration also retires the old files.
 	live := make(map[string]struct{}, len(m.Sealed))
 	for _, id := range m.Sealed {
-		live[segFileName(id)] = struct{}{}
+		live[segFileNameFor(id, format)] = struct{}{}
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -322,7 +461,8 @@ func (ix *Index) SaveSnapshot(dir string) error {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".gob") {
+		if !strings.HasPrefix(name, "seg-") ||
+			(!strings.HasSuffix(name, ".gob") && !strings.HasSuffix(name, ".seg")) {
 			continue
 		}
 		if _, ok := live[name]; !ok {
@@ -334,7 +474,18 @@ func (ix *Index) SaveSnapshot(dir string) error {
 
 // LoadSnapshot reads a snapshot directory written by SaveSnapshot and
 // reconstructs the catalog: segment layout, tombstones and epoch included.
+// v1 segments are gob-decoded onto the heap; v2 segments are memory-mapped
+// (heap-read where mapping is unavailable) and searched in place — restart
+// cost for a v2 catalog is opening and validating files, not decoding the
+// corpus. Call Close on a v2-backed index when done to release mappings.
 func LoadSnapshot(dir string) (*Index, error) {
+	return loadSnapshot(dir, false)
+}
+
+// loadSnapshot gives tests the noMap arm: true forces the aligned heap-read
+// fallback for v2 segments even where mmap is available, so mapped-vs-heap
+// conformance runs both arms in one binary.
+func loadSnapshot(dir string, noMap bool) (ret *Index, err error) {
 	var m manifest
 	if err := readGob(filepath.Join(dir, manifestName), &m); err != nil {
 		return nil, fmt.Errorf("discovery: reading manifest: %w", err)
@@ -342,7 +493,22 @@ func LoadSnapshot(dir string) (*Index, error) {
 	if m.Version != snapshotVersion {
 		return nil, fmt.Errorf("discovery: snapshot version %d, want %d", m.Version, snapshotVersion)
 	}
+	switch m.Format {
+	case "", SegmentFormatV1, SegmentFormatV2:
+	default:
+		return nil, fmt.Errorf("discovery: snapshot segment format %q is not %q or %q",
+			m.Format, SegmentFormatV1, SegmentFormatV2)
+	}
 	ix := New(m.Options)
+	// Mappings registered below must not leak if a later segment fails.
+	defer func() {
+		if err != nil {
+			for _, unmap := range ix.unmaps {
+				unmap()
+			}
+			ix.unmaps = nil
+		}
+	}()
 	nextSeg := m.NextSeg
 	sn := &snapshot{epoch: m.Epoch}
 	load := func(path string) (*segment, error) {
@@ -363,32 +529,65 @@ func LoadSnapshot(dir string) (*Index, error) {
 		}
 		return segFromFile(sf, ix.bands, ix.rows), nil
 	}
-	for _, id := range m.Sealed {
-		seg, err := load(filepath.Join(dir, segFileName(id)))
+	loadV2 := func(id uint64) (*segment, error) {
+		ms, err := loadSegV2(filepath.Join(dir, segFileNameV2(id)), noMap)
 		if err != nil {
-			return nil, fmt.Errorf("discovery: segment %d: %w", id, err)
+			return nil, err
+		}
+		reject := func(err error) (*segment, error) {
+			if ms.unmap != nil {
+				ms.unmap()
+			}
+			return nil, err
+		}
+		if got := ms.segID(); got != id {
+			return reject(fmt.Errorf("%w: file carries segment id %d, manifest expects %d", ErrSegmentCorrupt, got, id))
+		}
+		if ms.k != ix.k || ms.bands != ix.bands {
+			return reject(fmt.Errorf("segment geometry k=%d bands=%d does not match the manifest's k=%d bands=%d",
+				ms.k, ms.bands, ix.k, ix.bands))
+		}
+		if ms.unmap != nil {
+			ix.unmaps = append(ix.unmaps, ms.unmap)
+		}
+		return &segment{id: id, mapped: ms}, nil
+	}
+	for _, id := range m.Sealed {
+		var seg *segment
+		var segErr error
+		if m.Format == SegmentFormatV2 {
+			seg, segErr = loadV2(id)
+		} else {
+			seg, segErr = load(filepath.Join(dir, segFileName(id)))
+		}
+		if segErr != nil {
+			return nil, fmt.Errorf("discovery: segment %d: %w", id, segErr)
 		}
 		sn.sealed = append(sn.sealed, seg)
 	}
 	// A crash between writing segment files and the manifest can leave
-	// orphan seg-<id>.gob files with ids at or past the manifest's NextSeg.
-	// If such an id were ever reallocated, a later SaveSnapshot's
-	// "file exists → skip" fast path would adopt the stale orphan into the
-	// manifest. Scan the directory and allocate strictly past every file
-	// on disk; unreferenced orphans are then pruned by the next successful
-	// SaveSnapshot without ever being adopted.
-	if entries, err := os.ReadDir(dir); err == nil {
+	// orphan segment files (either encoding) with ids at or past the
+	// manifest's NextSeg. If such an id were ever reallocated, a later
+	// SaveSnapshot's "file exists → skip" fast path would adopt the stale
+	// orphan into the manifest. Scan the directory and allocate strictly
+	// past every file on disk; unreferenced orphans are then pruned by the
+	// next successful SaveSnapshot without ever being adopted.
+	if entries, dirErr := os.ReadDir(dir); dirErr == nil {
 		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".gob") && !strings.HasSuffix(name, ".seg") {
+				continue
+			}
 			var id uint64
-			if n, _ := fmt.Sscanf(e.Name(), "seg-%d.gob", &id); n == 1 && id >= nextSeg {
+			if n, _ := fmt.Sscanf(name, "seg-%d", &id); n == 1 && id >= nextSeg {
 				nextSeg = id + 1
 			}
 		}
 	}
 	if m.HasMem {
-		mem, err := load(filepath.Join(dir, memName))
-		if err != nil {
-			return nil, fmt.Errorf("discovery: memtable: %w", err)
+		mem, memErr := load(filepath.Join(dir, memName))
+		if memErr != nil {
+			return nil, fmt.Errorf("discovery: memtable: %w", memErr)
 		}
 		// The restored memtable gets a fresh id: its saved id may equal an
 		// orphan segment file's, and when this memtable seals, its id
@@ -408,12 +607,12 @@ func LoadSnapshot(dir string) (*Index, error) {
 	}
 	sn.tombs = tombs
 	for _, seg := range sn.segments() {
-		for name := range seg.tables {
+		for _, name := range seg.tableNames() {
 			if sn.dead(seg, name) {
 				continue
 			}
 			sn.nTables++
-			sn.nCols += len(seg.tables[name])
+			sn.nCols += seg.tableLen(name)
 		}
 	}
 	if m.DictEntries > 0 {
@@ -483,8 +682,12 @@ func appendDictLog(path string, d *intern.Dict, prevEntries int, prevBytes int64
 		f.Close()
 		return 0, 0, err
 	}
-	// A close-time write-back failure must fail the save before the manifest
-	// commits a byte count that never reached disk.
+	// fsync, then close: the manifest is about to commit a byte count, so
+	// those bytes must be durable — not merely written back — first.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, 0, err
+	}
 	if err := f.Close(); err != nil {
 		return 0, 0, err
 	}

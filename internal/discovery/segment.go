@@ -5,17 +5,44 @@ package discovery
 // Sealed segments are shared between epoch snapshots and never mutated after
 // publication; the memtable segment is rebuilt copy-on-write by each writer,
 // so readers holding any snapshot see frozen state without taking a lock.
+//
+// A segment has two physical representations behind one accessor surface:
+// heap (profiles, shard maps and directory materialized as Go values — the
+// memtable and freshly compacted segments) and mapped (a v2 columnar file
+// viewed in place through a []byte, typically an mmap of the page cache —
+// see segv2.go). The search, compaction and persistence paths only go
+// through the accessors below, so the two representations are
+// interchangeable and score bit-identically.
 
-import "valentine/internal/profile"
+import (
+	"sync"
+
+	"valentine/internal/intern"
+	"valentine/internal/profile"
+)
 
 // segment is one immutable slab of the catalog. A table's columns never
 // span segments: every table lives wholly inside exactly one segment.
 type segment struct {
-	id     uint64
+	id uint64
+
+	// mapped, when non-nil, backs this segment with a v2 columnar file
+	// viewed in place; the heap fields below stay empty. Mapped segments
+	// are strictly read-only: the mutating methods (add, clone, without)
+	// panic on them, which no code path reaches — only the heap memtable
+	// is ever mutated, and compaction merges into a fresh heap segment.
+	mapped *mappedSeg
+
 	cols   []ColumnProfile
 	tables map[string][]int32   // table name → column ids within this segment
 	shards []map[uint64][]int32 // one bucket map per LSH band
 	order  []string             // table names in insertion order (memtable rebuilds)
+
+	// bytesOnce caches the resident-size estimate for Stats. Safe to attach
+	// to the segment itself: the memtable is replaced wholesale (clone builds
+	// a fresh struct) on every write, so a computed value can never go stale.
+	bytesOnce sync.Once
+	bytes     int64
 }
 
 // newSegment returns an empty segment with the given identity and band
@@ -35,6 +62,9 @@ func newSegment(id uint64, bands int) *segment {
 // add appends one table's column profiles, banking each signature under its
 // band keys. Only the writer building an unpublished segment may call it.
 func (s *segment) add(name string, profiles []ColumnProfile, rows int) {
+	if s.mapped != nil {
+		panic("discovery: add on a mapped segment")
+	}
 	ids := make([]int32, len(profiles))
 	for i, p := range profiles {
 		id := int32(len(s.cols))
@@ -67,6 +97,9 @@ func (s *segment) insertShards(id int32, sig []uint64, rows int) {
 // disturbing readers of the original. Only the bounded memtable is ever
 // cloned, which keeps the per-write cost independent of catalog size.
 func (s *segment) clone() *segment {
+	if s.mapped != nil {
+		panic("discovery: clone on a mapped segment")
+	}
 	out := &segment{
 		id:     s.id,
 		cols:   append([]ColumnProfile(nil), s.cols...),
@@ -91,6 +124,9 @@ func (s *segment) clone() *segment {
 // table is absent). Remaining tables keep their relative insertion order;
 // column ids are reassigned, which is safe because the result is unpublished.
 func (s *segment) without(name string, rows int) *segment {
+	if s.mapped != nil {
+		panic("discovery: without on a mapped segment")
+	}
 	out := newSegment(s.id, len(s.shards))
 	for _, t := range s.order {
 		if t == name {
@@ -106,8 +142,197 @@ func (s *segment) without(name string, rows int) *segment {
 	return out
 }
 
+// --- accessor surface shared by the heap and mapped representations ---
+
 // numTables returns the number of tables in the segment.
-func (s *segment) numTables() int { return len(s.tables) }
+func (s *segment) numTables() int {
+	if s.mapped != nil {
+		return s.mapped.numTables()
+	}
+	return len(s.tables)
+}
+
+// numCols returns the number of columns in the segment.
+func (s *segment) numCols() int {
+	if s.mapped != nil {
+		return s.mapped.numCols()
+	}
+	return len(s.cols)
+}
+
+// tableNames returns the table names in insertion order. The slice is
+// shared: callers must not mutate it.
+func (s *segment) tableNames() []string {
+	if s.mapped != nil {
+		return s.mapped.tableNames()
+	}
+	return s.order
+}
+
+// hasTable reports whether the segment holds the named table.
+func (s *segment) hasTable(name string) bool {
+	if s.mapped != nil {
+		_, ok := s.mapped.tableIndex(name)
+		return ok
+	}
+	_, ok := s.tables[name]
+	return ok
+}
+
+// tableLen returns the number of columns of the named table (0 if absent).
+func (s *segment) tableLen(name string) int {
+	if s.mapped != nil {
+		if ti, ok := s.mapped.tableIndex(name); ok {
+			_, n := s.mapped.tableCols(ti)
+			return n
+		}
+		return 0
+	}
+	return len(s.tables[name])
+}
+
+// colIDs returns the named table's column ids (nil if absent). Heap
+// segments share their directory slice; mapped segments materialize the
+// contiguous id run (columns of one table are assigned consecutive ids by
+// add, an invariant the v2 writer relies on).
+func (s *segment) colIDs(name string) []int32 {
+	if s.mapped != nil {
+		ti, ok := s.mapped.tableIndex(name)
+		if !ok {
+			return nil
+		}
+		first, n := s.mapped.tableCols(ti)
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(first + i)
+		}
+		return ids
+	}
+	return s.tables[name]
+}
+
+// colTable returns the owning table name of column id. For mapped segments
+// the string is a zero-copy view into the mapping: valid until Index.Close,
+// safe for transient comparisons and map lookups, and cloned by any path
+// that hands strings to callers (colProfile, search results).
+func (s *segment) colTable(id int32) string {
+	if s.mapped != nil {
+		return s.mapped.colTable(id)
+	}
+	return s.cols[id].Table
+}
+
+// colName returns the column's own name (mapped: zero-copy view).
+func (s *segment) colName(id int32) string {
+	if s.mapped != nil {
+		return s.mapped.colName(id)
+	}
+	return s.cols[id].Column
+}
+
+// colSig returns the column's MinHash signature (mapped: a view into the
+// fixed-width signature matrix — no decode, no copy).
+func (s *segment) colSig(id int32) []uint64 {
+	if s.mapped != nil {
+		return s.mapped.colSig(id)
+	}
+	return s.cols[id].Signature
+}
+
+// colTokens returns the column's lowercase name tokens. The mapped form
+// allocates the []string header per call (each element is still a zero-copy
+// view); search only pays this when TokenBoost is configured.
+func (s *segment) colTokens(id int32) []string {
+	if s.mapped != nil {
+		return s.mapped.colTokens(id)
+	}
+	return s.cols[id].Tokens
+}
+
+// colSet returns the column's sorted interned distinct-value ids as a
+// zero-copy kernel view (empty when the column was indexed without interned
+// ids). The intern kernels run directly against the mapping.
+func (s *segment) colSet(id int32) intern.Set {
+	if s.mapped != nil {
+		return intern.ViewSet(s.mapped.colSetIDs(id))
+	}
+	return intern.ViewSet(s.cols[id].SetIDs)
+}
+
+// colProfile returns a deep copy of one column's profile — strings cloned,
+// slices fresh — safe to retain past any snapshot or mapping lifetime.
+// Compaction, Profiles and the persistence writers materialize through it.
+func (s *segment) colProfile(id int32) ColumnProfile {
+	if s.mapped != nil {
+		return s.mapped.colProfile(id)
+	}
+	p := s.cols[id]
+	p.Tokens = append([]string(nil), p.Tokens...)
+	p.Signature = append([]uint64(nil), p.Signature...)
+	p.SetIDs = append([]uint32(nil), p.SetIDs...)
+	return p
+}
+
+// tableProfiles materializes the named table's column profiles for merging
+// into a new heap segment (compaction) or a persistence writer. Heap
+// segments share the profile structs as before — they are immutable; mapped
+// segments deep-copy out of the mapping.
+func (s *segment) tableProfiles(name string) []ColumnProfile {
+	ids := s.colIDs(name)
+	out := make([]ColumnProfile, len(ids))
+	for i, id := range ids {
+		if s.mapped != nil {
+			out[i] = s.mapped.colProfile(id)
+		} else {
+			out[i] = s.cols[id]
+		}
+	}
+	return out
+}
+
+// probe returns the ids banked under key in band b, in insertion order (the
+// v2 writer preserves bucket order byte-for-byte, so heap and mapped probes
+// visit candidates identically). The slice is shared/viewed: read-only.
+func (s *segment) probe(b int, key uint64) []int32 {
+	if s.mapped != nil {
+		return s.mapped.probe(b, key)
+	}
+	return s.shards[b][key]
+}
+
+// residentBytes reports the segment's (approximate) heap-resident size and
+// its mapped size — exactly one is non-zero. Mapped segments cost the
+// catalog only page-cache residency, which is the whole point of the v2
+// format; the heap estimate covers profiles, shards and directory and is
+// computed once per (immutable) segment.
+func (s *segment) residentBytes() (heap, mapped int64) {
+	if s.mapped != nil {
+		return 0, int64(len(s.mapped.data))
+	}
+	s.bytesOnce.Do(func() {
+		const colOverhead = 120   // struct + slice headers per column
+		const bucketOverhead = 48 // map entry + slice header per bucket
+		n := int64(0)
+		for i := range s.cols {
+			p := &s.cols[i]
+			n += colOverhead + int64(len(p.Table)+len(p.Column)) +
+				int64(len(p.Signature))*8 + int64(len(p.SetIDs))*4
+			for _, t := range p.Tokens {
+				n += int64(len(t)) + 16
+			}
+		}
+		for _, m := range s.shards {
+			for _, ids := range m {
+				n += bucketOverhead + int64(len(ids))*4
+			}
+		}
+		for name, ids := range s.tables {
+			n += int64(len(name)) + int64(len(ids))*4 + 48
+		}
+		s.bytes = n
+	})
+	return s.bytes, 0
+}
 
 // tombKey identifies one sealed-segment table occurrence. Tombstones are
 // per-occurrence, not per-name: a removed table can be re-added (landing in
@@ -136,7 +361,7 @@ type snapshot struct {
 func (sn *snapshot) segments() []*segment {
 	out := make([]*segment, 0, len(sn.sealed)+1)
 	out = append(out, sn.sealed...)
-	if sn.mem != nil && len(sn.mem.tables) > 0 {
+	if sn.mem != nil && sn.mem.numTables() > 0 {
 		out = append(out, sn.mem)
 	}
 	return out
@@ -164,8 +389,8 @@ func (sn *snapshot) lookup(name string) (*segment, []int32) {
 	// correct even mid-refactor if an older dead copy still exists.
 	for i := len(sn.sealed) - 1; i >= 0; i-- {
 		seg := sn.sealed[i]
-		if ids, ok := seg.tables[name]; ok && !sn.dead(seg, name) {
-			return seg, ids
+		if seg.hasTable(name) && !sn.dead(seg, name) {
+			return seg, seg.colIDs(name)
 		}
 	}
 	return nil, nil
@@ -178,7 +403,7 @@ func (sn *snapshot) tombstonedCols() int {
 	for key := range sn.tombs {
 		for _, seg := range sn.sealed {
 			if seg.id == key.seg {
-				n += len(seg.tables[key.table])
+				n += seg.tableLen(key.table)
 				break
 			}
 		}

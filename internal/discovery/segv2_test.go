@@ -1,0 +1,460 @@
+package discovery
+
+// v2 columnar segment tests: the exactness contract (mapped search ≡ heap
+// search ≡ v1-loaded search, bit-identical results after arbitrary
+// mutation interleavings), the corruption contract (named errors, never a
+// panic, crash tails ignored), and the zero-copy contract (kernel probes
+// against mapped sets at 0 allocs/op).
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"valentine/internal/intern"
+	"valentine/internal/table"
+)
+
+// saveBothFormats snapshots ix to fresh v1 and v2 directories under base.
+func saveBothFormats(t *testing.T, ix *Index, base string) (v1dir, v2dir string) {
+	t.Helper()
+	v1dir = filepath.Join(base, "v1")
+	v2dir = filepath.Join(base, "v2")
+	if err := ix.SaveSnapshotFormat(v1dir, SegmentFormatV1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveSnapshotFormat(v2dir, SegmentFormatV2); err != nil {
+		t.Fatal(err)
+	}
+	return v1dir, v2dir
+}
+
+// TestSegV2RandomizedConformance is the tentpole's acceptance criterion:
+// after an arbitrary interleaving of Add/Upsert/Remove/Compact, a catalog
+// snapshotted in both formats and loaded three ways — v1 gob (heap), v2
+// mapped, v2 heap-read fallback — answers every search bit-identically to
+// the original, full Result structs included. Runs under -race in CI's
+// serving leg.
+func TestSegV2RandomizedConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	makeTable := func(name string) *table.Table {
+		tab := table.New(name)
+		ncols := 1 + rng.Intn(3)
+		nrows := 60 + rng.Intn(90)
+		for c := 0; c < ncols; c++ {
+			lo := rng.Intn(250)
+			tab.AddColumn(fmt.Sprintf("col%d", c), vals("u", lo, lo+nrows))
+		}
+		return tab
+	}
+	ix := New(Options{SealAfter: 3})
+	names := make([]string, 24)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%02d", i)
+	}
+	live := make(map[string]bool)
+
+	check := func(step int) {
+		t.Helper()
+		ix.WaitCompaction() // freeze the layout both snapshots must share
+		v1dir, v2dir := saveBothFormats(t, ix, filepath.Join(t.TempDir(), fmt.Sprintf("s%d", step)))
+		fromV1, err := LoadSnapshot(v1dir)
+		if err != nil {
+			t.Fatalf("step %d: load v1: %v", step, err)
+		}
+		mapped, err := loadSnapshot(v2dir, false)
+		if err != nil {
+			t.Fatalf("step %d: load v2 mapped: %v", step, err)
+		}
+		defer mapped.Close()
+		heap, err := loadSnapshot(v2dir, true)
+		if err != nil {
+			t.Fatalf("step %d: load v2 heap: %v", step, err)
+		}
+		loads := map[string]*Index{"v1": fromV1, "v2-mapped": mapped, "v2-heap": heap}
+		for qi := 0; qi < 3; qi++ {
+			q := makeTable("query")
+			for _, mode := range []Mode{ModeJoin, ModeUnion} {
+				want, err := ix.Search(q, mode, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantBrute, err := ix.SearchBruteForce(q, mode, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for how, loaded := range loads {
+					got, err := loaded.Search(q, mode, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("step %d %s %s search diverged:\n got %+v\nwant %+v", step, how, mode, got, want)
+					}
+					gotBrute, err := loaded.SearchBruteForce(q, mode, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(gotBrute, wantBrute) {
+						t.Fatalf("step %d %s %s brute search diverged:\n got %+v\nwant %+v", step, how, mode, gotBrute, wantBrute)
+					}
+				}
+			}
+		}
+		if !reflect.DeepEqual(mapped.Tables(), ix.Tables()) {
+			t.Fatalf("step %d: mapped tables = %v, want %v", step, mapped.Tables(), ix.Tables())
+		}
+	}
+
+	steps := 120
+	if testing.Short() {
+		steps = 50
+	}
+	for step := 0; step < steps; step++ {
+		name := names[rng.Intn(len(names))]
+		switch op := rng.Intn(10); {
+		case op < 5: // upsert
+			if err := ix.Upsert(makeTable(name)); err != nil {
+				t.Fatalf("step %d upsert %s: %v", step, name, err)
+			}
+			live[name] = true
+		case op < 8: // remove (may fail if not live)
+			if err := ix.Remove(name); err == nil {
+				delete(live, name)
+			} else if live[name] {
+				t.Fatalf("step %d remove %s: %v", step, name, err)
+			}
+		default:
+			ix.Compact()
+		}
+		if step%30 == 29 {
+			check(step)
+		}
+	}
+	check(steps)
+}
+
+// buildV2Snapshot builds a small multi-segment catalog and snapshots it in
+// v2 format, returning the index, the directory, and the first sealed
+// segment file's path.
+func buildV2Snapshot(t *testing.T) (*Index, string) {
+	t.Helper()
+	ix := liveCatalog(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := ix.SaveSnapshotFormat(dir, SegmentFormatV2); err != nil {
+		t.Fatal(err)
+	}
+	return ix, dir
+}
+
+func firstSegFile(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no v2 segment files in %s (err %v)", dir, err)
+	}
+	return matches[0]
+}
+
+// TestSegV2CorruptFilesRejected: every class of damage yields the named
+// error — never a panic — from both the mapped and heap-read arms.
+func TestSegV2CorruptFilesRejected(t *testing.T) {
+	_, dir := buildV2Snapshot(t)
+	segPath := firstSegFile(t, dir)
+	good, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"bad magic", func(b []byte) []byte {
+			b[0] ^= 0xff
+			return b
+		}, ErrSegmentMagic},
+		{"short file", func(b []byte) []byte {
+			return b[:len(b)/2]
+		}, ErrSegmentTruncated},
+		{"empty file", func(b []byte) []byte {
+			return nil
+		}, ErrSegmentTruncated},
+		{"header only", func(b []byte) []byte {
+			return b[:segV2Header]
+		}, ErrSegmentTruncated},
+		{"section past EOF", func(b []byte) []byte {
+			// Point section 0 at an 8-aligned offset far beyond the file
+			// (alignment is checked first, so a misaligned value would
+			// surface as corruption instead).
+			copy(b[segV2Header:segV2Header+8], []byte{0, 0, 0, 0, 0, 1, 0, 0})
+			return b
+		}, ErrSegmentTruncated},
+		{"misaligned section", func(b []byte) []byte {
+			b[segV2Header]++ // offset no longer 8-aligned
+			return b
+		}, ErrSegmentCorrupt},
+		{"bad version", func(b []byte) []byte {
+			b[8] = 99
+			return b
+		}, ErrSegmentCorrupt},
+		{"string offsets out of bounds", func(b []byte) []byte {
+			// Inflate the final string-offset entry past the blob.
+			off := leU64(b[segV2Header:])
+			size := leU64(b[segV2Header+8:])
+			for i := uint64(0); i < 4; i++ {
+				b[off+size-4+i] = 0xff
+			}
+			return b
+		}, ErrSegmentCorrupt},
+		{"oversized column count", func(b []byte) []byte {
+			b[32], b[33], b[34], b[35] = 0xff, 0xff, 0xff, 0x0f
+			return b
+		}, ErrSegmentCorrupt},
+	}
+	for _, tc := range cases {
+		for _, noMap := range []bool{false, true} {
+			name := tc.name
+			if noMap {
+				name += " (heap read)"
+			}
+			t.Run(name, func(t *testing.T) {
+				if err := os.WriteFile(segPath, tc.mutate(append([]byte(nil), good...)), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				ix, err := loadSnapshot(dir, noMap)
+				if err == nil {
+					ix.Close()
+					t.Fatalf("loaded a snapshot with a %s segment file", tc.name)
+				}
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("error = %v, want %v", err, tc.wantErr)
+				}
+			})
+		}
+	}
+	// Restore and confirm the snapshot still loads — the harness itself is
+	// not what failed above.
+	if err := os.WriteFile(segPath, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Close()
+}
+
+func leU64(b []byte) uint64 {
+	v := uint64(0)
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// TestSegV2CrashTailIgnored mirrors the dict.log truncation contract: bytes
+// a crashed writer appended past the section table are ignored, and search
+// over the tailed file stays bit-identical.
+func TestSegV2CrashTailIgnored(t *testing.T) {
+	ix, dir := buildV2Snapshot(t)
+	want, err := ix.Search(snapshotQuery(), ModeJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segPath := firstSegFile(t, dir)
+	f, err := os.OpenFile(segPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn crash tail that never made it into the section table")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, noMap := range []bool{false, true} {
+		loaded, err := loadSnapshot(dir, noMap)
+		if err != nil {
+			t.Fatalf("noMap=%v: crash tail rejected: %v", noMap, err)
+		}
+		got, err := loaded.Search(snapshotQuery(), ModeJoin, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("noMap=%v: search diverged over tailed segment:\n got %+v\nwant %+v", noMap, got, want)
+		}
+		loaded.Close()
+	}
+}
+
+// TestSegV2RandomCorruptionNeverPanics: arbitrary byte flips either load or
+// error — the reader must never index out of bounds on attacker-shaped
+// input.
+func TestSegV2RandomCorruptionNeverPanics(t *testing.T) {
+	_, dir := buildV2Snapshot(t)
+	segPath := firstSegFile(t, dir)
+	good, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	iters := 200
+	if testing.Short() {
+		iters = 50
+	}
+	for i := 0; i < iters; i++ {
+		mut := append([]byte(nil), good...)
+		for flips := 1 + rng.Intn(4); flips > 0; flips-- {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		if rng.Intn(4) == 0 {
+			mut = mut[:rng.Intn(len(mut)+1)]
+		}
+		if err := os.WriteFile(segPath, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ix, err := loadSnapshot(dir, rng.Intn(2) == 0)
+		if err != nil {
+			continue
+		}
+		// Structurally valid despite the flips: it must also search without
+		// panicking (bucket ids are clamped, not trusted).
+		if _, err := ix.Search(snapshotQuery(), ModeJoin, 0); err != nil {
+			t.Fatalf("iter %d: search errored (should score or skip): %v", i, err)
+		}
+		ix.Close()
+	}
+}
+
+// TestMappedKernelProbesZeroAlloc: the integer-set kernels run against
+// mapped segment payloads with no per-probe allocation — the zero-copy
+// contract the format exists for.
+func TestMappedKernelProbesZeroAlloc(t *testing.T) {
+	ix, dir := buildV2Snapshot(t)
+	tables := ix.Tables()
+	loaded, err := loadSnapshot(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	// Pick two tables that live in sealed (mapped) segments.
+	var sets []intern.Set
+	for _, name := range tables {
+		for _, s := range loaded.InternedColumnSets(name) {
+			if s.Len() > 0 {
+				sets = append(sets, s)
+			}
+		}
+	}
+	if len(sets) < 2 {
+		t.Fatalf("catalog yielded %d interned sets, want at least 2", len(sets))
+	}
+	a, b := sets[0], sets[1]
+	if allocs := testing.AllocsPerRun(100, func() {
+		intern.Jaccard(&a, &b)
+		intern.Containment(&a, &b)
+		intern.IntersectCount(&a, &b)
+	}); allocs != 0 {
+		t.Errorf("kernel probes against mapped sets allocate %.1f per run, want 0", allocs)
+	}
+	// And the mapped scores equal the heap-loaded scores exactly.
+	heap, err := loadSnapshot(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer heap.Close()
+	for _, name := range tables {
+		ms, hs := loaded.InternedColumnSets(name), heap.InternedColumnSets(name)
+		if len(ms) != len(hs) {
+			t.Fatalf("%s: %d mapped sets vs %d heap sets", name, len(ms), len(hs))
+		}
+		for i := range ms {
+			if intern.Jaccard(&ms[i], &sets[0]) != intern.Jaccard(&hs[i], &sets[0]) {
+				t.Fatalf("%s col %d: mapped and heap kernels disagree", name, i)
+			}
+		}
+	}
+}
+
+// TestSnapshotFormatMigration: v1 → v2 → v1 in place, each save rewriting
+// the segment files into the requested encoding, pruning the other's, and
+// round-tripping searches exactly.
+func TestSnapshotFormatMigration(t *testing.T) {
+	ix := liveCatalog(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	want, err := ix.Search(snapshotQuery(), ModeJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countFiles := func() (gob, seg int) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasPrefix(e.Name(), "seg-") {
+				continue
+			}
+			switch {
+			case strings.HasSuffix(e.Name(), ".gob"):
+				gob++
+			case strings.HasSuffix(e.Name(), ".seg"):
+				seg++
+			}
+		}
+		return gob, seg
+	}
+	step := func(format string, wantGob, wantSeg bool) *Index {
+		t.Helper()
+		cur, err := LoadSnapshot(dir)
+		if err != nil {
+			t.Fatalf("%s: reload: %v", format, err)
+		}
+		if err := cur.SaveSnapshotFormat(dir, format); err != nil {
+			t.Fatalf("%s: save: %v", format, err)
+		}
+		gob, seg := countFiles()
+		if (gob > 0) != wantGob || (seg > 0) != wantSeg {
+			t.Fatalf("%s: %d gob / %d seg segment files on disk", format, gob, seg)
+		}
+		cur.Close()
+		re, err := LoadSnapshot(dir)
+		if err != nil {
+			t.Fatalf("%s: load after migrate: %v", format, err)
+		}
+		got, err := re.Search(snapshotQuery(), ModeJoin, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: search diverged after migration:\n got %+v\nwant %+v", format, got, want)
+		}
+		return re
+	}
+	if err := ix.SaveSnapshotFormat(dir, SegmentFormatV1); err != nil {
+		t.Fatal(err)
+	}
+	step(SegmentFormatV2, false, true).Close()
+	step(SegmentFormatV1, true, false).Close()
+	// Unknown formats are rejected before touching the directory.
+	if err := ix.SaveSnapshotFormat(dir, "v3"); err == nil {
+		t.Error("unknown segment format accepted")
+	}
+}
+
+// TestLoadFileNamesRawSegmentFiles: pointing LoadFile at a bare .seg file
+// produces the targeted error, not a gob decode failure.
+func TestLoadFileNamesRawSegmentFiles(t *testing.T) {
+	_, dir := buildV2Snapshot(t)
+	_, err := LoadFile(firstSegFile(t, dir))
+	if err == nil || !strings.Contains(err.Error(), "raw v2 segment file") {
+		t.Fatalf("error = %v, want the raw-segment-file explanation", err)
+	}
+}

@@ -63,6 +63,18 @@ func NewSet(ids []uint32) *Set {
 	return s
 }
 
+// ViewSet wraps an already-sorted, already-deduplicated id slice as a Set
+// value without copying or attaching a bitmap container — the zero-copy
+// entry point for ids read straight out of a memory-mapped segment file.
+// The caller owns the precondition (ids sorted ascending, unique); the
+// kernels never write through the slice, so a view over a read-only mapping
+// is safe. Returning a value (not a pointer) keeps a ViewSet call
+// allocation-free: `s := intern.ViewSet(ids)` lives on the caller's stack
+// and `&s` feeds every kernel. Scores are bit-identical to a NewSet over
+// the same ids: the bitmap container is a pure accelerator, never a
+// semantic input.
+func ViewSet(ids []uint32) Set { return Set{ids: ids} }
+
 // Len returns the number of ids in the set.
 func (s *Set) Len() int {
 	if s == nil {

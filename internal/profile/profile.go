@@ -72,6 +72,9 @@ type Profile struct {
 	numericOnce sync.Once
 	numeric     []float64
 
+	numDistOnce sync.Once
+	numDist     []float64
+
 	statsOnce sync.Once
 	stats     table.ColumnStats
 
@@ -199,6 +202,28 @@ func (p *Profile) NumericValues() ([]float64, int) {
 	return p.numeric, len(p.numeric)
 }
 
+// NumericDistinctSorted returns the cached ascending numeric values of the
+// column's parsed distinct values: one entry per ParsedDistinct entry whose
+// trimmed form parses as a float. Distinct string forms of the same number
+// ("1" and "1.0") contribute one entry each, so the length is exactly the
+// number of numeric keys this column contributes to a cross-table value
+// universe built over parsed distinct values — the distribution matcher's
+// score bound counts rank-gap keys with it.
+func (p *Profile) NumericDistinctSorted() []float64 {
+	p.numDistOnce.Do(func() {
+		parsed := p.ParsedDistinct()
+		out := make([]float64, 0, len(parsed))
+		for _, pv := range parsed {
+			if pv.IsNum {
+				out = append(out, pv.Num)
+			}
+		}
+		sort.Float64s(out)
+		p.numDist = out
+	})
+	return p.numDist
+}
+
 // Stats returns the cached summary statistics, computed from the cached
 // distinct set and numeric vector.
 func (p *Profile) Stats() table.ColumnStats {
@@ -289,6 +314,7 @@ func (p *Profile) warm() {
 	p.SortedDistinct()
 	p.NameTokens()
 	p.ParsedDistinct()
+	p.NumericDistinctSorted()
 	p.Stats()
 	p.Signature(DefaultSignature)
 	p.Signature(CompactSignature)
