@@ -10,6 +10,17 @@ package main
 // cold profile store, mirroring the discover CLI: full fidelity warms every
 // candidate, the cascade pays profiling lazily and only for candidates
 // whose bound survives the cutoff.
+//
+// Three measurements share one corpus:
+//
+//   - the headline arm (coma-instance, the serving default) with full
+//     latency percentiles, unchanged from earlier trajectories;
+//   - one stats-instrumented cascade per expensive tail matcher
+//     (similarity-flooding, cupid, semprop, embdi), whose per-matcher
+//     bounded/pruned/refined counters and prune rates land in "matchers";
+//   - the ensemble-with-tail arm ("tail"): every tail matcher fused with
+//     the headline method, timed full vs cascade at the same top-k — the
+//     p99 the CI baseline gate watches.
 
 import (
 	"context"
@@ -20,20 +31,23 @@ import (
 	"sort"
 	"time"
 
+	"valentine/internal/core"
+	"valentine/internal/engine"
 	"valentine/internal/experiment"
+	"valentine/internal/matchers/ensemble"
 	"valentine/internal/planner"
 	"valentine/internal/profile"
 	"valentine/internal/table"
 )
 
-type jsonCascade struct {
-	// CPUs and GOMAXPROCS qualify the latencies: the container this report
-	// ships from is typically single-core, so the arms are serial anyway.
-	CPUs       int    `json:"cpus"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Method     string `json:"method"`
-	Mode       string `json:"mode"`
-	K          int    `json:"k"`
+// jsonCascadeArm is one full-vs-cascade comparison on the shared corpus.
+// The headline arm embeds it (fields inline, keeping the trajectory schema
+// of earlier BENCH files); the ensemble-with-tail arm nests it under
+// "tail".
+type jsonCascadeArm struct {
+	Method string `json:"method"`
+	Mode   string `json:"mode"`
+	K      int    `json:"k"`
 	// Candidates = Relevant + Junk tables per query.
 	Candidates int `json:"candidates"`
 	Relevant   int `json:"relevant"`
@@ -54,8 +68,35 @@ type jsonCascade struct {
 	// (identical across reps: the corpus and cutoff are deterministic).
 	Pruned int `json:"pruned"`
 	// VerifiedReps counts reps whose cascade top-k was checked equal to the
-	// full-fidelity top-k; measureCascade fails unless it equals Reps.
+	// full-fidelity top-k; measureArm fails unless it equals Reps.
 	VerifiedReps int `json:"verified_reps"`
+}
+
+// jsonMatcherCascade is one tail matcher's planner counters on the shared
+// corpus: how many candidates were bounded, how many of those the bound
+// pruned outright, and how many were refined with the full matcher.
+type jsonMatcherCascade struct {
+	Bounded   int64   `json:"bounded"`
+	Pruned    int64   `json:"pruned"`
+	Refined   int64   `json:"refined"`
+	PruneRate float64 `json:"prune_rate"`
+}
+
+type jsonCascade struct {
+	// CPUs and GOMAXPROCS qualify the latencies: the container this report
+	// ships from is typically single-core, so the arms are serial anyway.
+	CPUs           int `json:"cpus"`
+	GOMAXPROCS     int `json:"gomaxprocs"`
+	jsonCascadeArm     // headline coma-instance arm, fields inline
+	// Matchers holds per-tail-matcher cascade counters, keyed by matcher
+	// name, each measured in that matcher's discriminating regime (see
+	// measureTailMatchers). Every entry must show a nonzero prune rate — an
+	// expensive matcher whose bound never fires has lost its reason to
+	// exist.
+	Matchers map[string]jsonMatcherCascade `json:"matchers"`
+	// Tail is the ensemble-with-tail arm: the four expensive matchers fused
+	// with the headline method, cascaded at the same top-k.
+	Tail *jsonCascadeArm `json:"tail"`
 }
 
 // cascadeCorpus builds the skewed discovery corpus: relevant tables share
@@ -106,73 +147,167 @@ func cascadeCorpus(relevant, junk, cols, rows int) (*table.Table, []*table.Table
 	return query, corpus
 }
 
-// measureCascade times both arms, alternating full/cascade each rep, and
-// hard-fails on any top-k divergence — a wrong answer is a regression, not
-// a section to skip.
-func measureCascade(ctx context.Context) (*jsonCascade, error) {
-	// Wide-but-short tables tilt the ratio toward matching: the matcher's
-	// per-candidate work is quadratic in columns (every column pair pays
-	// element construction, name distances and instance features) while the
-	// profiling the cascade's bounds force is linear, so the corpus shape
-	// controls how much a pruned candidate actually saves.
-	const (
-		relevant = 12
-		junk     = 150
-		cols     = 8
-		rows     = 30
-		k        = 10
-		mode     = "union"
-		reps     = 20
-	)
-	query, corpus := cascadeCorpus(relevant, junk, cols, rows)
-	m, err := experiment.NewRegistry().New(experiment.MethodComaInstance, nil)
-	if err != nil {
-		return nil, err
-	}
-
-	runArm := func(cascade bool) (time.Duration, *planner.RerankResult, error) {
-		store := profile.NewStore()
-		start := time.Now()
-		cands := make([]planner.Candidate, len(corpus))
-		for i, t := range corpus {
-			cands[i] = planner.Candidate{Name: t.Name, Profile: store.Of(t)}
+// sempropCorpus is the dense-value variant of the skewed corpus: SemProp's
+// syntactic band fires only when minhash-signature Jaccard clears its
+// threshold, and the shared corpus's sparse value pool (30 rows over 400
+// values) keeps every pair below it — no scores, no cutoff, nothing to
+// prune. Drawing the relevant tables from a dense drifting pool (span 50,
+// drift 1/table) puts the corpus in the regime SemProp actually ranks,
+// while junk keeps per-table pools whose disjoint signatures collapse the
+// bound to zero.
+func sempropCorpus(relevant, junk, cols, rows int) (*table.Table, []*table.Table) {
+	rng := rand.New(rand.NewSource(7))
+	draw := func(lo, span, n int) []string {
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("cust-%04d", lo+rng.Intn(span))
 		}
-		var rr *planner.RerankResult
-		var rerr error
-		if cascade {
-			rr, rerr = planner.Rerank(ctx, m, store.Of(query), cands, mode, k)
-		} else {
-			store.Warm(corpus...)
-			rr, rerr = planner.RerankFull(ctx, m, store.Of(query), cands, mode, k)
-		}
-		return time.Since(start), rr, rerr
+		return vals
 	}
+	greek := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+		"eta", "theta", "iota", "kappa", "lambda", "mu"}
+	fill := func(t *table.Table, lo int) {
+		for c := 0; c < cols; c++ {
+			t.AddColumn(fmt.Sprintf("shared %s", greek[c%len(greek)]), draw(lo, 50, rows))
+		}
+	}
+	query := table.New("query")
+	fill(query, 0)
+	corpus := make([]*table.Table, 0, relevant+junk)
+	for i := 0; i < relevant; i++ {
+		t := table.New(fmt.Sprintf("relevant%02d", i))
+		fill(t, i)
+		corpus = append(corpus, t)
+	}
+	for j := 0; j < junk; j++ {
+		t := table.New(fmt.Sprintf("junk%03d", j))
+		for c := 0; c < cols; c++ {
+			vals := make([]string, rows)
+			for r := range vals {
+				vals[r] = fmt.Sprintf("junk%03d-%d-%d", j, c, rng.Intn(400))
+			}
+			t.AddColumn(fmt.Sprintf("junk%03d field%d", j, c), vals)
+		}
+		corpus = append(corpus, t)
+	}
+	return query, corpus
+}
 
-	out := &jsonCascade{
-		CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Method: experiment.MethodComaInstance, Mode: mode, K: k,
-		Candidates: relevant + junk, Relevant: relevant, Junk: junk, Reps: reps,
+// simfloodCorpus is the schema-shape variant: Similarity Flooding reads
+// only names and types, and its fixpoint normalization divides every
+// column-pair score by a table-level sum, so wide schemas dilute all
+// scores — on the shared corpus the junk bound (≈0.30) sits above every
+// relevant score (≈0.04) and nothing can prune. Its discriminating regime
+// is the opposite shape: relevant tables with the query's exact schema
+// (concentrated flood, scores at their ceiling) against junk whose many
+// moderately-similar column names inflate the flood's normalizer — the
+// bound's λ term — until the junk bound (≈0.037) drops below the relevant
+// scores (≈0.042). Junk stays junk: no shared name tokens, no shared
+// values.
+func simfloodCorpus(relevant, junk, rows int) (*table.Table, []*table.Table) {
+	const cols, junkCols = 8, 24
+	rng := rand.New(rand.NewSource(7))
+	greek := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+		"eta", "theta", "iota", "kappa", "lambda", "mu"}
+	draw := func(n int) []string {
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("cust-%04d", rng.Intn(400))
+		}
+		return vals
+	}
+	query := table.New("query")
+	for c := 0; c < cols; c++ {
+		query.AddColumn(fmt.Sprintf("shared %s", greek[c]), draw(rows))
+	}
+	corpus := make([]*table.Table, 0, relevant+junk)
+	for i := 0; i < relevant; i++ {
+		t := table.New(fmt.Sprintf("relevant%02d", i))
+		for c := 0; c < cols; c++ {
+			t.AddColumn(fmt.Sprintf("shared %s", greek[c]), draw(rows))
+		}
+		corpus = append(corpus, t)
+	}
+	for j := 0; j < junk; j++ {
+		t := table.New(fmt.Sprintf("junk%03d", j))
+		for c := 0; c < junkCols; c++ {
+			t.AddColumn(fmt.Sprintf("sharod %s j%02d", greek[c%len(greek)], c), draw(rows))
+		}
+		corpus = append(corpus, t)
+	}
+	return query, corpus
+}
+
+// Shared corpus and query shape across all three cascade measurements.
+// Wide-but-short tables tilt the ratio toward matching: the matcher's
+// per-candidate work is quadratic in columns (every column pair pays
+// element construction, name distances and instance features) while the
+// profiling the cascade's bounds force is linear, so the corpus shape
+// controls how much a pruned candidate actually saves.
+const (
+	cascRelevant = 12
+	cascJunk     = 150
+	cascCols     = 8
+	cascRows     = 30
+	cascK        = 10
+	cascMode     = "union"
+)
+
+// runCascadeArm times one rep of one arm from a cold profile store.
+func runCascadeArm(ctx context.Context, m core.Matcher, query *table.Table, corpus []*table.Table, cascade bool) (time.Duration, *planner.RerankResult, error) {
+	store := profile.NewStore()
+	start := time.Now()
+	cands := make([]planner.Candidate, len(corpus))
+	for i, t := range corpus {
+		cands[i] = planner.Candidate{Name: t.Name, Profile: store.Of(t)}
+	}
+	var rr *planner.RerankResult
+	var rerr error
+	if cascade {
+		rr, rerr = planner.Rerank(ctx, m, store.Of(query), cands, cascMode, cascK)
+	} else {
+		store.Warm(corpus...)
+		rr, rerr = planner.RerankFull(ctx, m, store.Of(query), cands, cascMode, cascK)
+	}
+	return time.Since(start), rr, rerr
+}
+
+// verifyRanked hard-fails on any top-k divergence — a wrong answer is a
+// regression, not a section to skip.
+func verifyRanked(label string, rep int, full, casc *planner.RerankResult) error {
+	if len(full.Ranked) != len(casc.Ranked) {
+		return fmt.Errorf("cascade section: %s rep %d: top-k sizes diverge (%d vs %d)",
+			label, rep, len(full.Ranked), len(casc.Ranked))
+	}
+	for i := range full.Ranked {
+		if full.Ranked[i] != casc.Ranked[i] {
+			return fmt.Errorf("cascade section: %s rep %d: rank %d diverges: full %+v cascade %+v",
+				label, rep, i, full.Ranked[i], casc.Ranked[i])
+		}
+	}
+	return nil
+}
+
+// measureArm runs the full-vs-cascade comparison for one matcher,
+// alternating arms each rep.
+func measureArm(ctx context.Context, m core.Matcher, query *table.Table, corpus []*table.Table, reps int) (*jsonCascadeArm, error) {
+	out := &jsonCascadeArm{
+		Method: m.Name(), Mode: cascMode, K: cascK,
+		Candidates: len(corpus), Relevant: cascRelevant, Junk: cascJunk, Reps: reps,
 	}
 	fullDs := make([]time.Duration, 0, reps)
 	cascDs := make([]time.Duration, 0, reps)
 	for rep := 0; rep < reps; rep++ {
-		fullD, full, err := runArm(false)
+		fullD, full, err := runCascadeArm(ctx, m, query, corpus, false)
 		if err != nil {
-			return nil, fmt.Errorf("cascade section: full-fidelity arm: %w", err)
+			return nil, fmt.Errorf("cascade section: %s full-fidelity arm: %w", m.Name(), err)
 		}
-		cascD, casc, err := runArm(true)
+		cascD, casc, err := runCascadeArm(ctx, m, query, corpus, true)
 		if err != nil {
-			return nil, fmt.Errorf("cascade section: cascade arm: %w", err)
+			return nil, fmt.Errorf("cascade section: %s cascade arm: %w", m.Name(), err)
 		}
-		if len(full.Ranked) != len(casc.Ranked) {
-			return nil, fmt.Errorf("cascade section: rep %d: top-k sizes diverge (%d vs %d)",
-				rep, len(full.Ranked), len(casc.Ranked))
-		}
-		for i := range full.Ranked {
-			if full.Ranked[i] != casc.Ranked[i] {
-				return nil, fmt.Errorf("cascade section: rep %d: rank %d diverges: full %+v cascade %+v",
-					rep, i, full.Ranked[i], casc.Ranked[i])
-			}
+		if err := verifyRanked(m.Name(), rep, full, casc); err != nil {
+			return nil, err
 		}
 		out.VerifiedReps++
 		out.Pruned = casc.Pruned
@@ -180,7 +315,7 @@ func measureCascade(ctx context.Context) (*jsonCascade, error) {
 		cascDs = append(cascDs, cascD)
 	}
 	if out.Pruned == 0 {
-		return nil, fmt.Errorf("cascade section: bounds pruned nothing on a %d-junk corpus", junk)
+		return nil, fmt.Errorf("cascade section: %s bounds pruned nothing on a %d-junk corpus", m.Name(), cascJunk)
 	}
 
 	out.FullMeanUS, out.FullP50US, out.FullP99US = latencySummary(fullDs)
@@ -193,6 +328,120 @@ func measureCascade(ctx context.Context) (*jsonCascade, error) {
 	}
 	if out.CascadeP99US > 0 {
 		out.P99Speedup = float64(out.FullP99US) / float64(out.CascadeP99US)
+	}
+	return out, nil
+}
+
+// tailMethods are the expensive tail matchers whose admissible bounds the
+// per-matcher counters and the ensemble-with-tail arm exercise.
+var tailMethods = []string{
+	experiment.MethodSimFlood,
+	experiment.MethodCupid,
+	experiment.MethodSemProp,
+	experiment.MethodEmbDI,
+}
+
+// measureTailMatchers runs one stats-instrumented cascade per tail matcher
+// and reports the planner's per-matcher counters. Each matcher is measured
+// in the regime its bound signal discriminates — cupid (name tokens) and
+// embdi (value bridging) read the shared corpus, simflood (schema shape)
+// and semprop (value signatures) get the tailored variants above. Each run
+// is verified against full fidelity once (the timing arms already hammer
+// the conformance check; here the counters are the payload).
+func measureTailMatchers(ctx context.Context, query *table.Table, corpus []*table.Table) (map[string]jsonMatcherCascade, error) {
+	reg := experiment.NewRegistry()
+	grids := experiment.QuickGrids()
+	out := make(map[string]jsonMatcherCascade, len(tailMethods))
+	for _, name := range tailMethods {
+		var params core.Params
+		if g := grids[name]; len(g) > 0 {
+			params = g[0]
+		}
+		m, err := reg.New(name, params)
+		if err != nil {
+			return nil, err
+		}
+		query, corpus := query, corpus
+		switch name {
+		case experiment.MethodSimFlood:
+			query, corpus = simfloodCorpus(cascRelevant, 40, cascRows)
+		case experiment.MethodSemProp:
+			query, corpus = sempropCorpus(cascRelevant, cascJunk, cascCols, cascRows)
+		}
+		_, full, err := runCascadeArm(ctx, m, query, corpus, false)
+		if err != nil {
+			return nil, fmt.Errorf("cascade section: %s full-fidelity arm: %w", name, err)
+		}
+		sctx, stats := engine.WithStats(ctx)
+		_, casc, err := runCascadeArm(sctx, m, query, corpus, true)
+		if err != nil {
+			return nil, fmt.Errorf("cascade section: %s cascade arm: %w", name, err)
+		}
+		if err := verifyRanked(name, 0, full, casc); err != nil {
+			return nil, err
+		}
+		ms, ok := stats.Snapshot().Matchers[m.Name()]
+		if !ok || ms.Bounded == 0 {
+			return nil, fmt.Errorf("cascade section: %s cascade recorded no bounded candidates", name)
+		}
+		if ms.Pruned == 0 {
+			return nil, fmt.Errorf("cascade section: %s bound pruned nothing on a %d-junk corpus", name, cascJunk)
+		}
+		out[m.Name()] = jsonMatcherCascade{
+			Bounded:   ms.Bounded,
+			Pruned:    ms.Pruned,
+			Refined:   ms.Refined,
+			PruneRate: float64(ms.Pruned) / float64(ms.Bounded),
+		}
+	}
+	return out, nil
+}
+
+// measureCascade runs all three cascade measurements on the shared corpus.
+func measureCascade(ctx context.Context) (*jsonCascade, error) {
+	const (
+		reps = 20
+		// The tail arm runs embdi (random-walk training per bridged
+		// candidate) on every full-fidelity rep, so it gets fewer reps: its
+		// job is the p99 gate ratio, not a latency distribution.
+		tailReps = 5
+	)
+	query, corpus := cascadeCorpus(cascRelevant, cascJunk, cascCols, cascRows)
+	reg := experiment.NewRegistry()
+	m, err := reg.New(experiment.MethodComaInstance, nil)
+	if err != nil {
+		return nil, err
+	}
+	headline, err := measureArm(ctx, m, query, corpus, reps)
+	if err != nil {
+		return nil, err
+	}
+	out := &jsonCascade{
+		CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		jsonCascadeArm: *headline,
+	}
+	// Trajectory continuity: the headline arm keeps reporting the method
+	// constant, as every earlier BENCH file did.
+	out.Method = experiment.MethodComaInstance
+
+	if out.Matchers, err = measureTailMatchers(ctx, query, corpus); err != nil {
+		return nil, err
+	}
+
+	grids := experiment.QuickGrids()
+	params := make(map[string]core.Params, len(tailMethods)+1)
+	for _, name := range append([]string{experiment.MethodComaInstance}, tailMethods...) {
+		if g := grids[name]; len(g) > 0 {
+			params[name] = g[0]
+		}
+	}
+	tail, err := ensemble.FromRegistry(reg, params,
+		append([]string{experiment.MethodComaInstance}, tailMethods...), nil)
+	if err != nil {
+		return nil, err
+	}
+	if out.Tail, err = measureArm(ctx, tail, query, corpus, tailReps); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -216,16 +465,39 @@ func latencySummary(ds []time.Duration) (mean, p50, p99 int64) {
 	return (sum / time.Duration(len(sorted))).Microseconds(), pct(0.50), pct(0.99)
 }
 
+// formatCascadeArm renders one arm's latency comparison.
+func formatCascadeArm(c *jsonCascadeArm) string {
+	out := fmt.Sprintf("  full     mean=%dµs p50=%dµs p99=%dµs\n", c.FullMeanUS, c.FullP50US, c.FullP99US)
+	out += fmt.Sprintf("  cascade  mean=%dµs p50=%dµs p99=%dµs (%d of %d candidates pruned)\n",
+		c.CascadeMeanUS, c.CascadeP50US, c.CascadeP99US, c.Pruned, c.Candidates)
+	out += fmt.Sprintf("  speedup  mean=%.1fx p50=%.1fx p99=%.1fx — top-k verified equal on all %d reps\n",
+		c.MeanSpeedup, c.P50Speedup, c.P99Speedup, c.VerifiedReps)
+	return out
+}
+
 // formatCascade renders the section as prose, next to the paper tables.
 func formatCascade(c *jsonCascade) string {
 	out := fmt.Sprintf("Cascade — bound-then-refine planner vs full fidelity (%s, %s, k=%d)\n",
 		c.Method, c.Mode, c.K)
 	out += fmt.Sprintf("  corpus %d candidates (%d relevant, %d junk), %d reps, cpus=%d gomaxprocs=%d\n",
 		c.Candidates, c.Relevant, c.Junk, c.Reps, c.CPUs, c.GOMAXPROCS)
-	out += fmt.Sprintf("  full     mean=%dµs p50=%dµs p99=%dµs\n", c.FullMeanUS, c.FullP50US, c.FullP99US)
-	out += fmt.Sprintf("  cascade  mean=%dµs p50=%dµs p99=%dµs (%d of %d candidates pruned)\n",
-		c.CascadeMeanUS, c.CascadeP50US, c.CascadeP99US, c.Pruned, c.Candidates)
-	out += fmt.Sprintf("  speedup  mean=%.1fx p50=%.1fx p99=%.1fx — top-k verified equal on all %d reps\n",
-		c.MeanSpeedup, c.P50Speedup, c.P99Speedup, c.VerifiedReps)
+	out += formatCascadeArm(&c.jsonCascadeArm)
+	if len(c.Matchers) > 0 {
+		names := make([]string, 0, len(c.Matchers))
+		for name := range c.Matchers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out += "  tail matcher prune rates:\n"
+		for _, name := range names {
+			ms := c.Matchers[name]
+			out += fmt.Sprintf("    %-22s bounded=%d pruned=%d refined=%d (%.0f%% pruned)\n",
+				name, ms.Bounded, ms.Pruned, ms.Refined, 100*ms.PruneRate)
+		}
+	}
+	if c.Tail != nil {
+		out += fmt.Sprintf("  ensemble with tail (%s, %d reps):\n", c.Tail.Method, c.Tail.Reps)
+		out += formatCascadeArm(c.Tail)
+	}
 	return out
 }

@@ -61,21 +61,24 @@ func formatScenario(rep *scenario.Report) string {
 // only what it checks, so trajectory files may carry more than it knows.
 // With baselinePath set it additionally gates on latency: every endpoint
 // present in the baseline's scenario section must keep its p99 within
-// tol × the baseline p99, CI's tripwire against serving-path regressions.
+// tol × the baseline p99, and when the baseline carries a cascade section
+// the planner's cascade p99s (the headline arm and the ensemble-with-tail
+// arm) are held to the same ratio — CI's tripwire against serving-path and
+// planner regressions.
 func checkReport(path, baselinePath string, tol float64) error {
-	doc, err := readScenarioDoc(path)
+	doc, err := readTrajectoryDoc(path)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s: scenario section ok — %s, %d ops, %d endpoints, hash %s…\n",
-		path, doc.Scenario, doc.Ops, len(doc.Endpoints), doc.Corpus.Hash[:12])
+		path, doc.Scenario.Scenario, doc.Scenario.Ops, len(doc.Scenario.Endpoints), doc.Scenario.Corpus.Hash[:12])
 	if baselinePath == "" {
 		return nil
 	}
 	if tol <= 0 {
 		return fmt.Errorf("-baseline-tolerance %v: must be positive", tol)
 	}
-	base, err := readScenarioDoc(baselinePath)
+	base, err := readTrajectoryDoc(baselinePath)
 	if err != nil {
 		return fmt.Errorf("baseline %w", err)
 	}
@@ -83,14 +86,14 @@ func checkReport(path, baselinePath string, tol float64) error {
 	// deliberately loose (default 3x): shared CI runners are noisy, and the
 	// gate exists to catch order-of-magnitude serving regressions, not to
 	// re-run a microbenchmark.
-	kinds := make([]string, 0, len(base.Endpoints))
-	for kind := range base.Endpoints {
+	kinds := make([]string, 0, len(base.Scenario.Endpoints))
+	for kind := range base.Scenario.Endpoints {
 		kinds = append(kinds, kind)
 	}
 	sort.Strings(kinds)
 	for _, kind := range kinds {
-		bp99 := base.Endpoints[kind].P99US
-		ep, ok := doc.Endpoints[kind]
+		bp99 := base.Scenario.Endpoints[kind].P99US
+		ep, ok := doc.Scenario.Endpoints[kind]
 		if !ok {
 			return fmt.Errorf("%s: endpoint %q in baseline %s but missing here", path, kind, baselinePath)
 		}
@@ -105,11 +108,56 @@ func checkReport(path, baselinePath string, tol float64) error {
 		fmt.Printf("%s: %s p99 %dµs vs baseline %dµs (%.2fx, tolerance %.1fx) ok\n",
 			path, kind, ep.P99US, bp99, ratio, tol)
 	}
+	return checkCascadeBaseline(path, baselinePath, tol, doc.Cascade, base.Cascade)
+}
+
+// checkCascadeBaseline gates the cascade section's p99s against the
+// baseline's. Baselines written before the section existed (or without
+// -cascade) carry none and skip the gate; once a baseline has it, the
+// checked document must too.
+func checkCascadeBaseline(path, baselinePath string, tol float64, doc, base *jsonCascade) error {
+	if base == nil {
+		return nil
+	}
+	if doc == nil {
+		return fmt.Errorf("%s: baseline %s has a cascade section but this document has none (was -cascade set when it was written?)", path, baselinePath)
+	}
+	type armCheck struct {
+		label     string
+		doc, base *jsonCascadeArm
+	}
+	arms := []armCheck{{"cascade", &doc.jsonCascadeArm, &base.jsonCascadeArm}}
+	if base.Tail != nil {
+		if doc.Tail == nil {
+			return fmt.Errorf("%s: baseline %s has an ensemble-with-tail cascade arm but this document has none", path, baselinePath)
+		}
+		arms = append(arms, armCheck{"cascade-tail", doc.Tail, base.Tail})
+	}
+	for _, a := range arms {
+		if a.base.CascadeP99US <= 0 {
+			continue
+		}
+		ratio := float64(a.doc.CascadeP99US) / float64(a.base.CascadeP99US)
+		if ratio > tol {
+			return fmt.Errorf("%s: %s p99 %dµs is %.1fx baseline %dµs (tolerance %.1fx, baseline %s)",
+				path, a.label, a.doc.CascadeP99US, ratio, a.base.CascadeP99US, tol, baselinePath)
+		}
+		fmt.Printf("%s: %s p99 %dµs vs baseline %dµs (%.2fx, tolerance %.1fx) ok\n",
+			path, a.label, a.doc.CascadeP99US, a.base.CascadeP99US, ratio, tol)
+	}
 	return nil
 }
 
-// readScenarioDoc loads one trajectory file's scenario section, validated.
-func readScenarioDoc(path string) (*scenario.Report, error) {
+// trajectoryDoc is the slice of a -json trajectory file the -check mode
+// reads: the scenario section (required) and the cascade section
+// (optional, gated only when the baseline carries one).
+type trajectoryDoc struct {
+	Scenario *scenario.Report
+	Cascade  *jsonCascade
+}
+
+// readTrajectoryDoc loads one trajectory file's checked sections, validated.
+func readTrajectoryDoc(path string) (*trajectoryDoc, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -117,6 +165,7 @@ func readScenarioDoc(path string) (*scenario.Report, error) {
 	var doc struct {
 		Schema   int              `json:"schema"`
 		Scenario *scenario.Report `json:"scenario"`
+		Cascade  *jsonCascade     `json:"cascade"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("%s: %v", path, err)
@@ -130,5 +179,5 @@ func readScenarioDoc(path string) (*scenario.Report, error) {
 	if err := doc.Scenario.Check(); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return doc.Scenario, nil
+	return &trajectoryDoc{Scenario: doc.Scenario, Cascade: doc.Cascade}, nil
 }

@@ -47,6 +47,7 @@ func cmdDiscover(args []string) error {
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole discovery (default none); expiry aborts mid-scoring")
 	budget := fs.Duration("budget", 0, "per-query latency budget for the re-scoring phase (default none); expiry prints the best-effort ranking so far")
 	cascade := fs.String("cascade", "on", "on|off: cost-based bound-then-refine cascade for candidate re-scoring (off = full fidelity on every candidate)")
+	epsilon := fs.Float64("epsilon", 0, "approximation budget in [0,1): cascade prunes more aggressively, every returned score stays within epsilon of the true top-k (0 = exact)")
 	verbose := fs.Bool("v", false, "print engine pipeline stats (candidates, bounded, pruned, scored, per-stage wall time)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +57,12 @@ func cmdDiscover(args []string) error {
 	}
 	if *cascade != "on" && *cascade != "off" {
 		return fmt.Errorf("discover: -cascade %q is not on|off", *cascade)
+	}
+	if err := core.ValidateBudget(*budget); err != nil {
+		return fmt.Errorf("discover: -%v", err)
+	}
+	if err := core.ValidateEpsilon(*epsilon); err != nil {
+		return fmt.Errorf("discover: -%v", err)
 	}
 	cascadeOn := *cascade == "on"
 	// One engine context for the whole invocation: parallelism and deadline
@@ -156,6 +163,7 @@ func cmdDiscover(args []string) error {
 	}
 	qctx, qcancel := core.BudgetContext(ctx, *budget)
 	defer qcancel()
+	qctx = core.WithEpsilon(qctx, *epsilon)
 	var rr *planner.RerankResult
 	var rerr error
 	if cascadeOn {
@@ -210,6 +218,9 @@ func cmdDiscover(args []string) error {
 	if rr.BestEffort {
 		fmt.Printf("budget %s exhausted: best-effort ranking (%d candidates skipped, %d pruned by bounds)\n",
 			*budget, rr.Skipped, rr.Pruned)
+	}
+	if cascadeOn && *epsilon > 0 {
+		fmt.Printf("approximate: scores within %g of the exact top-%d\n", *epsilon, *top)
 	}
 	if *top > len(ranked) {
 		*top = len(ranked)

@@ -1,0 +1,69 @@
+package main
+
+// CLI tests of the -epsilon flag: validation at the flag boundary, the
+// approximate-output note, and the epsilon-zero exactness contract.
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCmdFlagsRejectBadEpsilonAndBudget(t *testing.T) {
+	dir, query := writeCorpusDir(t)
+	target := filepath.Join(dir, "related_a.csv")
+	for _, eps := range []string{"-0.1", "1", "1.5", "NaN"} {
+		if err := cmdDiscover([]string{"-query", query, "-dir", dir, "-epsilon", eps}); err == nil {
+			t.Errorf("discover -epsilon %s: expected validation error", eps)
+		}
+		if err := cmdMatch([]string{"-source", query, "-target", target, "-epsilon", eps}); err == nil {
+			t.Errorf("match -epsilon %s: expected validation error", eps)
+		}
+		if err := cmdSearch([]string{"-index", "absent.idx", "-query", query, "-epsilon", eps}); err == nil {
+			t.Errorf("search -epsilon %s: expected validation error", eps)
+		}
+	}
+	if err := cmdDiscover([]string{"-query", query, "-dir", dir, "-budget", "-5ms"}); err == nil {
+		t.Error("discover -budget -5ms: expected validation error")
+	}
+	if err := cmdMatch([]string{"-source", query, "-target", target, "-budget", "-5ms"}); err == nil {
+		t.Error("match -budget -5ms: expected validation error")
+	}
+}
+
+// TestCmdDiscoverEpsilonNote: a nonzero epsilon marks the output
+// approximate; epsilon zero stays byte-identical to the exact cascade.
+func TestCmdDiscoverEpsilonNote(t *testing.T) {
+	dir, query := writeCorpusDir(t)
+	base := []string{"-query", query, "-dir", dir, "-mode", "union", "-method", "coma-instance", "-top", "3"}
+	approx := captureStdout(t, func() error { return cmdDiscover(append(base, "-epsilon", "0.2")) })
+	if !strings.Contains(approx, "approximate: scores within 0.2") {
+		t.Fatalf("missing approximate note:\n%s", approx)
+	}
+	exactDefault := captureStdout(t, func() error { return cmdDiscover(base) })
+	exactZero := captureStdout(t, func() error { return cmdDiscover(append(base, "-epsilon", "0")) })
+	if exactDefault != exactZero {
+		t.Fatalf("-epsilon 0 output diverges from the default\n--- default ---\n%s--- epsilon 0 ---\n%s", exactDefault, exactZero)
+	}
+}
+
+// TestCmdMatchEpsilonAndVerbose: the match command accepts -epsilon on the
+// cascade path (approximate note) and -v appends per-matcher engine stats.
+func TestCmdMatchEpsilonAndVerbose(t *testing.T) {
+	dir, query := writeCorpusDir(t)
+	target := filepath.Join(dir, "related_a.csv")
+	base := []string{"-method", "jaccard-levenshtein", "-source", query, "-target", target, "-top", "3"}
+	out := captureStdout(t, func() error { return cmdMatch(append(base, "-epsilon", "0.3", "-v")) })
+	if !strings.Contains(out, "approximate: scores within 0.3") {
+		t.Fatalf("missing approximate note:\n%s", out)
+	}
+	if !strings.Contains(out, "engine:") || !strings.Contains(out, "jaccard-levenshtein bounded=") {
+		t.Fatalf("missing per-matcher engine stats:\n%s", out)
+	}
+	// Epsilon is consumed by the cascade only: with -cascade=off the run is
+	// exact and must not claim approximation.
+	off := captureStdout(t, func() error { return cmdMatch(append(base, "-epsilon", "0.3", "-cascade", "off")) })
+	if strings.Contains(off, "approximate:") {
+		t.Fatalf("-cascade=off claimed approximation:\n%s", off)
+	}
+}

@@ -26,9 +26,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"valentine"
 	"valentine/internal/core"
+	"valentine/internal/engine"
 	"valentine/internal/experiment"
 	"valentine/internal/fabrication"
 	"valentine/internal/report"
@@ -227,6 +229,8 @@ func cmdMatch(args []string) error {
 	topF := fs.Int("top", 10, "matches to print")
 	budget := fs.Duration("budget", 0, "latency budget (default none); expiry prints the best-effort ranking so far")
 	cascade := fs.String("cascade", "on", "on|off: matcher-internal bound-then-refine cascade where supported")
+	epsilon := fs.Float64("epsilon", 0, "approximation budget in [0,1): cascade prunes more aggressively, every returned score stays within epsilon of the exact ranking (0 = exact)")
+	verbose := fs.Bool("v", false, "print engine pipeline stats (candidates, bounded, pruned, scored, per-matcher cascade counters)")
 	var pf paramFlags
 	fs.Var(&pf, "param", "matcher parameter key=value (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -237,6 +241,12 @@ func cmdMatch(args []string) error {
 	}
 	if *cascade != "on" && *cascade != "off" {
 		return fmt.Errorf("match: -cascade %q is not on|off", *cascade)
+	}
+	if err := core.ValidateBudget(*budget); err != nil {
+		return fmt.Errorf("match: -%v", err)
+	}
+	if err := core.ValidateEpsilon(*epsilon); err != nil {
+		return fmt.Errorf("match: -%v", err)
 	}
 	src, err := valentine.ReadCSVFile(*sourceF)
 	if err != nil {
@@ -251,14 +261,21 @@ func cmdMatch(args []string) error {
 		return err
 	}
 	ctx := context.Background()
+	var stats *engine.Stats
+	if *verbose {
+		ctx, stats = engine.WithStats(ctx)
+	}
+	started := time.Now()
 	qctx, qcancel := core.BudgetContext(ctx, *budget)
 	defer qcancel()
 	var matches []core.Match
 	bestEffort := false
+	approx := false
 	cm, cascades := m.(core.CascadeMatcher)
 	if cascades && *cascade == "on" {
 		sp, tp := core.ProfilePair(nil, src, tgt)
-		matches, bestEffort, err = cm.MatchCascade(qctx, sp, tp, 0)
+		matches, bestEffort, err = cm.MatchCascade(core.WithEpsilon(qctx, *epsilon), sp, tp, 0)
+		approx = *epsilon > 0
 	} else {
 		matches, err = core.MatchWithContext(qctx, m, nil, src, tgt)
 	}
@@ -272,12 +289,19 @@ func cmdMatch(args []string) error {
 	if bestEffort {
 		fmt.Printf("budget %s exhausted: best-effort ranking\n", *budget)
 	}
+	if approx {
+		fmt.Printf("approximate: scores within %g of the exact ranking\n", *epsilon)
+	}
 	top := *topF
 	if top > len(matches) {
 		top = len(matches)
 	}
 	for _, m := range matches[:top] {
 		fmt.Println(" ", m)
+	}
+	if stats != nil {
+		fmt.Printf("engine: %s (elapsed %s)\n",
+			stats.Snapshot(), time.Since(started).Round(time.Millisecond))
 	}
 	return nil
 }

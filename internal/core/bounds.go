@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math"
 	"time"
 
 	"valentine/internal/profile"
@@ -79,6 +81,54 @@ type CascadeMatcher interface {
 	// truncated by the context deadline (budget semantics: expired budget
 	// is a flag, not an error).
 	MatchCascade(ctx context.Context, source, target *profile.TableProfile, k int) (matches []Match, bestEffort bool, err error)
+}
+
+// WithEpsilon attaches a per-query approximation budget ε to the context.
+// The planner cascade relaxes its prune check by ε: a candidate is cut when
+// its admissible bound is below the current kth-best exact score plus ε,
+// which prunes more aggressively than the exact cascade while guaranteeing
+// every returned score is within ε of the true top-k (see the ε-mode
+// section of the planner package doc). ε <= 0 (and NaN) mean "exact" and
+// return ctx unchanged, so the zero value costs nothing.
+func WithEpsilon(ctx context.Context, eps float64) context.Context {
+	if !(eps > 0) {
+		return ctx
+	}
+	return context.WithValue(ctx, epsilonKey{}, eps)
+}
+
+// EpsilonFrom returns the context's approximation budget, or 0 (exact) when
+// none is attached.
+func EpsilonFrom(ctx context.Context) float64 {
+	if e, ok := ctx.Value(epsilonKey{}).(float64); ok {
+		return e
+	}
+	return 0
+}
+
+type epsilonKey struct{}
+
+// ValidateEpsilon rejects approximation budgets that would silently
+// degenerate the cutoff: ε must be a finite value in [0, 1). Every suite
+// score lives in [0, 1], so ε >= 1 would authorize pruning everything and
+// returning an empty "top-k"; negative and NaN values have no sound
+// interpretation at all. Boundary validation (server, CLIs) funnels
+// through this one check so the error text stays consistent.
+func ValidateEpsilon(eps float64) error {
+	if math.IsNaN(eps) || eps < 0 || eps >= 1 {
+		return fmt.Errorf("epsilon %v: must be in [0, 1)", eps)
+	}
+	return nil
+}
+
+// ValidateBudget rejects negative per-query latency budgets (0 means "no
+// budget"; a negative budget is a caller bug, not an instantly-expired
+// timer).
+func ValidateBudget(budget time.Duration) error {
+	if budget < 0 {
+		return fmt.Errorf("budget %v: must be >= 0", budget)
+	}
+	return nil
 }
 
 // BudgetContext derives the per-query budget sub-context: a child deadline

@@ -339,6 +339,11 @@ type Stats struct {
 	// dial: mapped bytes cost address space, not resident memory.
 	HeapSegmentBytes   int64 `json:"heap_segment_bytes"`
 	MappedSegmentBytes int64 `json:"mapped_segment_bytes"`
+	// MappedResidentBytes estimates (sampled mincore) how many of the
+	// mapped bytes the page cache currently holds — the measured working
+	// set, versus MappedSegmentBytes' address-space ceiling. Builds without
+	// the mmap path report mapped bytes as fully resident.
+	MappedResidentBytes int64 `json:"mapped_resident_bytes"`
 }
 
 // Stats returns a consistent point-in-time summary of the catalog.
@@ -348,25 +353,27 @@ func (ix *Index) Stats() Stats {
 	if sn.mem != nil {
 		memTables = sn.mem.numTables()
 	}
-	var heapBytes, mappedBytes int64
+	var heapBytes, mappedBytes, residentBytes int64
 	for _, seg := range sn.segments() {
 		h, m := seg.residentBytes()
 		heapBytes += h
 		mappedBytes += m
+		residentBytes += seg.residentMappedBytes()
 	}
 	ds := ix.dict.Stats()
 	return Stats{
-		Epoch:              sn.epoch,
-		Tables:             sn.nTables,
-		Columns:            sn.nCols,
-		SealedSegments:     len(sn.sealed),
-		MemTables:          memTables,
-		Tombstones:         len(sn.tombs),
-		TombstonedColumns:  sn.tombstonedCols(),
-		DictEntries:        ds.Entries,
-		DictBytes:          ds.Bytes,
-		HeapSegmentBytes:   heapBytes,
-		MappedSegmentBytes: mappedBytes,
+		Epoch:               sn.epoch,
+		Tables:              sn.nTables,
+		Columns:             sn.nCols,
+		SealedSegments:      len(sn.sealed),
+		MemTables:           memTables,
+		Tombstones:          len(sn.tombs),
+		TombstonedColumns:   sn.tombstonedCols(),
+		DictEntries:         ds.Entries,
+		DictBytes:           ds.Bytes,
+		HeapSegmentBytes:    heapBytes,
+		MappedSegmentBytes:  mappedBytes,
+		MappedResidentBytes: residentBytes,
 	}
 }
 

@@ -334,6 +334,21 @@ func (s *segment) residentBytes() (heap, mapped int64) {
 	return s.bytes, 0
 }
 
+// residentMappedBytes estimates how many of the segment's mapped bytes the
+// page cache currently holds (sampled mincore). Heap segments report 0 —
+// their bytes are heap-resident by definition and counted elsewhere; v2
+// segments loaded via the heap-read fallback report their full size for the
+// same reason.
+func (s *segment) residentMappedBytes() int64 {
+	if s.mapped == nil {
+		return 0
+	}
+	if s.mapped.unmap == nil {
+		return int64(len(s.mapped.data))
+	}
+	return mincoreResidentBytes(s.mapped.data)
+}
+
 // tombKey identifies one sealed-segment table occurrence. Tombstones are
 // per-occurrence, not per-name: a removed table can be re-added (landing in
 // the memtable or a newer segment) without resurrecting the dead copy.

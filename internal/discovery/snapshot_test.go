@@ -40,7 +40,7 @@ func snapshotQuery() *table.Table {
 // bytes), which legitimately differs between a catalog and its reloaded
 // twin, while every other Stats field must survive a round trip exactly.
 func normalizeResidency(st Stats) Stats {
-	st.HeapSegmentBytes, st.MappedSegmentBytes = 0, 0
+	st.HeapSegmentBytes, st.MappedSegmentBytes, st.MappedResidentBytes = 0, 0, 0
 	return st
 }
 
@@ -62,6 +62,13 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 	if st := loaded.Stats(); st.MappedSegmentBytes == 0 && mmapAvailable {
 		t.Errorf("v2 snapshot load reported no mapped bytes: %+v", st)
+	}
+	// The segment files were written moments ago and parsed on load, so
+	// the sampled mincore estimate must see some residency — and never
+	// more than the mapping itself.
+	if st := loaded.Stats(); st.MappedResidentBytes <= 0 || st.MappedResidentBytes > st.MappedSegmentBytes+st.HeapSegmentBytes {
+		t.Errorf("mapped_resident_bytes = %d out of range (mapped %d, heap %d)",
+			st.MappedResidentBytes, st.MappedSegmentBytes, st.HeapSegmentBytes)
 	}
 	if !reflect.DeepEqual(loaded.Tables(), ix.Tables()) {
 		t.Errorf("tables = %v, want %v", loaded.Tables(), ix.Tables())

@@ -133,8 +133,11 @@ func TestStatsNilSafe(t *testing.T) {
 	if !ran {
 		t.Fatal("nil Stats.Timed did not run fn")
 	}
-	if snap := s.Snapshot(); snap != (Snapshot{}) {
+	if snap := s.Snapshot(); snap.Candidates != 0 || snap.Scored != 0 || snap.Matchers != nil {
 		t.Fatalf("nil snapshot = %+v", snap)
+	}
+	if s.Matcher("x") != nil {
+		t.Fatal("nil Stats.Matcher must return nil")
 	}
 }
 

@@ -3,6 +3,9 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -59,6 +62,61 @@ type Stats struct {
 	pruned     atomic.Int64
 	scored     atomic.Int64
 	wall       [numStages]atomic.Int64 // nanoseconds per stage
+
+	matchersMu sync.Mutex
+	matchers   map[string]*MatcherStats
+}
+
+// MatcherStats accumulates one labelled matcher's cascade counters, so
+// prune rates are observable per matcher and not just in aggregate. Like
+// Stats, every method is concurrency-safe and nil-safe.
+type MatcherStats struct {
+	bounded atomic.Int64
+	pruned  atomic.Int64
+	refined atomic.Int64
+}
+
+// AddBounded records n candidates bounded under this matcher's label.
+func (m *MatcherStats) AddBounded(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.bounded.Add(n)
+}
+
+// AddPruned records n candidates whose bound fell below the cutoff.
+func (m *MatcherStats) AddPruned(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.pruned.Add(n)
+}
+
+// AddRefined records n candidates refined at full fidelity.
+func (m *MatcherStats) AddRefined(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.refined.Add(n)
+}
+
+// Matcher returns the per-matcher collector for label, creating it on first
+// use. A nil receiver or empty label returns nil (safe to use).
+func (s *Stats) Matcher(label string) *MatcherStats {
+	if s == nil || label == "" {
+		return nil
+	}
+	s.matchersMu.Lock()
+	defer s.matchersMu.Unlock()
+	if s.matchers == nil {
+		s.matchers = make(map[string]*MatcherStats, 4)
+	}
+	m, ok := s.matchers[label]
+	if !ok {
+		m = &MatcherStats{}
+		s.matchers[label] = m
+	}
+	return m
 }
 
 // AddCandidates records n generated candidate units.
@@ -134,6 +192,41 @@ type Snapshot struct {
 	Prune    time.Duration `json:"prune_ns"`
 	Score    time.Duration `json:"score_ns"`
 	Rank     time.Duration `json:"rank_ns"`
+	// Matchers breaks the cascade counters down per matcher label (absent
+	// when no labelled cascade ran).
+	Matchers map[string]MatcherSnapshot `json:"matchers,omitempty"`
+}
+
+// MatcherSnapshot is one matcher's cascade counters: candidates bounded,
+// candidates pruned by the bound-vs-cutoff check, and candidates refined at
+// full fidelity.
+type MatcherSnapshot struct {
+	Bounded int64 `json:"bounded"`
+	Pruned  int64 `json:"pruned"`
+	Refined int64 `json:"refined"`
+}
+
+// Merge accumulates other into sn (the server's cross-request aggregation).
+func (sn *Snapshot) Merge(other Snapshot) {
+	sn.Candidates += other.Candidates
+	sn.Bounded += other.Bounded
+	sn.Pruned += other.Pruned
+	sn.Scored += other.Scored
+	sn.Generate += other.Generate
+	sn.Bound += other.Bound
+	sn.Prune += other.Prune
+	sn.Score += other.Score
+	sn.Rank += other.Rank
+	if len(other.Matchers) > 0 && sn.Matchers == nil {
+		sn.Matchers = make(map[string]MatcherSnapshot, len(other.Matchers))
+	}
+	for label, ms := range other.Matchers {
+		agg := sn.Matchers[label]
+		agg.Bounded += ms.Bounded
+		agg.Pruned += ms.Pruned
+		agg.Refined += ms.Refined
+		sn.Matchers[label] = agg
+	}
 }
 
 // Snapshot returns the collector's current totals (the zero Snapshot for a
@@ -142,7 +235,7 @@ func (s *Stats) Snapshot() Snapshot {
 	if s == nil {
 		return Snapshot{}
 	}
-	return Snapshot{
+	sn := Snapshot{
 		Candidates: s.candidates.Load(),
 		Bounded:    s.bounded.Load(),
 		Pruned:     s.pruned.Load(),
@@ -153,16 +246,46 @@ func (s *Stats) Snapshot() Snapshot {
 		Score:      time.Duration(s.wall[StageScore].Load()),
 		Rank:       time.Duration(s.wall[StageRank].Load()),
 	}
+	s.matchersMu.Lock()
+	if len(s.matchers) > 0 {
+		sn.Matchers = make(map[string]MatcherSnapshot, len(s.matchers))
+		for label, m := range s.matchers {
+			sn.Matchers[label] = MatcherSnapshot{
+				Bounded: m.bounded.Load(),
+				Pruned:  m.pruned.Load(),
+				Refined: m.refined.Load(),
+			}
+		}
+	}
+	s.matchersMu.Unlock()
+	return sn
 }
 
-// String renders the snapshot as one human-readable line (discover -v).
+// String renders the snapshot as one human-readable line (discover -v),
+// with per-matcher cascade counters appended in label order when present.
 func (sn Snapshot) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"candidates=%d bounded=%d pruned=%d scored=%d | generate=%s bound=%s prune=%s score=%s rank=%s",
 		sn.Candidates, sn.Bounded, sn.Pruned, sn.Scored,
 		sn.Generate.Round(time.Microsecond), sn.Bound.Round(time.Microsecond),
 		sn.Prune.Round(time.Microsecond),
 		sn.Score.Round(time.Microsecond), sn.Rank.Round(time.Microsecond))
+	if len(sn.Matchers) == 0 {
+		return out
+	}
+	labels := make([]string, 0, len(sn.Matchers))
+	for label := range sn.Matchers {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	var b strings.Builder
+	b.WriteString(out)
+	for _, label := range labels {
+		ms := sn.Matchers[label]
+		fmt.Fprintf(&b, " | %s bounded=%d pruned=%d refined=%d",
+			label, ms.Bounded, ms.Pruned, ms.Refined)
+	}
+	return b.String()
 }
 
 type statsKey struct{}

@@ -1,0 +1,143 @@
+package cupid
+
+// Cascade score bound. Cupid's wsim is a convex combination of components
+// that are all maximized by table-level signals the bound can compute
+// without the per-column-pair linguistic matrix (the matcher's dominant
+// cost, quadratic in columns × tokens):
+//
+//   - lsim(i,j) averages per-token best matches, so it is at most the best
+//     tokenSim over the cross product of ALL source column-name tokens ×
+//     ALL target column-name tokens (each column's tokens are a subset).
+//     tokenSim is evaluated exactly — same thesaurus, same trigram Dice —
+//     over deduplicated tokens, so the token-level maximum M is an exact
+//     matcher value, not an estimate.
+//   - leafS(i,j) = 0.5·typeCompat + 0.5·rootLing is at most
+//     0.5·maxTypeCompat + 0.5·rootLing; rootLing (one table-name
+//     linguistic call) is computed exactly.
+//   - rootStruct is a fraction of pairs whose strength
+//     leafWStruct·leafS + (1−leafWStruct)·lsim reaches ThHigh; if even the
+//     maximal strength misses ThHigh, rootStruct is exactly 0, otherwise
+//     it is at most 1.
+//
+// Every combination step is monotone in its components for weights in
+// [0, 1] (the Table II grids stay within 0–0.6), so chaining the component
+// maxima through the same formulas bounds wsim. Scores below ThAccept are
+// never emitted, so a wsim bound under ThAccept collapses to 0 — the
+// common case for junk candidates with no token affinity.
+
+import (
+	"valentine/internal/profile"
+	"valentine/internal/strutil"
+	"valentine/internal/table"
+	"valentine/internal/wordnet"
+)
+
+// boundSlack absorbs float rounding in the summed-average comparison
+// lsim ≤ M (the only step that is not exactly monotone in float
+// arithmetic); one part in 10⁹ dwarfs the worst-case accumulation.
+const boundSlack = 1 + 1e-9
+
+// ScoreBoundProfiles implements core.ScoreBounder (see the derivation
+// above). It reads cached name tokens and column types only.
+func (m *Matcher) ScoreBoundProfiles(sp, tp *profile.TableProfile) float64 {
+	if m.LeafWStruct < 0 || m.LeafWStruct > 1 || m.WStruct < 0 || m.WStruct > 1 {
+		return 1 // off-grid weights break monotonicity; stay conservative
+	}
+	th := m.Thesaurus
+	if th == nil {
+		th = wordnet.Default()
+	}
+
+	rootLing := m.linguistic(th, sp.NameTokens(), tp.NameTokens())
+	maxTC := maxTypeCompat(sp.Table(), tp.Table())
+	M := maxTokenSim(th, columnTokens(sp), columnTokens(tp))
+
+	leafSMax := 0.5*maxTC + 0.5*rootLing
+	rootStructUB := 0.0
+	if (m.LeafWStruct*leafSMax+(1-m.LeafWStruct)*M)*boundSlack >= m.ThHigh {
+		rootStructUB = 1
+	}
+	ssimMax := 0.7*leafSMax + 0.3*rootStructUB
+	bound := (m.WStruct*ssimMax + (1-m.WStruct)*M) * boundSlack
+	if bound < m.ThAccept {
+		return 0 // nothing reaches the accept threshold, nothing is emitted
+	}
+	return bound
+}
+
+// columnTokens returns the deduplicated name tokens across all columns.
+func columnTokens(tp *profile.TableProfile) map[string]struct{} {
+	out := make(map[string]struct{}, tp.NumColumns()*2)
+	for _, p := range tp.Columns() {
+		for tok := range p.NameTokenSet() {
+			out[tok] = struct{}{}
+		}
+	}
+	return out
+}
+
+// maxTokenSim is the exact maximum tokenSim over the token cross product,
+// with trigram sets memoized per distinct token. A shared token short-
+// circuits to 1 (tokenSim's own maximum).
+func maxTokenSim(th *wordnet.Thesaurus, src, tgt map[string]struct{}) float64 {
+	small, large := src, tgt
+	if len(tgt) < len(src) {
+		small, large = tgt, src
+	}
+	for tok := range small {
+		if _, ok := large[tok]; ok {
+			return 1
+		}
+	}
+	grams := make(map[string]map[string]struct{}, len(src)+len(tgt))
+	gramsOf := func(tok string) map[string]struct{} {
+		g, ok := grams[tok]
+		if !ok {
+			g = strutil.NGrams(tok, 3)
+			grams[tok] = g
+		}
+		return g
+	}
+	best := 0.0
+	for x := range src {
+		sx := strutil.Stem(x)
+		for y := range tgt {
+			if sx == strutil.Stem(y) {
+				if best < 0.95 {
+					best = 0.95
+				}
+				continue
+			}
+			s := th.Similarity(x, y)
+			if g := strutil.DiceSets(gramsOf(x), gramsOf(y)); g > s {
+				s = g
+			}
+			if s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// maxTypeCompat is the exact maximum typeCompat over the distinct type
+// pairs of the two tables.
+func maxTypeCompat(source, target *table.Table) float64 {
+	srcTypes := make(map[table.Type]struct{}, 4)
+	for i := range source.Columns {
+		srcTypes[source.Columns[i].Type] = struct{}{}
+	}
+	tgtTypes := make(map[table.Type]struct{}, 4)
+	for i := range target.Columns {
+		tgtTypes[target.Columns[i].Type] = struct{}{}
+	}
+	best := 0.0
+	for a := range srcTypes {
+		for b := range tgtTypes {
+			if tc := typeCompat(a, b); tc > best {
+				best = tc
+			}
+		}
+	}
+	return best
+}

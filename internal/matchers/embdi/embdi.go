@@ -65,6 +65,12 @@ type tripartite struct {
 	colValues      map[string][]string // cid → value tokens
 	cids           []string            // all column nodes in insertion order
 	rids           []string
+	// bridged reports whether any value token touches more than one input
+	// table. Without a bridge the tables' subgraphs are disconnected: no
+	// walk crosses tables, so cross-table similarities would be untrained
+	// noise — the matcher skips training entirely and scores the neutral
+	// 0.5 (cosine 0).
+	bridged bool
 }
 
 const (
@@ -85,6 +91,7 @@ func buildGraph(tables []*table.Table, maxRows int, flatten bool) *tripartite {
 		rowValues:      make(map[string][]string),
 		colValues:      make(map[string][]string),
 	}
+	tokenTables := make(map[string]uint32) // value token → bitmask of table indices
 	for ti, t := range tables {
 		rows := t.NumRows()
 		if maxRows > 0 && rows > maxRows {
@@ -106,6 +113,11 @@ func buildGraph(tables []*table.Table, maxRows int, flatten bool) *tripartite {
 					g.valueNeighbors[val] = append(g.valueNeighbors[val], rid, cid)
 					g.rowValues[rid] = append(g.rowValues[rid], val)
 					g.colValues[cid] = append(g.colValues[cid], val)
+					mask := tokenTables[val] | 1<<uint(ti)
+					tokenTables[val] = mask
+					if mask&(mask-1) != 0 {
+						g.bridged = true
+					}
 				}
 			}
 		}
@@ -195,9 +207,20 @@ func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.Tabl
 	source, target := sp.Table(), tp.Table()
 	stats := engine.StatsFrom(ctx)
 	var model *embedding.Model
+	var bridged bool
 	var genErr error
 	stats.Timed(engine.StageGenerate, func() {
 		g := buildGraph([]*table.Table{source, target}, m.MaxRows, m.Flatten)
+		bridged = g.bridged
+		if !bridged {
+			// No value token bridges the tables: their subgraphs are
+			// disconnected, no walk can cross, and cross-table cosines
+			// would be untrained noise. Skip the walks and training and
+			// score every pair at the neutral 0.5 below — the denoised
+			// form of "EmbDI has no signal here", and the short-circuit
+			// the cascade's disjoint-values bound relies on.
+			return
+		}
 		rng := rand.New(rand.NewSource(m.Seed))
 
 		length := m.SentenceLength
@@ -237,6 +260,9 @@ func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.Tabl
 		return nil, genErr
 	}
 	return engine.ScorePairs(ctx, sp, tp, func(i, j int) (float64, bool) {
+		if !bridged {
+			return 0.5, true // disconnected graph: neutral score, no model
+		}
 		cos := model.Similarity(
 			cidNode(0, source.Columns[i].Name),
 			cidNode(1, target.Columns[j].Name),

@@ -83,7 +83,7 @@ func (m *Matcher) MatchCascade(ctx context.Context, sp, tp *profile.TableProfile
 			tgtSets[i] = sampleColumn(tp.Column(i), limit, useIDs)
 		}
 	})
-	return planner.ScorePairsTopK(ctx, sp, tp, k,
+	return planner.ScorePairsTopK(ctx, sp, tp, k, m.Name(),
 		func(i, j int) float64 {
 			return pairBound(len(srcSets[i].vals), len(tgtSets[j].vals))
 		},

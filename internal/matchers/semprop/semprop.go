@@ -12,6 +12,7 @@ package semprop
 
 import (
 	"context"
+	"sync"
 
 	"valentine/internal/core"
 	"valentine/internal/embedding"
@@ -29,6 +30,14 @@ type Matcher struct {
 	Onto            *ontology.Ontology
 	Emb             *embedding.Pretrained
 	signatureSize   int
+
+	// The ontology class vectors depend only on the matcher's configuration
+	// and the per-profile class links only on the (immutable) profile, so
+	// both memoize: one request links each table once, shared between the
+	// cascade's score bound and the full scoring path.
+	classVecsOnce sync.Once
+	classVecs     map[string]embedding.Vector
+	linkCache     sync.Map // *profile.TableProfile → [][]classLink
 }
 
 // New builds SemProp from params: "sem_threshold" (default 0.5),
@@ -86,9 +95,8 @@ func (m *Matcher) MatchProfilesContext(ctx context.Context, sp, tp *profile.Tabl
 		srcSigs, tgtSigs   [][]uint64
 	)
 	engine.StatsFrom(ctx).Timed(engine.StageGenerate, func() {
-		classVecs := m.classVectors()
-		srcLinks = m.linkColumns(sp, classVecs)
-		tgtLinks = m.linkColumns(tp, classVecs)
+		srcLinks = m.cachedLinks(sp)
+		tgtLinks = m.cachedLinks(tp)
 		srcSigs = m.signatures(sp)
 		tgtSigs = m.signatures(tp)
 	})

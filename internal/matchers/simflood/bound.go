@@ -1,0 +1,168 @@
+package simflood
+
+// Cascade score bound. Similarity Flooding looks like the worst case for a
+// propagation-free bound — the fixpoint mixes every seed into every score —
+// but formula C's update has enough structure to bound one round exactly,
+// and every round's output (including the last, which is what the matcher
+// emits) is the normalization of one such update.
+//
+// With unique column names the pairwise connectivity graph of two schema
+// graphs is fixed: the table pair propagates into every column pair with
+// coefficient 1/(n_s·n_t) ("column" edges fan out to all n_s·n_t pairs),
+// and each column pair receives back-propagation from its type pair with
+// coefficient 1/(cntS(type_a)·cntT(type_b)) and from its normalized-name
+// pair with coefficient 1/(cnS(norm_a)·cnT(norm_b)), where cnt/cn are the
+// per-side type and normalized-name multiplicities. Those three are a
+// column pair's only incoming propagation edges.
+//
+// Formula C computes next = tmp + φ(tmp) with tmp = σ⁰ + cur, then divides
+// by the global maximum. Every cur component is a previous normalized score
+// in [0, 1], so tmp_v ≤ σ⁰_v + 1 componentwise, giving the numerator cap
+//
+//	y(ab) = (σ⁰_ab+1) + (σ⁰_tbl+1)/(n_s·n_t)
+//	      + (τ_ab+1)/(cntS·cntT) + (ν_ab+1)/(cnS·cnT)
+//
+// For the denominator, the maximum is at least next of any single node:
+// next_v ≥ tmp_v ≥ σ⁰_v bounds it below by the largest seed, and the table
+// pair — whose incoming back-propagation coefficients from every column
+// pair are exactly 1 — bounds it by σ⁰_tbl + Σ_ab σ⁰_ab. The emitted score
+// next_ab/max is therefore at most y(ab)/λ with
+// λ = max(max-seed, σ⁰_tbl + Σ σ⁰_ab), and also at most 1 (it is
+// post-normalization). Zero λ means every seed is zero, which floods to
+// all-zero scores.
+//
+// The stable-marriage selection rescales emitted scores to 0.5 + s/2
+// (selected) or s/2, both ≤ 0.5 + s/2, so the table bound maps through the
+// same transform. Other fixpoint formulas and duplicate column names (which
+// collapse schema-graph nodes and change the coefficient counting) fall
+// back to the conservative bound 1.
+
+import (
+	"valentine/internal/graph"
+	"valentine/internal/profile"
+	"valentine/internal/strutil"
+	"valentine/internal/table"
+)
+
+// boundSlack inflates the bound by one part in 10⁹: the bound is derived
+// through different float operations than the flood itself, and the
+// admissibility contract must survive rounding in near-tight cases.
+const boundSlack = 1 + 1e-9
+
+// ScoreBoundProfiles implements core.ScoreBounder (see the derivation
+// above). It reads only column names and types, so it costs one seed pass —
+// no PCG construction and no fixpoint iterations.
+func (m *Matcher) ScoreBoundProfiles(sp, tp *profile.TableProfile) float64 {
+	if m.Formula != graph.FormulaC {
+		return 1
+	}
+	source, target := sp.Table(), tp.Table()
+	ns, nt := len(source.Columns), len(target.Columns)
+	if ns == 0 || nt == 0 {
+		return 0
+	}
+	if hasDuplicateColumnNames(source) || hasDuplicateColumnNames(target) {
+		return 1
+	}
+
+	srcNorm := normalizedNames(source)
+	tgtNorm := normalizedNames(target)
+	typeCntS, normCntS := multiplicities(source, srcNorm)
+	typeCntT, normCntT := multiplicities(target, tgtNorm)
+
+	s0tbl := strutil.LevenshteinSim(source.Name, target.Name)
+	typeSim := make(map[[2]table.Type]float64, 4)
+	tau := func(a, b table.Type) float64 {
+		key := [2]table.Type{a, b}
+		if v, ok := typeSim[key]; ok {
+			return v
+		}
+		v := strutil.LevenshteinSim(a.String(), b.String())
+		typeSim[key] = v
+		return v
+	}
+
+	// One pass computes the seed sum and maximum; the second pass needs the
+	// final λ, so the per-pair name seeds are kept.
+	nameSeed := make([]float64, ns*nt)
+	normSeed := make([]float64, ns*nt)
+	seedSum := 0.0
+	maxSeed := s0tbl
+	for i := range source.Columns {
+		for j := range target.Columns {
+			s0 := strutil.LevenshteinSim(source.Columns[i].Name, target.Columns[j].Name)
+			nu := strutil.LevenshteinSim(srcNorm[i], tgtNorm[j])
+			t := tau(source.Columns[i].Type, target.Columns[j].Type)
+			nameSeed[i*nt+j] = s0
+			normSeed[i*nt+j] = nu
+			seedSum += s0
+			for _, v := range [3]float64{s0, nu, t} {
+				if v > maxSeed {
+					maxSeed = v
+				}
+			}
+		}
+	}
+	lambda := s0tbl + seedSum
+	if maxSeed > lambda {
+		lambda = maxSeed
+	}
+	if lambda == 0 {
+		return 0
+	}
+
+	tblTerm := (s0tbl + 1) / float64(ns*nt)
+	best := 0.0
+	for i := range source.Columns {
+		for j := range target.Columns {
+			t := tau(source.Columns[i].Type, target.Columns[j].Type)
+			typDen := float64(typeCntS[source.Columns[i].Type] * typeCntT[target.Columns[j].Type])
+			namDen := float64(normCntS[srcNorm[i]] * normCntT[tgtNorm[j]])
+			y := (nameSeed[i*nt+j] + 1) + tblTerm +
+				(t+1)/typDen + (normSeed[i*nt+j]+1)/namDen
+			if b := y / lambda; b > best {
+				best = b
+			}
+		}
+	}
+	best *= boundSlack
+	if best > 1 {
+		best = 1 // scores are post-normalization, so 1 is itself admissible
+	}
+	if m.StableMarriage {
+		best = 0.5 + best/2
+	}
+	return best
+}
+
+func hasDuplicateColumnNames(t *table.Table) bool {
+	seen := make(map[string]struct{}, len(t.Columns))
+	for i := range t.Columns {
+		if _, dup := seen[t.Columns[i].Name]; dup {
+			return true
+		}
+		seen[t.Columns[i].Name] = struct{}{}
+	}
+	return false
+}
+
+func normalizedNames(t *table.Table) []string {
+	out := make([]string, len(t.Columns))
+	for i := range t.Columns {
+		out[i] = strutil.Normalize(t.Columns[i].Name)
+	}
+	return out
+}
+
+// multiplicities counts, per side, how many columns share each type and
+// each normalized name — the fan-in denominators of the back-propagation
+// coefficients.
+func multiplicities(t *table.Table, norms []string) (map[table.Type]int, map[string]int) {
+	types := make(map[table.Type]int, 4)
+	names := make(map[string]int, len(t.Columns))
+	for i := range t.Columns {
+		types[t.Columns[i].Type]++
+		names[norms[i]]++
+	}
+	return types, names
+}

@@ -77,6 +77,8 @@ func conformanceMatchers(t *testing.T) map[string]core.Matcher {
 		experiment.MethodJaccardLev,
 		experiment.MethodLSH,
 		experiment.MethodSimFlood,
+		experiment.MethodCupid,
+		experiment.MethodSemProp,
 	} {
 		var params core.Params
 		if g := grids[name]; len(g) > 0 {
@@ -137,6 +139,41 @@ func TestRerankConformance(t *testing.T) {
 						}
 					}
 				}
+			}
+		}
+	}
+}
+
+// TestRerankConformanceEmbDI covers the remaining tail matcher separately:
+// every bridged candidate trains word2vec, so the corpus is kept tiny. The
+// contract is the same — cascade top-k bit-identical to full fidelity.
+func TestRerankConformanceEmbDI(t *testing.T) {
+	reg := experiment.NewRegistry()
+	m, err := reg.New(experiment.MethodEmbDI, experiment.QuickGrids()[experiment.MethodEmbDI][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	query, cands, store := fuzzCorpus(rng, 5)
+	qp := store.Of(query)
+	for _, mode := range []string{"join", "union"} {
+		ctx, cancel := engine.Options{}.Start(context.Background())
+		full, err := planner.RerankFull(ctx, m, qp, cands, mode, 2)
+		if err != nil {
+			cancel()
+			t.Fatalf("%s full: %v", mode, err)
+		}
+		casc, err := planner.Rerank(ctx, m, qp, cands, mode, 2)
+		cancel()
+		if err != nil {
+			t.Fatalf("%s cascade: %v", mode, err)
+		}
+		if len(casc.Ranked) != len(full.Ranked) {
+			t.Fatalf("%s: %d ranked, want %d (pruned=%d)", mode, len(casc.Ranked), len(full.Ranked), casc.Pruned)
+		}
+		for i := range full.Ranked {
+			if casc.Ranked[i] != full.Ranked[i] {
+				t.Fatalf("%s rank %d:\ncascade %+v\nfull    %+v", mode, i, casc.Ranked[i], full.Ranked[i])
 			}
 		}
 	}

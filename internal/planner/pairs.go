@@ -23,16 +23,28 @@ import (
 // cutoff that never exceeds the final kth score and core.SortMatches
 // breaks score ties deterministically.
 //
+// An approximation budget attached to ctx (core.WithEpsilon) relaxes the
+// prune check exactly as in TopK: every returned score is within ε of the
+// true top-k, and ε = 0 keeps the bit-identical contract.
+//
+// label attributes the pair counters to one matcher in the engine stats
+// per-matcher breakdown (empty for aggregate-only).
+//
 // bestEffort reports that the context expired mid-scoring and the returned
 // (still correctly ranked) matches cover only the pairs scored so far; the
 // context error is returned alongside so the caller can tell a spent
 // budget from a dead request (core.IsBudgetExpiry).
-func ScorePairsTopK(ctx context.Context, sp, tp *profile.TableProfile, k int, bound func(i, j int) float64, score func(i, j int) (float64, bool)) (matches []core.Match, bestEffort bool, err error) {
+func ScorePairsTopK(ctx context.Context, sp, tp *profile.TableProfile, k int, label string, bound func(i, j int) float64, score func(i, j int) (float64, bool)) (matches []core.Match, bestEffort bool, err error) {
 	source, target := sp.Table(), tp.Table()
 	nSrc, nTgt := len(source.Columns), len(target.Columns)
 	n := nSrc * nTgt
 	stats := engine.StatsFrom(ctx)
+	mstats := stats.Matcher(label)
 	workers := engine.OptionsFrom(ctx).Workers()
+	eps := core.EpsilonFrom(ctx)
+	if math.IsNaN(eps) || eps < 0 {
+		eps = 0
+	}
 	stats.AddCandidates(int64(n))
 
 	// Tier 0: per-pair admissible bounds, fanned out one source row at a
@@ -53,6 +65,7 @@ func ScorePairsTopK(ctx context.Context, sp, tp *profile.TableProfile, k int, bo
 		})
 		stats.Observe(engine.StageBound, time.Since(start))
 		stats.AddBounded(int64(n))
+		mstats.AddBounded(int64(n))
 		if err != nil {
 			return nil, true, err
 		}
@@ -82,7 +95,7 @@ func ScorePairsTopK(ctx context.Context, sp, tp *profile.TableProfile, k int, bo
 	start := time.Now()
 	mapErr := engine.Map(ctx, workers, n, func(pos int) error {
 		p := order[pos]
-		if bounds[p] < cutoff.Threshold() {
+		if bounds[p] < cutoff.Threshold()+eps {
 			pruned.Add(1)
 			return nil
 		}
@@ -107,6 +120,8 @@ func ScorePairsTopK(ctx context.Context, sp, tp *profile.TableProfile, k int, bo
 	stats.Observe(engine.StageScore, time.Since(start))
 	stats.AddScored(emitted.Load())
 	stats.AddPruned(pruned.Load())
+	mstats.AddRefined(emitted.Load())
+	mstats.AddPruned(pruned.Load())
 
 	out := make([]core.Match, 0, emitted.Load())
 	for p, ok := range done {

@@ -25,6 +25,28 @@
 // full-fidelity top-k. The conformance tests fuzz this contract under
 // -race.
 //
+// # ε-bounded approximation
+//
+// Spec.Epsilon > 0 relaxes the prune check to
+//
+//	bound(i) < cutoff + ε
+//
+// which prunes strictly more than the exact cascade while keeping a
+// provable guarantee: every returned score is within ε of the true top-k.
+// The argument mirrors the exactness one. Let c be the final cutoff (the
+// kth-best among scores actually refined) and t_k the true kth-best exact
+// score. Every pruned candidate satisfies exact(i) <= bound(i) < c + ε.
+// Suppose c < t_k − ε. Then c + ε < t_k <= bound(j) for every candidate j
+// whose exact score reaches t_k, so none of those k candidates was pruned —
+// all were refined, forcing c >= t_k, a contradiction. Hence c >= t_k − ε,
+// and since the returned list is the top-k of the refined scores, its kth
+// entry is exactly c — so every returned score is >= c >= t_k − ε. With
+// ε = 0 the check reduces to the strict exact comparison, so the exact
+// cascade is literally the ε = 0 special case and stays bit-identical to
+// full fidelity. Callers thread ε from the request boundary via
+// core.WithEpsilon; boundaries validate it with core.ValidateEpsilon
+// (finite, in [0, 1)).
+//
 // # Budgets
 //
 // A per-query latency budget is a sub-deadline on the context
@@ -145,6 +167,15 @@ type Spec struct {
 	// (cosmetic — it affects scheduling, never the result). Nil means
 	// index order.
 	Tie func(i, j int) bool
+	// Epsilon relaxes the prune check to bound < cutoff + Epsilon: strictly
+	// more pruning, every returned score guaranteed within Epsilon of the
+	// true top-k (see the package doc). 0 (and NaN/negative, sanitized) is
+	// the exact cascade.
+	Epsilon float64
+	// Label attributes this run's bounded/pruned/refined counters to one
+	// matcher in the engine stats breakdown (Stats.Matcher). Empty means
+	// "aggregate only".
+	Label string
 }
 
 // Result is a cascade run's outcome. When TopK also returns a context
@@ -172,7 +203,12 @@ type Result struct {
 // stage walls and the candidates/bounded/pruned/scored counters.
 func TopK(ctx context.Context, spec Spec) (*Result, error) {
 	stats := engine.StatsFrom(ctx)
+	mstats := stats.Matcher(spec.Label)
 	workers := engine.OptionsFrom(ctx).Workers()
+	eps := spec.Epsilon
+	if math.IsNaN(eps) || eps < 0 {
+		eps = 0
+	}
 	res := &Result{
 		Score: make([]float64, spec.N),
 		Done:  make([]bool, spec.N),
@@ -197,6 +233,7 @@ func TopK(ctx context.Context, spec Spec) (*Result, error) {
 		})
 		stats.Observe(engine.StageBound, time.Since(start))
 		stats.AddBounded(int64(spec.N))
+		mstats.AddBounded(int64(spec.N))
 		if err != nil {
 			res.Skipped = spec.N
 			return res, err
@@ -235,8 +272,10 @@ func TopK(ctx context.Context, spec Spec) (*Result, error) {
 		i := order[pos]
 		// The prune check is strict: a candidate tied with the cutoff may
 		// still belong to the final top-k under the deterministic
-		// tiebreak, so it must be scored.
-		if bounds[i] < cutoff.Threshold() {
+		// tiebreak, so it must be scored. With eps > 0 the cutoff is
+		// raised by eps — more pruning, ε-bounded answers (package doc);
+		// -Inf + eps is still -Inf, so the warmup phase never prunes.
+		if bounds[i] < cutoff.Threshold()+eps {
 			pruned.Add(1)
 			return nil
 		}
@@ -257,6 +296,8 @@ func TopK(ctx context.Context, spec Spec) (*Result, error) {
 	stats.Observe(engine.StageScore, time.Since(start))
 	stats.AddScored(scored.Load())
 	stats.AddPruned(pruned.Load())
+	mstats.AddRefined(scored.Load())
+	mstats.AddPruned(pruned.Load())
 	res.Pruned = int(pruned.Load())
 	errored := 0
 	for _, e := range res.Err {

@@ -345,12 +345,12 @@ func TestScorePairsTopKMatchesFullFidelity(t *testing.T) {
 			}
 		}
 		score := func(i, j int) (float64, bool) { return scores[i][j], true }
-		got, bestEffort, err := planner.ScorePairsTopK(ctx, sp, tp, k,
+		got, bestEffort, err := planner.ScorePairsTopK(ctx, sp, tp, k, "pairs-test",
 			func(i, j int) float64 { return bounds[i][j] }, score)
 		if err != nil || bestEffort {
 			t.Fatalf("trial %d: err=%v bestEffort=%v", trial, err, bestEffort)
 		}
-		want, _, err := planner.ScorePairsTopK(ctx, sp, tp, 0, nil, score)
+		want, _, err := planner.ScorePairsTopK(ctx, sp, tp, 0, "", nil, score)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

@@ -51,7 +51,10 @@ type RerankResult struct {
 // candidate is bounded with the matcher's cheap admissible bound
 // (core.ScoreBound), and the full matcher runs only on candidates whose
 // bound reaches the current top-k cutoff. With no budget on ctx the
-// ranking is bit-identical to RerankFull's truncated to k.
+// ranking is bit-identical to RerankFull's truncated to k; an
+// approximation budget attached via core.WithEpsilon relaxes the cutoff by
+// ε with the planner's ε guarantee (every returned score within ε of the
+// true top-k).
 //
 // On a context error Rerank returns the partial result alongside the
 // error (best-effort payload); callers classify it with
@@ -84,6 +87,8 @@ func rerank(ctx context.Context, m core.Matcher, query *profile.TableProfile, ca
 	}
 	if cascade {
 		spec.K = k
+		spec.Epsilon = core.EpsilonFrom(ctx)
+		spec.Label = m.Name()
 		spec.Bound = func(i int) float64 {
 			return core.ScoreBound(m, query, cands[i].Profile)
 		}

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -109,8 +110,10 @@ type Server struct {
 
 	// engineTotals accumulates every scoring request's per-stage engine
 	// snapshot, so /v1/stats exposes cascade effectiveness (candidates /
-	// bounded / pruned / fully-scored and per-stage wall) in production.
-	engineTotals engine.Stats
+	// bounded / pruned / fully-scored, per-stage wall, and the per-matcher
+	// cascade counters) in production.
+	engineMu     sync.Mutex
+	engineTotals engine.Snapshot
 
 	snapStop chan struct{}
 	snapDone chan struct{}
@@ -333,6 +336,13 @@ type SearchRequest struct {
 	// mid-scoring the response carries whatever completed, flagged
 	// best_effort, instead of a 504.
 	BudgetMS int64 `json:"budget_ms,omitempty"`
+	// Epsilon is the per-query approximation budget in [0, 1): every
+	// returned score is guaranteed within Epsilon of the true top-k
+	// (0: exact). The search path scores every nominated candidate exactly,
+	// so the guarantee holds trivially today; the field is validated and
+	// echoed as approx so clients can rely on one contract across
+	// endpoints.
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 // SearchResult is one ranked table.
@@ -353,12 +363,22 @@ type SearchResponse struct {
 	// BestEffort reports that the per-query budget expired mid-scoring and
 	// Results covers only the work that finished in time.
 	BestEffort bool `json:"best_effort,omitempty"`
+	// Approx reports that the query ran with a nonzero epsilon: scores are
+	// guaranteed within that epsilon of the true top-k, not necessarily
+	// equal to it.
+	Approx bool `json:"approx,omitempty"`
 }
 
 func (s *Server) handleSearch(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
 	var req SearchRequest
 	if err := decodeBody(r, &req); err != nil {
 		return err
+	}
+	if err := core.ValidateBudget(time.Duration(req.BudgetMS) * time.Millisecond); err != nil {
+		return errBadRequest("budget_ms: %v", err)
+	}
+	if err := core.ValidateEpsilon(req.Epsilon); err != nil {
+		return errBadRequest("%v", err)
 	}
 	if req.Mode == "" {
 		req.Mode = string(discovery.ModeJoin)
@@ -372,6 +392,7 @@ func (s *Server) handleSearch(ctx context.Context, w http.ResponseWriter, r *htt
 		return err
 	}
 	s.searches.Add(1)
+	ctx = core.WithEpsilon(ctx, req.Epsilon)
 	ctx, stats := engine.WithStats(ctx)
 	defer func() { s.recordEngine(stats.Snapshot()) }()
 	ix := s.cfg.Index
@@ -405,7 +426,7 @@ func (s *Server) handleSearch(ctx context.Context, w http.ResponseWriter, r *htt
 	if err != nil {
 		return err
 	}
-	resp := SearchResponse{Epoch: epoch, Stats: stats.Snapshot(), BestEffort: bestEffort, Results: make([]SearchResult, len(results))}
+	resp := SearchResponse{Epoch: epoch, Stats: stats.Snapshot(), BestEffort: bestEffort, Approx: req.Epsilon > 0, Results: make([]SearchResult, len(results))}
 	for i, res := range results {
 		resp.Results[i] = SearchResult{
 			Table:       res.Table,
@@ -548,8 +569,14 @@ type MatchRequest struct {
 	BudgetMS int64 `json:"budget_ms,omitempty"`
 	// Cascade selects the planner cascade for methods that support it
 	// (nil: on — the escape hatch is {"cascade": false}). Without a
-	// budget, cascade output is bit-identical to the full-fidelity path.
+	// budget and with epsilon zero, cascade output is bit-identical to the
+	// full-fidelity path.
 	Cascade *bool `json:"cascade,omitempty"`
+	// Epsilon is the per-query approximation budget in [0, 1): the cascade
+	// prunes more aggressively, guaranteeing every returned score within
+	// Epsilon of the true top-k instead of exactly equal (0: exact). Only
+	// the cascade path consumes it; responses that used it carry approx.
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 // MatchJSON is one scored column correspondence.
@@ -568,12 +595,21 @@ type MatchResponse struct {
 	// BestEffort reports that the per-query budget expired mid-scoring and
 	// Matches covers only the work that finished in time.
 	BestEffort bool `json:"best_effort,omitempty"`
+	// Approx reports that the cascade ran with a nonzero epsilon: scores
+	// are within that epsilon of the true top-k, not necessarily equal.
+	Approx bool `json:"approx,omitempty"`
 }
 
 func (s *Server) handleMatch(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
 	var req MatchRequest
 	if err := decodeBody(r, &req); err != nil {
 		return err
+	}
+	if err := core.ValidateBudget(time.Duration(req.BudgetMS) * time.Millisecond); err != nil {
+		return errBadRequest("budget_ms: %v", err)
+	}
+	if err := core.ValidateEpsilon(req.Epsilon); err != nil {
+		return errBadRequest("%v", err)
 	}
 	if req.Method == "" {
 		req.Method = experiment.MethodComaSchema
@@ -603,11 +639,13 @@ func (s *Server) handleMatch(ctx context.Context, w http.ResponseWriter, r *http
 	var (
 		matches    []core.Match
 		bestEffort bool
+		approx     bool
 	)
 	cm, cascades := m.(core.CascadeMatcher)
 	if cascades && (req.Cascade == nil || *req.Cascade) {
 		sp, tp := core.ProfilePair(nil, src, tgt)
-		matches, bestEffort, err = cm.MatchCascade(qctx, sp, tp, req.Top)
+		matches, bestEffort, err = cm.MatchCascade(core.WithEpsilon(qctx, req.Epsilon), sp, tp, req.Top)
+		approx = req.Epsilon > 0
 	} else {
 		matches, err = core.MatchWithContext(qctx, m, nil, src, tgt)
 		if req.Top > 0 && len(matches) > req.Top {
@@ -622,7 +660,7 @@ func (s *Server) handleMatch(ctx context.Context, w http.ResponseWriter, r *http
 		}
 		bestEffort = true
 	}
-	resp := MatchResponse{Method: req.Method, Stats: stats.Snapshot(), BestEffort: bestEffort, Matches: make([]MatchJSON, len(matches))}
+	resp := MatchResponse{Method: req.Method, Stats: stats.Snapshot(), BestEffort: bestEffort, Approx: approx, Matches: make([]MatchJSON, len(matches))}
 	for i, match := range matches {
 		resp.Matches[i] = MatchJSON{
 			SourceColumn: match.SourceColumn,
@@ -644,17 +682,11 @@ type StatsResponse struct {
 }
 
 // recordEngine folds one request's engine snapshot into the server-wide
-// totals served by /v1/stats.
+// totals served by /v1/stats, per-matcher cascade counters included.
 func (s *Server) recordEngine(sn engine.Snapshot) {
-	s.engineTotals.AddCandidates(sn.Candidates)
-	s.engineTotals.AddBounded(sn.Bounded)
-	s.engineTotals.AddPruned(sn.Pruned)
-	s.engineTotals.AddScored(sn.Scored)
-	s.engineTotals.Observe(engine.StageGenerate, sn.Generate)
-	s.engineTotals.Observe(engine.StageBound, sn.Bound)
-	s.engineTotals.Observe(engine.StagePrune, sn.Prune)
-	s.engineTotals.Observe(engine.StageScore, sn.Score)
-	s.engineTotals.Observe(engine.StageRank, sn.Rank)
+	s.engineMu.Lock()
+	s.engineTotals.Merge(sn)
+	s.engineMu.Unlock()
 }
 
 // ServerStats are the serving-layer counters.
@@ -684,9 +716,18 @@ func (s *Server) handleStats(_ context.Context, w http.ResponseWriter, _ *http.R
 	if msg := s.snapErr.Load(); msg != nil {
 		st.SnapshotError = *msg
 	}
+	s.engineMu.Lock()
+	eng := s.engineTotals
+	if len(s.engineTotals.Matchers) > 0 {
+		eng.Matchers = make(map[string]engine.MatcherSnapshot, len(s.engineTotals.Matchers))
+		for label, ms := range s.engineTotals.Matchers {
+			eng.Matchers[label] = ms
+		}
+	}
+	s.engineMu.Unlock()
 	return writeJSON(w, http.StatusOK, StatsResponse{
 		Catalog: s.cfg.Index.Stats(),
 		Server:  st,
-		Engine:  s.engineTotals.Snapshot(),
+		Engine:  eng,
 	})
 }

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// matchBody builds a minimal match request the handlers accept.
+func matchBody(method string, budgetMS int64, epsilon float64) MatchRequest {
+	return MatchRequest{
+		Source:   TableJSON{Name: "s", Columns: []ColumnJSON{{Name: "cust", Values: vals("c", 0, 30)}}},
+		Target:   TableJSON{Name: "t", Columns: []ColumnJSON{{Name: "cust", Values: vals("c", 10, 40)}}},
+		Method:   method,
+		BudgetMS: budgetMS,
+		Epsilon:  epsilon,
+	}
+}
+
+func searchBody(budgetMS int64, epsilon float64) SearchRequest {
+	return SearchRequest{
+		Table:    TableJSON{Name: "q", Columns: []ColumnJSON{{Name: "cust", Values: vals("c", 0, 30)}}},
+		BudgetMS: budgetMS,
+		Epsilon:  epsilon,
+	}
+}
+
+// TestBoundaryValidation: negative budgets and out-of-range epsilons are
+// typed 400s at the API boundary on both scoring endpoints, and in-range
+// values pass through.
+func TestBoundaryValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	cases := []struct {
+		name     string
+		budgetMS int64
+		epsilon  float64
+		want     int
+	}{
+		{"ok-zero", 0, 0, http.StatusOK},
+		{"ok-budget", 5000, 0, http.StatusOK},
+		{"ok-epsilon", 0, 0.25, http.StatusOK},
+		{"ok-epsilon-max", 0, 0.999, http.StatusOK},
+		{"negative-budget", -1, 0, http.StatusBadRequest},
+		{"negative-epsilon", 0, -0.1, http.StatusBadRequest},
+		{"epsilon-one", 0, 1, http.StatusBadRequest},
+		{"epsilon-above-one", 0, 1.5, http.StatusBadRequest},
+		{"both-invalid", -5, 2, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run("search/"+tc.name, func(t *testing.T) {
+			if code := doJSON(t, http.MethodPost, ts.URL+"/v1/search", searchBody(tc.budgetMS, tc.epsilon), nil); code != tc.want {
+				t.Fatalf("search budget_ms=%d epsilon=%v: status %d, want %d", tc.budgetMS, tc.epsilon, code, tc.want)
+			}
+		})
+		t.Run("match/"+tc.name, func(t *testing.T) {
+			if code := doJSON(t, http.MethodPost, ts.URL+"/v1/match", matchBody("", tc.budgetMS, tc.epsilon), nil); code != tc.want {
+				t.Fatalf("match budget_ms=%d epsilon=%v: status %d, want %d", tc.budgetMS, tc.epsilon, code, tc.want)
+			}
+		})
+	}
+}
+
+// TestEpsilonResponseFlags: a nonzero epsilon marks the response approx on
+// both endpoints; zero stays unflagged.
+func TestEpsilonResponseFlags(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	var sr SearchResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/search", searchBody(0, 0.2), &sr); code != http.StatusOK {
+		t.Fatalf("search: status %d", code)
+	}
+	if !sr.Approx {
+		t.Error("search with epsilon 0.2 not flagged approx")
+	}
+	sr = SearchResponse{}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/search", searchBody(0, 0), &sr); code != http.StatusOK {
+		t.Fatalf("search: status %d", code)
+	}
+	if sr.Approx {
+		t.Error("exact search flagged approx")
+	}
+
+	// jaccard-levenshtein cascades, so epsilon reaches the planner there.
+	var mr MatchResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/match", matchBody("jaccard-levenshtein", 0, 0.3), &mr); code != http.StatusOK {
+		t.Fatalf("match: status %d", code)
+	}
+	if !mr.Approx {
+		t.Error("cascade match with epsilon 0.3 not flagged approx")
+	}
+	mr = MatchResponse{}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/match", matchBody("jaccard-levenshtein", 0, 0), &mr); code != http.StatusOK {
+		t.Fatalf("match: status %d", code)
+	}
+	if mr.Approx {
+		t.Error("exact cascade match flagged approx")
+	}
+}
+
+// TestStatsPerMatcherCounters: a cascade match surfaces its per-matcher
+// bounded/pruned/refined counters in /v1/stats.
+func TestStatsPerMatcherCounters(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	body := matchBody("jaccard-levenshtein", 0, 0)
+	body.Top = 2
+	var mr MatchResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/match", body, &mr); code != http.StatusOK {
+		t.Fatalf("match: status %d", code)
+	}
+	if len(mr.Stats.Matchers) == 0 {
+		t.Fatalf("match response has no per-matcher counters: %+v", mr.Stats)
+	}
+	var st StatsResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	ms, ok := st.Engine.Matchers["jaccard-levenshtein"]
+	if !ok {
+		t.Fatalf("/v1/stats engine.matchers missing jaccard-levenshtein: %+v", st.Engine.Matchers)
+	}
+	if ms.Bounded <= 0 || ms.Refined <= 0 {
+		t.Fatalf("jaccard-levenshtein counters not accumulated: %+v", ms)
+	}
+}
