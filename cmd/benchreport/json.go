@@ -59,7 +59,13 @@ type jsonReport struct {
 	// probe against mapped sets (see segments.go); absent when the
 	// measurement is skipped.
 	Segments *jsonSegments `json:"segments,omitempty"`
-	Runs     []jsonRun     `json:"runs"`
+	// Durability records the write-ahead log's cost/recovery profile —
+	// acked-ingest latency per fsync policy (always/batch/none) and recovery
+	// time as a function of surviving WAL length, with every acked batch
+	// verified present after replay (see durability.go); absent when the
+	// measurement is skipped.
+	Durability *jsonDurability `json:"durability,omitempty"`
+	Runs       []jsonRun       `json:"runs"`
 }
 
 type jsonMethod struct {

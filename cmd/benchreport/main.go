@@ -10,6 +10,7 @@
 //	benchreport -scenario -json out.json  # scenario replay section only (fast)
 //	benchreport -cascade            # planner cascade vs full fidelity only
 //	benchreport -segments           # v1 vs v2 snapshot restart + mapped search
+//	benchreport -durability         # WAL ingest latency by fsync policy + recovery time
 //	benchreport -check out.json     # validate a written scenario section
 //	benchreport -check out.json -baseline BENCH_7.json  # + p99 regression gate
 package main
@@ -52,6 +53,7 @@ func main() {
 		scenFile = flag.String("scenario-file", defaultScenarioFile, "scenario file for -scenario")
 		cascF    = flag.Bool("cascade", false, "cascade section: bound-then-refine planner vs full fidelity on a skewed corpus")
 		segF     = flag.Bool("segments", false, "segments section: v1 gob vs v2 columnar mmap snapshots — cold restart, search conformance, mapped kernel allocs")
+		durF     = flag.Bool("durability", false, "durability section: WAL acked-ingest latency per fsync policy, recovery time vs log length")
 		checkF   = flag.String("check", "", "validate the scenario section of an existing -json file and exit")
 		baseF    = flag.String("baseline", "", "with -check: fail if scenario p99s regress beyond -baseline-tolerance vs this trajectory file")
 		baseTolF = flag.Float64("baseline-tolerance", 3.0, "with -baseline: allowed p99 ratio (checked/baseline) per endpoint")
@@ -68,20 +70,20 @@ func main() {
 	}
 	detailedCSV = *csvOut
 	jsonOut = *jsonOutF
-	if !(*table1 || *table2 || *table3 || *table4 || *table5 || *fig4 || *fig5 || *fig6 || *fig7 || *scenF || *cascF || *segF) {
+	if !(*table1 || *table2 || *table3 || *table4 || *table5 || *fig4 || *fig5 || *fig6 || *fig7 || *scenF || *cascF || *segF || *durF) {
 		*all = true
 	}
 	if *all {
 		*table1, *table2, *table3, *table4, *table5 = true, true, true, true, true
-		*fig4, *fig5, *fig6, *fig7, *scenF, *cascF, *segF = true, true, true, true, true, true, true
+		*fig4, *fig5, *fig6, *fig7, *scenF, *cascF, *segF, *durF = true, true, true, true, true, true, true, true
 	}
-	if err := run(*rows, *seeds, *table1, *table2, *table3, *table4, *table5, *fig4, *fig5, *fig6, *fig7, *scenF, *cascF, *segF, *scenFile); err != nil {
+	if err := run(*rows, *seeds, *table1, *table2, *table3, *table4, *table5, *fig4, *fig5, *fig6, *fig7, *scenF, *cascF, *segF, *durF, *scenFile); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fig6, fig7, scen, casc, seg bool, scenFile string) error {
+func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fig6, fig7, scen, casc, seg, dur bool, scenFile string) error {
 	ctx := context.Background()
 	cfg := report.Config{Rows: rows, Seeds: seeds}
 
@@ -99,7 +101,7 @@ func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fi
 	// Section-only runs (`-scenario -json …`, `-cascade -json …`) skip it so
 	// they stay fast enough for CI smoke legs.
 	var fabricated []experiment.Result
-	needFab := fig4 || fig5 || fig6 || table5 || (jsonOut != "" && !scen && !casc && !seg)
+	needFab := fig4 || fig5 || fig6 || table5 || (jsonOut != "" && !scen && !casc && !seg && !dur)
 	if needFab {
 		fmt.Fprintf(os.Stderr, "running fabricated-pair experiments (rows=%d seeds=%d)...\n", rows, seeds)
 		var err error
@@ -211,11 +213,25 @@ func run(rows, seeds int, table1, table2, table3, table4, table5, fig4, fig5, fi
 		}
 		fmt.Println(formatSegments(segRep))
 	}
+	// The durability section fails hard: its acked-batches-survive-recovery
+	// check at every fsync policy is the WAL's conformance gate, not a
+	// best-effort number.
+	var durRep *jsonDurability
+	if dur {
+		fmt.Fprintln(os.Stderr, "measuring WAL acked-ingest latency and recovery time...")
+		var err error
+		durRep, err = measureDurability()
+		if err != nil {
+			return err
+		}
+		fmt.Println(formatDurability(durRep))
+	}
 	if jsonOut != "" {
 		rep := buildJSONReport(rows, seeds, fabricated)
 		rep.Scenario = scenRep
 		rep.Cascade = cascRep
 		rep.Segments = segRep
+		rep.Durability = durRep
 		if needFab {
 			// The engine section is best-effort: a measurement failure must
 			// not discard the (much more expensive) run results above.

@@ -108,7 +108,10 @@ func checkReport(path, baselinePath string, tol float64) error {
 		fmt.Printf("%s: %s p99 %dµs vs baseline %dµs (%.2fx, tolerance %.1fx) ok\n",
 			path, kind, ep.P99US, bp99, ratio, tol)
 	}
-	return checkCascadeBaseline(path, baselinePath, tol, doc.Cascade, base.Cascade)
+	if err := checkCascadeBaseline(path, baselinePath, tol, doc.Cascade, base.Cascade); err != nil {
+		return err
+	}
+	return checkDurabilityBaseline(path, baselinePath, tol, doc.Durability, base.Durability)
 }
 
 // checkCascadeBaseline gates the cascade section's p99s against the
@@ -148,12 +151,48 @@ func checkCascadeBaseline(path, baselinePath string, tol float64, doc, base *jso
 	return nil
 }
 
+// checkDurabilityBaseline gates the WAL section's acked-ingest p99 per
+// fsync policy against the baseline's. As with the cascade gate, baselines
+// written before the section existed skip it; once a baseline has it, the
+// checked document must too — the durability leg silently dropping out of
+// the smoke run should fail, not pass.
+func checkDurabilityBaseline(path, baselinePath string, tol float64, doc, base *jsonDurability) error {
+	if base == nil {
+		return nil
+	}
+	if doc == nil {
+		return fmt.Errorf("%s: baseline %s has a durability section but this document has none (was -durability set when it was written?)", path, baselinePath)
+	}
+	byPolicy := make(map[string]jsonDurabilityPolicy, len(doc.Policies))
+	for _, p := range doc.Policies {
+		byPolicy[p.Policy] = p
+	}
+	for _, bp := range base.Policies {
+		p, ok := byPolicy[bp.Policy]
+		if !ok {
+			return fmt.Errorf("%s: fsync policy %q in baseline %s but missing here", path, bp.Policy, baselinePath)
+		}
+		if bp.P99US <= 0 {
+			continue
+		}
+		ratio := float64(p.P99US) / float64(bp.P99US)
+		if ratio > tol {
+			return fmt.Errorf("%s: wal-ingest fsync=%s p99 %dµs is %.1fx baseline %dµs (tolerance %.1fx, baseline %s)",
+				path, bp.Policy, p.P99US, ratio, bp.P99US, tol, baselinePath)
+		}
+		fmt.Printf("%s: wal-ingest fsync=%s p99 %dµs vs baseline %dµs (%.2fx, tolerance %.1fx) ok\n",
+			path, bp.Policy, p.P99US, bp.P99US, ratio, tol)
+	}
+	return nil
+}
+
 // trajectoryDoc is the slice of a -json trajectory file the -check mode
-// reads: the scenario section (required) and the cascade section
-// (optional, gated only when the baseline carries one).
+// reads: the scenario section (required) plus the cascade and durability
+// sections (optional, gated only when the baseline carries them).
 type trajectoryDoc struct {
-	Scenario *scenario.Report
-	Cascade  *jsonCascade
+	Scenario   *scenario.Report
+	Cascade    *jsonCascade
+	Durability *jsonDurability
 }
 
 // readTrajectoryDoc loads one trajectory file's checked sections, validated.
@@ -163,9 +202,10 @@ func readTrajectoryDoc(path string) (*trajectoryDoc, error) {
 		return nil, err
 	}
 	var doc struct {
-		Schema   int              `json:"schema"`
-		Scenario *scenario.Report `json:"scenario"`
-		Cascade  *jsonCascade     `json:"cascade"`
+		Schema     int              `json:"schema"`
+		Scenario   *scenario.Report `json:"scenario"`
+		Cascade    *jsonCascade     `json:"cascade"`
+		Durability *jsonDurability  `json:"durability"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("%s: %v", path, err)
@@ -179,5 +219,5 @@ func readTrajectoryDoc(path string) (*trajectoryDoc, error) {
 	if err := doc.Scenario.Check(); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &trajectoryDoc{Scenario: doc.Scenario, Cascade: doc.Cascade}, nil
+	return &trajectoryDoc{Scenario: doc.Scenario, Cascade: doc.Cascade, Durability: doc.Durability}, nil
 }

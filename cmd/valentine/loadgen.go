@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 
 	"valentine/internal/scenario"
@@ -73,18 +75,43 @@ func printReport(rep *scenario.Report) {
 		rep.Corpus.Tables, rep.Corpus.Columns, rep.Corpus.Rows, rep.Corpus.ChurnTables,
 		rep.Corpus.Hash[:12])
 	fmt.Printf("  load:   %d ms\n", rep.LoadMS)
-	fmt.Printf("  replay: %d ops in %d ms — %.0f qps achieved (target %.0f), %d errors\n",
-		rep.Ops, rep.ElapsedMS, rep.AchievedQPS, rep.TargetQPS, rep.Errors)
+	fmt.Printf("  replay: %d ops in %d ms — %.0f qps achieved (target %.0f), %d errors%s\n",
+		rep.Ops, rep.ElapsedMS, rep.AchievedQPS, rep.TargetQPS, rep.Errors,
+		errorKindsSuffix(rep.ErrorKinds))
 	for _, kind := range []string{"ingest", "search", "match"} {
 		ep, ok := rep.Endpoints[kind]
 		if !ok {
 			continue
 		}
-		fmt.Printf("  %-7s n=%-6d err=%-4d p50=%dµs p95=%dµs p99=%dµs max=%dµs\n",
-			kind, ep.Count, ep.Errors, ep.P50US, ep.P95US, ep.P99US, ep.MaxUS)
+		fmt.Printf("  %-7s n=%-6d err=%-4d p50=%dµs p95=%dµs p99=%dµs max=%dµs%s\n",
+			kind, ep.Count, ep.Errors, ep.P50US, ep.P95US, ep.P99US, ep.MaxUS,
+			errorKindsSuffix(ep.ErrorKinds))
 	}
 	fmt.Printf("  probes: %d top-%d queries, ops hash %s\n",
 		len(rep.Probes), topKOf(rep), rep.OpsHash[:12])
+}
+
+// errorKindsSuffix renders a " (kind=n ...)" breakdown in stable order, or
+// nothing when a run had no failures.
+func errorKindsSuffix(kinds map[string]int64) string {
+	if len(kinds) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(" (")
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, kinds[k])
+	}
+	b.WriteByte(')')
+	return b.String()
 }
 
 // topKOf infers the probe k from the report (probes all share the scenario's

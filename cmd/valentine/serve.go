@@ -24,6 +24,7 @@ import (
 	"valentine"
 	"valentine/internal/discovery"
 	"valentine/internal/server"
+	"valentine/internal/wal"
 )
 
 // serveHooks lets tests observe the bound addresses and drive shutdown; all
@@ -48,7 +49,13 @@ func cmdServe(args []string) error {
 	tokenBoost := fs.Float64("token-boost", 0, "blend column-name token overlap into scores (fresh catalog)")
 	sealAfter := fs.Int("seal-after", 0, "tables per memtable segment before sealing (default 16)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060; default off)")
+	walPath := fs.String("wal", "", "write-ahead log file: ingest is logged before it is acknowledged and replayed on restart (optional)")
+	fsync := fs.String("fsync", "always", "WAL fsync policy: always (every ack durable), batch (background interval), none")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	walSync, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
 		return err
 	}
 
@@ -71,10 +78,7 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: %s cannot be combined with %s (the loaded catalog keeps its options)",
 			strings.Join(catalogFlags, ", "), source)
 	}
-	var (
-		ix  *valentine.DiscoveryIndex
-		err error
-	)
+	var ix *valentine.DiscoveryIndex
 	switch {
 	case *indexPath != "":
 		if err := rejectCatalogFlags("-index"); err != nil {
@@ -117,13 +121,36 @@ func cmdServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "serve: ingested %s → %d tables live\n", *dir, ix.NumTables())
 	}
 
-	srv := server.New(server.Config{
+	// A -snapshot directory already holding a *different* catalog's snapshot
+	// must not be adopted as this catalog's save target — the first periodic
+	// save would overwrite it. Refuse before accepting any writes. (A
+	// catalog resumed from the directory trivially carries its lineage.)
+	if *snapshotDir != "" && snapshotExists(*snapshotDir) {
+		lin, lerr := discovery.SnapshotLineage(*snapshotDir)
+		if lerr != nil {
+			return fmt.Errorf("serve: reading snapshot manifest in %s: %w", *snapshotDir, lerr)
+		}
+		if lin != ix.Lineage() {
+			return fmt.Errorf("serve: snapshot directory %s holds catalog lineage %x but the serving catalog is lineage %x — refusing to overwrite another catalog's snapshot",
+				*snapshotDir, lin, ix.Lineage())
+		}
+	}
+
+	srv, err := server.New(server.Config{
 		Index:          ix,
 		RequestTimeout: *timeout,
 		Parallelism:    *parallelism,
 		SnapshotDir:    *snapshotDir,
 		SnapshotEvery:  *snapshotEvery,
+		WALPath:        *walPath,
+		WALSync:        walSync,
 	})
+	if err != nil {
+		return err
+	}
+	if *walPath != "" {
+		fmt.Fprintf(os.Stderr, "serve: write-ahead log at %s (fsync %s)\n", *walPath, walSync)
+	}
 
 	// Opt-in profiling endpoint on its own listener, never on the serving
 	// address: hot paths (scoring kernels, ingest, search) can be profiled

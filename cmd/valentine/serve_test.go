@@ -270,6 +270,93 @@ func TestServeRejectsCatalogFlagsOnLoad(t *testing.T) {
 	}
 }
 
+// TestServeWALRestartRecovers: with -wal and no snapshot, acknowledged
+// ingest survives a restart — the log is replayed into a fresh catalog on
+// the next serve.
+func TestServeWALRestartRecovers(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "ops.wal")
+	up := map[string]any{"columns": []map[string]any{
+		{"name": "k", "values": []string{"a", "b", "c", "d"}},
+	}}
+	err := runServe(t, []string{"-wal", walPath}, func(base string) {
+		if code := httpJSON(t, http.MethodPut, base+"/v1/tables/durable", up, nil); code != http.StatusOK {
+			t.Fatalf("upsert: status %d", code)
+		}
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	err = runServe(t, []string{"-wal", walPath}, func(base string) {
+		// Replay is asynchronous: wait for the server to report ok.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			var h struct {
+				Status string `json:"status"`
+			}
+			httpJSON(t, http.MethodGet, base+"/v1/healthz", nil, &h)
+			if h.Status == "ok" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("server stuck in status %q", h.Status)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		var tl struct {
+			Tables []string `json:"tables"`
+		}
+		if code := httpJSON(t, http.MethodGet, base+"/v1/tables", nil, &tl); code != http.StatusOK {
+			t.Fatalf("tables: status %d", code)
+		}
+		if got := strings.Join(tl.Tables, ","); got != "durable" {
+			t.Errorf("recovered tables = %q, want durable", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("serve (restart): %v", err)
+	}
+}
+
+// TestServeRejectsForeignSnapshotLineage: pointing -snapshot at a directory
+// holding a different catalog's snapshot must fail before any write is
+// accepted, not overwrite it at the first periodic save.
+func TestServeRejectsForeignSnapshotLineage(t *testing.T) {
+	snapA := filepath.Join(t.TempDir(), "snapA")
+	ixA := discovery.New(discovery.Options{})
+	if err := ixA.Add(readTestTable(t, "held", "x", "y", "z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ixA.SaveSnapshot(snapA); err != nil {
+		t.Fatal(err)
+	}
+	snapB := filepath.Join(t.TempDir(), "snapB")
+	ixB := discovery.New(discovery.Options{})
+	if err := ixB.Add(readTestTable(t, "other", "p", "q", "r")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ixB.SaveSnapshot(snapB); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdServe([]string{"-index", snapB, "-snapshot", snapA})
+	if err == nil || !strings.Contains(err.Error(), "refusing to overwrite") {
+		t.Errorf("serve over a foreign snapshot dir: err = %v, want lineage refusal", err)
+	}
+}
+
+// TestServeRejectsBadFsyncPolicy: -fsync takes always|batch|none only.
+func TestServeRejectsBadFsyncPolicy(t *testing.T) {
+	err := cmdServe([]string{"-fsync", "sometimes"})
+	if err == nil || !strings.Contains(err.Error(), "sometimes") {
+		t.Errorf("serve -fsync sometimes: err = %v, want policy rejection", err)
+	}
+}
+
+// readTestTable builds a tiny one-column table for lineage fixtures.
+func readTestTable(t *testing.T, name string, vals ...string) *valentine.Table {
+	t.Helper()
+	return valentine.NewTable(name).AddColumn("k", vals)
+}
+
 // TestServePprofEndpoint: -pprof must expose net/http/pprof on its own
 // listener (never the serving address), and leaving the flag off must not
 // open any profiling endpoint on the API.

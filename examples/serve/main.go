@@ -73,7 +73,10 @@ func main() {
 	}
 	defer os.RemoveAll(snapDir)
 	snap := filepath.Join(snapDir, "catalog")
-	srv := valentine.NewServer(valentine.ServeOptions{Index: ix, SnapshotDir: snap})
+	srv, err := valentine.NewServer(valentine.ServeOptions{Index: ix, SnapshotDir: snap})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

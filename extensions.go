@@ -88,8 +88,9 @@ type ServeOptions = server.Config
 type Server = server.Server
 
 // NewServer returns an HTTP serving layer over opts' catalog (a fresh empty
-// catalog when opts.Index is nil).
-func NewServer(opts ServeOptions) *Server { return server.New(opts) }
+// catalog when opts.Index is nil). It fails when a configured write-ahead
+// log cannot be opened or belongs to a different catalog.
+func NewServer(opts ServeOptions) (*Server, error) { return server.New(opts) }
 
 // ProfileStore is the corpus-level cache of the shared lazy column-profile
 // layer: every piece of derived per-column data (distinct sets, sorted

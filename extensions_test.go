@@ -126,7 +126,10 @@ func TestLiveCatalogThroughAPI(t *testing.T) {
 	}
 
 	// HTTP layer over the same catalog.
-	srv := NewServer(ServeOptions{Index: ix})
+	srv, err := NewServer(ServeOptions{Index: ix})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer func() {
 		ts.Close()

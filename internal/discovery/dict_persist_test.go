@@ -1,11 +1,15 @@
 package discovery
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
+	"syscall"
 	"testing"
 
+	"valentine/internal/faultfs"
 	"valentine/internal/table"
 )
 
@@ -130,4 +134,148 @@ func TestSnapshotDictLogCrashTail(t *testing.T) {
 	if _, err := LoadSnapshot(dir); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// dictAdd grows a catalog with a deterministic table sequence, so a
+// clean-room rebuild interns the exact same values in the exact same order.
+func dictAdd(t *testing.T, ix *Index, lo, hi int) {
+	t.Helper()
+	for i := lo; i < hi; i++ {
+		tab := table.New(fmt.Sprintf("t%d", i)).AddColumn("k", vals("w", i*10, i*10+30))
+		if err := ix.Add(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// dictMatchesCleanRoom checks that loaded's dictionary and behavior match a
+// fresh catalog built from the same committed table sequence. Interning
+// order within a column is not deterministic across processes (it follows
+// distinct-set iteration), so the id spaces are compared as consistent
+// bijections — same entry count, same value set, every loaded profile's ids
+// resolving to the right values — with search results as the semantic
+// proof: a catalog whose interned ids were corrupted cannot score overlap
+// identically.
+func dictMatchesCleanRoom(t *testing.T, loaded *Index, tables int) {
+	t.Helper()
+	clean := New(Options{SealAfter: 2})
+	dictAdd(t, clean, 0, tables)
+	want, got := clean.Dict(), loaded.Dict()
+	if want.Len() != got.Len() {
+		t.Fatalf("dict has %d entries, clean-room rebuild has %d", got.Len(), want.Len())
+	}
+	for _, v := range want.Entries(0, want.Len()) {
+		if _, ok := got.Lookup(v); !ok {
+			t.Fatalf("committed value %q missing from recovered dict", v)
+		}
+	}
+	q := table.New("probe").AddColumn("k", vals("w", 5, 45))
+	wres, err := clean.Search(q, ModeJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := loaded.Search(q, ModeJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wres) != len(gres) {
+		t.Fatalf("recovered search returned %d results, clean-room %d", len(gres), len(wres))
+	}
+	for i := range wres {
+		if wres[i].Table != gres[i].Table || wres[i].Score != gres[i].Score {
+			t.Fatalf("result %d: recovered %s@%v, clean-room %s@%v",
+				i, gres[i].Table, gres[i].Score, wres[i].Table, wres[i].Score)
+		}
+	}
+}
+
+// TestSnapshotDictLogTornWriteCrash: a save killed mid-append to dict.log —
+// only a torn prefix of the new entries' bytes reaching disk — must leave
+// the previously committed snapshot fully recoverable: the reloaded
+// catalog's interned ids match a clean-room rebuild of the committed
+// state, and the next successful save truncates the tear away.
+func TestSnapshotDictLogTornWriteCrash(t *testing.T) {
+	ix := New(Options{SealAfter: 2})
+	dictAdd(t, ix, 0, 3)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := ix.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	committed := ix.Dict().Len()
+
+	// Grow the dictionary, then crash the next save inside its dict.log
+	// append with 7 torn bytes.
+	dictAdd(t, ix, 3, 6)
+	ff := faultfs.New(nil)
+	ff.AddRule(faultfs.Rule{Op: faultfs.OpWrite, Path: dictName,
+		Fault: faultfs.Fault{Crash: true, Torn: 7}})
+	ix.SetFS(ff)
+	if err := ix.SaveSnapshot(dir); err == nil {
+		t.Fatal("save with a crashing dict.log append reported success")
+	}
+	if !ff.Crashed() {
+		t.Fatal("crash rule never fired")
+	}
+
+	loaded, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatalf("load after torn dict.log append: %v", err)
+	}
+	if loaded.Dict().Len() != committed {
+		t.Fatalf("loaded dict has %d entries, committed snapshot had %d", loaded.Dict().Len(), committed)
+	}
+	if !reflect.DeepEqual(loaded.Dict().Entries(0, committed), ix.Dict().Entries(0, committed)) {
+		t.Fatal("recovered dict prefix diverges from the catalog that wrote it")
+	}
+	dictMatchesCleanRoom(t, loaded, 3)
+
+	// The recovered catalog carries on: grow it, save, and the re-save both
+	// truncates the torn tail and commits the new entries.
+	dictAdd(t, loaded, 3, 6)
+	if err := loaded.SaveSnapshot(dir); err != nil {
+		t.Fatalf("save from recovered catalog: %v", err)
+	}
+	again, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dictMatchesCleanRoom(t, again, 6)
+}
+
+// TestSnapshotDictLogFsyncErrorThenCrash: an fsync failure during the
+// dict.log append fails the save (the manifest never moves), and a crash
+// before any retry still recovers — the appended-but-unacknowledged bytes
+// past the committed prefix are ignored, and ids match a clean-room
+// rebuild.
+func TestSnapshotDictLogFsyncErrorThenCrash(t *testing.T) {
+	ix := New(Options{SealAfter: 2})
+	dictAdd(t, ix, 0, 3)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := ix.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	committed := ix.Dict().Len()
+
+	dictAdd(t, ix, 3, 6)
+	ff := faultfs.New(nil)
+	ff.AddRule(faultfs.Rule{Op: faultfs.OpSync, Path: dictName,
+		Fault: faultfs.Fault{Err: syscall.EIO}})
+	ix.SetFS(ff)
+	if err := ix.SaveSnapshot(dir); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("save err = %v, want EIO from the dict.log fsync", err)
+	}
+
+	// Process dies here; recovery sees the old manifest plus unsynced bytes
+	// past its recorded dict.log prefix.
+	loaded, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatalf("load after failed dict.log fsync: %v", err)
+	}
+	if loaded.Dict().Len() != committed {
+		t.Fatalf("loaded dict has %d entries, committed snapshot had %d", loaded.Dict().Len(), committed)
+	}
+	if !reflect.DeepEqual(loaded.Dict().Entries(0, committed), ix.Dict().Entries(0, committed)) {
+		t.Fatal("recovered dict prefix diverges from the catalog that wrote it")
+	}
+	dictMatchesCleanRoom(t, loaded, 3)
 }

@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"valentine/internal/engine"
+	"valentine/internal/faultfs"
 	"valentine/internal/intern"
 	"valentine/internal/profile"
 	"valentine/internal/table"
@@ -167,6 +168,17 @@ type Index struct {
 	// same-named segment files left in a directory by a different catalog.
 	lineage uint64
 
+	// fsys is the filesystem snapshots write through (nil: real disk) — the
+	// faultfs seam. Set before concurrent use (SetFS or LoadSnapshotWith),
+	// read-only after.
+	fsys faultfs.FS
+
+	// quarantined counts segment files a quarantine-mode load moved aside as
+	// corrupt; quarantineLog records what and why. Set once at load, before
+	// the index serves, immutable after.
+	quarantined   int
+	quarantineLog []string
+
 	// unmaps collects the release closures of every mapped v2 segment this
 	// index loaded; guarded by wmu. A mapping must outlive the segment's
 	// presence in the live snapshot (compaction can retire a mapped segment
@@ -221,6 +233,40 @@ func newLineage() uint64 {
 
 // Options returns the options the index was created with.
 func (ix *Index) Options() Options { return ix.opts }
+
+// SetFS routes the index's snapshot I/O through fsys (nil restores the real
+// disk) — the faultfs injection seam. Call before any concurrent use.
+func (ix *Index) SetFS(fsys faultfs.FS) { ix.fsys = fsys }
+
+// fs returns the filesystem snapshots write through, defaulting to the real
+// disk.
+func (ix *Index) fs() faultfs.FS { return faultfs.Or(ix.fsys) }
+
+// Lineage returns the catalog's lineage id — the fence snapshots and the
+// write-ahead log carry so state written by a different catalog is never
+// adopted.
+func (ix *Index) Lineage() uint64 { return ix.lineage }
+
+// AdoptLineage re-fences the catalog to a known lineage id. Only an empty,
+// never-written catalog may adopt (a WAL-only restart replays into a fresh
+// index and must keep the log's identity); anything else is an error.
+func (ix *Index) AdoptLineage(lineage uint64) error {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	sn := ix.snap.Load()
+	if sn.epoch != 0 || sn.nTables != 0 || len(sn.sealed) != 0 {
+		return fmt.Errorf("discovery: catalog at epoch %d with %d tables cannot adopt a lineage", sn.epoch, sn.nTables)
+	}
+	ix.lineage = lineage
+	return nil
+}
+
+// QuarantinedSegments reports how many corrupt segment files a
+// quarantine-mode load moved aside, and the per-file reasons — the serving
+// layer's degraded signal.
+func (ix *Index) QuarantinedSegments() (int, []string) {
+	return ix.quarantined, ix.quarantineLog
+}
 
 // Close releases the memory mappings of every mapped v2 segment the index
 // loaded, after waiting for any background compaction to finish. The index
@@ -344,6 +390,9 @@ type Stats struct {
 	// set, versus MappedSegmentBytes' address-space ceiling. Builds without
 	// the mmap path report mapped bytes as fully resident.
 	MappedResidentBytes int64 `json:"mapped_resident_bytes"`
+	// QuarantinedSegments counts corrupt segment files a quarantine-mode
+	// load moved aside; non-zero means the catalog is serving degraded.
+	QuarantinedSegments int `json:"quarantined_segments"`
 }
 
 // Stats returns a consistent point-in-time summary of the catalog.
@@ -374,6 +423,7 @@ func (ix *Index) Stats() Stats {
 		HeapSegmentBytes:    heapBytes,
 		MappedSegmentBytes:  mappedBytes,
 		MappedResidentBytes: residentBytes,
+		QuarantinedSegments: ix.quarantined,
 	}
 }
 

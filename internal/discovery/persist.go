@@ -43,6 +43,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"valentine/internal/faultfs"
 	"valentine/internal/intern"
 )
 
@@ -244,35 +245,35 @@ func segFileNameFor(id uint64, format string) string {
 	return segFileName(id)
 }
 
-func writeGob(path string, v any) error {
+func writeGob(fsys faultfs.FS, path string, v any) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := gob.NewEncoder(f).Encode(v); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	// fsync before rename: the rename must never publish a file whose bytes
 	// are still only in the page cache when a crash follows.
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	return fsys.Rename(tmp, path)
 }
 
 // writeSegV2 writes seg to path in the v2 columnar format via temp-file +
 // fsync + atomic rename. A segment that is itself mapped from a v2 file is
 // copied byte-for-byte — re-encoding would only reproduce the same bytes.
-func writeSegV2(path string, seg *segment, k int) error {
+func writeSegV2(fsys faultfs.FS, path string, seg *segment, k int) error {
 	var data []byte
 	if seg.mapped != nil {
 		data = seg.mapped.data
@@ -283,13 +284,13 @@ func writeSegV2(path string, seg *segment, k int) error {
 		}
 	}
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
 	cleanup := func(err error) error {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
@@ -299,15 +300,15 @@ func writeSegV2(path string, seg *segment, k int) error {
 		return cleanup(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	return fsys.Rename(tmp, path)
 }
 
 // syncDir fsyncs a directory, making renames and creates within it durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -318,8 +319,8 @@ func syncDir(dir string) error {
 	return err
 }
 
-func readGob(path string, v any) error {
-	f, err := os.Open(path)
+func readGob(fsys faultfs.FS, path string, v any) error {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return err
 	}
@@ -370,7 +371,8 @@ func (ix *Index) SaveSnapshotFormat(dir, format string) error {
 		return fmt.Errorf("discovery: unknown segment format %q (want %q or %q)",
 			format, SegmentFormatV1, SegmentFormatV2)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := ix.fs()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	sn := ix.snap.Load()
@@ -395,7 +397,7 @@ func (ix *Index) SaveSnapshotFormat(dir, format string) error {
 	sameLineage := false
 	var prev manifest
 	if ix.lineage != 0 {
-		if err := readGob(filepath.Join(dir, manifestName), &prev); err == nil {
+		if err := readGob(fsys, filepath.Join(dir, manifestName), &prev); err == nil {
 			sameLineage = prev.Version == snapshotVersion && prev.Lineage == ix.lineage
 		}
 	}
@@ -404,7 +406,7 @@ func (ix *Index) SaveSnapshotFormat(dir, format string) error {
 		prevEntries, prevBytes = prev.DictEntries, prev.DictLogBytes
 	}
 	var err error
-	m.DictEntries, m.DictLogBytes, err = appendDictLog(filepath.Join(dir, dictName), ix.dict, prevEntries, prevBytes)
+	m.DictEntries, m.DictLogBytes, err = appendDictLog(fsys, filepath.Join(dir, dictName), ix.dict, prevEntries, prevBytes)
 	if err != nil {
 		return fmt.Errorf("discovery: writing dictionary log: %w", err)
 	}
@@ -414,15 +416,15 @@ func (ix *Index) SaveSnapshotFormat(dir, format string) error {
 		if sameLineage {
 			// Sound per format: the file name encodes the format, so a
 			// format switch misses this stat and rewrites every segment.
-			if _, err := os.Stat(path); err == nil {
+			if _, err := fsys.Stat(path); err == nil {
 				continue // immutable segment already snapshotted by this catalog
 			}
 		}
 		var err error
 		if format == SegmentFormatV2 {
-			err = writeSegV2(path, seg, ix.k)
+			err = writeSegV2(fsys, path, seg, ix.k)
 		} else {
-			err = writeGob(path, segToFile(seg))
+			err = writeGob(fsys, path, segToFile(seg))
 		}
 		if err != nil {
 			return fmt.Errorf("discovery: writing segment %d: %w", seg.id, err)
@@ -430,24 +432,30 @@ func (ix *Index) SaveSnapshotFormat(dir, format string) error {
 	}
 	if sn.mem != nil && sn.mem.numTables() > 0 {
 		m.HasMem = true
-		if err := writeGob(filepath.Join(dir, memName), segToFile(sn.mem)); err != nil {
+		if err := writeGob(fsys, filepath.Join(dir, memName), segToFile(sn.mem)); err != nil {
 			return fmt.Errorf("discovery: writing memtable: %w", err)
 		}
-	} else {
-		os.Remove(filepath.Join(dir, memName))
 	}
 	// Barrier between data and manifest: every segment, memtable and dict
 	// byte — and the directory entries naming them — must be durable before
 	// the manifest can reference them. The manifest itself then commits via
 	// writeGob's fsync + atomic rename, made durable by the second sync.
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fsys, dir); err != nil {
 		return fmt.Errorf("discovery: syncing snapshot directory: %w", err)
 	}
-	if err := writeGob(filepath.Join(dir, manifestName), m); err != nil {
+	if err := writeGob(fsys, filepath.Join(dir, manifestName), m); err != nil {
 		return fmt.Errorf("discovery: writing manifest: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fsys, dir); err != nil {
 		return fmt.Errorf("discovery: syncing snapshot directory: %w", err)
+	}
+	// Garbage collection happens only after the manifest commit: deleting a
+	// file the previous manifest still references would, under a crash in
+	// between, strand that manifest pointing at nothing. A stale mem.seg
+	// left by a crash before this point is ignored (HasMem false) and
+	// collected by the next save.
+	if !m.HasMem {
+		fsys.Remove(filepath.Join(dir, memName))
 	}
 	// Prune files of segments compacted away since the previous snapshot —
 	// in either encoding, so a format migration also retires the old files.
@@ -455,7 +463,7 @@ func (ix *Index) SaveSnapshotFormat(dir, format string) error {
 	for _, id := range m.Sealed {
 		live[segFileNameFor(id, format)] = struct{}{}
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return err
 	}
@@ -466,10 +474,30 @@ func (ix *Index) SaveSnapshotFormat(dir, format string) error {
 			continue
 		}
 		if _, ok := live[name]; !ok {
-			os.Remove(filepath.Join(dir, name))
+			fsys.Remove(filepath.Join(dir, name))
 		}
 	}
 	return nil
+}
+
+// LoadOptions configures LoadSnapshotWith.
+type LoadOptions struct {
+	// FS is the filesystem the load reads through (nil: the real disk).
+	// The one asymmetry: v2 segment files are memory-mapped and so always
+	// open through the OS regardless — corruption tests flip bytes on disk
+	// directly, and quarantine works off the returned errors either way.
+	FS faultfs.FS
+	// NoMap forces the aligned heap-read fallback for v2 segments even where
+	// mmap is available (the mapped-vs-heap conformance arm).
+	NoMap bool
+	// Quarantine makes segment failure partial instead of total: a sealed
+	// segment (or memtable) file failing validation is renamed aside with a
+	// .quarantined suffix — so no later save can adopt its bytes — counted in
+	// Stats.QuarantinedSegments, and the rest of the catalog loads and
+	// serves. Manifest and dict.log failures stay fatal: the manifest is the
+	// table of contents, and the dictionary underpins every interned id in
+	// every segment.
+	Quarantine bool
 }
 
 // LoadSnapshot reads a snapshot directory written by SaveSnapshot and
@@ -478,16 +506,26 @@ func (ix *Index) SaveSnapshotFormat(dir, format string) error {
 // (heap-read where mapping is unavailable) and searched in place — restart
 // cost for a v2 catalog is opening and validating files, not decoding the
 // corpus. Call Close on a v2-backed index when done to release mappings.
+// Any corrupt file fails the whole load; LoadSnapshotWith's Quarantine mode
+// degrades instead.
 func LoadSnapshot(dir string) (*Index, error) {
-	return loadSnapshot(dir, false)
+	return LoadSnapshotWith(dir, LoadOptions{})
 }
 
 // loadSnapshot gives tests the noMap arm: true forces the aligned heap-read
 // fallback for v2 segments even where mmap is available, so mapped-vs-heap
 // conformance runs both arms in one binary.
-func loadSnapshot(dir string, noMap bool) (ret *Index, err error) {
+func loadSnapshot(dir string, noMap bool) (*Index, error) {
+	return LoadSnapshotWith(dir, LoadOptions{NoMap: noMap})
+}
+
+// LoadSnapshotWith is LoadSnapshot under explicit options: an injectable
+// filesystem, the heap-read arm, and quarantine (degraded) mode.
+func LoadSnapshotWith(dir string, o LoadOptions) (ret *Index, err error) {
+	fsys := faultfs.Or(o.FS)
+	noMap := o.NoMap
 	var m manifest
-	if err := readGob(filepath.Join(dir, manifestName), &m); err != nil {
+	if err := readGob(fsys, filepath.Join(dir, manifestName), &m); err != nil {
 		return nil, fmt.Errorf("discovery: reading manifest: %w", err)
 	}
 	if m.Version != snapshotVersion {
@@ -500,6 +538,7 @@ func loadSnapshot(dir string, noMap bool) (ret *Index, err error) {
 			m.Format, SegmentFormatV1, SegmentFormatV2)
 	}
 	ix := New(m.Options)
+	ix.fsys = o.FS
 	// Mappings registered below must not leak if a later segment fails.
 	defer func() {
 		if err != nil {
@@ -513,7 +552,7 @@ func loadSnapshot(dir string, noMap bool) (ret *Index, err error) {
 	sn := &snapshot{epoch: m.Epoch}
 	load := func(path string) (*segment, error) {
 		var sf segFile
-		if err := readGob(path, &sf); err != nil {
+		if err := readGob(fsys, path, &sf); err != nil {
 			return nil, err
 		}
 		if sf.Version != snapshotVersion {
@@ -552,6 +591,24 @@ func loadSnapshot(dir string, noMap bool) (ret *Index, err error) {
 		}
 		return &segment{id: id, mapped: ms}, nil
 	}
+	// quarantine moves a corrupt file aside so no later incremental save can
+	// adopt its bytes via the skip-if-exists fast path, and records the event
+	// for Stats and the serving layer's degraded flag. Outside quarantine
+	// mode the cause is returned unchanged and fails the load.
+	quarantine := func(name string, cause error) error {
+		if !o.Quarantine {
+			return cause
+		}
+		src := filepath.Join(dir, name)
+		if renameErr := fsys.Rename(src, src+".quarantined"); renameErr != nil {
+			// The corrupt file stays in place where a later save could adopt
+			// it, so degrading is not safe — fail the load after all.
+			return fmt.Errorf("%w (quarantine rename failed: %v)", cause, renameErr)
+		}
+		ix.quarantined++
+		ix.quarantineLog = append(ix.quarantineLog, fmt.Sprintf("%s: %v", name, cause))
+		return nil
+	}
 	for _, id := range m.Sealed {
 		var seg *segment
 		var segErr error
@@ -561,7 +618,10 @@ func loadSnapshot(dir string, noMap bool) (ret *Index, err error) {
 			seg, segErr = load(filepath.Join(dir, segFileName(id)))
 		}
 		if segErr != nil {
-			return nil, fmt.Errorf("discovery: segment %d: %w", id, segErr)
+			if qErr := quarantine(segFileNameFor(id, m.Format), fmt.Errorf("discovery: segment %d: %w", id, segErr)); qErr != nil {
+				return nil, qErr
+			}
+			continue
 		}
 		sn.sealed = append(sn.sealed, seg)
 	}
@@ -572,7 +632,7 @@ func loadSnapshot(dir string, noMap bool) (ret *Index, err error) {
 	// orphan into the manifest. Scan the directory and allocate strictly
 	// past every file on disk; unreferenced orphans are then pruned by the
 	// next successful SaveSnapshot without ever being adopted.
-	if entries, dirErr := os.ReadDir(dir); dirErr == nil {
+	if entries, dirErr := fsys.ReadDir(dir); dirErr == nil {
 		for _, e := range entries {
 			name := e.Name()
 			if !strings.HasSuffix(name, ".gob") && !strings.HasSuffix(name, ".seg") {
@@ -584,11 +644,18 @@ func loadSnapshot(dir string, noMap bool) (ret *Index, err error) {
 			}
 		}
 	}
+	var mem *segment
 	if m.HasMem {
-		mem, memErr := load(filepath.Join(dir, memName))
+		loaded, memErr := load(filepath.Join(dir, memName))
 		if memErr != nil {
-			return nil, fmt.Errorf("discovery: memtable: %w", memErr)
+			if qErr := quarantine(memName, fmt.Errorf("discovery: memtable: %w", memErr)); qErr != nil {
+				return nil, qErr
+			}
+		} else {
+			mem = loaded
 		}
+	}
+	if mem != nil {
 		// The restored memtable gets a fresh id: its saved id may equal an
 		// orphan segment file's, and when this memtable seals, its id
 		// becomes a segment file name.
@@ -616,7 +683,7 @@ func loadSnapshot(dir string, noMap bool) (ret *Index, err error) {
 		}
 	}
 	if m.DictEntries > 0 {
-		if err := replayDictLog(filepath.Join(dir, dictName), ix.dict, m.DictEntries); err != nil {
+		if err := replayDictLog(fsys, filepath.Join(dir, dictName), ix.dict, m.DictEntries); err != nil {
 			return nil, fmt.Errorf("discovery: reading dictionary log: %w", err)
 		}
 	}
@@ -647,12 +714,12 @@ func loadSnapshot(dir string, noMap bool) (ret *Index, err error) {
 // log longer than prevBytes carries the tail of a save that crashed before
 // its manifest committed, and is truncated back first. Returns the entry
 // count and byte length the caller's manifest must record.
-func appendDictLog(path string, d *intern.Dict, prevEntries int, prevBytes int64) (int, int64, error) {
+func appendDictLog(fsys faultfs.FS, path string, d *intern.Dict, prevEntries int, prevBytes int64) (int, int64, error) {
 	n := d.Len()
-	if info, err := os.Stat(path); err != nil || info.Size() < prevBytes || prevEntries > n {
+	if info, err := fsys.Stat(path); err != nil || info.Size() < prevBytes || prevEntries > n {
 		prevEntries, prevBytes = 0, 0 // missing or inconsistent: rewrite
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -694,11 +761,26 @@ func appendDictLog(path string, d *intern.Dict, prevEntries int, prevBytes int64
 	return n, written, nil
 }
 
+// SnapshotLineage reads the manifest in dir and returns the lineage id of
+// the catalog that wrote it — the pre-flight fence `valentine serve` checks
+// before accepting writes it would later fail to snapshot into a foreign
+// directory.
+func SnapshotLineage(dir string) (uint64, error) {
+	var m manifest
+	if err := readGob(faultfs.OS, filepath.Join(dir, manifestName), &m); err != nil {
+		return 0, fmt.Errorf("discovery: reading manifest: %w", err)
+	}
+	if m.Version != snapshotVersion {
+		return 0, fmt.Errorf("discovery: snapshot version %d, want %d", m.Version, snapshotVersion)
+	}
+	return m.Lineage, nil
+}
+
 // replayDictLog reads the first entries values of the log and interns them
 // in order, reconstructing the exact id space recorded by the manifest.
 // Bytes past the recorded prefix (a crashed save's tail) are ignored.
-func replayDictLog(path string, d *intern.Dict, entries int) error {
-	f, err := os.Open(path)
+func replayDictLog(fsys faultfs.FS, path string, d *intern.Dict, entries int) error {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,85 @@
+package discovery
+
+// The replayable-mutation surface the write-ahead log rides on. A ReplayOp
+// is one catalog mutation in already-profiled form: exactly the column
+// summaries apply() would insert, with signatures and interned set ids in
+// this catalog's id space. The serving layer's batcher converts incoming
+// ops once via ReplayForm, logs the result, then applies the same value via
+// ApplyReplayOps — so what the WAL records is, byte for byte, what the
+// catalog executed, and replaying the log after a crash re-executes it
+// exactly.
+//
+// Replay is idempotent by construction: upserts replace whatever is live,
+// and a remove of an unknown table merely reports an error the replayer
+// ignores. That makes at-least-once delivery safe — a batch that was both
+// applied and logged before the crash re-applies to an identical catalog.
+
+import "fmt"
+
+// ReplayOp is one logged catalog mutation: a remove (Remove non-empty) or a
+// profiled upsert (Name + Cols). All fields are exported, gob-encodable
+// values — the WAL's record payload.
+type ReplayOp struct {
+	// Remove names the table to delete; empty for upserts.
+	Remove string
+	// Name and Cols carry an upsert: the table name and its indexed column
+	// summaries, profiled against this catalog's dictionary.
+	Name string
+	Cols []ColumnProfile
+}
+
+// ReplayForm profiles one mutation into its logged form. Upserts run the
+// full profiling path (signatures, tokens, interned distinct ids) — the
+// expensive work happens exactly once, before the WAL append and before the
+// writer lock.
+func (ix *Index) ReplayForm(op Op) (ReplayOp, error) {
+	switch {
+	case op.Upsert != nil && op.Remove != "":
+		return ReplayOp{}, fmt.Errorf("discovery: op sets both Upsert and Remove")
+	case op.Upsert != nil:
+		raw, err := ix.profileOp(op.Upsert, true)
+		if err != nil {
+			return ReplayOp{}, err
+		}
+		return ReplayOp{Name: raw.name, Cols: raw.cols}, nil
+	case op.Remove != "":
+		return ReplayOp{Remove: op.Remove}, nil
+	default:
+		return ReplayOp{}, fmt.Errorf("discovery: op sets neither Upsert nor Remove")
+	}
+}
+
+// ApplyReplayOps executes a batch of already-profiled mutations as one
+// write — one memtable rebuild, one epoch publish — and returns one error
+// slot per op, exactly like Apply. Upserts always replace; the only
+// per-op failure is removing an unknown table, which live callers surface
+// and crash-recovery replay ignores.
+func (ix *Index) ApplyReplayOps(rops []ReplayOp) []error {
+	raw := make([]rawOp, len(rops))
+	errs := make([]error, len(rops))
+	valid := make([]rawOp, 0, len(rops))
+	slot := make([]int, 0, len(rops))
+	for i, r := range rops {
+		if r.Remove != "" {
+			raw[i] = rawOp{remove: r.Remove}
+		} else {
+			for _, c := range r.Cols {
+				if len(c.Signature) != ix.k {
+					errs[i] = fmt.Errorf("discovery: column %s.%s has %d-slot signature, want %d",
+						r.Name, c.Column, len(c.Signature), ix.k)
+					break
+				}
+			}
+			if errs[i] != nil {
+				continue
+			}
+			raw[i] = rawOp{name: r.Name, cols: r.Cols, upsert: true}
+		}
+		valid = append(valid, raw[i])
+		slot = append(slot, i)
+	}
+	for i, err := range ix.apply(valid) {
+		errs[slot[i]] = err
+	}
+	return errs
+}

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"valentine/internal/faultfs"
 	"valentine/internal/table"
 )
 
@@ -189,7 +190,7 @@ func TestSnapshotCrashOrphanNotAdopted(t *testing.T) {
 		Table: "ghost", Column: "k", Rows: 1, Distinct: 1,
 		Signature: make([]uint64, ix.k),
 	}}, ix.rows)
-	if err := writeGob(filepath.Join(dir, segFileName(9)), segToFile(ghost)); err != nil {
+	if err := writeGob(faultfs.OS, filepath.Join(dir, segFileName(9)), segToFile(ghost)); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,0 +1,393 @@
+package faultfs
+
+// The injection half of the seam: Faulty wraps an inner FS and fires
+// scheduled faults at mutation points. A "point" is one durability-relevant
+// operation — write, sync, rename, create, remove, or truncate — counted
+// globally in execution order, so a crash-recovery fuzzer can dry-run a
+// workload once to learn its point count and then re-run it with a kill
+// injected at every single point.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"strings"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation after a crash fault fired: the
+// simulated process is dead and must not touch the directory again. Recovery
+// code then reopens the real filesystem and sees exactly what a kill -9
+// would have left.
+var ErrCrashed = errors.New("faultfs: crashed")
+
+// Op classifies the mutation points faults can target.
+type Op string
+
+// The fault-addressable operations. OpAny in a rule matches every kind.
+const (
+	OpAny      Op = ""
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpRename   Op = "rename"
+	OpCreate   Op = "create"
+	OpRemove   Op = "remove"
+	OpTruncate Op = "truncate"
+)
+
+// Fault is what happens when a rule fires.
+type Fault struct {
+	// Err, when set, is returned by the faulted operation (e.g.
+	// syscall.ENOSPC on a write, an I/O error on a sync). With Crash unset
+	// the fault is transient: subsequent operations proceed normally.
+	Err error
+	// Crash kills the filesystem at this point: the faulted operation fails
+	// with ErrCrashed (after any torn prefix lands) and so does everything
+	// after it.
+	Crash bool
+	// Torn, for a crashing write, is how many leading bytes of the buffer
+	// reach the file before the crash — the torn tail record. Negative or
+	// zero writes nothing; values past the buffer length are clamped.
+	Torn int
+	// FlipBit silently corrupts a write: bit (FlipBit mod 8·len(buf)) of the
+	// buffer is inverted before the write proceeds, with no error returned —
+	// the model for firmware lying or media rot under a checksummed format.
+	// Meaningful only with Err nil and Crash false.
+	FlipBit int64
+	// flip distinguishes an explicit FlipBit 0 from an unset field.
+	flip bool
+}
+
+// BitFlip returns a silent-corruption fault inverting the given bit of the
+// targeted write's buffer.
+func BitFlip(bit int64) Fault { return Fault{FlipBit: bit, flip: true} }
+
+// Rule schedules one fault: the nth (0-based, counted per rule) operation
+// matching Op and Path fires Fault, after which the rule is spent.
+type Rule struct {
+	// Op restricts the kind of operation (OpAny: all kinds).
+	Op Op
+	// Path, when non-empty, restricts to operations whose file path contains
+	// it as a substring (renames match on either path).
+	Path string
+	// After is how many matching operations pass unharmed first.
+	After int
+	// Fault fires on the next match.
+	Fault Fault
+}
+
+// Faulty is an FS wrapper that injects scheduled faults. Safe for concurrent
+// use; the global point counter orders concurrent mutations arbitrarily but
+// deterministically enough for single-goroutine workloads, which is what
+// crash fuzzing uses.
+type Faulty struct {
+	inner FS
+
+	mu      sync.Mutex
+	rules   []*ruleState
+	crashed bool
+	points  int64
+	crashAt int64 // global point index to crash at; -1: none
+	torn    int   // torn bytes for a crash landing on a write
+}
+
+type ruleState struct {
+	Rule
+	remaining int
+	spent     bool
+}
+
+// New wraps inner (nil: OS) with an empty schedule. With no rules and no
+// crash point, Faulty is a counting passthrough — the dry-run arm.
+func New(inner FS) *Faulty {
+	return &Faulty{inner: Or(inner), crashAt: -1}
+}
+
+// AddRule schedules a fault.
+func (f *Faulty) AddRule(r Rule) {
+	f.mu.Lock()
+	f.rules = append(f.rules, &ruleState{Rule: r, remaining: r.After})
+	f.mu.Unlock()
+}
+
+// CrashAtPoint schedules a crash at global mutation point n (0-based). When
+// the point lands on a write, torn leading bytes of that write reach the
+// file first.
+func (f *Faulty) CrashAtPoint(n int64, torn int) {
+	f.mu.Lock()
+	f.crashAt = n
+	f.torn = torn
+	f.mu.Unlock()
+}
+
+// Points returns how many mutation points have executed — the dry-run
+// measurement a crash fuzzer schedules against.
+func (f *Faulty) Points() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.points
+}
+
+// Crashed reports whether a crash fault has fired.
+func (f *Faulty) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// at evaluates one mutation point: it returns the fault to apply (zero
+// Fault: none) and whether the filesystem is already dead.
+func (f *Faulty) at(op Op, path ...string) (Fault, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return Fault{}, true
+	}
+	point := f.points
+	f.points++
+	if f.crashAt >= 0 && point == f.crashAt {
+		f.crashed = true
+		return Fault{Crash: true, Torn: f.torn}, false
+	}
+	for _, rs := range f.rules {
+		if rs.spent || (rs.Op != OpAny && rs.Op != op) {
+			continue
+		}
+		if rs.Path != "" {
+			hit := false
+			for _, p := range path {
+				if strings.Contains(p, rs.Path) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+		}
+		if rs.remaining > 0 {
+			rs.remaining--
+			continue
+		}
+		rs.spent = true
+		if rs.Fault.Crash {
+			f.crashed = true
+		}
+		return rs.Fault, false
+	}
+	return Fault{}, false
+}
+
+// dead reports whether the filesystem has crashed (read-path guard: reads
+// are not mutation points but a dead process cannot read either).
+func (f *Faulty) dead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+func (f *Faulty) Create(name string) (File, error) {
+	fault, dead := f.at(OpCreate, name)
+	if dead || fault.Crash {
+		return nil, ErrCrashed
+	}
+	if fault.Err != nil {
+		return nil, &fs.PathError{Op: "create", Path: name, Err: fault.Err}
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: inner, name: name}, nil
+}
+
+func (f *Faulty) Open(name string) (File, error) {
+	if f.dead() {
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: inner, name: name}, nil
+}
+
+func (f *Faulty) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	// Write-capable opens are mutation points (O_CREATE/O_TRUNC mutate);
+	// read-only opens are not.
+	if flag&(os_O_WRONLY|os_O_RDWR|os_O_CREATE|os_O_TRUNC|os_O_APPEND) != 0 {
+		fault, dead := f.at(OpCreate, name)
+		if dead || fault.Crash {
+			return nil, ErrCrashed
+		}
+		if fault.Err != nil {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fault.Err}
+		}
+	} else if f.dead() {
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: inner, name: name}, nil
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	fault, dead := f.at(OpRename, oldpath, newpath)
+	if dead || fault.Crash {
+		return ErrCrashed
+	}
+	if fault.Err != nil {
+		return &os_LinkError{Op: "rename", Old: oldpath, New: newpath, Err: fault.Err}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) Remove(name string) error {
+	fault, dead := f.at(OpRemove, name)
+	if dead || fault.Crash {
+		return ErrCrashed
+	}
+	if fault.Err != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: fault.Err}
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Faulty) MkdirAll(path string, perm fs.FileMode) error {
+	if f.dead() {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Faulty) Stat(name string) (fs.FileInfo, error) {
+	if f.dead() {
+		return nil, ErrCrashed
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *Faulty) ReadDir(name string) ([]fs.DirEntry, error) {
+	if f.dead() {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadDir(name)
+}
+
+// faultyFile routes a File's mutation points back through the schedule.
+type faultyFile struct {
+	f     *Faulty
+	inner File
+	name  string
+}
+
+func (ff *faultyFile) Name() string { return ff.name }
+
+func (ff *faultyFile) Read(p []byte) (int, error) {
+	if ff.f.dead() {
+		return 0, ErrCrashed
+	}
+	return ff.inner.Read(p)
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	fault, dead := ff.f.at(OpWrite, ff.name)
+	if dead {
+		return 0, ErrCrashed
+	}
+	if fault.Crash {
+		n := 0
+		if fault.Torn > 0 {
+			torn := fault.Torn
+			if torn > len(p) {
+				torn = len(p)
+			}
+			n, _ = ff.inner.Write(p[:torn])
+			ff.inner.Sync() // the torn prefix is what the disk kept
+		}
+		return n, ErrCrashed
+	}
+	if fault.Err != nil {
+		// Short write: half the buffer lands, then the error surfaces —
+		// exactly what a full disk does to a buffered writer.
+		n, _ := ff.inner.Write(p[:len(p)/2])
+		return n, &fs.PathError{Op: "write", Path: ff.name, Err: fault.Err}
+	}
+	if fault.flip && len(p) > 0 {
+		q := append([]byte(nil), p...)
+		bit := fault.FlipBit % int64(len(q)*8)
+		if bit < 0 {
+			bit += int64(len(q) * 8)
+		}
+		q[bit/8] ^= 1 << uint(bit%8)
+		n, err := ff.inner.Write(q)
+		return n, err
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultyFile) Seek(offset int64, whence int) (int64, error) {
+	if ff.f.dead() {
+		return 0, ErrCrashed
+	}
+	return ff.inner.Seek(offset, whence)
+}
+
+func (ff *faultyFile) Close() error {
+	// Close is not a mutation point (a crashed process's descriptors close
+	// anyway), but the inner file must be released regardless so tests do
+	// not leak descriptors.
+	return ff.inner.Close()
+}
+
+func (ff *faultyFile) Sync() error {
+	fault, dead := ff.f.at(OpSync, ff.name)
+	if dead || fault.Crash {
+		return ErrCrashed
+	}
+	if fault.Err != nil {
+		return &fs.PathError{Op: "sync", Path: ff.name, Err: fault.Err}
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultyFile) Truncate(size int64) error {
+	fault, dead := ff.f.at(OpTruncate, ff.name)
+	if dead || fault.Crash {
+		return ErrCrashed
+	}
+	if fault.Err != nil {
+		return &fs.PathError{Op: "truncate", Path: ff.name, Err: fault.Err}
+	}
+	return ff.inner.Truncate(size)
+}
+
+func (ff *faultyFile) Stat() (fs.FileInfo, error) {
+	if ff.f.dead() {
+		return nil, ErrCrashed
+	}
+	return ff.inner.Stat()
+}
+
+// os flag aliases, kept local so this file's imports stay minimal.
+const (
+	os_O_WRONLY = 0x1
+	os_O_RDWR   = 0x2
+	os_O_CREATE = 0x40
+	os_O_TRUNC  = 0x200
+	os_O_APPEND = 0x400
+)
+
+// os_LinkError mirrors os.LinkError for injected rename failures.
+type os_LinkError struct {
+	Op, Old, New string
+	Err          error
+}
+
+func (e *os_LinkError) Error() string {
+	return fmt.Sprintf("%s %s %s: %v", e.Op, e.Old, e.New, e.Err)
+}
+
+func (e *os_LinkError) Unwrap() error { return e.Err }

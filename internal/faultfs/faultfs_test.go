@@ -1,0 +1,301 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func readBack(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return b
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	f, err := OS.Create(path)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := OS.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if got := readBack(t, filepath.Join(dir, "b.txt")); string(got) != "hello" {
+		t.Fatalf("content = %q, want hello", got)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("readdir = %v, %v", ents, err)
+	}
+	if Or(nil) != OS {
+		t.Fatal("Or(nil) != OS")
+	}
+}
+
+func TestFaultyPassthroughCountsPoints(t *testing.T) {
+	dir := t.TempDir()
+	ff := New(nil)
+	f, err := ff.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	f.Write([]byte("abc"))
+	f.Sync()
+	f.Close()
+	ff.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "y"))
+	ff.Remove(filepath.Join(dir, "y"))
+	// create + write + sync + rename + remove = 5 mutation points.
+	if got := ff.Points(); got != 5 {
+		t.Fatalf("Points() = %d, want 5", got)
+	}
+	if ff.Crashed() {
+		t.Fatal("Crashed() = true on a clean run")
+	}
+}
+
+func TestWriteENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	ff := New(nil)
+	ff.AddRule(Rule{Op: OpWrite, Fault: Fault{Err: syscall.ENOSPC}})
+	f, err := ff.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write err = %v, want ENOSPC", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write landed %d bytes, want half (4)", n)
+	}
+	// The rule is spent: the next write succeeds.
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	f.Close()
+	if got := readBack(t, filepath.Join(dir, "x")); string(got) != "abcdok" {
+		t.Fatalf("content = %q, want abcdok", got)
+	}
+}
+
+func TestSyncError(t *testing.T) {
+	dir := t.TempDir()
+	ff := New(nil)
+	ff.AddRule(Rule{Op: OpSync, Path: "x", Fault: Fault{Err: syscall.EIO}})
+	f, _ := ff.Create(filepath.Join(dir, "x"))
+	f.Write([]byte("data"))
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync err = %v, want EIO", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second sync: %v", err)
+	}
+	f.Close()
+}
+
+func TestRuleAfterSkipsMatches(t *testing.T) {
+	dir := t.TempDir()
+	ff := New(nil)
+	ff.AddRule(Rule{Op: OpWrite, After: 2, Fault: Fault{Err: syscall.EIO}})
+	f, _ := ff.Create(filepath.Join(dir, "x"))
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("a")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("a")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("third write err = %v, want EIO", err)
+	}
+	f.Close()
+}
+
+func TestPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	ff := New(nil)
+	ff.AddRule(Rule{Op: OpWrite, Path: "target", Fault: Fault{Err: syscall.EIO}})
+	other, _ := ff.Create(filepath.Join(dir, "other"))
+	if _, err := other.Write([]byte("ok")); err != nil {
+		t.Fatalf("non-matching write faulted: %v", err)
+	}
+	other.Close()
+	tgt, _ := ff.Create(filepath.Join(dir, "target"))
+	if _, err := tgt.Write([]byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("matching write err = %v, want EIO", err)
+	}
+	tgt.Close()
+}
+
+func TestCrashRuleTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	ff := New(nil)
+	ff.AddRule(Rule{Op: OpWrite, Path: "x", Fault: Fault{Crash: true, Torn: 3}})
+	f, _ := ff.Create(filepath.Join(dir, "x"))
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write err = %v, want ErrCrashed", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn prefix = %d bytes, want 3", n)
+	}
+	// Dead: everything fails from here on.
+	if _, err := f.Write([]byte("zz")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write err = %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync err = %v, want ErrCrashed", err)
+	}
+	if _, err := ff.Create(filepath.Join(dir, "new")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create err = %v, want ErrCrashed", err)
+	}
+	if err := ff.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename err = %v, want ErrCrashed", err)
+	}
+	if _, err := ff.Open(filepath.Join(dir, "x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open err = %v, want ErrCrashed", err)
+	}
+	f.Close()
+	if !ff.Crashed() {
+		t.Fatal("Crashed() = false after crash rule fired")
+	}
+	// The torn prefix is what the real directory kept.
+	if got := readBack(t, filepath.Join(dir, "x")); string(got) != "abc" {
+		t.Fatalf("on-disk content = %q, want abc", got)
+	}
+}
+
+func TestCrashAtPoint(t *testing.T) {
+	dir := t.TempDir()
+	// Dry run: count the points of the workload.
+	workload := func(ff *Faulty) error {
+		f, err := ff.Create(filepath.Join(dir, "w")) // point 0
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.Write([]byte("11111111")); err != nil { // point 1
+			return err
+		}
+		if err := f.Sync(); err != nil { // point 2
+			return err
+		}
+		return ff.Rename(filepath.Join(dir, "w"), filepath.Join(dir, "done")) // point 3
+	}
+	dry := New(nil)
+	if err := workload(dry); err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	if dry.Points() != 4 {
+		t.Fatalf("dry Points() = %d, want 4", dry.Points())
+	}
+	os.Remove(filepath.Join(dir, "done"))
+
+	for p := int64(0); p < 4; p++ {
+		ff := New(nil)
+		ff.CrashAtPoint(p, 2)
+		err := workload(ff)
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash at %d: workload err = %v, want ErrCrashed", p, err)
+		}
+		if !ff.Crashed() {
+			t.Fatalf("crash at %d: Crashed() = false", p)
+		}
+		// Only the pre-crash state survives.
+		switch p {
+		case 0:
+			if _, err := os.Stat(filepath.Join(dir, "w")); !os.IsNotExist(err) {
+				t.Fatalf("crash at create: file exists")
+			}
+		case 1:
+			if got := readBack(t, filepath.Join(dir, "w")); string(got) != "11" {
+				t.Fatalf("crash at write: content %q, want torn 11", got)
+			}
+		case 3:
+			if _, err := os.Stat(filepath.Join(dir, "done")); !os.IsNotExist(err) {
+				t.Fatalf("crash at rename: rename happened anyway")
+			}
+		}
+		os.Remove(filepath.Join(dir, "w"))
+		os.Remove(filepath.Join(dir, "done"))
+	}
+}
+
+func TestBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	ff := New(nil)
+	ff.AddRule(Rule{Op: OpWrite, Fault: BitFlip(9)}) // bit 1 of byte 1
+	f, _ := ff.Create(filepath.Join(dir, "x"))
+	orig := []byte{0x00, 0x00, 0x00}
+	if _, err := f.Write(orig); err != nil {
+		t.Fatalf("flipped write errored: %v", err)
+	}
+	f.Close()
+	got := readBack(t, filepath.Join(dir, "x"))
+	if got[1] != 0x02 || got[0] != 0 || got[2] != 0 {
+		t.Fatalf("content = %v, want bit 9 flipped ([0 2 0])", got)
+	}
+	// The caller's buffer must be untouched.
+	if orig[1] != 0 {
+		t.Fatal("BitFlip mutated the caller's buffer")
+	}
+}
+
+func TestOpenFileAppendIsMutationPoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	if err := os.WriteFile(path, []byte("seed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ff := New(nil)
+	ff.AddRule(Rule{Op: OpCreate, Path: "log", Fault: Fault{Err: syscall.ENOSPC}})
+	if _, err := ff.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append open err = %v, want ENOSPC", err)
+	}
+	// Read-only opens bypass the schedule entirely.
+	f, err := ff.Open(path)
+	if err != nil {
+		t.Fatalf("read-only open: %v", err)
+	}
+	b, _ := io.ReadAll(f)
+	f.Close()
+	if string(b) != "seed" {
+		t.Fatalf("read %q, want seed", b)
+	}
+	if ff.Points() != 1 {
+		t.Fatalf("Points() = %d, want 1 (read-only open is not a point)", ff.Points())
+	}
+}
+
+func TestTruncateFault(t *testing.T) {
+	dir := t.TempDir()
+	ff := New(nil)
+	f, _ := ff.Create(filepath.Join(dir, "x"))
+	f.Write([]byte("abcdef"))
+	ff.AddRule(Rule{Op: OpTruncate, Fault: Fault{Err: syscall.EIO}})
+	if err := f.Truncate(3); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("truncate err = %v, want EIO", err)
+	}
+	if err := f.Truncate(3); err != nil {
+		t.Fatalf("second truncate: %v", err)
+	}
+	f.Close()
+	if got := readBack(t, filepath.Join(dir, "x")); string(got) != "abc" {
+		t.Fatalf("content = %q, want abc", got)
+	}
+}

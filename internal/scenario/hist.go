@@ -17,12 +17,13 @@ var histGrowth = math.Log(1.125)
 
 // hist is a concurrent latency histogram with exact count/sum/max.
 type hist struct {
-	mu     sync.Mutex
-	counts [histBuckets]uint64
-	n      uint64
-	errs   uint64
-	sum    time.Duration
-	max    time.Duration
+	mu       sync.Mutex
+	counts   [histBuckets]uint64
+	n        uint64
+	errs     uint64
+	errKinds map[string]uint64
+	sum      time.Duration
+	max      time.Duration
 }
 
 // bucketOf maps a latency to its bucket: floor(log1.125(µs)), clamped.
@@ -55,9 +56,14 @@ func (h *hist) observe(d time.Duration) {
 	h.mu.Unlock()
 }
 
-func (h *hist) fail() {
+// fail records one failed op under its taxonomy kind (see ErrorKind).
+func (h *hist) fail(kind string) {
 	h.mu.Lock()
 	h.errs++
+	if h.errKinds == nil {
+		h.errKinds = make(map[string]uint64)
+	}
+	h.errKinds[kind]++
 	h.mu.Unlock()
 }
 
@@ -89,11 +95,15 @@ func (h *hist) quantileUS(q float64) int64 {
 type EndpointStats struct {
 	Count  int64 `json:"count"`
 	Errors int64 `json:"errors"`
-	MeanUS int64 `json:"mean_us"`
-	P50US  int64 `json:"p50_us"`
-	P95US  int64 `json:"p95_us"`
-	P99US  int64 `json:"p99_us"`
-	MaxUS  int64 `json:"max_us"`
+	// ErrorKinds breaks Errors down by taxonomy — overloaded, unavailable,
+	// client, server, timeout, transport — so a failed run says *how* it
+	// failed, not just how much.
+	ErrorKinds map[string]int64 `json:"error_kinds,omitempty"`
+	MeanUS     int64            `json:"mean_us"`
+	P50US      int64            `json:"p50_us"`
+	P95US      int64            `json:"p95_us"`
+	P99US      int64            `json:"p99_us"`
+	MaxUS      int64            `json:"max_us"`
 }
 
 // stats snapshots the histogram. Call after all recording stopped.
@@ -104,6 +114,12 @@ func (h *hist) stats() EndpointStats {
 		Count:  int64(h.n),
 		Errors: int64(h.errs),
 		MaxUS:  h.max.Microseconds(),
+	}
+	if len(h.errKinds) > 0 {
+		st.ErrorKinds = make(map[string]int64, len(h.errKinds))
+		for k, v := range h.errKinds {
+			st.ErrorKinds[k] = int64(v)
+		}
 	}
 	if h.n > 0 {
 		st.MeanUS = (h.sum / time.Duration(h.n)).Microseconds()

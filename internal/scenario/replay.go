@@ -45,8 +45,11 @@ type Report struct {
 	// open-loop: measured from each op's scheduled arrival, so queueing
 	// behind a saturated server is charged to the server, not hidden.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
-	// Errors is the total across endpoints.
-	Errors int64 `json:"errors"`
+	// Errors is the total across endpoints; ErrorKinds is the same total
+	// broken down by taxonomy (overloaded / unavailable / client / server /
+	// timeout / transport), aggregated across endpoints.
+	Errors     int64            `json:"errors"`
+	ErrorKinds map[string]int64 `json:"error_kinds,omitempty"`
 
 	// Probes are post-replay sequential top-k searches over a fixed subset
 	// of pair source tables — the determinism anchor: same scenario + seed
@@ -142,6 +145,12 @@ func (s *Scenario) Replay(ctx context.Context, c *Corpus, cl *Client) (*Report, 
 		st := h.stats()
 		rep.Endpoints[string(kind)] = st
 		rep.Errors += st.Errors
+		for k, v := range st.ErrorKinds {
+			if rep.ErrorKinds == nil {
+				rep.ErrorKinds = make(map[string]int64)
+			}
+			rep.ErrorKinds[k] += v
+		}
 	}
 	if elapsed > 0 {
 		rep.AchievedQPS = float64(len(ops)) / elapsed.Seconds()
@@ -202,7 +211,7 @@ func (s *Scenario) runOps(ctx context.Context, c *Corpus, cl *Client, ops []Op) 
 			for to := range queue {
 				h := hists[to.op.Kind]
 				if err := s.execute(ctx, c, cl, to.op); err != nil {
-					h.fail()
+					h.fail(ErrorKind(err))
 					continue
 				}
 				h.observe(time.Since(to.due))
@@ -300,6 +309,19 @@ func (r *Report) Check() error {
 	for name, ep := range r.Endpoints {
 		if ep.Count < 0 || ep.Errors < 0 {
 			return fmt.Errorf("scenario report: %s: negative counts", name)
+		}
+		if len(ep.ErrorKinds) > 0 {
+			var kinds int64
+			for k, v := range ep.ErrorKinds {
+				if v <= 0 {
+					return fmt.Errorf("scenario report: %s: error kind %q count %d", name, k, v)
+				}
+				kinds += v
+			}
+			if kinds != ep.Errors {
+				return fmt.Errorf("scenario report: %s: error kinds sum to %d, errors %d",
+					name, kinds, ep.Errors)
+			}
 		}
 		if ep.Count > 0 {
 			if ep.P50US <= 0 {

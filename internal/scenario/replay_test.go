@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -163,6 +165,11 @@ func TestReportCheck(t *testing.T) {
 			r.Endpoints["search"] = ep
 		}},
 		{"ops not accounted for", func(r *Report) { r.Ops = 99 }},
+		{"error kinds mismatch", func(r *Report) {
+			ep := r.Endpoints["search"]
+			ep.ErrorKinds = map[string]int64{"overloaded": 2}
+			r.Endpoints["search"] = ep
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -175,6 +182,28 @@ func TestReportCheck(t *testing.T) {
 	}
 }
 
+// TestErrorKind pins the failure taxonomy's mapping from raw errors.
+func TestErrorKind(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{&StatusError{Code: 429}, "overloaded"},
+		{&StatusError{Code: 503}, "unavailable"},
+		{&StatusError{Code: 500}, "server"},
+		{&StatusError{Code: 404}, "client"},
+		{fmt.Errorf("probe: %w", &StatusError{Code: 429}), "overloaded"},
+		{context.DeadlineExceeded, "timeout"},
+		{context.Canceled, "timeout"},
+		{errors.New("dial tcp: connection refused"), "transport"},
+	}
+	for _, tc := range cases {
+		if got := ErrorKind(tc.err); got != tc.want {
+			t.Errorf("ErrorKind(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
+
 // TestHistQuantiles pins the histogram's ordering guarantee at the unit
 // level: quantiles are monotone and never exceed the exact max.
 func TestHistQuantiles(t *testing.T) {
@@ -182,10 +211,13 @@ func TestHistQuantiles(t *testing.T) {
 	for i := 1; i <= 1000; i++ {
 		h.observe(time.Duration(i) * time.Microsecond)
 	}
-	h.fail()
+	h.fail("transport")
 	st := h.stats()
 	if st.Count != 1000 || st.Errors != 1 {
 		t.Fatalf("count=%d errors=%d", st.Count, st.Errors)
+	}
+	if st.ErrorKinds["transport"] != 1 {
+		t.Fatalf("error kinds = %v, want transport=1", st.ErrorKinds)
 	}
 	if !(st.P50US <= st.P95US && st.P95US <= st.P99US && st.P99US <= st.MaxUS) {
 		t.Errorf("quantiles not monotone: %+v", st)

@@ -10,16 +10,62 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"valentine/internal/discovery"
 	"valentine/internal/server"
 	"valentine/internal/table"
 )
+
+// StatusError is a non-2xx server response, preserved with its status code
+// so callers can tell shed load (429) and not-ready (503) from hard
+// failures, and honor the server's Retry-After hint.
+type StatusError struct {
+	Code       int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string { return e.Msg }
+
+// Retryable reports whether the response asks the client to back off and
+// try again rather than give up: shed load and not-ready states.
+func (e *StatusError) Retryable() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
+}
+
+// ErrorKind classifies a replay failure for the report's error taxonomy:
+// "overloaded" (429, the server shed the op), "unavailable" (503,
+// recovering or failed), "client" (other 4xx — a workload bug), "server"
+// (other 5xx), "timeout" (context expired), "transport" (dial/read
+// failures and everything else).
+func ErrorKind(err error) string {
+	var se *StatusError
+	switch {
+	case errors.As(err, &se):
+		switch {
+		case se.Code == http.StatusTooManyRequests:
+			return "overloaded"
+		case se.Code == http.StatusServiceUnavailable:
+			return "unavailable"
+		case se.Code >= 500:
+			return "server"
+		default:
+			return "client"
+		}
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "timeout"
+	default:
+		return "transport"
+	}
+}
 
 // Client replays operations against one server base URL.
 type Client struct {
@@ -85,7 +131,14 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, msg)
+		se := &StatusError{
+			Code: resp.StatusCode,
+			Msg:  fmt.Sprintf("%s %s: status %d: %s", method, path, resp.StatusCode, msg),
+		}
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return se
 	}
 	if out != nil {
 		return json.NewDecoder(resp.Body).Decode(out)
@@ -94,10 +147,49 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return err
 }
 
-// Upsert PUTs one table into the catalog.
+// Backoff bounds for retryable responses: capped exponential with full
+// jitter, so a thundering herd of shed clients decorrelates instead of
+// re-spiking the queue in lockstep.
+const (
+	backoffFloor = 20 * time.Millisecond
+	backoffCap   = time.Second
+	maxAttempts  = 6
+)
+
+// doRetry is do plus the shed-load contract: 429 (queue full) and 503
+// (recovering) responses are retried on a capped exponential backoff with
+// jitter, honoring the server's Retry-After as the floor. Any other failure
+// — and a retry budget exhausted — surfaces to the caller.
+func (c *Client) doRetry(ctx context.Context, method, path string, body, out any) error {
+	delay := backoffFloor
+	var err error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		err = c.do(ctx, method, path, body, out)
+		var se *StatusError
+		if err == nil || !errors.As(err, &se) || !se.Retryable() {
+			return err
+		}
+		wait := time.Duration(rand.Int63n(int64(delay))) + delay/2 // jitter in [0.5, 1.5) × delay
+		if se.RetryAfter > wait {
+			wait = se.RetryAfter
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("scenario: giving up retries: %w (last: %v)", ctx.Err(), err)
+		case <-time.After(wait):
+		}
+		if delay *= 2; delay > backoffCap {
+			delay = backoffCap
+		}
+	}
+	return err
+}
+
+// Upsert PUTs one table into the catalog, backing off and retrying when the
+// server sheds it (429) or is still recovering (503).
 func (c *Client) Upsert(ctx context.Context, t *table.Table) error {
 	body := map[string]any{"columns": toWire(t).Columns}
-	return c.do(ctx, http.MethodPut, "/v1/tables/"+t.Name, body, nil)
+	return c.doRetry(ctx, http.MethodPut, "/v1/tables/"+t.Name, body, nil)
 }
 
 // Search runs one top-k query and returns the ranked tables.
@@ -106,7 +198,7 @@ func (c *Client) Search(ctx context.Context, q *table.Table, k int) ([]ProbeHit,
 	var resp struct {
 		Results []ProbeHit `json:"results"`
 	}
-	if err := c.post(ctx, "/v1/search", body, &resp); err != nil {
+	if err := c.doRetry(ctx, http.MethodPost, "/v1/search", body, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Results, nil
@@ -115,16 +207,27 @@ func (c *Client) Search(ctx context.Context, q *table.Table, k int) ([]ProbeHit,
 // Match runs one pairwise match between two tables.
 func (c *Client) Match(ctx context.Context, method string, src, tgt *table.Table) error {
 	body := map[string]any{"source": toWire(src), "target": toWire(tgt), "method": method}
-	return c.post(ctx, "/v1/match", body, nil)
+	return c.doRetry(ctx, http.MethodPost, "/v1/match", body, nil)
 }
 
-// WaitReady polls the server's health endpoint until it answers or the
-// context expires — the remote-target handshake before a replay starts.
+// WaitReady polls the server's health endpoint until it reports a serving
+// state or the context expires — the remote-target handshake before a
+// replay starts. "ok" and "degraded" are ready; "recovering" (startup WAL
+// replay still running, answered with 503) keeps polling; "failed" aborts
+// immediately — a server that refused its own log will not become ready by
+// waiting.
 func (c *Client) WaitReady(ctx context.Context) error {
 	for {
-		err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+		health, err := c.probeHealth(ctx)
 		if err == nil {
-			return nil
+			switch health.Status {
+			case "ok", "degraded", "": // "": pre-state servers answer a bare ok body
+				return nil
+			case "failed":
+				return fmt.Errorf("scenario: server at %s failed recovery: %s", c.base, health.Error)
+			default:
+				err = fmt.Errorf("server %s", health.Status)
+			}
 		}
 		select {
 		case <-ctx.Done():
@@ -132,6 +235,30 @@ func (c *Client) WaitReady(ctx context.Context) error {
 		case <-time.After(50 * time.Millisecond):
 		}
 	}
+}
+
+type healthBody struct {
+	Status string `json:"status"`
+	Error  string `json:"error"`
+}
+
+// probeHealth reads /v1/healthz, decoding the body whatever the status code
+// — a recovering server answers 503 but still says why.
+func (c *Client) probeHealth(ctx context.Context) (healthBody, error) {
+	var health healthBody
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return health, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return health, err
+	}
+	defer resp.Body.Close()
+	if derr := json.NewDecoder(resp.Body).Decode(&health); derr != nil && resp.StatusCode/100 != 2 {
+		return health, fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	return health, nil
 }
 
 // InProcess is a loopback server.Server for self-contained replays.
@@ -152,11 +279,21 @@ func StartInProcess() (*InProcess, error) {
 
 // StartInProcessIndex serves an existing catalog on a loopback listener.
 func StartInProcessIndex(ix *discovery.Index) (*InProcess, error) {
+	return StartInProcessConfig(server.Config{Index: ix})
+}
+
+// StartInProcessConfig serves a fully-configured server (WAL, snapshots,
+// admission control included) on a loopback listener.
+func StartInProcessConfig(cfg server.Config) (*InProcess, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	srv := server.New(server.Config{Index: ix})
+	srv, err := server.New(cfg)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
 	p := &InProcess{
 		URL: "http://" + ln.Addr().String(),
 		srv: srv,

@@ -6,16 +6,34 @@ package server
 // the batch cap) and applies them as one discovery.Apply call — one
 // copy-on-write memtable rebuild and one epoch publish per batch instead of
 // per request — then fans the per-op results back to the waiting handlers.
+//
+// Durability rides the same chokepoint: when a write-ahead log is attached,
+// the loop converts each batch to its replay form, appends one WAL record,
+// and only then applies the batch. The apply and the acknowledgement both
+// happen after the append, so under fsync policy "always" every op a client
+// saw a 200 for is on the platter before the 200 existed.
+//
+// Admission control is the queue itself: the channel is the bounded ingest
+// queue, and a submit that would block on a full queue is shed immediately
+// with errOverloaded instead of stacking goroutines behind a stalled
+// catalog — the handler maps that to 429 + Retry-After and the client backs
+// off.
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"valentine/internal/discovery"
+	"valentine/internal/wal"
 )
+
+// errOverloaded is the typed shed signal: the bounded ingest queue is full
+// and the op was rejected without waiting. Handlers map it to HTTP 429.
+var errOverloaded = errors.New("server: ingest queue full")
 
 type ingestOp struct {
 	op   discovery.Op
@@ -24,6 +42,7 @@ type ingestOp struct {
 
 type batcher struct {
 	ix     *discovery.Index
+	log    *wal.Log // nil: no durability logging
 	window time.Duration
 	maxOps int
 
@@ -39,27 +58,46 @@ type batcher struct {
 	closed   bool
 	inflight sync.WaitGroup
 
+	// dictLow is the dictionary length already covered by WAL records: the
+	// next record's delta starts here. Only the loop goroutine touches it
+	// after construction.
+	dictLow int
+	// lastApplied is the highest WAL sequence whose batch has been applied
+	// to the catalog — the snapshot loop samples it (before saving) as the
+	// truncation low-water mark.
+	lastApplied atomic.Uint64
+
 	batches atomic.Int64
 	ops     atomic.Int64
+	shed    atomic.Int64
 }
 
-func newBatcher(ix *discovery.Index, window time.Duration, maxOps int) *batcher {
+func newBatcher(ix *discovery.Index, log *wal.Log, window time.Duration, maxOps, queueDepth int) *batcher {
+	if queueDepth < maxOps {
+		queueDepth = maxOps
+	}
 	b := &batcher{
 		ix:      ix,
+		log:     log,
 		window:  window,
 		maxOps:  maxOps,
-		ch:      make(chan ingestOp, maxOps),
+		ch:      make(chan ingestOp, queueDepth),
 		stop:    make(chan struct{}),
 		drained: make(chan struct{}),
+	}
+	if log != nil {
+		b.dictLow = ix.Dict().Len()
+		b.lastApplied.Store(log.LastSeq())
 	}
 	go b.loop()
 	return b
 }
 
 // submit queues one op and waits for its batch to be applied, honoring ctx.
-// An op accepted into the queue is applied even if the submitter stops
-// waiting (the write survives a client disconnect; only the response is
-// lost).
+// A full queue sheds the op immediately with errOverloaded — admission
+// control, not backpressure-by-goroutine-pileup. An op accepted into the
+// queue is applied even if the submitter stops waiting (the write survives a
+// client disconnect; only the response is lost).
 func (b *batcher) submit(ctx context.Context, op discovery.Op) error {
 	b.mu.Lock()
 	if b.closed {
@@ -75,6 +113,9 @@ func (b *batcher) submit(ctx context.Context, op discovery.Op) error {
 	case b.ch <- ingestOp{op: op, done: done}:
 	case <-ctx.Done():
 		return ctx.Err()
+	default:
+		b.shed.Add(1)
+		return errOverloaded
 	}
 	select {
 	case err := <-done:
@@ -145,12 +186,55 @@ func (b *batcher) flushQueued() {
 	}
 }
 
+// apply converts one batch to replay form, logs it (when a WAL is attached),
+// applies it to the catalog, and fans the per-op errors back. Order is the
+// durability contract: WAL append strictly before catalog apply, apply
+// strictly before any done channel fires.
 func (b *batcher) apply(batch []ingestOp) {
-	ops := make([]discovery.Op, len(batch))
+	// Convert every op first; a conversion failure (e.g. a malformed op)
+	// fails that op alone and keeps it out of the logged record.
+	rops := make([]discovery.ReplayOp, 0, len(batch))
+	slot := make([]int, 0, len(batch))
+	errs := make([]error, len(batch))
 	for i, q := range batch {
-		ops[i] = q.op
+		rop, err := b.ix.ReplayForm(q.op)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		rops = append(rops, rop)
+		slot = append(slot, i)
 	}
-	errs := b.ix.Apply(ops)
+	var seq uint64
+	if b.log != nil && len(rops) > 0 {
+		// The record carries the positional dictionary delta since the last
+		// logged record. Conversion above interned this batch's new values;
+		// a concurrent request may have interned a few more that belong to a
+		// later batch — harmless, the delta is positional and replay
+		// re-interns it in the same order.
+		hi := b.ix.Dict().Len()
+		vals := b.ix.Dict().Entries(b.dictLow, hi)
+		var err error
+		seq, err = b.log.Append(rops, b.dictLow, vals)
+		if err != nil {
+			// Not logged ⇒ not applied, not acknowledged. The catalog and the
+			// log stay consistent; every submitter sees the failure.
+			for _, i := range slot {
+				errs[i] = fmt.Errorf("server: write-ahead log append failed: %w", err)
+			}
+			for i, q := range batch {
+				q.done <- errs[i]
+			}
+			return
+		}
+		b.dictLow = hi
+	}
+	for i, err := range b.ix.ApplyReplayOps(rops) {
+		errs[slot[i]] = err
+	}
+	if b.log != nil && seq > 0 {
+		b.lastApplied.Store(seq)
+	}
 	b.batches.Add(1)
 	b.ops.Add(int64(len(batch)))
 	for i, q := range batch {

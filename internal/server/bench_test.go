@@ -17,7 +17,10 @@ import (
 
 func benchServer(b *testing.B) (*Server, *httptest.Server, []byte) {
 	b.Helper()
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < 100; i++ {
 		tab := TableJSON{
 			Name: fmt.Sprintf("corpus%03d", i),

@@ -42,8 +42,10 @@ import (
 	"valentine/internal/discovery"
 	"valentine/internal/engine"
 	"valentine/internal/experiment"
+	"valentine/internal/faultfs"
 	"valentine/internal/profile"
 	"valentine/internal/table"
+	"valentine/internal/wal"
 )
 
 // Config configures a Server. The zero value of every field selects a
@@ -68,6 +70,25 @@ type Config struct {
 	// SnapshotEvery (default 30s) and a final snapshot on Close.
 	SnapshotDir   string
 	SnapshotEvery time.Duration
+	// WALPath, when set, enables the write-ahead operation log: every
+	// ingest batch is appended (and, under WALSync "always", fsynced) to
+	// this file before it is applied or acknowledged, and surviving records
+	// are replayed over the loaded catalog on startup. WALSync selects the
+	// fsync policy ("" defaults to always).
+	WALPath string
+	WALSync wal.SyncPolicy
+	// WALFS is the filesystem the WAL reads and writes through (nil: real
+	// disk) — the fault-injection seam for crash and I/O-error testing.
+	WALFS faultfs.FS
+	// IngestQueueDepth bounds the ingest admission queue (default 16 ×
+	// BatchMaxOps). A PUT/DELETE arriving while the queue is full is shed
+	// immediately with 429 + Retry-After instead of queueing unboundedly.
+	IngestQueueDepth int
+
+	// recoveryGate, when non-nil, parks startup WAL replay until the channel
+	// is closed — the in-package test seam for observing the recovering
+	// state deterministically. Unsettable from outside the package.
+	recoveryGate chan struct{}
 }
 
 func (c Config) withDefaults() Config {
@@ -89,7 +110,34 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 30 * time.Second
 	}
+	if c.IngestQueueDepth <= 0 {
+		c.IngestQueueDepth = 16 * c.BatchMaxOps
+	}
 	return c
+}
+
+// Health states, in rough lifecycle order. Recovering and failed are
+// not-ready (healthz 503, mutating and scoring requests shed with
+// Retry-After); ok and degraded both serve — degraded just tells clients
+// part of the catalog was quarantined at load.
+const (
+	stateRecovering int32 = iota
+	stateOK
+	stateDegraded
+	stateFailed
+)
+
+func stateName(s int32) string {
+	switch s {
+	case stateRecovering:
+		return "recovering"
+	case stateOK:
+		return "ok"
+	case stateDegraded:
+		return "degraded"
+	default:
+		return "failed"
+	}
 }
 
 // Server serves the live catalog over HTTP. Create with New, mount
@@ -118,10 +166,25 @@ type Server struct {
 	snapStop chan struct{}
 	snapDone chan struct{}
 	snapErr  atomic.Pointer[string]
+
+	// Durability state: the write-ahead log (nil when disabled), the health
+	// state machine, and what startup recovery replayed.
+	wal          *wal.Log
+	state        atomic.Int32
+	recoveryErr  atomic.Pointer[string]
+	recoveryDone chan struct{} // closed when startup replay finishes (nil: none ran)
+	walRecovered int           // records replayed at startup
+	walTorn      int64         // torn-tail bytes truncated at startup
 }
 
-// New returns a Server over cfg's catalog.
-func New(cfg Config) *Server {
+// New returns a Server over cfg's catalog. When a WAL is configured it is
+// opened (torn tail truncated), fence-checked against the catalog, and its
+// surviving records are replayed asynchronously: New returns a server in the
+// "recovering" state that sheds scoring and mutating requests with 503 until
+// the replay lands, then serves. New fails outright when the log belongs to
+// a different catalog lineage or expects a newer snapshot than the one
+// loaded — serving writes over the wrong catalog is worse than not starting.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	opts := cfg.Index.Options()
 	sigLen, _, _ := profile.Geometry(opts.Signature, opts.Bands)
@@ -131,49 +194,179 @@ func New(cfg Config) *Server {
 		start:    time.Now(),
 		sigLen:   sigLen,
 	}
-	s.batcher = newBatcher(cfg.Index, cfg.BatchWindow, cfg.BatchMaxOps)
+	var recovered []wal.Record
+	if cfg.WALPath != "" {
+		ix := cfg.Index
+		res, err := wal.Open(cfg.WALPath, ix.Lineage(), ix.Epoch(), wal.Options{FS: cfg.WALFS, Sync: cfg.WALSync})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Fresh {
+			if res.Lineage != ix.Lineage() {
+				// One legitimate mismatch: a fresh, never-written catalog
+				// under a log whose snapshot low-water mark is zero — the
+				// snapshot was never written (or was lost before its first
+				// save), and the log alone is the catalog. Adopt its lineage
+				// and replay. Anything else is the wrong catalog: refuse.
+				if res.SnapEpoch != 0 || ix.AdoptLineage(res.Lineage) != nil {
+					res.Log.Close()
+					return nil, fmt.Errorf("server: WAL %s was written by catalog lineage %x, loaded catalog is %x — refusing to replay into the wrong catalog",
+						cfg.WALPath, res.Lineage, ix.Lineage())
+				}
+			}
+			if ix.Epoch() < res.SnapEpoch {
+				res.Log.Close()
+				return nil, fmt.Errorf("server: WAL %s expects a snapshot at epoch >= %d under it, loaded catalog is at epoch %d — snapshot is stale or missing",
+					cfg.WALPath, res.SnapEpoch, ix.Epoch())
+			}
+		}
+		s.wal = res.Log
+		recovered = res.Records
+		s.walRecovered = len(recovered)
+		s.walTorn = res.TornBytes
+	}
+	s.batcher = newBatcher(cfg.Index, s.wal, cfg.BatchWindow, cfg.BatchMaxOps, cfg.IngestQueueDepth)
+	if len(recovered) > 0 {
+		s.state.Store(stateRecovering)
+		s.recoveryDone = make(chan struct{})
+		go s.recover(recovered)
+	} else {
+		s.state.Store(s.servingState())
+	}
 	if cfg.SnapshotDir != "" {
 		s.snapStop = make(chan struct{})
 		s.snapDone = make(chan struct{})
 		go s.snapshotLoop()
 	}
-	return s
+	return s, nil
+}
+
+// servingState is the steady state once recovery (if any) has landed:
+// degraded when the load quarantined anything, ok otherwise.
+func (s *Server) servingState() int32 {
+	if n, _ := s.cfg.Index.QuarantinedSegments(); n > 0 {
+		return stateDegraded
+	}
+	return stateOK
+}
+
+// recover replays the WAL's surviving records into the catalog, then flips
+// the server out of the recovering state. A replay failure (a dictionary
+// fence violation — the log does not match the catalog underneath) parks the
+// server in "failed": everything sheds, and Close will neither snapshot nor
+// truncate, so the evidence survives for the operator.
+func (s *Server) recover(recs []wal.Record) {
+	defer close(s.recoveryDone)
+	if s.cfg.recoveryGate != nil {
+		<-s.cfg.recoveryGate
+	}
+	if err := wal.ReplayInto(s.cfg.Index, recs); err != nil {
+		msg := err.Error()
+		s.recoveryErr.Store(&msg)
+		s.state.Store(stateFailed)
+		return
+	}
+	// The batcher was built before replay grew the dictionary and assigned
+	// sequence numbers; refresh its low-water marks. Safe: every mutating
+	// request is shed until the state flips below, and the state store /
+	// handler load pair orders these writes before any batch runs.
+	s.batcher.dictLow = s.cfg.Index.Dict().Len()
+	s.batcher.lastApplied.Store(s.wal.LastSeq())
+	s.state.Store(s.servingState())
 }
 
 // Index returns the served catalog.
 func (s *Server) Index() *discovery.Index { return s.cfg.Index }
 
 // Close flushes pending ingest batches, stops the snapshot loop, and — when
-// snapshots are configured — writes a final snapshot. Safe to call once,
-// after the HTTP listener has stopped accepting requests.
+// snapshots are configured — writes a final snapshot (truncating the WAL
+// behind it). Safe to call once, after the HTTP listener has stopped
+// accepting requests. A server that failed recovery closes without
+// snapshotting or truncating: the WAL still holds the records the catalog
+// never absorbed.
 func (s *Server) Close() error {
+	if s.recoveryDone != nil {
+		<-s.recoveryDone
+	}
 	s.batcher.close()
+	var err error
 	if s.snapStop != nil {
 		close(s.snapStop)
 		<-s.snapDone
 		s.cfg.Index.WaitCompaction()
-		return s.cfg.Index.SaveSnapshot(s.cfg.SnapshotDir)
+		if s.state.Load() != stateFailed {
+			err = s.saveSnapshot()
+		}
+	} else {
+		s.cfg.Index.WaitCompaction()
 	}
-	s.cfg.Index.WaitCompaction()
+	if s.wal != nil {
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// saveSnapshot persists the catalog and, on success, truncates the WAL
+// through the last sequence applied before the save started. Sampling both
+// the low-water sequence and the epoch *before* SaveSnapshot is what makes
+// the truncation safe: a batch applied concurrently with the save lands
+// above low and survives in the log, and the snapshot on disk has epoch >=
+// e0, so a restart's fence check never sees a log newer than its snapshot.
+func (s *Server) saveSnapshot() error {
+	low := s.batcher.lastApplied.Load()
+	e0 := s.cfg.Index.Epoch()
+	if err := s.cfg.Index.SaveSnapshot(s.cfg.SnapshotDir); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.TruncateThrough(low, e0); err != nil {
+			return fmt.Errorf("snapshot saved but WAL truncation failed: %w", err)
+		}
+	}
 	return nil
 }
 
+// snapshotLoop drives periodic snapshots. A failed save is retried on a
+// capped exponential backoff (1s doubling up to SnapshotEvery) instead of
+// waiting a whole interval to discover the disk is still broken; the first
+// success clears snapshot_error and restores the normal cadence.
 func (s *Server) snapshotLoop() {
 	defer close(s.snapDone)
-	tick := time.NewTicker(s.cfg.SnapshotEvery)
-	defer tick.Stop()
+	const retryFloor = time.Second
+	delay := s.cfg.SnapshotEvery
+	backoff := retryFloor
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
 	for {
 		select {
 		case <-s.snapStop:
 			return
-		case <-tick.C:
-			if err := s.cfg.Index.SaveSnapshot(s.cfg.SnapshotDir); err != nil {
-				msg := err.Error()
-				s.snapErr.Store(&msg)
-			} else {
-				s.snapErr.Store(nil) // stats report current health, not history
-			}
+		case <-timer.C:
 		}
+		if st := s.state.Load(); st == stateRecovering || st == stateFailed {
+			// Never snapshot a half-replayed catalog: a save plus WAL
+			// truncation here would destroy the records not yet absorbed.
+			timer.Reset(retryFloor)
+			continue
+		}
+		if err := s.saveSnapshot(); err != nil {
+			msg := err.Error()
+			s.snapErr.Store(&msg)
+			delay = backoff
+			if backoff *= 2; backoff > s.cfg.SnapshotEvery {
+				backoff = s.cfg.SnapshotEvery
+			}
+			if delay > s.cfg.SnapshotEvery {
+				delay = s.cfg.SnapshotEvery
+			}
+		} else {
+			s.snapErr.Store(nil) // stats report current health, not history
+			delay = s.cfg.SnapshotEvery
+			backoff = retryFloor
+		}
+		timer.Reset(delay)
 	}
 }
 
@@ -192,12 +385,61 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// handleHealthz is the liveness probe: load generators and orchestrators
-// poll it before sending traffic. Unwrapped — readiness must not consume an
-// engine context or count as a served request.
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+// HealthResponse is the /v1/healthz body: the server's readiness state plus
+// what explains it. Status "ok" and "degraded" serve (200); "recovering"
+// (startup WAL replay in flight) and "failed" (replay hit a fence violation)
+// answer 503 with Retry-After.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// QuarantinedSegments counts snapshot files moved aside at load because
+	// their bytes were corrupt; nonzero is what "degraded" means.
+	QuarantinedSegments int `json:"quarantined_segments,omitempty"`
+	// WALRecoveredRecords is how many log records startup replay applied.
+	WALRecoveredRecords int `json:"wal_recovered_records,omitempty"`
+	// Error carries the recovery failure when Status is "failed".
+	Error string `json:"error,omitempty"`
 }
+
+// handleHealthz is the liveness/readiness probe: load generators and
+// orchestrators poll it before sending traffic. Unwrapped — readiness must
+// not consume an engine context or count as a served request.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.state.Load()
+	resp := HealthResponse{Status: stateName(st), WALRecoveredRecords: s.walRecovered}
+	resp.QuarantinedSegments, _ = s.cfg.Index.QuarantinedSegments()
+	code := http.StatusOK
+	if st == stateRecovering || st == stateFailed {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+		if msg := s.recoveryErr.Load(); msg != nil {
+			resp.Error = *msg
+		}
+	}
+	writeJSON(w, code, resp)
+}
+
+// ready gates the scoring and mutating handlers on the health state: during
+// startup recovery the catalog is a moving prefix of the pre-crash state,
+// and after a failed recovery it is wrong — neither may serve answers or
+// accept writes.
+func (s *Server) ready() error {
+	switch s.state.Load() {
+	case stateRecovering:
+		return &httpError{http.StatusServiceUnavailable, "server recovering: replaying write-ahead log", 1}
+	case stateFailed:
+		msg := "write-ahead log replay failed"
+		if p := s.recoveryErr.Load(); p != nil {
+			msg = *p
+		}
+		return &httpError{http.StatusServiceUnavailable, msg, 0}
+	}
+	return nil
+}
+
+// degraded reports whether part of the catalog was quarantined at load —
+// the flag scoring responses carry so clients know results may be missing
+// tables that could not be read.
+func (s *Server) degraded() bool { return s.state.Load() == stateDegraded }
 
 // wrap installs the per-request deadline and engine options, counts the
 // request, and renders handler errors as JSON.
@@ -216,20 +458,29 @@ func (s *Server) wrap(h func(ctx context.Context, w http.ResponseWriter, r *http
 	}
 }
 
-// httpError carries a status code through the handler error path.
+// httpError carries a status code (and optional Retry-After hint, in
+// seconds) through the handler error path.
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func errBadRequest(format string, args ...any) error {
-	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
 func errNotFound(format string, args ...any) error {
-	return &httpError{http.StatusNotFound, fmt.Sprintf(format, args...)}
+	return &httpError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// errTooManyRequests is the shed response: the bounded ingest queue was full
+// and the op was rejected without queueing. Retry-After tells a well-behaved
+// client the floor of its backoff.
+func errTooManyRequests(format string, args ...any) error {
+	return &httpError{status: http.StatusTooManyRequests, msg: fmt.Sprintf(format, args...), retryAfter: 1}
 }
 
 func writeError(w http.ResponseWriter, err error) {
@@ -238,6 +489,9 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &he):
 		status = he.status
+		if he.retryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", he.retryAfter))
+		}
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -367,9 +621,16 @@ type SearchResponse struct {
 	// guaranteed within that epsilon of the true top-k, not necessarily
 	// equal to it.
 	Approx bool `json:"approx,omitempty"`
+	// Degraded reports that part of the catalog was quarantined at load:
+	// the ranking is complete over what could be read, but tables whose
+	// segment was corrupt are absent.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleSearch(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	if err := s.ready(); err != nil {
+		return err
+	}
 	var req SearchRequest
 	if err := decodeBody(r, &req); err != nil {
 		return err
@@ -426,7 +687,7 @@ func (s *Server) handleSearch(ctx context.Context, w http.ResponseWriter, r *htt
 	if err != nil {
 		return err
 	}
-	resp := SearchResponse{Epoch: epoch, Stats: stats.Snapshot(), BestEffort: bestEffort, Approx: req.Epsilon > 0, Results: make([]SearchResult, len(results))}
+	resp := SearchResponse{Epoch: epoch, Stats: stats.Snapshot(), BestEffort: bestEffort, Approx: req.Epsilon > 0, Degraded: s.degraded(), Results: make([]SearchResult, len(results))}
 	for i, res := range results {
 		resp.Results[i] = SearchResult{
 			Table:       res.Table,
@@ -503,6 +764,9 @@ type MutationResponse struct {
 }
 
 func (s *Server) handleUpsert(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	if err := s.ready(); err != nil {
+		return err
+	}
 	name := r.PathValue("name")
 	var req UpsertRequest
 	if err := decodeBody(r, &req); err != nil {
@@ -529,6 +793,9 @@ func (s *Server) handleUpsert(ctx context.Context, w http.ResponseWriter, r *htt
 		p.Distinct()
 	}
 	if err := s.batcher.submit(ctx, discovery.Op{Upsert: tp}); err != nil {
+		if errors.Is(err, errOverloaded) {
+			return errTooManyRequests("%v", err)
+		}
 		return err
 	}
 	s.upserts.Add(1)
@@ -540,12 +807,18 @@ func (s *Server) handleUpsert(ctx context.Context, w http.ResponseWriter, r *htt
 }
 
 func (s *Server) handleRemove(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	if err := s.ready(); err != nil {
+		return err
+	}
 	name := r.PathValue("name")
 	if err := s.batcher.submit(ctx, discovery.Op{Remove: name}); err != nil {
-		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			return errNotFound("%v", err)
+		switch {
+		case errors.Is(err, errOverloaded):
+			return errTooManyRequests("%v", err)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return err
 		}
-		return err
+		return errNotFound("%v", err)
 	}
 	s.removes.Add(1)
 	ix := s.cfg.Index
@@ -598,9 +871,16 @@ type MatchResponse struct {
 	// Approx reports that the cascade ran with a nonzero epsilon: scores
 	// are within that epsilon of the true top-k, not necessarily equal.
 	Approx bool `json:"approx,omitempty"`
+	// Degraded reports that part of the catalog was quarantined at load.
+	// Match scores two inline tables and is unaffected by the loss, but the
+	// flag keeps the degradation visible on every scoring response.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleMatch(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	if err := s.ready(); err != nil {
+		return err
+	}
 	var req MatchRequest
 	if err := decodeBody(r, &req); err != nil {
 		return err
@@ -660,7 +940,7 @@ func (s *Server) handleMatch(ctx context.Context, w http.ResponseWriter, r *http
 		}
 		bestEffort = true
 	}
-	resp := MatchResponse{Method: req.Method, Stats: stats.Snapshot(), BestEffort: bestEffort, Approx: approx, Matches: make([]MatchJSON, len(matches))}
+	resp := MatchResponse{Method: req.Method, Stats: stats.Snapshot(), BestEffort: bestEffort, Approx: approx, Degraded: s.degraded(), Matches: make([]MatchJSON, len(matches))}
 	for i, match := range matches {
 		resp.Matches[i] = MatchJSON{
 			SourceColumn: match.SourceColumn,
@@ -699,7 +979,20 @@ type ServerStats struct {
 	Matches       int64   `json:"matches"`
 	Batches       int64   `json:"ingest_batches"`
 	BatchedOps    int64   `json:"ingest_batched_ops"`
-	SnapshotError string  `json:"snapshot_error,omitempty"`
+	// IngestShed counts ops rejected with 429 because the bounded ingest
+	// queue was full.
+	IngestShed    int64  `json:"ingest_shed,omitempty"`
+	SnapshotError string `json:"snapshot_error,omitempty"`
+	// Health mirrors /v1/healthz's status field.
+	Health string `json:"health"`
+	// WAL state when durability logging is enabled: the fsync policy, the
+	// current log length, the last sequence appended, and what startup
+	// recovery found (records replayed, torn-tail bytes truncated).
+	WALPolicy           string `json:"wal_policy,omitempty"`
+	WALBytes            int64  `json:"wal_bytes,omitempty"`
+	WALLastSeq          uint64 `json:"wal_last_seq,omitempty"`
+	WALRecoveredRecords int    `json:"wal_recovered_records,omitempty"`
+	WALTornBytes        int64  `json:"wal_torn_bytes,omitempty"`
 }
 
 func (s *Server) handleStats(_ context.Context, w http.ResponseWriter, _ *http.Request) error {
@@ -712,9 +1005,18 @@ func (s *Server) handleStats(_ context.Context, w http.ResponseWriter, _ *http.R
 		Matches:       s.matches.Load(),
 		Batches:       s.batcher.batches.Load(),
 		BatchedOps:    s.batcher.ops.Load(),
+		IngestShed:    s.batcher.shed.Load(),
+		Health:        stateName(s.state.Load()),
 	}
 	if msg := s.snapErr.Load(); msg != nil {
 		st.SnapshotError = *msg
+	}
+	if s.wal != nil {
+		st.WALPolicy = string(s.wal.Policy())
+		st.WALBytes = s.wal.Size()
+		st.WALLastSeq = s.wal.LastSeq()
+		st.WALRecoveredRecords = s.walRecovered
+		st.WALTornBytes = s.walTorn
 	}
 	s.engineMu.Lock()
 	eng := s.engineTotals

@@ -29,7 +29,10 @@ func vals(prefix string, lo, hi int) []string {
 
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -341,7 +344,7 @@ func TestServerAnonymousSearchSeesTableNamedQuery(t *testing.T) {
 func TestBatcherCloseConcurrentSubmit(t *testing.T) {
 	for round := 0; round < 20; round++ {
 		ix := discovery.New(discovery.Options{})
-		b := newBatcher(ix, time.Millisecond, 8)
+		b := newBatcher(ix, nil, time.Millisecond, 8, 64)
 		var wg sync.WaitGroup
 		const n = 8
 		outcomes := make([]error, n)
@@ -380,7 +383,10 @@ func newTestTable(name string) *table.Table {
 // TestServerGracefulShutdownDrains: an http.Server must finish in-flight
 // requests on Shutdown, and Server.Close must flush every accepted ingest.
 func TestServerGracefulShutdownDrains(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	const n = 10
 	var wg sync.WaitGroup
@@ -412,7 +418,10 @@ func TestServerGracefulShutdownDrains(t *testing.T) {
 // disk on the ticker and again at Close; a reload serves the same corpus.
 func TestServerPeriodicSnapshot(t *testing.T) {
 	dir := t.TempDir()
-	s := New(Config{SnapshotDir: dir, SnapshotEvery: 30 * time.Millisecond})
+	s, err := New(Config{SnapshotDir: dir, SnapshotEvery: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	doJSON(t, http.MethodPut, ts.URL+"/v1/tables/persisted", upsertBody("p", 0, 40), nil)
 	time.Sleep(80 * time.Millisecond) // at least one tick

@@ -1,0 +1,456 @@
+package server
+
+// Serving-layer durability: the ack-after-WAL contract, startup recovery
+// states, snapshot-driven log truncation, fencing, admission-control
+// shedding, and the snapshot retry backoff.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"valentine/internal/discovery"
+	"valentine/internal/faultfs"
+	"valentine/internal/table"
+	"valentine/internal/wal"
+)
+
+func mustServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, httptest.NewServer(s.Handler())
+}
+
+func waitStatus(t *testing.T, url, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var health HealthResponse
+		doJSON(t, http.MethodGet, url+"/v1/healthz", nil, &health)
+		if health.Status == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health never reached %q (last %q)", want, health.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerWALDurableBeforeAck: under fsync "always", every acknowledged
+// upsert is recoverable from the WAL bytes as they exist at ack time — the
+// server is never closed; the log file is copied out from under it, exactly
+// what a kill -9 leaves, and a fresh server over a fresh catalog must
+// recover every acked table from the copy.
+func TestServerWALDurableBeforeAck(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "ops.wal")
+	s, ts := mustServer(t, Config{WALPath: walPath, WALSync: wal.SyncAlways})
+	defer func() { ts.Close(); s.Close() }()
+
+	want := []string{"alpha", "beta", "gamma"}
+	for i, name := range want {
+		if code := doJSON(t, http.MethodPut, ts.URL+"/v1/tables/"+name, upsertBody(fmt.Sprintf("v%d_", i), 0, 60), nil); code != http.StatusOK {
+			t.Fatalf("upsert %s: status %d", name, code)
+		}
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/tables/beta", nil, nil); code != http.StatusOK {
+		t.Fatal("remove beta failed")
+	}
+
+	// The crash image: the log as it exists the instant after the last ack.
+	img, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashCopy := filepath.Join(dir, "crash.wal")
+	if err := os.WriteFile(crashCopy, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover into a brand-new catalog: no snapshot ever existed, so the
+	// server adopts the log's lineage and replays everything.
+	ix2 := discovery.New(discovery.Options{})
+	s2, err := New(Config{Index: ix2, WALPath: crashCopy})
+	if err != nil {
+		t.Fatalf("recovery server: %v", err)
+	}
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	waitStatus(t, ts2.URL, "ok")
+
+	got := ix2.Tables()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "gamma" {
+		t.Fatalf("recovered tables = %v, want [alpha gamma]", got)
+	}
+	q := table.New("q").AddColumn("cust", vals("v0_", 0, 60))
+	res, err := ix2.Search(q, discovery.ModeJoin, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].Table != "alpha" {
+		t.Fatalf("search over recovered catalog = %+v, want alpha first", res)
+	}
+}
+
+// TestServerWALRecoveringGates503: while startup replay runs, healthz says
+// "recovering" with 503 + Retry-After and scoring/mutating endpoints shed;
+// once the replay lands the server serves the recovered corpus.
+func TestServerWALRecoveringGates503(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "ops.wal")
+
+	s1, ts1 := mustServer(t, Config{WALPath: walPath})
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if code := doJSON(t, http.MethodPut, ts1.URL+"/v1/tables/"+name, upsertBody(name, 0, 40), nil); code != http.StatusOK {
+			t.Fatalf("upsert %s failed", name)
+		}
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	s2, err := New(Config{Index: discovery.New(discovery.Options{}), WALPath: walPath, recoveryGate: gate})
+	if err != nil {
+		close(gate)
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	defer s2.Close()
+
+	resp, err := http.Get(ts2.URL + "/v1/healthz")
+	if err != nil {
+		close(gate)
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		close(gate)
+		t.Fatalf("healthz during recovery: status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	sreq := SearchRequest{Table: TableJSON{Columns: []ColumnJSON{{Name: "k", Values: vals("t0", 0, 40)}}}, K: 3}
+	if code := doJSON(t, http.MethodPost, ts2.URL+"/v1/search", sreq, nil); code != http.StatusServiceUnavailable {
+		close(gate)
+		t.Fatalf("search during recovery: status %d, want 503", code)
+	}
+	if code := doJSON(t, http.MethodPut, ts2.URL+"/v1/tables/late", upsertBody("l", 0, 20), nil); code != http.StatusServiceUnavailable {
+		close(gate)
+		t.Fatalf("upsert during recovery: status %d, want 503", code)
+	}
+
+	close(gate)
+	waitStatus(t, ts2.URL, "ok")
+	var stats StatsResponse
+	doJSON(t, http.MethodGet, ts2.URL+"/v1/stats", nil, &stats)
+	if stats.Server.WALRecoveredRecords == 0 {
+		t.Error("stats report zero recovered WAL records after a replay")
+	}
+	if got := s2.Index().NumTables(); got != 3 {
+		t.Fatalf("recovered %d tables, want 3", got)
+	}
+	if code := doJSON(t, http.MethodPut, ts2.URL+"/v1/tables/late", upsertBody("l", 0, 20), nil); code != http.StatusOK {
+		t.Fatal("upsert after recovery failed")
+	}
+}
+
+// walRecords opens a copy of a WAL image and returns its surviving records.
+func walRecords(t *testing.T, img []byte) []wal.Record {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scan.wal")
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := wal.Open(path, 0, 0, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Log.Close()
+	if res.Fresh {
+		t.Fatal("WAL image scanned as fresh")
+	}
+	return res.Records
+}
+
+// TestServerWALSnapshotTruncates: a successful periodic snapshot truncates
+// the log through the last applied sequence — the log stays proportional to
+// one snapshot interval, and a restart from snapshot + log serves the same
+// corpus with nothing to replay.
+func TestServerWALSnapshotTruncates(t *testing.T) {
+	dir := t.TempDir()
+	snapDir := filepath.Join(dir, "snap")
+	walPath := filepath.Join(dir, "ops.wal")
+	s, ts := mustServer(t, Config{WALPath: walPath, SnapshotDir: snapDir, SnapshotEvery: 30 * time.Millisecond})
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if code := doJSON(t, http.MethodPut, ts.URL+"/v1/tables/"+name, upsertBody(name, 0, 40), nil); code != http.StatusOK {
+			t.Fatalf("upsert %s failed", name)
+		}
+	}
+	// Wait for a snapshot tick to land and truncate the log.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		img, err := os.ReadFile(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(walRecords(t, img)) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot tick never truncated the WAL")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix2, err := discovery.LoadSnapshot(snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{Index: ix2, WALPath: walPath})
+	if err != nil {
+		t.Fatalf("restart over snapshot + truncated WAL: %v", err)
+	}
+	defer s2.Close()
+	if s2.walRecovered != 0 {
+		t.Errorf("restart replayed %d records, want 0 (all snapshotted)", s2.walRecovered)
+	}
+	if got := ix2.NumTables(); got != 3 {
+		t.Fatalf("restarted catalog has %d tables, want 3", got)
+	}
+}
+
+// TestServerWALLineageFence: a WAL written by one catalog must not replay
+// into a different, non-empty catalog — New refuses outright.
+func TestServerWALLineageFence(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "ops.wal")
+	s1, ts1 := mustServer(t, Config{WALPath: walPath})
+	if code := doJSON(t, http.MethodPut, ts1.URL+"/v1/tables/orig", upsertBody("o", 0, 40), nil); code != http.StatusOK {
+		t.Fatal("seed upsert failed")
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	other := discovery.New(discovery.Options{})
+	if err := other.Add(table.New("bystander").AddColumn("k", vals("b", 0, 30))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Index: other, WALPath: walPath}); err == nil {
+		t.Fatal("New accepted a WAL from a different catalog lineage over a non-empty catalog")
+	}
+	if got := other.NumTables(); got != 1 {
+		t.Fatalf("refused replay still mutated the catalog: %d tables", got)
+	}
+}
+
+// TestServerWALEpochFence: a log whose low-water snapshot epoch is newer
+// than the loaded catalog means the snapshot underneath it is stale or
+// missing — replaying would silently drop the truncated records, so New
+// refuses.
+func TestServerWALEpochFence(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "ops.wal")
+	ix := discovery.New(discovery.Options{})
+	// Forge the on-disk state: a log fenced to this lineage whose records
+	// were truncated against a snapshot at epoch 7 — which was then lost.
+	res, err := wal.Open(walPath, ix.Lineage(), 7, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Index: ix, WALPath: walPath}); err == nil {
+		t.Fatal("New accepted a WAL expecting a newer snapshot than the loaded catalog")
+	}
+}
+
+// TestServerIngestShed429: with the batcher loop stopped and the single
+// queue slot occupied, the next mutation is shed immediately with 429 and a
+// Retry-After hint, and the shed counter surfaces in /v1/stats.
+func TestServerIngestShed429(t *testing.T) {
+	s, err := New(Config{BatchMaxOps: 1, IngestQueueDepth: 1, RequestTimeout: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Stop the batcher loop so the queue cannot drain; s.Close is not called
+	// (it would double-close the loop's stop channel).
+	close(s.batcher.stop)
+	<-s.batcher.drained
+
+	blocked := make(chan int, 1)
+	go func() {
+		blocked <- doJSON(t, http.MethodPut, ts.URL+"/v1/tables/first", upsertBody("a", 0, 20), nil)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.batcher.ch) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first upsert never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var body bytes.Buffer
+	if err := json.NewEncoder(&body).Encode(upsertBody("b", 0, 20)); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/tables/second", &body)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed upsert: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	var stats StatsResponse
+	doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &stats)
+	if stats.Server.IngestShed == 0 {
+		t.Error("stats report zero shed ops after a 429")
+	}
+	// The queued op eventually times out against its request deadline; it
+	// was never acknowledged, so nothing is lost semantically.
+	if code := <-blocked; code == http.StatusOK {
+		t.Error("queued op reported success with the batcher stopped")
+	}
+}
+
+// TestServerSnapshotRetryBackoff: a failed periodic snapshot surfaces in
+// stats and is retried on the backoff schedule; the first success clears
+// snapshot_error and the snapshot is loadable.
+func TestServerSnapshotRetryBackoff(t *testing.T) {
+	dir := t.TempDir()
+	ix := discovery.New(discovery.Options{})
+	ff := faultfs.New(nil)
+	// First manifest commit rename fails with ENOSPC; the rule is then
+	// spent, so the retry succeeds.
+	ff.AddRule(faultfs.Rule{Op: faultfs.OpRename, Path: "MANIFEST", Fault: faultfs.Fault{Err: syscall.ENOSPC}})
+	ix.SetFS(ff)
+	s, ts := mustServer(t, Config{Index: ix, SnapshotDir: dir, SnapshotEvery: 40 * time.Millisecond})
+	defer func() { ts.Close(); s.Close() }()
+	if code := doJSON(t, http.MethodPut, ts.URL+"/v1/tables/tab", upsertBody("p", 0, 40), nil); code != http.StatusOK {
+		t.Fatal("upsert failed")
+	}
+	sawError := false
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var stats StatsResponse
+		doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &stats)
+		if stats.Server.SnapshotError != "" {
+			sawError = true
+		}
+		if sawError && stats.Server.SnapshotError == "" {
+			break // failed once, then recovered
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot never recovered (sawError=%v)", sawError)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	loaded, err := discovery.LoadSnapshot(dir)
+	if err != nil {
+		t.Fatalf("snapshot after retry not loadable: %v", err)
+	}
+	if got := loaded.Tables(); len(got) != 1 || got[0] != "tab" {
+		t.Fatalf("recovered snapshot tables = %v", got)
+	}
+}
+
+// TestServerDegradedServing: a catalog loaded with a quarantined segment
+// serves through the HTTP layer with status "degraded" (200 — it is ready),
+// the quarantine count in healthz and stats, and the degraded flag on
+// search responses.
+func TestServerDegradedServing(t *testing.T) {
+	// Build a snapshot with two sealed segments, then corrupt one.
+	src := discovery.New(discovery.Options{SealAfter: 1})
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("seg%d", i)
+		if err := src.Add(table.New(name).AddColumn("k", vals(name, 0, 40))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	if err := src.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".seg" && e.Name() != "mem.seg" {
+			p := filepath.Join(dir, e.Name())
+			b, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[0] ^= 0xff
+			if err := os.WriteFile(p, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Skip("snapshot produced no sealed segment files")
+	}
+	ix, err := discovery.LoadSnapshotWith(dir, discovery.LoadOptions{Quarantine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := mustServer(t, Config{Index: ix})
+	defer func() { ts.Close(); s.Close() }()
+
+	var health HealthResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/healthz", nil, &health); code != http.StatusOK {
+		t.Fatalf("degraded healthz status %d, want 200 (degraded still serves)", code)
+	}
+	if health.Status != "degraded" || health.QuarantinedSegments != 1 {
+		t.Fatalf("healthz = %+v, want degraded with 1 quarantined segment", health)
+	}
+	var sr SearchResponse
+	sreq := SearchRequest{Table: TableJSON{Columns: []ColumnJSON{{Name: "k", Values: vals("seg0", 0, 40)}}}, K: 5}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/search", sreq, &sr); code != http.StatusOK {
+		t.Fatalf("search over degraded catalog: status %d", code)
+	}
+	if !sr.Degraded {
+		t.Error("search response over a quarantined catalog lacks the degraded flag")
+	}
+	var stats StatsResponse
+	doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, &stats)
+	if stats.Catalog.QuarantinedSegments != 1 {
+		t.Errorf("stats quarantined_segments = %d, want 1", stats.Catalog.QuarantinedSegments)
+	}
+	if stats.Server.Health != "degraded" {
+		t.Errorf("stats health = %q, want degraded", stats.Server.Health)
+	}
+}

@@ -1,0 +1,633 @@
+// Package wal is the catalog's write-ahead operation log: the durability
+// gap between "the server said 200" and "the next snapshot tick happened"
+// closed with one append-only file.
+//
+// The serving layer's ingest batcher converts each micro-batch to its
+// replay form (already-profiled ops in the catalog's interned id space),
+// appends one record here, and only then applies the batch and acknowledges
+// the clients. On restart, LoadSnapshot plus a replay of the surviving
+// records reconstructs exactly the pre-crash catalog: replay is idempotent
+// (upserts replace, removes of unknown tables are ignored), so a batch that
+// was both applied-and-snapshotted and still in the log re-applies to an
+// identical state.
+//
+// File layout: length-prefixed CRC32C-framed gob records —
+//
+//	frame   := [uint32 LE payload length][uint32 LE crc32c(payload)][payload]
+//	file    := frame(header) frame(Record)*
+//
+// The first frame is the fencing header {version, lineage, snapEpoch}: a
+// log only replays into the catalog lineage that wrote it, and snapEpoch is
+// the log's low-water mark — the snapshot the log expects underneath it.
+// Torn tails (a crash mid-append) fail the CRC or length check and are
+// truncated on open, never mis-replayed; a torn header means the crash hit
+// the log's very first write, and the file is reinitialized.
+//
+// Fsync policy is the durability dial: "always" syncs before every append
+// returns (an acknowledged op survives any crash), "batch" syncs on a short
+// background interval (bounded loss window, much higher throughput), and
+// "none" leaves write-back to the OS. After a successful snapshot the
+// server calls TruncateThrough with the epoch and last applied sequence
+// captured *before* the save, which atomically rewrites the log to only the
+// records past the snapshot — the log stays proportional to one snapshot
+// interval of writes, not catalog history.
+//
+// Dictionary carriage: the catalog's value dictionary is append-only with
+// dense ids, so each record carries the positional delta {DictStart,
+// DictVals} its batch appended. Replay re-interns the delta in order and
+// verifies every id lands where the record says — a cheap consistency fence
+// that catches a log replayed over the wrong dictionary.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"valentine/internal/discovery"
+	"valentine/internal/faultfs"
+)
+
+// SyncPolicy selects when appends reach the platter.
+type SyncPolicy string
+
+// The fsync policies. ParseSyncPolicy validates user input.
+const (
+	// SyncAlways fsyncs before every Append returns: an acknowledged write
+	// survives any crash.
+	SyncAlways SyncPolicy = "always"
+	// SyncBatch fsyncs on a short background interval: a crash can lose at
+	// most the last interval's acknowledged writes.
+	SyncBatch SyncPolicy = "batch"
+	// SyncNone never fsyncs: durability is whatever the OS write-back gives.
+	SyncNone SyncPolicy = "none"
+)
+
+// ParseSyncPolicy validates a policy string ("" defaults to always).
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case "":
+		return SyncAlways, nil
+	case SyncAlways, SyncBatch, SyncNone:
+		return SyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("wal: sync policy %q is not always|batch|none", s)
+}
+
+// walVersion guards the frame/header layout.
+const walVersion = 1
+
+// maxPayload bounds a frame's declared length: no valid record outsizes it,
+// so a corrupt length field is detected before any allocation.
+const maxPayload = 1 << 30
+
+// defaultBatchInterval is the background fsync cadence under SyncBatch.
+const defaultBatchInterval = 5 * time.Millisecond
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// header is the log's first frame: the fence tying it to one catalog.
+type header struct {
+	Version   int
+	Lineage   uint64
+	SnapEpoch uint64
+}
+
+// Record is one logged ingest batch.
+type Record struct {
+	// Seq is the record's sequence number, strictly increasing within the
+	// log. Snapshot truncation drops records with Seq at or below the
+	// low-water mark.
+	Seq uint64
+	// Ops is the batch in replay form: profiled upserts and removes, in
+	// application order.
+	Ops []discovery.ReplayOp
+	// DictStart/DictVals are the positional dictionary delta this batch
+	// appended: DictVals[j] was interned at id DictStart+j. Replay verifies
+	// the positions — a mismatch means the log is being replayed over the
+	// wrong dictionary and must not proceed.
+	DictStart int
+	DictVals  []string
+}
+
+// Options configures Open.
+type Options struct {
+	// FS is the filesystem the log reads and writes through (nil: real disk).
+	FS faultfs.FS
+	// Sync is the fsync policy ("" defaults to SyncAlways).
+	Sync SyncPolicy
+	// BatchInterval is the background fsync cadence under SyncBatch
+	// (default 5ms).
+	BatchInterval time.Duration
+}
+
+// Log is an open write-ahead log. Append, TruncateThrough and Close are
+// safe for concurrent use.
+type Log struct {
+	path   string
+	fsys   faultfs.FS
+	policy SyncPolicy
+
+	mu        sync.Mutex
+	f         faultfs.File
+	size      int64
+	nextSeq   uint64
+	lineage   uint64
+	snapEpoch uint64
+	closed    bool
+	dirty     bool  // bytes appended since the last sync (batch policy)
+	syncErr   error // sticky background sync failure
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// OpenResult is what Open recovered from disk.
+type OpenResult struct {
+	Log *Log
+	// Records are the surviving records in sequence order — what the caller
+	// must replay into the loaded catalog.
+	Records []Record
+	// Lineage and SnapEpoch are the log's fencing header: the caller's own
+	// values when Fresh, the previous process's otherwise. The caller checks
+	// them against the loaded catalog before replaying.
+	Lineage   uint64
+	SnapEpoch uint64
+	// Fresh reports that no usable log existed (missing, empty, or a torn
+	// header) and a new one was initialized with the caller's fence.
+	Fresh bool
+	// TornBytes counts bytes truncated from a torn tail (0 on a clean open).
+	TornBytes int64
+}
+
+// Open opens the log at path, creating it with the given fence when no
+// usable log exists. An existing log is scanned front to back: the header
+// and every CRC-valid record are recovered, and a torn tail — a crash
+// mid-append — is truncated in place before the log accepts new appends.
+// The caller decides what the recovered fence means; Open only guarantees
+// the returned records were durably framed by the lineage in the header.
+func Open(path string, lineage, snapEpoch uint64, o Options) (*OpenResult, error) {
+	policy := o.Sync
+	if policy == "" {
+		policy = SyncAlways
+	}
+	switch policy {
+	case SyncAlways, SyncBatch, SyncNone:
+	default:
+		return nil, fmt.Errorf("wal: sync policy %q is not always|batch|none", policy)
+	}
+	fsys := faultfs.Or(o.FS)
+	l := &Log{path: path, fsys: fsys, policy: policy, nextSeq: 1}
+
+	data, err := readAll(fsys, path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	res := &OpenResult{Log: l}
+	hdr, recs, good, scanErr := scanFrames(data)
+	if scanErr != nil {
+		// No valid header: a crash tore the log's first write (or the file
+		// is not a log at all — in that case refuse rather than destroy).
+		if good > 0 || (len(data) > 0 && !looksTorn(data)) {
+			return nil, fmt.Errorf("wal: %s is not a valid log: %w", path, scanErr)
+		}
+		res.Fresh = true
+	}
+	if res.Fresh {
+		hdr = header{Version: walVersion, Lineage: lineage, SnapEpoch: snapEpoch}
+		recs, good = nil, 0
+	}
+	l.lineage, l.snapEpoch = hdr.Lineage, hdr.SnapEpoch
+	res.Lineage, res.SnapEpoch = hdr.Lineage, hdr.SnapEpoch
+	res.Records = recs
+	for _, r := range recs {
+		if r.Seq >= l.nextSeq {
+			l.nextSeq = r.Seq + 1
+		}
+	}
+
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	if res.Fresh {
+		// (Re)initialize: truncate whatever tear was there and write the
+		// fence. The header must be durable before any record is — a crash
+		// between an acked record append and the header landing would lose
+		// the record's framing entirely.
+		frame, err := encodeFrame(hdr)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := initLogFile(f, frame); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: initializing %s: %w", path, err)
+		}
+		l.size = int64(len(frame))
+		if err := syncParent(fsys, path); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: syncing log directory: %w", err)
+		}
+	} else {
+		if int64(len(data)) > good {
+			res.TornBytes = int64(len(data)) - good
+			if err := f.Truncate(good); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: syncing truncated %s: %w", path, err)
+			}
+		}
+		if _, err := f.Seek(good, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.size = good
+	}
+	l.f = f
+	if policy == SyncBatch {
+		interval := o.BatchInterval
+		if interval <= 0 {
+			interval = defaultBatchInterval
+		}
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop(interval)
+	}
+	return res, nil
+}
+
+// looksTorn reports whether data is plausibly a torn first frame rather
+// than some unrelated file: it must be shorter than one complete header
+// frame could be, or carry a length prefix its bytes fail to satisfy.
+func looksTorn(data []byte) bool {
+	if len(data) < 8 {
+		return true
+	}
+	n := binary.LittleEndian.Uint32(data)
+	return n <= maxPayload && int64(len(data)) < 8+int64(n)
+}
+
+// initLogFile empties f and writes the header frame durably.
+func initLogFile(f faultfs.File, frame []byte) error {
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := f.Write(frame); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Append logs one batch, assigning and returning its sequence number. Under
+// SyncAlways the record is durable when Append returns; under SyncBatch it
+// is durable within one flush interval; under SyncNone whenever the OS gets
+// to it. The caller must not acknowledge the batch to clients before Append
+// returns.
+func (l *Log) Append(ops []discovery.ReplayOp, dictStart int, dictVals []string) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.syncErr != nil {
+		// A background flush failed: acknowledged durability is already
+		// compromised, so fail loudly instead of piling unsynced acks on.
+		return 0, fmt.Errorf("wal: background sync failed: %w", l.syncErr)
+	}
+	seq := l.nextSeq
+	frame, err := encodeFrame(Record{Seq: seq, Ops: ops, DictStart: dictStart, DictVals: dictVals})
+	if err != nil {
+		return 0, err
+	}
+	n, err := l.f.Write(frame)
+	if err != nil {
+		// A partial frame on disk is exactly a torn tail: the CRC fails on
+		// the next open and the tail is truncated. Roll the in-memory state
+		// back so a retry starts a fresh frame past the garbage... which
+		// would itself be garbage after the tear — so truncate back first.
+		if n > 0 {
+			if terr := l.f.Truncate(l.size); terr == nil {
+				l.f.Seek(l.size, io.SeekStart)
+			}
+		}
+		return 0, fmt.Errorf("wal: appending record %d: %w", seq, err)
+	}
+	l.size += int64(len(frame))
+	l.nextSeq = seq + 1
+	switch l.policy {
+	case SyncAlways:
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: syncing record %d: %w", seq, err)
+		}
+	case SyncBatch:
+		l.dirty = true
+	}
+	return seq, nil
+}
+
+// flushLoop is SyncBatch's background fsync: every interval, sync if
+// anything was appended since the last sync.
+func (l *Log) flushLoop(interval time.Duration) {
+	defer close(l.flushDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.dirty && !l.closed && l.syncErr == nil {
+				if err := l.f.Sync(); err != nil {
+					l.syncErr = err
+				}
+				l.dirty = false
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// TruncateThrough atomically rewrites the log to only the records with
+// sequence numbers strictly greater than low, under a new header fencing to
+// snapEpoch — the post-snapshot hygiene call. The caller must sample both
+// values *before* starting the snapshot: concurrent appends during the save
+// then land above low and survive, and a restart sees a snapshot whose
+// epoch is at least snapEpoch, so the fence never spuriously fails.
+func (l *Log) TruncateThrough(low uint64, snapEpoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	// Parse the current file: the surviving tail is re-framed verbatim.
+	data, err := readAll(l.fsys, l.path)
+	if err != nil {
+		return fmt.Errorf("wal: rereading %s: %w", l.path, err)
+	}
+	_, recs, _, scanErr := scanFrames(data)
+	if scanErr != nil {
+		return fmt.Errorf("wal: rereading %s: %w", l.path, scanErr)
+	}
+	var buf bytes.Buffer
+	hdrFrame, err := encodeFrame(header{Version: walVersion, Lineage: l.lineage, SnapEpoch: snapEpoch})
+	if err != nil {
+		return err
+	}
+	buf.Write(hdrFrame)
+	for _, r := range recs {
+		if r.Seq <= low {
+			continue
+		}
+		frame, err := encodeFrame(r)
+		if err != nil {
+			return err
+		}
+		buf.Write(frame)
+	}
+	// Temp + fsync + rename: a crash leaves either the old log (replayed
+	// idempotently over the new snapshot) or the new one, never a mix.
+	tmp := l.path + ".tmp"
+	tf, err := l.fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		tf.Close()
+		l.fsys.Remove(tmp)
+		return err
+	}
+	if _, err := tf.Write(buf.Bytes()); err != nil {
+		return cleanup(err)
+	}
+	if err := tf.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tf.Close(); err != nil {
+		l.fsys.Remove(tmp)
+		return err
+	}
+	if err := l.fsys.Rename(tmp, l.path); err != nil {
+		l.fsys.Remove(tmp)
+		return err
+	}
+	if err := syncParent(l.fsys, l.path); err != nil {
+		return err
+	}
+	// Swap the append handle to the new file.
+	nf, err := l.fsys.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopening %s after truncation: %w", l.path, err)
+	}
+	if _, err := nf.Seek(int64(buf.Len()), io.SeekStart); err != nil {
+		nf.Close()
+		return err
+	}
+	l.f.Close()
+	l.f = nf
+	l.size = int64(buf.Len())
+	l.snapEpoch = snapEpoch
+	l.dirty = false
+	return nil
+}
+
+// Sync forces an fsync regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	err := l.f.Sync()
+	if err == nil {
+		l.dirty = false
+	}
+	return err
+}
+
+// Close syncs (except under SyncNone) and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.policy != SyncNone && l.dirty {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	stop := l.flushStop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.flushDone
+	}
+	return err
+}
+
+// Size returns the log's current byte length.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// LastSeq returns the highest sequence number assigned so far (0 if none).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// Lineage returns the log's fencing lineage id.
+func (l *Log) Lineage() uint64 { return l.lineage }
+
+// SnapEpoch returns the log's current low-water snapshot epoch.
+func (l *Log) SnapEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapEpoch
+}
+
+// Policy returns the log's fsync policy.
+func (l *Log) Policy() SyncPolicy { return l.policy }
+
+// ReplayInto applies recovered records to the catalog in order: each
+// record's dictionary delta is re-interned and position-verified, then its
+// ops are applied as one batch. Removes of unknown tables are ignored —
+// at-least-once replay over a snapshot that already contains the batch's
+// effects must be a no-op, not an error. Any dictionary fence violation
+// aborts the replay: the catalog underneath does not match the log.
+func ReplayInto(ix *discovery.Index, recs []Record) error {
+	dict := ix.Dict()
+	for _, rec := range recs {
+		for j, v := range rec.DictVals {
+			want := uint32(rec.DictStart + j)
+			if got := dict.Intern(v); got != want {
+				return fmt.Errorf("wal: record %d dictionary fence: %q interned at id %d, log expects %d — log does not match this catalog",
+					rec.Seq, v, got, want)
+			}
+		}
+		for i, err := range ix.ApplyReplayOps(rec.Ops) {
+			if err != nil && rec.Ops[i].Remove == "" {
+				return fmt.Errorf("wal: record %d op %d: %w", rec.Seq, i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// encodeFrame gob-encodes v and wraps it in a length+CRC32C frame.
+func encodeFrame(v any) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return nil, fmt.Errorf("wal: encoding record: %w", err)
+	}
+	p := payload.Bytes()
+	if len(p) > maxPayload {
+		return nil, fmt.Errorf("wal: record payload %d bytes exceeds the %d limit", len(p), maxPayload)
+	}
+	frame := make([]byte, 8+len(p))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(p)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(p, crcTable))
+	copy(frame[8:], p)
+	return frame, nil
+}
+
+// nextFrame slices one frame's payload off data, returning nil when the
+// remaining bytes do not hold a complete, CRC-valid frame (a torn tail).
+func nextFrame(data []byte) (payload, rest []byte) {
+	if len(data) < 8 {
+		return nil, data
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	if uint64(n) > maxPayload || int64(len(data)) < 8+int64(n) {
+		return nil, data
+	}
+	p := data[8 : 8+n]
+	if crc32.Checksum(p, crcTable) != binary.LittleEndian.Uint32(data[4:8]) {
+		return nil, data
+	}
+	return p, data[8+n:]
+}
+
+// scanFrames parses a log image: header, then records, stopping cleanly at
+// the first torn or corrupt frame. good is the byte offset of the last
+// fully valid frame — the truncation point. A missing or invalid header
+// frame returns an error with good 0.
+func scanFrames(data []byte) (hdr header, recs []Record, good int64, err error) {
+	if len(data) == 0 {
+		return header{}, nil, 0, errors.New("empty log")
+	}
+	payload, rest := nextFrame(data)
+	if payload == nil {
+		return header{}, nil, 0, errors.New("torn or invalid header frame")
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&hdr); err != nil {
+		return header{}, nil, 0, fmt.Errorf("decoding header: %w", err)
+	}
+	if hdr.Version != walVersion {
+		return header{}, nil, 0, fmt.Errorf("log version %d, want %d", hdr.Version, walVersion)
+	}
+	good = int64(len(data) - len(rest))
+	for len(rest) > 0 {
+		payload, next := nextFrame(rest)
+		if payload == nil {
+			break // torn tail: everything from here is truncated
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			break // CRC-valid but undecodable: treat as tail damage too
+		}
+		recs = append(recs, rec)
+		good = int64(len(data) - len(next))
+		rest = next
+	}
+	return hdr, recs, good, nil
+}
+
+// readAll reads path fully through fsys.
+func readAll(fsys faultfs.FS, path string) ([]byte, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// syncParent fsyncs path's directory, making a create or rename durable.
+func syncParent(fsys faultfs.FS, path string) error {
+	dir := filepath.Dir(path)
+	d, err := fsys.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
